@@ -1,0 +1,66 @@
+// Ablation — the storage layer's contribution to locality.
+//
+// Sec. VII argues replication policies (e.g. Scarlett) are complementary to
+// Custody: more replicas of the right blocks mean more locality
+// opportunities for everyone.  This bench sweeps (a) the uniform
+// replication factor and (b) Scarlett-style popularity boosting, for both
+// managers, on the 50-node WordCount setup.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace custody;
+  using namespace custody::bench;
+  using namespace custody::workload;
+
+  PrintBanner(std::cout, "Ablation — replication factor sweep");
+  PrintScaleNote(std::cout);
+  auto csv = MaybeCsv(argc, argv, {"replication", "popularity", "manager",
+                                   "task_locality", "jct_mean_s"});
+
+  AsciiTable repl({"replication", "spark locality", "custody locality",
+                   "spark JCT (s)", "custody JCT (s)"});
+  for (int replication : {1, 2, 3, 5}) {
+    auto config = PaperConfig(WorkloadKind::kWordCount, 50);
+    config.replication = replication;
+    const Comparison cmp = CompareManagers(config);
+    repl.add_row({std::to_string(replication),
+                  Pct(cmp.baseline.overall_task_locality_percent),
+                  Pct(cmp.custody.overall_task_locality_percent),
+                  Num(cmp.baseline.jct.mean), Num(cmp.custody.jct.mean)});
+    if (csv) {
+      for (const auto* r : {&cmp.baseline, &cmp.custody}) {
+        csv->add_row({std::to_string(replication), "uniform", r->manager_name,
+                      Num(r->overall_task_locality_percent),
+                      Num(r->jct.mean)});
+      }
+    }
+  }
+  repl.print(std::cout);
+
+  PrintBanner(std::cout, "Ablation — Scarlett-style popularity replication");
+  AsciiTable pop({"placement", "spark locality", "custody locality"});
+  for (const bool popularity : {false, true}) {
+    auto config = PaperConfig(WorkloadKind::kWordCount, 50);
+    config.dataset.popularity_replication = popularity;
+    config.dataset.popularity_extra_replicas = 3;
+    const Comparison cmp = CompareManagers(config);
+    pop.add_row({popularity ? "popularity-boosted (hot files x2.5 replicas)"
+                            : "uniform 3 replicas",
+                 Pct(cmp.baseline.overall_task_locality_percent),
+                 Pct(cmp.custody.overall_task_locality_percent)});
+    if (csv) {
+      for (const auto* r : {&cmp.baseline, &cmp.custody}) {
+        csv->add_row({"3", popularity ? "boosted" : "uniform",
+                      r->manager_name,
+                      Num(r->overall_task_locality_percent),
+                      Num(r->jct.mean)});
+      }
+    }
+  }
+  pop.print(std::cout);
+  std::cout << "\nexpected shape: locality rises with the replication factor\n"
+               "for both managers (more placement options), and popularity\n"
+               "boosting mostly helps the data-unaware baseline — Custody is\n"
+               "already finding the replicas that exist.\n";
+  return 0;
+}

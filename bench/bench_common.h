@@ -1,0 +1,90 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary prints paper-vs-measured rows for one table or figure
+// of the evaluation (Sec. VI).  The experiment scale defaults to the
+// paper's (4 applications x 30 jobs, exponential arrivals); set
+// CUSTODY_BENCH_JOBS / CUSTODY_BENCH_SEED to resize or re-seed, and pass
+// `--csv <path>` to also dump the series for replotting.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/experiment.h"
+
+namespace custody::bench {
+
+inline int JobsPerApp() {
+  if (const char* env = std::getenv("CUSTODY_BENCH_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) return jobs;
+  }
+  return 30;  // paper Sec. VI-A2
+}
+
+inline std::uint64_t Seed() {
+  if (const char* env = std::getenv("CUSTODY_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return 42;
+}
+
+/// The paper's experiment setup for one workload on one cluster size.
+inline workload::ExperimentConfig PaperConfig(workload::WorkloadKind kind,
+                                              std::size_t nodes) {
+  workload::ExperimentConfig config;
+  config.num_nodes = nodes;       // 25 / 50 / 100 in the paper
+  config.executors_per_node = 2;  // "two executors are launched on each node"
+  config.block_mb = 128.0;        // standard block size
+  config.replication = 3;         // standard replication level
+  config.uplink_gbps = 2.0;       // Linode: 40 Gbps down / 2 Gbps up
+  config.downlink_gbps = 40.0;
+  config.kinds = {kind};
+  config.trace.num_apps = 4;      // "we register four applications"
+  config.trace.jobs_per_app = JobsPerApp();
+  config.seed = Seed();
+  return config;
+}
+
+inline const std::vector<workload::WorkloadKind>& PaperWorkloads() {
+  static const std::vector<workload::WorkloadKind> kinds{
+      workload::WorkloadKind::kPageRank, workload::WorkloadKind::kWordCount,
+      workload::WorkloadKind::kSort};
+  return kinds;
+}
+
+inline const std::vector<std::size_t>& PaperClusterSizes() {
+  static const std::vector<std::size_t> sizes{25, 50, 100};
+  return sizes;
+}
+
+/// Optional --csv <path> argument shared by all benches.
+inline std::unique_ptr<CsvWriter> MaybeCsv(int argc, char** argv,
+                                           std::vector<std::string> columns) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") {
+      return std::make_unique<CsvWriter>(argv[i + 1], std::move(columns));
+    }
+  }
+  return nullptr;
+}
+
+inline std::string Pct(double v) { return AsciiTable::pct(v, 2); }
+inline std::string Num(double v, int precision = 2) {
+  return AsciiTable::fmt(v, precision);
+}
+
+inline void PrintScaleNote(std::ostream& os) {
+  os << "scale: 4 apps x " << JobsPerApp()
+     << " jobs, exp(16 s) per-app arrivals, seed " << Seed()
+     << " (CUSTODY_BENCH_JOBS / CUSTODY_BENCH_SEED to change)\n";
+}
+
+}  // namespace custody::bench

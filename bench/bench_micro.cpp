@@ -1,0 +1,194 @@
+// Microbenchmarks (google-benchmark): the hot paths of the simulator and
+// the allocator — event queue churn, max-min rate recomputation, the
+// matching algorithms, Dinic max-flow, and a full Custody allocation round
+// at cluster scale.  These bound the overhead Custody would add to a real
+// cluster manager's allocation path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/allocator.h"
+#include "core/flow_network.h"
+#include "core/matching.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace custody;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> times(static_cast<std::size_t>(n));
+  for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (double t : times) queue.push(t, [] {});
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_MaxMinFairRates(benchmark::State& state) {
+  const std::size_t num_flows = static_cast<std::size_t>(state.range(0));
+  const std::size_t num_nodes = 100;
+  Rng rng(2);
+  std::vector<std::vector<std::size_t>> flow_links(num_flows);
+  for (auto& links : flow_links) {
+    links = {rng.index(num_nodes), num_nodes + rng.index(num_nodes)};
+  }
+  std::vector<double> capacity(2 * num_nodes, 1e9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::MaxMinFairRates(flow_links, capacity));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(num_flows));
+}
+BENCHMARK(BM_MaxMinFairRates)->Arg(16)->Arg(128)->Arg(512);
+
+std::vector<core::MatchEdge> RandomEdges(int nl, int nr, double density,
+                                         Rng& rng) {
+  std::vector<core::MatchEdge> edges;
+  for (int l = 0; l < nl; ++l) {
+    for (int r = 0; r < nr; ++r) {
+      if (rng.uniform(0.0, 1.0) < density) {
+        edges.push_back({l, r, rng.uniform(0.1, 2.0)});
+      }
+    }
+  }
+  return edges;
+}
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto edges = RandomEdges(n, n, 0.1, rng);
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& e : edges) adj[static_cast<std::size_t>(e.l)].push_back(e.r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MaxCardinalityMatching(n, n, adj));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GreedyWeightedMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const auto edges = RandomEdges(n, n, 0.1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::GreedyWeightedMatching(n, n, edges));
+  }
+}
+BENCHMARK(BM_GreedyWeightedMatching)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ExactWeightedMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const auto edges = RandomEdges(n, n, 0.2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MaxWeightMatching(n, n, edges, n));
+  }
+}
+BENCHMARK(BM_ExactWeightedMatching)->Arg(16)->Arg(64);
+
+void BM_DinicMaxFlow(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::MaxFlow flow(n + 2);
+    for (int i = 0; i < n; ++i) {
+      flow.add_edge(0, 1 + i, rng.uniform_int(1, 10));
+      flow.add_edge(1 + i, n + 1, rng.uniform_int(1, 10));
+      flow.add_edge(1 + i, 1 + static_cast<int>(rng.index(
+                               static_cast<std::size_t>(n))),
+                    rng.uniform_int(1, 5));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow.solve(0, n + 1));
+  }
+}
+BENCHMARK(BM_DinicMaxFlow)->Arg(100)->Arg(1000);
+
+/// A full Custody allocation round at paper scale: 100 nodes, 200
+/// executors, 4 applications with a handful of pending jobs each.
+void BM_CustodyAllocationRound(benchmark::State& state) {
+  const std::size_t num_nodes = static_cast<std::size_t>(state.range(0));
+  const int execs_per_node = 2;
+  Rng rng(7);
+  const int num_blocks = 500;
+  std::vector<std::vector<NodeId>> locations(num_blocks);
+  for (auto& nodes : locations) {
+    while (nodes.size() < 3) {
+      const NodeId n(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+        nodes.push_back(n);
+      }
+    }
+  }
+  const auto locate = [&locations](BlockId b) -> const std::vector<NodeId>& {
+    return locations[b.value()];
+  };
+
+  std::vector<core::ExecutorInfo> idle;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    for (int e = 0; e < execs_per_node; ++e) {
+      idle.push_back(
+          {ExecutorId(static_cast<ExecutorId::value_type>(idle.size())),
+           NodeId(static_cast<NodeId::value_type>(n))});
+    }
+  }
+
+  std::vector<core::AppDemand> demands(4);
+  core::TaskUid uid = 0;
+  for (std::size_t a = 0; a < demands.size(); ++a) {
+    demands[a].app = AppId(static_cast<AppId::value_type>(a));
+    demands[a].budget = static_cast<int>(idle.size()) / 4;
+    for (int j = 0; j < 4; ++j) {
+      core::JobDemand job;
+      job.job = uid;
+      job.total_tasks = 48;
+      for (int t = 0; t < job.total_tasks; ++t) {
+        job.unsatisfied.push_back(
+            {uid++, BlockId(static_cast<BlockId::value_type>(
+                        rng.index(num_blocks)))});
+      }
+      demands[a].jobs.push_back(std::move(job));
+    }
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::CustodyAllocator::Allocate(demands, idle, locate));
+  }
+  state.SetLabel(std::to_string(idle.size()) + " executors, " +
+                 std::to_string(4 * 4 * 48) + " pending tasks");
+}
+BENCHMARK(BM_CustodyAllocationRound)->Arg(25)->Arg(100);
+
+/// End-to-end simulator throughput: events per second on a busy network.
+void BM_SimulatedTransfers(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::NetworkConfig config;
+    config.num_nodes = 50;
+    net::Network network(sim, config);
+    Rng rng(8);
+    int completed = 0;
+    for (int i = 0; i < 200; ++i) {
+      const auto src = NodeId(static_cast<NodeId::value_type>(rng.index(50)));
+      auto dst = NodeId(static_cast<NodeId::value_type>(rng.index(50)));
+      if (dst == src) dst = NodeId((src.value() + 1) % 50);
+      sim.schedule(rng.uniform(0.0, 5.0), [&network, &completed, src, dst] {
+        network.start_flow(src, dst, 1e8, [&completed] { ++completed; });
+      });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(completed);
+  }
+}
+BENCHMARK(BM_SimulatedTransfers);
+
+}  // namespace
+
+BENCHMARK_MAIN();

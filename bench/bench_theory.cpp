@@ -1,0 +1,129 @@
+// Theory check — how close does Custody's greedy two-level heuristic get
+// to the optimum it approximates?
+//
+// On random allocation instances this bench compares, per instance:
+//   * greedy weighted matching (the priority rule) vs the exact
+//     constrained-matching optimum (weight = job-locality objective), and
+//   * Custody's integral task satisfaction vs the fractional maximum
+//     concurrent flow bound λ* of the Sec. III formulation.
+// The paper's 2-approximation guarantee must hold on every instance; in
+// practice the greedy sits far above 50% of optimal.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/allocator.h"
+#include "core/flow_network.h"
+#include "core/matching.h"
+
+int main() {
+  using namespace custody;
+  using namespace custody::bench;
+  using namespace custody::core;
+
+  PrintBanner(std::cout,
+              "Theory — greedy priority vs exact matching vs fractional bound");
+
+  Rng rng(2024);
+  const int kTrials = 200;
+
+  double worst_matching_ratio = 1.0;
+  RunningStats matching_ratio;
+  RunningStats custody_vs_lambda;
+  int custody_beats_fraction = 0;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int num_nodes = rng.uniform_int(4, 12);
+    const int num_execs = rng.uniform_int(4, 16);
+    const int num_blocks = rng.uniform_int(4, 16);
+
+    // Random replica map.
+    std::vector<std::vector<NodeId>> locations(num_blocks);
+    for (auto& nodes : locations) {
+      const int replicas = rng.uniform_int(1, 3);
+      while (static_cast<int>(nodes.size()) < replicas) {
+        const NodeId n(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+        if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+          nodes.push_back(n);
+        }
+      }
+    }
+    const auto locate = [&locations](BlockId b) -> const std::vector<NodeId>& {
+      return locations[b.value()];
+    };
+    std::vector<ExecutorInfo> idle;
+    for (int e = 0; e < num_execs; ++e) {
+      idle.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                      NodeId(static_cast<NodeId::value_type>(
+                          rng.index(num_nodes)))});
+    }
+
+    // One application, several jobs (the intra-app matching instance).
+    std::vector<AppDemand> demands(1);
+    demands[0].app = AppId(0);
+    demands[0].budget = rng.uniform_int(1, num_execs);
+    TaskUid uid = 0;
+    std::vector<MatchEdge> edges;
+    int task_index = 0;
+    for (int j = 0; j < rng.uniform_int(1, 4); ++j) {
+      JobDemand job;
+      job.job = static_cast<JobUid>(j);
+      job.total_tasks = rng.uniform_int(1, 4);
+      for (int t = 0; t < job.total_tasks; ++t) {
+        job.unsatisfied.push_back(
+            {uid++, BlockId(static_cast<BlockId::value_type>(
+                        rng.index(num_blocks)))});
+      }
+      // Matching edges: task -> executor storing its block, weight 1/µ.
+      for (const TaskDemand& task : job.unsatisfied) {
+        for (int e = 0; e < num_execs; ++e) {
+          const auto& locs = locate(task.block);
+          if (std::find(locs.begin(), locs.end(), idle[e].node) !=
+              locs.end()) {
+            edges.push_back(
+                {task_index, e, 1.0 / job.total_tasks});
+          }
+        }
+        ++task_index;
+      }
+      demands[0].jobs.push_back(std::move(job));
+    }
+
+    const auto greedy =
+        GreedyWeightedMatching(task_index, num_execs, edges);
+    const auto exact = MaxWeightMatching(task_index, num_execs, edges,
+                                         demands[0].budget);
+    if (exact.total_weight > 1e-9) {
+      const double ratio = greedy.total_weight / exact.total_weight;
+      matching_ratio.add(std::min(ratio, 1.0));
+      worst_matching_ratio = std::min(worst_matching_ratio, ratio);
+    }
+
+    // Custody's full round vs the fractional concurrent-flow bound.
+    const auto instance = BuildConcurrentFlowInstance(demands, idle, locate);
+    const auto bound = SolveMaxConcurrentFlow(instance);
+    const auto result = CustodyAllocator::Allocate(demands, idle, locate);
+    const double satisfied = result.tasks_satisfied[0];
+    if (bound.satisfied[0] > 1e-9) {
+      custody_vs_lambda.add(satisfied / bound.satisfied[0]);
+      if (satisfied >= bound.satisfied[0] - 1e-9) ++custody_beats_fraction;
+    }
+  }
+
+  AsciiTable table({"quantity", "value"});
+  table.add_row({"instances", std::to_string(kTrials)});
+  table.add_row({"greedy/exact weight ratio (mean)",
+                 Num(matching_ratio.mean(), 4)});
+  table.add_row({"greedy/exact weight ratio (worst)",
+                 Num(worst_matching_ratio, 4)});
+  table.add_row({"2-approx bound respected",
+                 worst_matching_ratio >= 0.5 ? "yes (>= 0.5)" : "VIOLATED"});
+  table.add_row({"custody / fractional λ* satisfaction (mean)",
+                 Num(custody_vs_lambda.mean(), 4)});
+  table.add_row({"instances where custody meets the fractional bound",
+                 std::to_string(custody_beats_fraction) + "/" +
+                     std::to_string(static_cast<int>(
+                         custody_vs_lambda.count()))});
+  table.print(std::cout);
+  return worst_matching_ratio >= 0.5 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// hot_dataset — skewed popularity and Scarlett-style replication.
+//
+// Scenario from the paper's related work (Sec. VII): a handful of hot
+// files receive most of the accesses; the worker nodes storing them become
+// hotspots.  This example runs a heavily skewed WordCount workload under
+// the standalone manager and under Custody, first with uniform 3x
+// replication and then with popularity-boosted replication for the hot
+// quarter of the catalog, and shows how the two techniques compose.
+#include <iostream>
+
+#include "common/table.h"
+#include "workload/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace custody;
+  using namespace custody::workload;
+
+  ExperimentConfig config;
+  config.num_nodes = 40;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 4;
+  config.trace.jobs_per_app = 15;
+  config.trace.files_per_kind = 8;
+  config.trace.zipf_skew = 1.2;  // heavy skew: the top file dominates
+  if (argc > 1) config.seed = static_cast<std::uint64_t>(std::atoll(argv[1]));
+
+  std::cout << "Zipf(1.2)-skewed WordCount over " << config.trace.files_per_kind
+            << " files on " << config.num_nodes << " nodes (seed "
+            << config.seed << ").\n"
+            << "The hottest file receives ~40% of all job submissions.\n";
+
+  AsciiTable table({"replication policy", "manager", "task locality",
+                    "mean JCT (s)", "p95 JCT (s)"});
+  for (const bool boosted : {false, true}) {
+    config.dataset.popularity_replication = boosted;
+    config.dataset.popularity_extra_replicas = 3;
+    config.dataset.hot_fraction = 0.25;
+    for (const ManagerKind manager :
+         {ManagerKind::kStandalone, ManagerKind::kCustody}) {
+      config.manager = manager;
+      const auto result = RunExperiment(config);
+      table.add_row({boosted ? "scarlett (hot files 6x)" : "uniform 3x",
+                     result.manager_name,
+                     AsciiTable::pct(result.overall_task_locality_percent),
+                     AsciiTable::fmt(result.jct.mean),
+                     AsciiTable::fmt(result.jct.p95)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway: replication policies raise the ceiling on\n"
+               "locality; Custody is what actually reaches the ceiling by\n"
+               "allocating the executors that sit on the replicas.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// multi_tenant — max-min fairness across heterogeneous applications.
+//
+// Six applications share one cluster, submitting a mix of PageRank,
+// WordCount and Sort jobs.  The example reports the per-application
+// fraction of perfectly-local jobs under the standalone manager and under
+// Custody: Custody's inter-application strategy (Algorithm 1) keeps the
+// spread tight, so no tenant systematically loses the locality lottery.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.h"
+#include "workload/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace custody;
+  using namespace custody::workload;
+
+  ExperimentConfig config;
+  config.num_nodes = 60;
+  config.kinds = {WorkloadKind::kPageRank, WorkloadKind::kWordCount,
+                  WorkloadKind::kSort};
+  config.trace.num_apps = 6;
+  config.trace.jobs_per_app = 12;
+  config.trace.mean_interarrival = 10.0;
+  if (argc > 1) config.seed = static_cast<std::uint64_t>(std::atoll(argv[1]));
+
+  std::cout << config.trace.num_apps << " tenants x "
+            << config.trace.jobs_per_app
+            << " mixed jobs on a " << config.num_nodes
+            << "-node cluster (seed " << config.seed << ").\n";
+
+  AsciiTable table({"manager", "per-app fully-local job fraction",
+                    "spread (max-min)", "mean JCT (s)"});
+  for (const ManagerKind manager :
+       {ManagerKind::kStandalone, ManagerKind::kCustody}) {
+    config.manager = manager;
+    const auto result = RunExperiment(config);
+    std::string fractions;
+    double lo = 2.0;
+    double hi = -1.0;
+    for (double f : result.per_app_local_job_fraction) {
+      if (!fractions.empty()) fractions += ", ";
+      fractions += AsciiTable::fmt(f, 2);
+      lo = std::min(lo, f);
+      hi = std::max(hi, f);
+    }
+    table.add_row({result.manager_name, fractions, AsciiTable::fmt(hi - lo, 2),
+                   AsciiTable::fmt(result.jct.mean)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway: under the data-unaware baseline some tenants get\n"
+               "lucky executor placements and others do not; Custody's\n"
+               "MINLOCALITY ordering equalizes the locality each tenant's\n"
+               "jobs achieve while also lowering completion times.\n";
+  return 0;
+}

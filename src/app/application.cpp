@@ -1,0 +1,757 @@
+#include "app/application.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace custody::app {
+
+Application::Application(AppId id, sim::Simulator& sim, net::Network& net,
+                         const dfs::Dfs& dfs, cluster::Cluster& cluster,
+                         metrics::MetricsCollector& metrics, IdSource& ids,
+                         Rng rng, AppConfig config)
+    : id_(id),
+      sim_(sim),
+      net_(net),
+      dfs_(dfs),
+      cluster_(cluster),
+      metrics_(metrics),
+      ids_(ids),
+      rng_(rng),
+      config_(config),
+      scheduler_(config.scheduler, dfs) {}
+
+void Application::attach_manager(cluster::ClusterManager& manager) {
+  manager_ = &manager;
+  manager.register_app(*this);
+}
+
+void Application::attach_cache(dfs::BlockCache* cache) {
+  cache_ = cache;
+  scheduler_.set_cache(cache);
+}
+
+const std::vector<NodeId>& Application::locations_of(BlockId block) const {
+  if (cache_ != nullptr) return cache_->merged_locations(block);
+  return dfs_.locations(block);
+}
+
+Task& Application::task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::logic_error("Application: unknown task");
+  return it->second;
+}
+
+const Task& Application::task(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) throw std::logic_error("Application: unknown task");
+  return it->second;
+}
+
+Task* Application::find_task(TaskId id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+Job& Application::job(JobId id) {
+  for (auto& j : jobs_) {
+    if (j->id == id) return *j;
+  }
+  throw std::logic_error("Application: unknown job");
+}
+
+const Job* Application::find_job(JobId id) const {
+  for (const auto& j : jobs_) {
+    if (j->id == id) return j.get();
+  }
+  return nullptr;
+}
+
+JobId Application::submit_job(const JobSpec& spec) {
+  if (manager_ == nullptr) {
+    throw std::logic_error("Application: attach_manager before submit_job");
+  }
+  const SimTime now = sim_.now();
+  auto owned = std::make_unique<Job>();
+  Job& j = *owned;
+  j.id = JobId(ids_.next_job++);
+  j.app = id_;
+  j.name = spec.name;
+  j.input_file = spec.input_file;
+  j.submit_time = now;
+
+  // Stage 0: one input task per block of the input file.
+  const auto& blocks = dfs_.blocks_of(spec.input_file);
+  Stage input_stage;
+  input_stage.index = 0;
+  for (BlockId b : blocks) {
+    Task t;
+    t.id = TaskId(ids_.next_task++);
+    t.job = j.id;
+    t.stage = 0;
+    t.index = static_cast<int>(input_stage.tasks.size());
+    t.block = b;
+    t.input_bytes = dfs_.block(b).bytes;
+    t.compute_secs = spec.input_compute_secs_per_byte * t.input_bytes;
+    input_stage.tasks.push_back(t.id);
+    tasks_.emplace(t.id, std::move(t));
+  }
+  j.input_tasks = static_cast<int>(input_stage.tasks.size());
+  j.stages.push_back(std::move(input_stage));
+
+  // Downstream (shuffle) stages.
+  for (std::size_t s = 0; s < spec.downstream.size(); ++s) {
+    const ShuffleStageSpec& sspec = spec.downstream[s];
+    Stage stage;
+    stage.index = static_cast<int>(s + 1);
+    for (int i = 0; i < sspec.num_tasks; ++i) {
+      Task t;
+      t.id = TaskId(ids_.next_task++);
+      t.job = j.id;
+      t.stage = stage.index;
+      t.index = i;
+      t.input_bytes = sspec.shuffle_bytes / sspec.num_tasks;
+      t.compute_secs = sspec.compute_secs_per_task;
+      stage.tasks.push_back(t.id);
+      tasks_.emplace(t.id, std::move(t));
+    }
+    j.stages.push_back(std::move(stage));
+  }
+
+  jobs_.push_back(std::move(owned));
+  active_jobs_.push_back(jobs_.back().get());
+  ++jobs_submitted_;
+
+  // The input stage is runnable immediately; Custody's allocation round is
+  // triggered by the demand change and runs before any executor could go
+  // idle at this same instant, so jobs never wait on the allocator.
+  mark_stage_ready(j, j.stages.front());
+  manager_->on_demand_changed(*this);
+  kick();
+  return j.id;
+}
+
+void Application::mark_stage_ready(Job& j, Stage& stage) {
+  const SimTime now = sim_.now();
+  for (TaskId id : stage.tasks) {
+    Task& t = task(id);
+    assert(t.state == TaskState::kBlocked);
+    t.state = TaskState::kReady;
+    t.ready_time = now;
+    if (stage.index > 0) {
+      // Choose which previous-stage output nodes this task fetches from.
+      const Stage& prev = j.stages[static_cast<std::size_t>(stage.index) - 1];
+      std::vector<NodeId> sources = prev.output_nodes;
+      std::sort(sources.begin(), sources.end());
+      sources.erase(std::unique(sources.begin(), sources.end()),
+                    sources.end());
+      rng_.shuffle(sources);
+      const auto fan_in = std::min<std::size_t>(
+          sources.size(), static_cast<std::size_t>(config_.shuffle_fan_in));
+      t.fetch_sources.assign(sources.begin(), sources.begin() + fan_in);
+    }
+  }
+}
+
+std::vector<core::JobDemand> Application::pending_demand() const {
+  // Nodes on which this app currently holds executors (busy or idle): a
+  // block replicated there is considered satisfiable without new grants.
+  std::vector<NodeId> held_nodes;
+  for (const cluster::Executor& exec : cluster_.executors()) {
+    if (exec.owner == id_) held_nodes.push_back(exec.node);
+  }
+  std::sort(held_nodes.begin(), held_nodes.end());
+  held_nodes.erase(std::unique(held_nodes.begin(), held_nodes.end()),
+                   held_nodes.end());
+
+  std::vector<core::JobDemand> demand;
+  for (const Job* j : active_jobs_) {
+    if (j->launched_input_tasks >= j->input_tasks) continue;
+    core::JobDemand jd;
+    jd.job = j->id.value();
+    jd.total_tasks = j->input_tasks;
+    for (TaskId id : j->stages.front().tasks) {
+      const Task& t = task(id);
+      if (t.state != TaskState::kReady) continue;
+      const auto& locs = locations_of(t.block);
+      const bool covered = std::any_of(
+          locs.begin(), locs.end(), [&held_nodes](NodeId n) {
+            return std::binary_search(held_nodes.begin(), held_nodes.end(), n);
+          });
+      if (!covered) jd.unsatisfied.push_back({t.id.value(), t.block});
+    }
+    demand.push_back(std::move(jd));
+  }
+  return demand;
+}
+
+int Application::wanted_executors() const {
+  int want = 0;
+  for (const Job* j : active_jobs_) {
+    for (const Stage& stage : j->stages) {
+      for (TaskId id : stage.tasks) {
+        const TaskState s = task(id).state;
+        if (s == TaskState::kReady || s == TaskState::kRunning) ++want;
+      }
+    }
+  }
+  return want;
+}
+
+int Application::count_ready_tasks() const {
+  int ready = 0;
+  for (const Job* j : active_jobs_) {
+    for (const Stage& stage : j->stages) {
+      for (TaskId id : stage.tasks) {
+        if (task(id).state == TaskState::kReady) ++ready;
+      }
+    }
+  }
+  return ready;
+}
+
+core::LocalityStats Application::locality() const { return achieved_; }
+
+void Application::on_executor_granted(ExecutorId exec) {
+  assert(cluster_.executor(exec).owner == id_);
+  (void)exec;
+  kick();
+}
+
+bool Application::consider_offer(ExecutorId /*exec*/, NodeId node) {
+  const SimTime now = sim_.now();
+  bool has_ready_input = false;
+  for (Job* j : active_jobs_) {
+    // Downstream work has no locality constraint: accept immediately.
+    for (const Stage& stage : j->stages) {
+      if (stage.index == 0) continue;
+      for (TaskId id : stage.tasks) {
+        if (task(id).state == TaskState::kReady) return true;
+      }
+    }
+    if (j->launched_input_tasks >= j->input_tasks) continue;
+    if (scheduler_.has_local_ready_input(
+            *j, node, [this](TaskId id) -> Task& { return task(id); })) {
+      return true;
+    }
+    for (TaskId id : j->stages.front().tasks) {
+      if (task(id).state == TaskState::kReady) {
+        has_ready_input = true;
+        // A rejected offer starts the job's locality-wait clock, exactly
+        // like skipping a slot under delay scheduling.
+        if (!j->waiting_since_set()) j->wait_start = now;
+        if (scheduler_.config().kind != SchedulerKind::kDelay ||
+            now - j->wait_start >= scheduler_.config().locality_wait) {
+          return true;  // waited long enough; settle for this node
+        }
+        break;
+      }
+    }
+  }
+  (void)has_ready_input;
+  return false;
+}
+
+void Application::kick() {
+  if (in_kick_) return;  // avoid re-entrant scheduling storms
+  in_kick_ = true;
+  const SimTime now = sim_.now();
+  std::optional<SimTime> earliest_retry;
+
+  for (const cluster::Executor& snapshot : cluster_.executors()) {
+    if (snapshot.owner != id_ || snapshot.busy) continue;
+    std::optional<SimTime> retry_at;
+    const auto pick = scheduler_.pick(
+        snapshot.node, now, active_jobs_,
+        [this](TaskId id) -> Task& { return task(id); }, retry_at);
+    if (pick) {
+      Task& t = task(pick->task);
+      t.local = pick->local;
+      launch(t, snapshot.id);
+      continue;
+    }
+    if (retry_at) {
+      if (!earliest_retry || *retry_at < *earliest_retry) {
+        earliest_retry = retry_at;
+      }
+    }
+    // Nothing launchable: offer the free slot to a straggler clone.
+    const TaskId slow = pick_speculative(snapshot.node);
+    if (slow.valid()) launch_clone(task(slow), snapshot.id);
+  }
+  in_kick_ = false;
+  if (earliest_retry) arm_retry(*earliest_retry);
+  maybe_release_idle_executors();
+}
+
+void Application::arm_retry(SimTime at) {
+  if (retry_time_ >= 0.0 && retry_time_ <= at && retry_event_.valid() &&
+      !retry_event_.cancelled()) {
+    return;  // an earlier (or equal) retry is already pending
+  }
+  retry_event_.cancel();
+  retry_time_ = at;
+  const SimTime delay = std::max(0.0, at - sim_.now());
+  retry_event_ = sim_.schedule(delay, [this] {
+    retry_time_ = -1.0;
+    kick();
+  });
+}
+
+void Application::launch(Task& t, ExecutorId exec) {
+  assert(t.state == TaskState::kReady);
+  const SimTime now = sim_.now();
+  cluster::Executor& e = cluster_.executor(exec);
+  assert(!e.busy && e.owner == id_);
+  e.busy = true;
+  t.state = TaskState::kRunning;
+  t.executor = exec;
+  t.launch_time = now;
+
+  Job& j = job(t.job);
+  scheduler_.on_launched(j, t);
+
+  if (t.is_input()) {
+    ++j.launched_input_tasks;
+    ++achieved_.total_tasks;
+    if (t.local) {
+      ++j.local_input_tasks;
+      ++achieved_.local_tasks;
+      ++breakdown_.local;
+    } else {
+      const auto& locs = dfs_.locations(t.block);
+      const bool covered = std::any_of(
+          locs.begin(), locs.end(), [this](NodeId n) {
+            for (const cluster::Executor& other : cluster_.executors()) {
+              if (other.owner == id_ && other.node == n) return true;
+            }
+            return false;
+          });
+      if (covered) {
+        ++breakdown_.covered_busy;
+      } else {
+        ++breakdown_.uncovered;
+      }
+    }
+    if (t.local) {
+      // Disk replica or cached copy; cached reads run at memory speed.
+      const bool on_disk = dfs_.is_local(t.block, e.node);
+      const double rate = on_disk ? cluster_.disk_bps(e.node)
+                                  : cluster_.config().memory_bps;
+      const double read_secs = t.input_bytes / rate;
+      t.pending_event = sim_.schedule(
+          read_secs, [this, id = t.id, ep = t.epoch] {
+            Task* found = find_task(id);
+            if (found != nullptr && found->epoch == ep) start_compute(*found);
+          });
+    } else {
+      // Remote read: stream the block from a replica (or cached copy) over
+      // the network; the receiving node caches what it pulled.
+      const auto& locs = locations_of(t.block);
+      assert(!locs.empty());
+      NodeId src = rng_.pick(locs);
+      if (src == e.node) {
+        // A cached copy appeared on this node after scheduling; read it.
+        const double read_secs =
+            t.input_bytes / cluster_.config().memory_bps;
+        sim_.schedule(read_secs,
+                      [this, id = t.id] { start_compute(task(id)); });
+        return;
+      }
+      t.pending_flow = net_.start_flow(
+          src, e.node, t.input_bytes,
+          [this, id = t.id, node = e.node, ep = t.epoch] {
+            Task* fetched = find_task(id);
+            if (fetched == nullptr || fetched->epoch != ep) return;
+            fetched->pending_flow = FlowId::invalid();
+            if (cache_ != nullptr) cache_->insert(node, fetched->block);
+            start_compute(*fetched);
+          });
+    }
+    return;
+  }
+
+  // Downstream task: fetch shuffle partitions from previous-stage nodes.
+  std::vector<NodeId> remote;
+  double local_bytes = 0.0;
+  for (NodeId src : t.fetch_sources) {
+    if (src == e.node) {
+      local_bytes += t.input_bytes / t.fetch_sources.size();
+    } else {
+      remote.push_back(src);
+    }
+  }
+  t.fetches_outstanding = static_cast<int>(remote.size());
+  if (t.fetches_outstanding == 0) {
+    // Everything is on this node (or the task has no input at all).
+    const double read_secs =
+        t.input_bytes > 0.0 ? t.input_bytes / cluster_.disk_bps(e.node) : 0.0;
+    t.pending_event = sim_.schedule(
+        read_secs, [this, id = t.id, ep = t.epoch] {
+          Task* found = find_task(id);
+          if (found != nullptr && found->epoch == ep) start_compute(*found);
+        });
+    return;
+  }
+  const double bytes_per_source =
+      t.input_bytes / static_cast<double>(t.fetch_sources.size());
+  (void)local_bytes;  // local portion is read while remote fetches stream in
+  for (NodeId src : remote) {
+    net_.start_flow(src, e.node, bytes_per_source,
+                    [this, id = t.id, ep = t.epoch] {
+                      Task* fetched = find_task(id);
+                      if (fetched == nullptr || fetched->epoch != ep) return;
+                      if (--fetched->fetches_outstanding == 0) {
+                        start_compute(*fetched);
+                      }
+                    });
+  }
+}
+
+void Application::start_compute(Task& t) {
+  assert(t.state == TaskState::kRunning);
+  const double speed = cluster_.node_speed(cluster_.node_of(t.executor));
+  t.pending_event = sim_.schedule(
+      t.compute_secs / speed, [this, id = t.id, ep = t.epoch] {
+        Task* found = find_task(id);
+        if (found != nullptr && found->epoch == ep) finish_attempt(*found, 0);
+      });
+}
+
+TaskId Application::pick_speculative(NodeId node) const {
+  if (!config_.speculation) return TaskId::invalid();
+  const SimTime now = sim_.now();
+  TaskId fallback = TaskId::invalid();
+  for (const Job* j : active_jobs_) {
+    const Stage& input = j->stages.front();
+    int finished = 0;
+    double total_duration = 0.0;
+    for (TaskId id : input.tasks) {
+      const Task& t = task(id);
+      if (t.state == TaskState::kFinished) {
+        ++finished;
+        total_duration += t.finish_time - t.launch_time;
+      }
+    }
+    if (finished < config_.speculation_min_finished) continue;
+    const double slow_after = config_.speculation_multiplier *
+                              (total_duration / finished);
+    for (TaskId id : input.tasks) {
+      const Task& t = task(id);
+      if (t.state != TaskState::kRunning || t.spec_active) continue;
+      if (now - t.launch_time <= slow_after) continue;
+      if (scheduler_.is_local(t.block, node)) return id;  // best: local clone
+      if (!fallback.valid()) fallback = id;
+    }
+  }
+  return fallback;
+}
+
+void Application::launch_clone(Task& t, ExecutorId exec) {
+  assert(t.state == TaskState::kRunning && t.is_input() && !t.spec_active);
+  cluster::Executor& e = cluster_.executor(exec);
+  assert(!e.busy && e.owner == id_);
+  e.busy = true;
+  t.spec_active = true;
+  t.spec_executor = exec;
+  t.spec_local = scheduler_.is_local(t.block, e.node);
+  ++spec_launches_;
+
+  if (t.spec_local) {
+    const bool on_disk = dfs_.is_local(t.block, e.node);
+    const double rate = on_disk ? cluster_.disk_bps(e.node)
+                                : cluster_.config().memory_bps;
+    t.spec_event = sim_.schedule(
+        t.input_bytes / rate, [this, id = t.id, ep = t.epoch] {
+          Task* found = find_task(id);
+          if (found != nullptr && found->epoch == ep) {
+            start_clone_compute(*found);
+          }
+        });
+    return;
+  }
+  const auto& locs = locations_of(t.block);
+  assert(!locs.empty());
+  NodeId src = rng_.pick(locs);
+  if (src == e.node) {
+    t.spec_event = sim_.schedule(
+        t.input_bytes / cluster_.config().memory_bps,
+        [this, id = t.id, ep = t.epoch] {
+          Task* found = find_task(id);
+          if (found != nullptr && found->epoch == ep) {
+            start_clone_compute(*found);
+          }
+        });
+    return;
+  }
+  t.spec_flow = net_.start_flow(
+      src, e.node, t.input_bytes,
+      [this, id = t.id, node = e.node, ep = t.epoch] {
+        Task* fetched = find_task(id);
+        if (fetched == nullptr || fetched->epoch != ep) return;
+        fetched->spec_flow = FlowId::invalid();
+        if (cache_ != nullptr) cache_->insert(node, fetched->block);
+        start_clone_compute(*fetched);
+      });
+}
+
+void Application::start_clone_compute(Task& t) {
+  if (t.state != TaskState::kRunning || !t.spec_active) return;
+  const double speed = cluster_.node_speed(cluster_.node_of(t.spec_executor));
+  t.spec_event = sim_.schedule(
+      t.compute_secs / speed, [this, id = t.id, ep = t.epoch] {
+        Task* found = find_task(id);
+        if (found != nullptr && found->epoch == ep) finish_attempt(*found, 1);
+      });
+}
+
+void Application::finish_attempt(Task& t, int attempt) {
+  if (t.state != TaskState::kRunning) return;  // a stale completion
+  if (attempt == 1) {
+    // The clone won: abort the primary and adopt the clone's placement.
+    ++spec_wins_;
+    t.pending_event.cancel();
+    if (t.pending_flow.valid() && net_.flow_active(t.pending_flow)) {
+      net_.cancel_flow(t.pending_flow);
+    }
+    t.pending_flow = FlowId::invalid();
+    cluster_.executor(t.executor).busy = false;
+    t.executor = t.spec_executor;
+    t.local = t.spec_local;
+  } else if (t.spec_active) {
+    // The primary won: abort the clone and free its executor.
+    t.spec_event.cancel();
+    if (t.spec_flow.valid() && net_.flow_active(t.spec_flow)) {
+      net_.cancel_flow(t.spec_flow);
+    }
+    t.spec_flow = FlowId::invalid();
+    cluster_.executor(t.spec_executor).busy = false;
+  }
+  t.spec_active = false;
+  finish_task(t);
+}
+
+void Application::reset_task(Task& t) {
+  assert(t.state == TaskState::kRunning);
+  t.pending_event.cancel();
+  if (t.pending_flow.valid() && net_.flow_active(t.pending_flow)) {
+    net_.cancel_flow(t.pending_flow);
+  }
+  t.pending_flow = FlowId::invalid();
+  if (t.spec_active) {
+    t.spec_event.cancel();
+    if (t.spec_flow.valid() && net_.flow_active(t.spec_flow)) {
+      net_.cancel_flow(t.spec_flow);
+    }
+    t.spec_flow = FlowId::invalid();
+    if (cluster_.executor_alive(t.spec_executor)) {
+      cluster_.executor(t.spec_executor).busy = false;
+    }
+    t.spec_active = false;
+  }
+  // Undo the launch-time accounting: the re-execution counts afresh.
+  Job& j = job(t.job);
+  if (t.is_input()) {
+    --j.launched_input_tasks;
+    --achieved_.total_tasks;
+    if (t.local) {
+      --j.local_input_tasks;
+      --achieved_.local_tasks;
+    }
+  }
+  ++t.epoch;  // orphan every remaining callback of the old attempts
+  t.state = TaskState::kReady;
+  t.ready_time = sim_.now();
+  t.executor = ExecutorId::invalid();
+  t.local = false;
+  t.fetches_outstanding = 0;
+}
+
+void Application::on_executor_lost(ExecutorId exec) {
+  bool lost_work = false;
+  for (Job* j : active_jobs_) {
+    for (Stage& stage : j->stages) {
+      for (TaskId id : stage.tasks) {
+        Task& t = task(id);
+        if (t.state != TaskState::kRunning) continue;
+        if (t.executor == exec) {
+          // The primary attempt died with the node; restart from ready.
+          reset_task(t);
+          lost_work = true;
+        } else if (t.spec_active && t.spec_executor == exec) {
+          // Only the clone died; the primary attempt keeps running.
+          t.spec_event.cancel();
+          if (t.spec_flow.valid() && net_.flow_active(t.spec_flow)) {
+            net_.cancel_flow(t.spec_flow);
+          }
+          t.spec_flow = FlowId::invalid();
+          t.spec_active = false;
+          lost_work = true;
+        }
+      }
+    }
+  }
+  if (lost_work) {
+    manager_->on_demand_changed(*this);
+    kick();
+  }
+}
+
+void Application::finish_task(Task& t) {
+  assert(t.state == TaskState::kRunning);
+  const SimTime now = sim_.now();
+  t.state = TaskState::kFinished;
+  t.finish_time = now;
+  cluster_.executor(t.executor).busy = false;
+
+  metrics::TaskRecord record;
+  record.app = id_;
+  record.job = t.job;
+  record.stage = t.stage;
+  record.is_input = t.is_input();
+  record.local = t.local;
+  record.ready_time = t.ready_time;
+  record.launch_time = t.launch_time;
+  record.finish_time = t.finish_time;
+  metrics_.record_task(record);
+
+  Job& j = job(t.job);
+  Stage& stage = j.stages[static_cast<std::size_t>(t.stage)];
+  stage.output_nodes.push_back(cluster_.node_of(t.executor));
+  ++stage.finished;
+  if (stage.complete()) complete_stage(j, stage);
+
+  kick();
+}
+
+void Application::complete_stage(Job& j, Stage& stage) {
+  const SimTime now = sim_.now();
+  if (stage.index == 0) {
+    j.input_stage_finish = now;
+    ++achieved_.total_jobs;
+    if (j.local_input_tasks == j.input_tasks) ++achieved_.local_jobs;
+  }
+  const auto next = static_cast<std::size_t>(stage.index) + 1;
+  if (next < j.stages.size()) {
+    mark_stage_ready(j, j.stages[next]);
+  } else {
+    finish_job(j);
+  }
+}
+
+void Application::finish_job(Job& j) {
+  const SimTime now = sim_.now();
+  j.finished = true;
+  j.finish_time = now;
+  ++jobs_completed_;
+  active_jobs_.erase(std::remove(active_jobs_.begin(), active_jobs_.end(), &j),
+                     active_jobs_.end());
+
+  metrics::JobRecord record;
+  record.app = id_;
+  record.job = j.id;
+  record.submit_time = j.submit_time;
+  record.input_stage_finish = j.input_stage_finish;
+  record.finish_time = j.finish_time;
+  record.input_tasks = j.input_tasks;
+  record.local_input_tasks = j.local_input_tasks;
+  metrics_.record_job(record);
+
+  LOG_DEBUG << "app " << id_ << ": job " << j.id << " (" << j.name
+            << ") finished in " << j.finish_time - j.submit_time << "s";
+
+  // Free the metadata of finished tasks; ids are never reused.
+  for (const Stage& stage : j.stages) {
+    for (TaskId id : stage.tasks) tasks_.erase(id);
+  }
+
+  manager_->on_demand_changed(*this);
+}
+
+bool Application::any_local_ready_input(NodeId node) const {
+  for (const Job* j : active_jobs_) {
+    if (scheduler_.has_local_ready_input(
+            *j, node, [this](TaskId id) -> Task& {
+              // has_local_ready_input only reads; const_cast confined here.
+              return const_cast<Application*>(this)->task(id);
+            })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Application::pool_has_useful_executor() const {
+  std::vector<NodeId> pool_nodes;
+  std::vector<NodeId> held_nodes;
+  for (const cluster::Executor& exec : cluster_.executors()) {
+    if (!exec.allocated()) {
+      pool_nodes.push_back(exec.node);
+    } else if (exec.owner == id_) {
+      held_nodes.push_back(exec.node);
+    }
+  }
+  if (pool_nodes.empty()) return false;
+  std::sort(pool_nodes.begin(), pool_nodes.end());
+  std::sort(held_nodes.begin(), held_nodes.end());
+  auto on_any = [](const std::vector<NodeId>& sorted_nodes,
+                   const std::vector<NodeId>& locations) {
+    return std::any_of(locations.begin(), locations.end(),
+                       [&sorted_nodes](NodeId n) {
+                         return std::binary_search(sorted_nodes.begin(),
+                                                   sorted_nodes.end(), n);
+                       });
+  };
+
+  for (const Job* j : active_jobs_) {
+    if (j->launched_input_tasks >= j->input_tasks) continue;
+    for (TaskId id : j->stages.front().tasks) {
+      const Task& t = task(id);
+      if (t.state != TaskState::kReady) continue;
+      const auto& locs = locations_of(t.block);
+      if (on_any(held_nodes, locs)) continue;  // a held executor can serve it
+      if (on_any(pool_nodes, locs)) return true;
+    }
+  }
+  return false;
+}
+
+void Application::maybe_release_idle_executors() {
+  if (!config_.dynamic_executors) return;
+
+  std::vector<ExecutorId> to_release;
+  if (count_ready_tasks() == 0) {
+    // Nothing to run right now: hand idle executors back so the manager can
+    // re-allocate them data-aware (the paper's proactive release message).
+    for (const cluster::Executor& exec : cluster_.executors()) {
+      if (exec.owner == id_ && !exec.busy) to_release.push_back(exec.id);
+    }
+  } else if (config_.locality_swap && pool_has_useful_executor()) {
+    // An executor with the right data sits unallocated while we hold
+    // executors that serve none of our ready input tasks locally: hand the
+    // useless ones back so the next allocation round performs the swap
+    // (paper Sec. IV-C: "dynamically add or remove executors to adapt to
+    // the up-to-date locality requirements").
+    for (const cluster::Executor& exec : cluster_.executors()) {
+      if (exec.owner == id_ && !exec.busy &&
+          !any_local_ready_input(exec.node)) {
+        to_release.push_back(exec.id);
+      }
+    }
+  }
+  for (ExecutorId exec : to_release) manager_->release_executor(exec);
+}
+
+int Application::executors_held() const { return cluster_.owned_by(id_); }
+
+std::vector<ExecutorId> Application::held_executors() const {
+  std::vector<ExecutorId> held;
+  for (const cluster::Executor& exec : cluster_.executors()) {
+    if (exec.owner == id_) held.push_back(exec.id);
+  }
+  return held;
+}
+
+}  // namespace custody::app

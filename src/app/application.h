@@ -1,0 +1,178 @@
+// The application driver — the simulator's stand-in for a Spark driver.
+//
+// An Application owns its jobs, compiles submitted JobSpecs into stages and
+// tasks, schedules tasks onto the executors the cluster manager granted it
+// (via delay scheduling by default), simulates their execution against the
+// DFS and the network, and reports metrics.  It implements
+// cluster::AppHandle, which is the entire surface a manager sees.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "app/job.h"
+#include "app/scheduler.h"
+#include "cluster/cluster.h"
+#include "cluster/manager.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "dfs/cache.h"
+#include "dfs/dfs.h"
+#include "metrics/metrics.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace custody::app {
+
+/// Experiment-wide id counters so task/job ids stay unique across
+/// applications (and deterministic across runs).
+struct IdSource {
+  TaskId::value_type next_task = 0;
+  JobId::value_type next_job = 0;
+};
+
+struct AppConfig {
+  /// Dynamic managers (Custody, offers): release executors that have no
+  /// ready work.  The standalone baseline keeps its static set forever.
+  bool dynamic_executors = true;
+  /// Custody's adaptive re-allocation (paper Sec. IV-C): an idle executor
+  /// with no local runnable work is handed back when the cluster pool holds
+  /// an executor on a node that stores one of our uncovered input blocks,
+  /// letting the manager swap it for the right one.
+  bool locality_swap = true;
+  SchedulerConfig scheduler;
+  /// How many distinct source nodes a shuffle task fetches from.
+  int shuffle_fan_in = 3;
+
+  // --- speculative execution (straggler mitigation, paper Sec. IV-B) ------
+  /// Clone slow input tasks onto idle executors; first attempt to finish
+  /// wins, the other is cancelled.
+  bool speculation = false;
+  /// A running task is slow when its elapsed time exceeds this multiple of
+  /// the mean duration of its stage's finished tasks.
+  double speculation_multiplier = 1.5;
+  /// Minimum finished siblings before durations are trusted.
+  int speculation_min_finished = 3;
+};
+
+class Application final : public cluster::AppHandle {
+ public:
+  Application(AppId id, sim::Simulator& sim, net::Network& net,
+              const dfs::Dfs& dfs, cluster::Cluster& cluster,
+              metrics::MetricsCollector& metrics, IdSource& ids, Rng rng,
+              AppConfig config);
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  /// Must be called once before the first submit_job.
+  void attach_manager(cluster::ClusterManager& manager);
+
+  /// Optional: an executor-side block cache shared across applications.
+  /// Remote reads populate it; cached blocks count as local afterwards.
+  void attach_cache(dfs::BlockCache* cache);
+
+  /// A user submits an analytic request; Custody's allocation hook runs
+  /// before the job's tasks become launchable (paper Sec. IV-C).
+  JobId submit_job(const JobSpec& spec);
+
+  // --- cluster::AppHandle --------------------------------------------------
+  [[nodiscard]] AppId id() const override { return id_; }
+  [[nodiscard]] std::vector<core::JobDemand> pending_demand() const override;
+  [[nodiscard]] int wanted_executors() const override;
+  [[nodiscard]] core::LocalityStats locality() const override;
+  void set_share(int share) override { share_ = share; }
+  void on_executor_granted(ExecutorId exec) override;
+  void on_executor_lost(ExecutorId exec) override;
+  bool consider_offer(ExecutorId exec, NodeId node) override;
+
+  // --- introspection (tests, benches) --------------------------------------
+  [[nodiscard]] int share() const { return share_; }
+  [[nodiscard]] int executors_held() const;
+  [[nodiscard]] std::vector<ExecutorId> held_executors() const;
+  /// Why input tasks launched the way they did (diagnostics/ablation).
+  struct LaunchBreakdown {
+    int local = 0;
+    /// Non-local although a held executor's node stored the block (the
+    /// local slot was busy and the delay-scheduling wait ran out).
+    int covered_busy = 0;
+    /// Non-local because no held executor was on any replica node.
+    int uncovered = 0;
+  };
+  [[nodiscard]] const LaunchBreakdown& launch_breakdown() const {
+    return breakdown_;
+  }
+
+  [[nodiscard]] int jobs_submitted() const { return jobs_submitted_; }
+  [[nodiscard]] int jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] int speculative_launches() const { return spec_launches_; }
+  [[nodiscard]] int speculative_wins() const { return spec_wins_; }
+  [[nodiscard]] bool idle() const { return active_jobs_.empty(); }
+  [[nodiscard]] const Job* find_job(JobId id) const;
+
+ private:
+  Task& task(TaskId id);
+  const Task& task(TaskId id) const;
+  /// Nullptr for erased tasks (finished jobs) — used by stale callbacks.
+  Task* find_task(TaskId id);
+  Job& job(JobId id);
+  /// Abort all in-flight work of a running task and make it ready again.
+  void reset_task(Task& t);
+
+  /// Try to put every idle held executor to work.
+  void kick();
+  void launch(Task& t, ExecutorId exec);
+  void start_compute(Task& t);
+  void finish_task(Task& t);
+  /// Speculative execution: pick a slow running input task worth cloning
+  /// onto an idle executor at `node`; invalid id when none qualifies.
+  [[nodiscard]] TaskId pick_speculative(NodeId node) const;
+  void launch_clone(Task& t, ExecutorId exec);
+  void start_clone_compute(Task& t);
+  /// An attempt (0 = primary, 1 = clone) delivered the task's result.
+  void finish_attempt(Task& t, int attempt);
+  void complete_stage(Job& j, Stage& stage);
+  void mark_stage_ready(Job& j, Stage& stage);
+  void finish_job(Job& j);
+  void maybe_release_idle_executors();
+  void arm_retry(SimTime at);
+  [[nodiscard]] int count_ready_tasks() const;
+  /// True when an *unallocated* executor sits on a replica node of a ready
+  /// input task that no held executor can serve locally.
+  [[nodiscard]] bool pool_has_useful_executor() const;
+  /// Disk replicas, plus cached copies when a cache is attached.
+  [[nodiscard]] const std::vector<NodeId>& locations_of(BlockId block) const;
+  /// True when some active job has a ready input task local to `node`.
+  [[nodiscard]] bool any_local_ready_input(NodeId node) const;
+
+  AppId id_;
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const dfs::Dfs& dfs_;
+  cluster::Cluster& cluster_;
+  metrics::MetricsCollector& metrics_;
+  IdSource& ids_;
+  Rng rng_;
+  AppConfig config_;
+  cluster::ClusterManager* manager_ = nullptr;
+  dfs::BlockCache* cache_ = nullptr;
+  TaskScheduler scheduler_;
+
+  int share_ = 0;
+  std::unordered_map<TaskId, Task> tasks_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> active_jobs_;  // submission order (FIFO for scheduling)
+  int jobs_submitted_ = 0;
+  int jobs_completed_ = 0;
+  int spec_launches_ = 0;
+  int spec_wins_ = 0;
+  core::LocalityStats achieved_;  // over launched input work
+  LaunchBreakdown breakdown_;
+  sim::EventHandle retry_event_;
+  SimTime retry_time_ = -1.0;
+  bool in_kick_ = false;
+};
+
+}  // namespace custody::app

@@ -1,0 +1,110 @@
+// The job model: a DAG of stages, each a set of parallel tasks.
+//
+// Stage 0 is the *input* (map) stage — every task reads one DFS block, and
+// data locality only matters there (paper Sec. III-A: input volume dwarfs
+// intermediate volume and downstream tasks read from many nodes anyway).
+// Downstream stages shuffle a per-workload fraction of the input bytes from
+// the nodes where the previous stage ran.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace custody::app {
+
+enum class TaskState { kBlocked, kReady, kRunning, kFinished };
+
+struct Task {
+  TaskId id;
+  JobId job;
+  int stage = 0;
+  int index = 0;  ///< position within the stage
+
+  /// Input tasks only: the block this task must read (d_ijk).
+  BlockId block;
+  double input_bytes = 0.0;
+  double compute_secs = 0.0;
+
+  TaskState state = TaskState::kBlocked;
+  ExecutorId executor;
+  bool local = false;
+  SimTime ready_time = 0.0;
+  SimTime launch_time = 0.0;
+  SimTime finish_time = 0.0;
+  /// Shuffle fetches still in flight (downstream tasks).
+  int fetches_outstanding = 0;
+  /// Downstream tasks: nodes this task pulls its shuffle input from,
+  /// chosen when the task becomes ready.
+  std::vector<NodeId> fetch_sources;
+
+  /// Incremented whenever the task is reset (failure re-execution); stale
+  /// event/flow callbacks compare epochs and drop themselves.
+  std::uint32_t epoch = 0;
+
+  // --- cancellable in-flight work of the primary attempt ------------------
+  sim::EventHandle pending_event;  ///< local read or compute timer
+  FlowId pending_flow;             ///< remote input read in flight
+
+  // --- speculative clone (input tasks only; straggler mitigation) ---------
+  bool spec_active = false;
+  ExecutorId spec_executor;
+  bool spec_local = false;
+  sim::EventHandle spec_event;
+  FlowId spec_flow;
+
+  [[nodiscard]] bool is_input() const { return stage == 0; }
+};
+
+/// Blueprint for one downstream (shuffle) stage.
+struct ShuffleStageSpec {
+  int num_tasks = 1;
+  /// Total bytes this stage pulls from the previous stage's outputs.
+  double shuffle_bytes = 0.0;
+  double compute_secs_per_task = 0.0;
+};
+
+/// Blueprint for a job, produced by the workload generators.  The input
+/// stage is implied: one task per block of `input_file`.
+struct JobSpec {
+  std::string name;
+  FileId input_file;
+  /// CPU time of an input task per byte read (so partial blocks scale).
+  double input_compute_secs_per_byte = 0.0;
+  std::vector<ShuffleStageSpec> downstream;
+};
+
+struct Stage {
+  int index = 0;
+  std::vector<TaskId> tasks;
+  int finished = 0;
+  /// Nodes where this stage's tasks ran (shuffle sources for the next one).
+  std::vector<NodeId> output_nodes;
+
+  [[nodiscard]] bool complete() const {
+    return finished == static_cast<int>(tasks.size());
+  }
+};
+
+struct Job {
+  JobId id;
+  AppId app;
+  std::string name;
+  FileId input_file;
+  std::vector<Stage> stages;
+  SimTime submit_time = 0.0;
+  SimTime input_stage_finish = 0.0;
+  SimTime finish_time = 0.0;
+  bool finished = false;
+  int input_tasks = 0;
+  int local_input_tasks = 0;
+  int launched_input_tasks = 0;
+  /// Delay scheduling: when this job first had to skip for locality.
+  SimTime wait_start = -1.0;
+
+  [[nodiscard]] bool waiting_since_set() const { return wait_start >= 0.0; }
+};
+
+}  // namespace custody::app

@@ -1,0 +1,129 @@
+#include "app/scheduler.h"
+
+#include <algorithm>
+
+namespace custody::app {
+
+namespace {
+/// Tolerance when testing locality-wait expiry: the retry event fires at
+/// exactly wait_start + wait, where (wait_start + wait) - wait_start can
+/// round to slightly less than wait and would otherwise re-arm a zero-delay
+/// retry forever.
+constexpr SimTime kTimeEpsilon = 1e-9;
+}  // namespace
+
+bool TaskScheduler::is_local(BlockId block, NodeId node) const {
+  if (dfs_->is_local(block, node)) return true;
+  return cache_ != nullptr && cache_->is_cached(node, block);
+}
+
+bool TaskScheduler::has_local_ready_input(
+    const Job& job, NodeId node,
+    const std::function<Task&(TaskId)>& task_of) const {
+  if (job.stages.empty()) return false;
+  for (TaskId id : job.stages.front().tasks) {
+    const Task& task = task_of(id);
+    if (task.state == TaskState::kReady && is_local(task.block, node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<TaskScheduler::Pick> TaskScheduler::pick(
+    NodeId node, SimTime now, const std::vector<Job*>& jobs,
+    const std::function<Task&(TaskId)>& task_of,
+    std::optional<SimTime>& retry_at) {
+  retry_at.reset();
+
+  if (config_.kind == SchedulerKind::kLocalityPreferred) {
+    // Never wait, but scan *every* job for a local task before giving the
+    // slot to any non-local one — otherwise an earlier job's remote task
+    // steals the slot a later job could have used locally.
+    for (Job* job_ptr : jobs) {
+      for (TaskId id : job_ptr->stages.front().tasks) {
+        const Task& task = task_of(id);
+        if (task.state == TaskState::kReady &&
+            is_local(task.block, node)) {
+          return Pick{id, true};
+        }
+      }
+    }
+    for (Job* job_ptr : jobs) {
+      for (const Stage& stage : job_ptr->stages) {
+        for (TaskId id : stage.tasks) {
+          const Task& task = task_of(id);
+          if (task.state != TaskState::kReady) continue;
+          return Pick{id, task.is_input() && is_local(task.block, node)};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  for (Job* job_ptr : jobs) {
+    Job& job = *job_ptr;
+
+    TaskId first_ready_input = TaskId::invalid();
+    TaskId first_ready_other = TaskId::invalid();
+    TaskId local_input = TaskId::invalid();
+    for (const Stage& stage : job.stages) {
+      for (TaskId id : stage.tasks) {
+        const Task& task = task_of(id);
+        if (task.state != TaskState::kReady) continue;
+        if (task.is_input()) {
+          if (!first_ready_input.valid()) first_ready_input = id;
+          if (!local_input.valid() && is_local(task.block, node)) {
+            local_input = id;
+          }
+        } else if (!first_ready_other.valid()) {
+          first_ready_other = id;
+        }
+      }
+      if (local_input.valid()) break;  // best possible for this job
+    }
+
+    if (config_.kind == SchedulerKind::kFifo) {
+      // Locality-oblivious: first ready task in stage order.
+      const TaskId choice =
+          first_ready_input.valid() ? first_ready_input : first_ready_other;
+      if (choice.valid()) {
+        const Task& task = task_of(choice);
+        const bool local =
+            task.is_input() && is_local(task.block, node);
+        return Pick{choice, local};
+      }
+      continue;
+    }
+
+    if (local_input.valid()) return Pick{local_input, true};
+    if (first_ready_other.valid()) return Pick{first_ready_other, false};
+
+    if (first_ready_input.valid()) {
+      // Only non-local input work remains in this job.
+      if (config_.locality_wait <= 0.0) {
+        return Pick{first_ready_input, false};
+      }
+      if (!job.waiting_since_set()) {
+        job.wait_start = now;  // the job starts its locality wait
+      } else if (now - job.wait_start >= config_.locality_wait - kTimeEpsilon) {
+        return Pick{first_ready_input, false};  // wait expired: go remote
+      }
+      const SimTime expires = job.wait_start + config_.locality_wait;
+      if (!retry_at || expires < *retry_at) retry_at = expires;
+    }
+  }
+  return std::nullopt;
+}
+
+void TaskScheduler::on_launched(Job& job, const Task& task) {
+  if (!task.is_input()) return;
+  if (task.local) {
+    // Delay scheduling resets the wait once the job launches locally; a
+    // non-local launch keeps the expired timer so follow-up tasks in the
+    // same job do not each wait the full period again.
+    job.wait_start = -1.0;
+  }
+}
+
+}  // namespace custody::app

@@ -1,0 +1,80 @@
+// Task scheduling *within* an application.
+//
+// Custody deliberately leaves task placement to the application (paper
+// Sec. V: "all the applications use the standard delay scheduling of Spark
+// to accept resource offers and schedule tasks").  Three policies share one
+// implementation:
+//
+//   kDelay             — delay scheduling (Zaharia et al., EuroSys'10): a
+//                        job with only non-local ready input tasks skips its
+//                        turn for up to `locality_wait` seconds before
+//                        settling for a non-local executor.
+//   kLocalityPreferred — prefer local tasks but never wait (wait = 0).
+//   kFifo              — ignore locality entirely; first ready task wins.
+//
+// Downstream (shuffle) tasks have no locality constraint and always launch
+// immediately.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "app/job.h"
+#include "dfs/cache.h"
+#include "dfs/dfs.h"
+
+namespace custody::app {
+
+enum class SchedulerKind { kDelay, kLocalityPreferred, kFifo };
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kDelay;
+  /// How long a job waits for a local slot before going remote (seconds).
+  SimTime locality_wait = 3.0;
+};
+
+class TaskScheduler {
+ public:
+  TaskScheduler(SchedulerConfig config, const dfs::Dfs& dfs)
+      : config_(config), dfs_(&dfs) {}
+
+  /// Attach an executor-side block cache: cached copies then count as
+  /// local, per the paper's E_u = {D_x : stores or caches D_x} model.
+  void set_cache(dfs::BlockCache* cache) { cache_ = cache; }
+
+  struct Pick {
+    TaskId task;
+    bool local = false;
+  };
+
+  /// Choose a ready task for an idle executor on `node`.  `jobs` is the
+  /// application's active job list in submission order; `task_of` resolves
+  /// task ids.  When nothing may launch yet, `retry_at` (if set) is the
+  /// earliest time a waiting job's locality timer expires.
+  [[nodiscard]] std::optional<Pick> pick(
+      NodeId node, SimTime now, const std::vector<Job*>& jobs,
+      const std::function<Task&(TaskId)>& task_of,
+      std::optional<SimTime>& retry_at);
+
+  /// Bookkeeping after a launch chosen by pick(): resets the job's locality
+  /// wait timer when the launch was local.
+  void on_launched(Job& job, const Task& task);
+
+  /// True when some ready input task of `job` would run locally on `node`.
+  [[nodiscard]] bool has_local_ready_input(
+      const Job& job, NodeId node,
+      const std::function<Task&(TaskId)>& task_of) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+  /// Locality including cached copies when a cache is attached.
+  [[nodiscard]] bool is_local(BlockId block, NodeId node) const;
+
+ private:
+  SchedulerConfig config_;
+  const dfs::Dfs* dfs_;
+  dfs::BlockCache* cache_ = nullptr;
+};
+
+}  // namespace custody::app

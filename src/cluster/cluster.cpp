@@ -1,0 +1,148 @@
+#include "cluster/cluster.h"
+
+#include <cassert>
+
+namespace custody::cluster {
+
+Cluster::Cluster(std::size_t num_nodes, WorkerConfig config)
+    : num_nodes_(num_nodes), config_(config) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("Cluster: num_nodes must be positive");
+  }
+  if (config.executors_per_node <= 0) {
+    throw std::invalid_argument("Cluster: executors_per_node must be > 0");
+  }
+  node_alive_.assign(num_nodes, true);
+  node_speed_.assign(num_nodes, 1.0);
+  executors_.reserve(num_nodes * config.executors_per_node);
+  ExecutorId::value_type next = 0;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    for (int e = 0; e < config.executors_per_node; ++e) {
+      Executor exec;
+      exec.id = ExecutorId(next++);
+      exec.node = NodeId(static_cast<NodeId::value_type>(n));
+      executors_.push_back(exec);
+    }
+  }
+}
+
+Executor& Cluster::executor(ExecutorId id) {
+  if (id.value() >= executors_.size()) {
+    throw std::out_of_range("Cluster: unknown executor");
+  }
+  return executors_[id.value()];
+}
+
+const Executor& Cluster::executor(ExecutorId id) const {
+  if (id.value() >= executors_.size()) {
+    throw std::out_of_range("Cluster: unknown executor");
+  }
+  return executors_[id.value()];
+}
+
+void Cluster::assign(ExecutorId id, AppId app) {
+  Executor& exec = executor(id);
+  if (!node_alive_[exec.node.value()]) {
+    throw std::logic_error("Cluster: assigning executor on a failed node");
+  }
+  if (exec.allocated()) {
+    throw std::logic_error("Cluster: executor already allocated");
+  }
+  assert(!exec.busy);
+  exec.owner = app;
+}
+
+void Cluster::release(ExecutorId id) {
+  Executor& exec = executor(id);
+  if (!exec.allocated()) {
+    throw std::logic_error("Cluster: releasing unallocated executor");
+  }
+  if (exec.busy) {
+    throw std::logic_error("Cluster: releasing busy executor");
+  }
+  exec.owner = AppId::invalid();
+}
+
+void Cluster::fail_node(NodeId node) {
+  if (node.value() >= num_nodes_) {
+    throw std::out_of_range("Cluster: unknown node");
+  }
+  if (!node_alive_[node.value()]) return;
+  node_alive_[node.value()] = false;
+  for (Executor& exec : executors_) {
+    if (exec.node != node) continue;
+    exec.owner = AppId::invalid();
+    exec.busy = false;
+  }
+}
+
+double Cluster::node_speed(NodeId node) const {
+  if (node.value() >= num_nodes_) {
+    throw std::out_of_range("Cluster: unknown node");
+  }
+  return node_speed_[node.value()];
+}
+
+void Cluster::set_node_speed(NodeId node, double speed) {
+  if (node.value() >= num_nodes_) {
+    throw std::out_of_range("Cluster: unknown node");
+  }
+  if (speed <= 0.0) {
+    throw std::invalid_argument("Cluster: node speed must be positive");
+  }
+  node_speed_[node.value()] = speed;
+}
+
+bool Cluster::node_alive(NodeId node) const {
+  return node.value() < num_nodes_ && node_alive_[node.value()];
+}
+
+bool Cluster::executor_alive(ExecutorId id) const {
+  return node_alive(executor(id).node);
+}
+
+std::size_t Cluster::alive_executor_count() const {
+  std::size_t count = 0;
+  for (const Executor& exec : executors_) {
+    if (node_alive_[exec.node.value()]) ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> Cluster::alive_nodes() const {
+  std::vector<NodeId> nodes;
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    if (node_alive_[n]) {
+      nodes.push_back(NodeId(static_cast<NodeId::value_type>(n)));
+    }
+  }
+  return nodes;
+}
+
+std::vector<core::ExecutorInfo> Cluster::idle_executors() const {
+  std::vector<core::ExecutorInfo> idle;
+  for (const Executor& exec : executors_) {
+    if (!exec.allocated() && node_alive_[exec.node.value()]) {
+      idle.push_back({exec.id, exec.node});
+    }
+  }
+  return idle;
+}
+
+std::size_t Cluster::idle_count() const {
+  std::size_t count = 0;
+  for (const Executor& exec : executors_) {
+    if (!exec.allocated() && node_alive_[exec.node.value()]) ++count;
+  }
+  return count;
+}
+
+int Cluster::owned_by(AppId app) const {
+  int count = 0;
+  for (const Executor& exec : executors_) {
+    if (exec.owner == app) ++count;
+  }
+  return count;
+}
+
+}  // namespace custody::cluster

@@ -1,0 +1,85 @@
+// Physical cluster state: worker nodes and the executor processes on them.
+//
+// Matches the paper's system model (Sec. III-A): each worker node launches a
+// fixed number of identical executors (two per node in the evaluation); an
+// executor runs one task at a time and is owned by at most one application
+// at any moment.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "core/model.h"
+
+namespace custody::cluster {
+
+struct WorkerConfig {
+  int executors_per_node = 2;           ///< paper Sec. VI-A
+  int cores = 8;                        ///< informational
+  double disk_bps = units::MBps(400.0); ///< local (SSD) sequential read rate
+  double memory_bps = units::MBps(2000.0); ///< cached (in-memory) read rate
+};
+
+struct Executor {
+  ExecutorId id;
+  NodeId node;
+  AppId owner;          ///< invalid when unallocated
+  bool busy = false;    ///< running a task right now
+
+  [[nodiscard]] bool allocated() const { return owner.valid(); }
+};
+
+class Cluster {
+ public:
+  Cluster(std::size_t num_nodes, WorkerConfig config);
+
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_executors() const { return executors_.size(); }
+  [[nodiscard]] const WorkerConfig& config() const { return config_; }
+
+  [[nodiscard]] Executor& executor(ExecutorId id);
+  [[nodiscard]] const Executor& executor(ExecutorId id) const;
+  [[nodiscard]] const std::vector<Executor>& executors() const {
+    return executors_;
+  }
+  [[nodiscard]] NodeId node_of(ExecutorId id) const {
+    return executor(id).node;
+  }
+  [[nodiscard]] double disk_bps(NodeId) const { return config_.disk_bps; }
+
+  /// Relative compute speed of a node (1.0 = nominal).  Heterogeneous or
+  /// degraded machines make stragglers — what speculative execution fights.
+  [[nodiscard]] double node_speed(NodeId node) const;
+  void set_node_speed(NodeId node, double speed);
+
+  /// Hand an unallocated executor to an application.
+  void assign(ExecutorId id, AppId app);
+  /// Return an executor to the unallocated pool (must not be busy).
+  void release(ExecutorId id);
+
+  // --- failure injection ---------------------------------------------------
+  /// Kill a worker node: its executors are released (owner and busy flags
+  /// cleared) and can never be allocated again.
+  void fail_node(NodeId node);
+  [[nodiscard]] bool node_alive(NodeId node) const;
+  [[nodiscard]] bool executor_alive(ExecutorId id) const;
+  [[nodiscard]] std::size_t alive_executor_count() const;
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+
+  /// Executors not owned by any application, as allocator input.
+  [[nodiscard]] std::vector<core::ExecutorInfo> idle_executors() const;
+  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] int owned_by(AppId app) const;
+
+ private:
+  std::size_t num_nodes_;
+  WorkerConfig config_;
+  std::vector<Executor> executors_;
+  std::vector<bool> node_alive_;
+  std::vector<double> node_speed_;
+};
+
+}  // namespace custody::cluster

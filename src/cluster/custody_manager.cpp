@@ -1,0 +1,84 @@
+#include "cluster/custody_manager.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace custody::cluster {
+
+CustodyManager::CustodyManager(sim::Simulator& sim, Cluster& cluster,
+                               core::BlockLocationsFn locations,
+                               CustodyConfig config)
+    : ClusterManager(sim, cluster),
+      locations_(std::move(locations)),
+      config_(config) {
+  if (config_.expected_apps <= 0) {
+    throw std::invalid_argument("CustodyManager: expected_apps must be > 0");
+  }
+  if (!locations_) {
+    throw std::invalid_argument("CustodyManager: locations callback required");
+  }
+  share_ = static_cast<int>(cluster_.num_executors()) / config_.expected_apps;
+  if (share_ == 0) share_ = 1;
+}
+
+void CustodyManager::register_app(AppHandle& app) {
+  app.set_share(share_);
+  apps_.push_back(&app);
+  // No executors yet: Custody waits for job submissions so the allocation
+  // can see the input data (the core idea of the paper).
+}
+
+void CustodyManager::on_demand_changed(AppHandle& /*app*/) {
+  schedule_reallocation();
+}
+
+void CustodyManager::release_executor(ExecutorId exec) {
+  ClusterManager::release_executor(exec);
+  schedule_reallocation();
+}
+
+void CustodyManager::schedule_reallocation() {
+  if (round_pending_) return;
+  round_pending_ = true;
+  sim_.schedule(0.0, [this] {
+    round_pending_ = false;
+    reallocate_now();
+  });
+}
+
+void CustodyManager::reallocate_now() {
+  const auto idle = cluster_.idle_executors();
+  if (idle.empty()) return;
+
+  std::vector<core::AppDemand> demands;
+  demands.reserve(apps_.size());
+  for (AppHandle* app : apps_) {
+    core::AppDemand demand;
+    demand.app = app->id();
+    demand.held = cluster_.owned_by(app->id());
+    demand.budget = effective_budget(*app, share_);
+    demand.jobs = app->pending_demand();
+    demand.locality = app->locality();
+    demands.push_back(std::move(demand));
+  }
+
+  const auto result =
+      core::CustodyAllocator::Allocate(demands, idle, locations_,
+                                       config_.options);
+  if (result.assignments.empty()) return;
+  ++stats_.allocation_rounds;
+
+  for (const core::Assignment& assignment : result.assignments) {
+    for (AppHandle* app : apps_) {
+      if (app->id() == assignment.app) {
+        LOG_DEBUG << "custody: grant executor " << assignment.exec << " to app "
+                  << assignment.app;
+        grant(*app, assignment.exec);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace custody::cluster

@@ -1,0 +1,52 @@
+// The Custody cluster manager (paper Secs. IV–V).
+//
+// Allocation is postponed until applications actually submit jobs: every
+// demand change (job submitted / job finished / executor released) schedules
+// one allocation round in which the idle executors are distributed by the
+// two-level CustodyAllocator — inter-application max-min fairness on the
+// percentage of local jobs, intra-application fewest-remaining-tasks-first
+// priorities.  Rounds triggered at the same simulated instant are coalesced,
+// mirroring the plugin that batches proposals to Spark's standalone master.
+#pragma once
+
+#include <vector>
+
+#include "cluster/manager.h"
+#include "core/allocator.h"
+
+namespace custody::cluster {
+
+struct CustodyConfig {
+  /// σ_i is the cluster divided into this many equal shares.
+  int expected_apps = 4;
+  /// Ablation switches for the two-level algorithm (both on = the paper).
+  core::AllocatorOptions options;
+};
+
+class CustodyManager final : public ClusterManager {
+ public:
+  CustodyManager(sim::Simulator& sim, Cluster& cluster,
+                 core::BlockLocationsFn locations, CustodyConfig config);
+
+  [[nodiscard]] const char* name() const override { return "custody"; }
+
+  void register_app(AppHandle& app) override;
+  void on_demand_changed(AppHandle& app) override;
+  void release_executor(ExecutorId exec) override;
+
+  [[nodiscard]] int share() const { return share_; }
+
+  /// Run one allocation round immediately (tests drive this directly).
+  void reallocate_now();
+
+ private:
+  void schedule_reallocation();
+
+  core::BlockLocationsFn locations_;
+  CustodyConfig config_;
+  int share_ = 0;
+  std::vector<AppHandle*> apps_;
+  bool round_pending_ = false;
+};
+
+}  // namespace custody::cluster

@@ -1,0 +1,22 @@
+#include "cluster/manager.h"
+
+#include <algorithm>
+
+namespace custody::cluster {
+
+void ClusterManager::release_executor(ExecutorId exec) {
+  cluster_.release(exec);
+  ++stats_.executors_released;
+}
+
+void ClusterManager::grant(AppHandle& app, ExecutorId exec) {
+  cluster_.assign(exec, app.id());
+  ++stats_.executors_granted;
+  app.on_executor_granted(exec);
+}
+
+int ClusterManager::effective_budget(const AppHandle& app, int share) {
+  return std::min(share, app.wanted_executors());
+}
+
+}  // namespace custody::cluster

@@ -1,0 +1,98 @@
+// The cluster-manager <-> application contract.
+//
+// An application registers once and afterwards only signals that its demand
+// changed (jobs submitted or finished) or hands idle executors back; the
+// manager decides which executors each application holds and notifies the
+// application through grant/revoke callbacks.  Applications never pick
+// worker nodes themselves — exactly the regime the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/types.h"
+#include "core/model.h"
+#include "sim/simulator.h"
+
+namespace custody::cluster {
+
+/// The manager-facing side of an application (implemented by
+/// app::Application; mock implementations are used in unit tests).
+class AppHandle {
+ public:
+  virtual ~AppHandle() = default;
+
+  [[nodiscard]] virtual AppId id() const = 0;
+
+  /// Jobs whose input tasks are not yet all launched, with the tasks that
+  /// cannot run locally on currently held executors (Custody's demand
+  /// signal, gathered from the NameNode before tasks are compiled).
+  [[nodiscard]] virtual std::vector<core::JobDemand> pending_demand()
+      const = 0;
+
+  /// Executors the application could keep busy right now (ready + running
+  /// tasks).  Managers cap grants at min(fair share, this).
+  [[nodiscard]] virtual int wanted_executors() const = 0;
+
+  /// Locality achieved so far, for Algorithm 1's MINLOCALITY ordering.
+  [[nodiscard]] virtual core::LocalityStats locality() const = 0;
+
+  /// The manager's fair share for this app (σ_i), told at registration.
+  virtual void set_share(int share) = 0;
+
+  virtual void on_executor_granted(ExecutorId exec) = 0;
+
+  /// The node under `exec` died; any work running there is gone.  Default:
+  /// nothing (mocks and simple handles may ignore failures).
+  virtual void on_executor_lost(ExecutorId exec) { (void)exec; }
+
+  /// Mesos-style resource offer; returns true to accept.  Only the
+  /// OfferManager calls this.
+  virtual bool consider_offer(ExecutorId exec, NodeId node) = 0;
+};
+
+/// Counters every manager maintains (offer churn matters for Sec. II-A).
+struct ManagerStats {
+  std::uint64_t allocation_rounds = 0;
+  std::uint64_t executors_granted = 0;
+  std::uint64_t executors_released = 0;
+  std::uint64_t offers_made = 0;
+  std::uint64_t offers_rejected = 0;
+};
+
+class ClusterManager {
+ public:
+  ClusterManager(sim::Simulator& sim, Cluster& cluster)
+      : sim_(sim), cluster_(cluster) {}
+  virtual ~ClusterManager() = default;
+
+  ClusterManager(const ClusterManager&) = delete;
+  ClusterManager& operator=(const ClusterManager&) = delete;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  virtual void register_app(AppHandle& app) = 0;
+
+  /// Jobs were submitted to `app` or finished inside it.
+  virtual void on_demand_changed(AppHandle& app) = 0;
+
+  /// The application no longer needs `exec`; ownership returns to the pool.
+  /// (The paper adds exactly this message type to Spark's driver.)
+  virtual void release_executor(ExecutorId exec);
+
+  [[nodiscard]] const ManagerStats& stats() const { return stats_; }
+
+ protected:
+  /// Assign in the cluster ledger and notify the application.
+  void grant(AppHandle& app, ExecutorId exec);
+
+  /// Demand-capped budget: min(share, running + ready work).
+  [[nodiscard]] static int effective_budget(const AppHandle& app, int share);
+
+  sim::Simulator& sim_;
+  Cluster& cluster_;
+  ManagerStats stats_;
+};
+
+}  // namespace custody::cluster

@@ -1,0 +1,64 @@
+#include "cluster/offer_manager.h"
+
+#include <stdexcept>
+
+namespace custody::cluster {
+
+OfferManager::OfferManager(sim::Simulator& sim, Cluster& cluster,
+                           OfferConfig config)
+    : ClusterManager(sim, cluster), config_(config) {
+  if (config_.expected_apps <= 0) {
+    throw std::invalid_argument("OfferManager: expected_apps must be > 0");
+  }
+  share_ = static_cast<int>(cluster_.num_executors()) / config_.expected_apps;
+  if (share_ == 0) share_ = 1;
+}
+
+void OfferManager::register_app(AppHandle& app) {
+  app.set_share(share_);
+  apps_.push_back(&app);
+}
+
+void OfferManager::on_demand_changed(AppHandle& /*app*/) { offer_round(); }
+
+void OfferManager::release_executor(ExecutorId exec) {
+  ClusterManager::release_executor(exec);
+  offer_round();
+}
+
+void OfferManager::offer_round() {
+  if (apps_.empty()) return;
+  bool any_unmet_demand = false;
+  for (const core::ExecutorInfo& idle : cluster_.idle_executors()) {
+    bool accepted = false;
+    for (std::size_t k = 0; k < apps_.size() && !accepted; ++k) {
+      AppHandle& app = *apps_[(cursor_ + k) % apps_.size()];
+      if (cluster_.owned_by(app.id()) >= share_) continue;
+      if (app.wanted_executors() <= cluster_.owned_by(app.id())) continue;
+      any_unmet_demand = true;
+      ++stats_.offers_made;
+      if (app.consider_offer(idle.id, idle.node)) {
+        grant(app, idle.id);
+        accepted = true;
+      } else {
+        ++stats_.offers_rejected;
+      }
+    }
+    cursor_ = (cursor_ + 1) % apps_.size();
+  }
+  ++stats_.allocation_rounds;
+  // Data-aware applications reject unsuitable nodes; retry later so their
+  // delay-scheduling timers eventually make them settle for what exists.
+  if (any_unmet_demand && cluster_.idle_count() > 0) schedule_retry();
+}
+
+void OfferManager::schedule_retry() {
+  if (retry_pending_) return;
+  retry_pending_ = true;
+  sim_.schedule(config_.reoffer_interval, [this] {
+    retry_pending_ = false;
+    offer_round();
+  });
+}
+
+}  // namespace custody::cluster

@@ -1,0 +1,47 @@
+// A Mesos-style offer-based dynamic manager (paper Secs. II, VII).
+//
+// Idle executors are *offered* to applications round-robin; a data-aware
+// application rejects offers from nodes that cannot satisfy locality and
+// waits for a better one.  The manager therefore re-offers rejected
+// executors after a back-off, paying exactly the repeated-rejection overhead
+// the paper criticizes.  Included as the second baseline and for the
+// allocation-overhead ablation.
+#pragma once
+
+#include <vector>
+
+#include "cluster/manager.h"
+
+namespace custody::cluster {
+
+struct OfferConfig {
+  int expected_apps = 4;
+  /// Delay before an executor rejected by every application is re-offered.
+  SimTime reoffer_interval = 1.0;
+};
+
+class OfferManager final : public ClusterManager {
+ public:
+  OfferManager(sim::Simulator& sim, Cluster& cluster, OfferConfig config);
+
+  [[nodiscard]] const char* name() const override { return "offer"; }
+
+  void register_app(AppHandle& app) override;
+  void on_demand_changed(AppHandle& app) override;
+  void release_executor(ExecutorId exec) override;
+
+  [[nodiscard]] int share() const { return share_; }
+
+ private:
+  /// Offer every idle executor around the table once.
+  void offer_round();
+  void schedule_retry();
+
+  OfferConfig config_;
+  int share_ = 0;
+  std::vector<AppHandle*> apps_;
+  std::size_t cursor_ = 0;  ///< rotates the first application offered to
+  bool retry_pending_ = false;
+};
+
+}  // namespace custody::cluster

@@ -1,0 +1,59 @@
+#include "cluster/pool_manager.h"
+
+#include <stdexcept>
+
+namespace custody::cluster {
+
+PoolManager::PoolManager(sim::Simulator& sim, Cluster& cluster,
+                         PoolConfig config)
+    : ClusterManager(sim, cluster), config_(config), rng_(config.seed) {
+  if (config_.expected_apps <= 0) {
+    throw std::invalid_argument("PoolManager: expected_apps must be > 0");
+  }
+  share_ = static_cast<int>(cluster_.num_executors()) / config_.expected_apps;
+  if (share_ == 0) share_ = 1;
+}
+
+void PoolManager::register_app(AppHandle& app) {
+  app.set_share(share_);
+  apps_.push_back(&app);
+}
+
+void PoolManager::on_demand_changed(AppHandle& /*app*/) { schedule_round(); }
+
+void PoolManager::release_executor(ExecutorId exec) {
+  ClusterManager::release_executor(exec);
+  schedule_round();
+}
+
+void PoolManager::schedule_round() {
+  if (round_pending_) return;
+  round_pending_ = true;
+  sim_.schedule(0.0, [this] {
+    round_pending_ = false;
+    distribute();
+  });
+}
+
+void PoolManager::distribute() {
+  auto idle = cluster_.idle_executors();
+  if (idle.empty()) return;
+  rng_.shuffle(idle);  // data-unaware: any executor is as good as any other
+  ++stats_.allocation_rounds;
+
+  std::size_t next = 0;
+  bool progress = true;
+  while (progress && next < idle.size()) {
+    progress = false;
+    for (AppHandle* app : apps_) {
+      if (next >= idle.size()) break;
+      const int held = cluster_.owned_by(app->id());
+      if (held >= effective_budget(*app, share_)) continue;
+      grant(*app, idle[next].id);
+      ++next;
+      progress = true;
+    }
+  }
+}
+
+}  // namespace custody::cluster

@@ -1,0 +1,73 @@
+#include "cluster/standalone_manager.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace custody::cluster {
+
+StandaloneManager::StandaloneManager(sim::Simulator& sim, Cluster& cluster,
+                                     StandaloneConfig config)
+    : ClusterManager(sim, cluster), config_(config), rng_(config.seed) {
+  if (config_.expected_apps <= 0) {
+    throw std::invalid_argument("StandaloneManager: expected_apps must be > 0");
+  }
+  share_ = static_cast<int>(cluster_.num_executors()) / config_.expected_apps;
+  if (share_ == 0) share_ = 1;
+}
+
+void StandaloneManager::register_app(AppHandle& app) {
+  app.set_share(share_);
+  ++stats_.allocation_rounds;
+  if (config_.spread_out) {
+    allocate_spread(app);
+  } else {
+    allocate_random(app);
+  }
+}
+
+void StandaloneManager::allocate_spread(AppHandle& app) {
+  // "spreadOut": sweep the nodes round-robin, taking one idle executor per
+  // node per sweep, until the share is filled.  The set looks fair but is
+  // oblivious to where the input blocks live.
+  int granted = 0;
+  const std::size_t num_nodes = cluster_.num_nodes();
+  std::size_t nodes_without_idle = 0;
+  while (granted < share_ && nodes_without_idle < num_nodes) {
+    const NodeId node(static_cast<NodeId::value_type>(next_node_));
+    next_node_ = (next_node_ + 1) % num_nodes;
+    ExecutorId found = ExecutorId::invalid();
+    for (const Executor& exec : cluster_.executors()) {
+      if (exec.node == node && !exec.allocated()) {
+        found = exec.id;
+        break;
+      }
+    }
+    if (found.valid()) {
+      nodes_without_idle = 0;
+      grant(app, found);
+      ++granted;
+    } else {
+      ++nodes_without_idle;
+    }
+  }
+}
+
+void StandaloneManager::allocate_random(AppHandle& app) {
+  // The paper's baseline behaviour: "randomly allocate available resources
+  // to applications when launching executors" — a uniform draw from the
+  // idle executors with no attention to nodes, let alone data.
+  std::vector<ExecutorId> idle;
+  for (const Executor& exec : cluster_.executors()) {
+    if (!exec.allocated()) idle.push_back(exec.id);
+  }
+  rng_.shuffle(idle);
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(share_),
+                                          idle.size());
+  for (std::size_t i = 0; i < take; ++i) grant(app, idle[i]);
+}
+
+void StandaloneManager::on_demand_changed(AppHandle& /*app*/) {
+  // Static sharing: the executor set never changes after registration.
+}
+
+}  // namespace custody::cluster

@@ -1,0 +1,27 @@
+// CSV emission for benchmark results, so figures can be re-plotted outside
+// the harness (each bench binary can dump its series with --csv <path>).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace custody {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t num_columns() const { return columns_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+
+  static std::string escape(const std::string& cell);
+};
+
+}  // namespace custody

@@ -1,0 +1,35 @@
+#include "common/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace custody {
+
+LogLevel Logger::level_ = LogLevel::kOff;
+
+LogLevel Logger::level() { return level_; }
+
+void Logger::set_level(LogLevel level) { level_ = level; }
+
+LogLevel Logger::parse(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+void Logger::init_from_env() {
+  if (const char* env = std::getenv("CUSTODY_LOG")) {
+    set_level(parse(env));
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::cerr << "[" << kNames[idx] << "] " << message << '\n';
+}
+
+}  // namespace custody

@@ -1,0 +1,57 @@
+// Tiny leveled logger.  The simulator is silent by default; raise the level
+// (e.g. via CUSTODY_LOG=debug or Logger::set_level) to trace allocations and
+// task placement decisions when debugging an experiment.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace custody {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Parse "debug" / "info" / "warn" / "error" / "off"; unknown -> kOff.
+  static LogLevel parse(const std::string& name);
+  /// Initialize from the CUSTODY_LOG environment variable (idempotent).
+  static void init_from_env();
+
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace custody
+
+#define CUSTODY_LOG(severity)                                      \
+  if (::custody::Logger::level() <= ::custody::LogLevel::severity) \
+  ::custody::detail::LogLine(::custody::LogLevel::severity)
+
+#define LOG_DEBUG CUSTODY_LOG(kDebug)
+#define LOG_INFO CUSTODY_LOG(kInfo)
+#define LOG_WARN CUSTODY_LOG(kWarn)
+#define LOG_ERROR CUSTODY_LOG(kError)

@@ -1,0 +1,36 @@
+// Minimal aligned ASCII table printer used by every benchmark binary to
+// report paper-vs-measured rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace custody {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Append a row; it may have fewer cells than there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  /// Format as a percentage string, e.g. "36.90%".
+  static std::string pct(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner:  === title ===
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace custody

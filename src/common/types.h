@@ -1,0 +1,87 @@
+// Strong identifier types shared across the Custody codebase.
+//
+// Every entity in the simulated cluster (node, executor, application, job,
+// task, file, block, network flow) is referred to by a small integer id.  To
+// keep ids from different domains from being mixed up accidentally, each one
+// is a distinct strong type instantiated from the Id<Tag> template below.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace custody {
+
+/// Simulated time in seconds since the start of the experiment.
+using SimTime = double;
+
+/// A strongly typed integer identifier. `Tag` only disambiguates the type.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr Id invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+struct NodeTag {};
+struct ExecutorTag {};
+struct AppTag {};
+struct JobTag {};
+struct TaskTag {};
+struct FileTag {};
+struct BlockTag {};
+struct FlowTag {};
+
+/// A physical worker machine in the cluster.
+using NodeId = Id<NodeTag>;
+/// An executor process (one of several per worker node).
+using ExecutorId = Id<ExecutorTag>;
+/// A data-parallel application (Spark driver equivalent).
+using AppId = Id<AppTag>;
+/// One analytic job (a DAG of stages) inside an application.
+using JobId = Id<JobTag>;
+/// One task inside a stage.
+using TaskId = Id<TaskTag>;
+/// A file stored in the distributed filesystem.
+using FileId = Id<FileTag>;
+/// A fixed-size block of a file (the unit of placement and locality).
+using BlockId = Id<BlockTag>;
+/// An active network transfer.
+using FlowId = Id<FlowTag>;
+
+}  // namespace custody
+
+namespace std {
+template <typename Tag>
+struct hash<custody::Id<Tag>> {
+  size_t operator()(custody::Id<Tag> id) const noexcept {
+    return std::hash<typename custody::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

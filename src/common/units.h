@@ -1,0 +1,29 @@
+// Byte and bandwidth unit helpers.
+//
+// All data volumes in the simulator are plain `double` bytes and all rates are
+// bytes per second; these constexpr helpers keep call sites readable and make
+// the Linode-cluster constants from the paper (Sec. VI-A) self-describing.
+#pragma once
+
+namespace custody::units {
+
+constexpr double kKB = 1024.0;
+constexpr double kMB = 1024.0 * kKB;
+constexpr double kGB = 1024.0 * kMB;
+
+/// Data volume expressed in mebibytes.
+constexpr double MB(double x) { return x * kMB; }
+/// Data volume expressed in gibibytes.
+constexpr double GB(double x) { return x * kGB; }
+
+/// Link rate expressed in gigabits per second, returned as bytes/second.
+constexpr double Gbps(double x) { return x * 1e9 / 8.0; }
+/// Link rate expressed in megabytes per second, returned as bytes/second.
+constexpr double MBps(double x) { return x * kMB; }
+
+/// Convert bytes back to mebibytes (for reporting).
+constexpr double ToMB(double bytes) { return bytes / kMB; }
+/// Convert bytes back to gibibytes (for reporting).
+constexpr double ToGB(double bytes) { return bytes / kGB; }
+
+}  // namespace custody::units

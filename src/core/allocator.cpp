@@ -1,0 +1,61 @@
+#include "core/allocator.h"
+
+#include <cassert>
+
+namespace custody::core {
+
+AllocationResult CustodyAllocator::Allocate(
+    const std::vector<AppDemand>& demands,
+    const std::vector<ExecutorInfo>& idle, const BlockLocationsFn& locations,
+    const AllocatorOptions& options) {
+  AllocationResult result;
+  result.tasks_satisfied.assign(demands.size(), 0);
+  result.jobs_satisfied.assign(demands.size(), 0);
+
+  std::vector<AppAllocState> apps;
+  std::vector<std::vector<JobDemand>> jobs;
+  apps.reserve(demands.size());
+  jobs.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    apps.push_back(MakeAllocState(demands[i], i));
+    jobs.push_back(demands[i].jobs);  // mutable working copy
+  }
+
+  IdleExecutorPool pool(idle);
+
+  // INTER-APP FAIRNESS (Algorithm 1): while executors remain, the app with
+  // the lowest percentage of local jobs picks next.
+  while (!pool.empty()) {
+    const auto pick = options.locality_fair ? PickMinLocality(apps)
+                                            : PickFewestHeld(apps);
+    if (!pick) break;  // every app is at its budget
+    const std::size_t current = *pick;
+
+    const auto before_tasks = apps[current].projected.local_tasks;
+    const auto before_jobs = apps[current].projected.local_jobs;
+    const auto pass = IntraAppAllocate(
+        apps, current, jobs[current], pool, locations,
+        [&result](const Assignment& a) { result.assignments.push_back(a); },
+        options.priority_jobs, options.locality_fair);
+    result.tasks_satisfied[current] +=
+        apps[current].projected.local_tasks - before_tasks;
+    result.jobs_satisfied[current] +=
+        apps[current].projected.local_jobs - before_jobs;
+
+    if (pass.stop == IntraAppStop::kLostMinLocality) {
+      continue;  // someone else is now the least localized — re-pick
+    }
+    if (pass.executors_taken == 0 &&
+        pass.stop != IntraAppStop::kBudgetExhausted) {
+      // The app can take more but nothing useful remains for it; taking it
+      // out of the round prevents a livelock on PickMinLocality.
+      apps[current].budget = apps[current].held;
+    }
+  }
+
+  result.projected.reserve(apps.size());
+  for (const AppAllocState& app : apps) result.projected.push_back(app.projected);
+  return result;
+}
+
+}  // namespace custody::core

@@ -1,0 +1,52 @@
+// The Custody allocator: the two-level decision procedure of Sec. IV.
+//
+// One `Allocate` round distributes the currently idle executors across the
+// active applications: the inter-application level (Algorithm 1) repeatedly
+// hands the pick to the least-localized application; the intra-application
+// level (Algorithm 2) lets that application claim executors job-by-job in
+// fewest-remaining-tasks-first order.  The output is the executor -> app
+// assignment y plus per-task placement hints z.
+#pragma once
+
+#include <vector>
+
+#include "core/inter_app.h"
+#include "core/intra_app.h"
+#include "core/model.h"
+
+namespace custody::core {
+
+/// Ablation switches: each disables one of Custody's two key ideas and
+/// substitutes the naive strategy the paper argues against.
+struct AllocatorOptions {
+  /// Algorithm 1 on (true): least-localized application picks first.
+  /// Off: plain executor-count fairness (fewest held executors first) —
+  /// the "naive fair" strategy of Fig. 3.
+  bool locality_fair = true;
+  /// Algorithm 2 on (true): fewest-remaining-tasks-first, whole job before
+  /// the next.  Off: round-robin one task per job — the "fairness-based"
+  /// intra-application split of Figs. 4–5.
+  bool priority_jobs = true;
+};
+
+struct AllocationResult {
+  std::vector<Assignment> assignments;
+  /// Per input demand (same order): projected locality after the round.
+  std::vector<LocalityStats> projected;
+  /// Per input demand: input tasks newly given a data-local executor.
+  std::vector<int> tasks_satisfied;
+  /// Per input demand: pending jobs that became fully local this round.
+  std::vector<int> jobs_satisfied;
+};
+
+class CustodyAllocator {
+ public:
+  /// Run one allocation round.  `idle` is consumed greedily; demands are not
+  /// mutated.  Deterministic for identical inputs.
+  [[nodiscard]] static AllocationResult Allocate(
+      const std::vector<AppDemand>& demands,
+      const std::vector<ExecutorInfo>& idle, const BlockLocationsFn& locations,
+      const AllocatorOptions& options = {});
+};
+
+}  // namespace custody::core

@@ -1,0 +1,214 @@
+#include "core/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/matching.h"
+
+namespace custody::core {
+
+MaxFlow::MaxFlow(int num_vertices) : adjacency_(num_vertices) {
+  if (num_vertices <= 0) {
+    throw std::invalid_argument("MaxFlow: need at least one vertex");
+  }
+}
+
+int MaxFlow::add_edge(int from, int to, std::int64_t capacity) {
+  assert(from >= 0 && from < num_vertices());
+  assert(to >= 0 && to < num_vertices());
+  assert(capacity >= 0);
+  adjacency_[from].push_back(
+      {to, capacity, static_cast<int>(adjacency_[to].size())});
+  adjacency_[to].push_back(
+      {from, 0, static_cast<int>(adjacency_[from].size()) - 1});
+  edge_locator_.emplace_back(from,
+                             static_cast<int>(adjacency_[from].size()) - 1);
+  return static_cast<int>(edge_locator_.size()) - 1;
+}
+
+bool MaxFlow::bfs(int source, int sink) {
+  level_.assign(num_vertices(), -1);
+  std::queue<int> q;
+  level_[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const Edge& e : adjacency_[u]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(int vertex, int sink, std::int64_t pushed) {
+  if (vertex == sink) return pushed;
+  for (int& i = iterator_[vertex];
+       i < static_cast<int>(adjacency_[vertex].size()); ++i) {
+    Edge& e = adjacency_[vertex][i];
+    if (e.capacity <= 0 || level_[e.to] != level_[vertex] + 1) continue;
+    const std::int64_t got =
+        dfs(e.to, sink, std::min(pushed, e.capacity));
+    if (got > 0) {
+      e.capacity -= got;
+      adjacency_[e.to][e.reverse_index].capacity += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::solve(int source, int sink) {
+  assert(source != sink);
+  std::int64_t total = 0;
+  while (bfs(source, sink)) {
+    iterator_.assign(num_vertices(), 0);
+    while (std::int64_t pushed =
+               dfs(source, sink, std::numeric_limits<std::int64_t>::max())) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlow::flow_on(int edge_index) const {
+  const auto [vertex, offset] = edge_locator_.at(edge_index);
+  const Edge& edge = adjacency_[vertex][offset];
+  // Flow equals the residual capacity accumulated on the reverse edge.
+  return adjacency_[edge.to][edge.reverse_index].capacity;
+}
+
+ConcurrentFlowInstance BuildConcurrentFlowInstance(
+    const std::vector<AppDemand>& apps,
+    const std::vector<ExecutorInfo>& executors,
+    const BlockLocationsFn& locations) {
+  ConcurrentFlowInstance instance;
+  instance.num_executors = static_cast<int>(executors.size());
+
+  // Group executors by node for quick block -> executor expansion.
+  std::unordered_map<NodeId, std::vector<int>> execs_on_node;
+  for (int e = 0; e < instance.num_executors; ++e) {
+    execs_on_node[executors[e].node].push_back(e);
+  }
+
+  instance.demands.reserve(apps.size());
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    int tasks = 0;
+    for (const JobDemand& job : apps[a].jobs) {
+      for (const TaskDemand& task : job.unsatisfied) {
+        instance.task_app.push_back(static_cast<int>(a));
+        std::vector<int> candidates;
+        for (NodeId n : locations(task.block)) {
+          auto it = execs_on_node.find(n);
+          if (it == execs_on_node.end()) continue;
+          candidates.insert(candidates.end(), it->second.begin(),
+                            it->second.end());
+        }
+        std::sort(candidates.begin(), candidates.end());
+        instance.task_execs.push_back(std::move(candidates));
+        ++tasks;
+      }
+    }
+    instance.demands.push_back(tasks);
+  }
+  return instance;
+}
+
+namespace {
+
+/// Scaled feasibility test: can a fraction `lambda` of every demand be
+/// concurrently routed?  Capacities are multiplied by `scale` so fractional
+/// demands become integers.
+bool LambdaFeasible(const ConcurrentFlowInstance& instance, double lambda,
+                    std::int64_t scale) {
+  const int num_apps = static_cast<int>(instance.demands.size());
+  const int num_tasks = static_cast<int>(instance.task_app.size());
+  // Vertices: 0 = super source, [1, A] app sources, [A+1, A+T] tasks,
+  // [A+T+1, A+T+E] executors, last = sink.
+  const int task_base = 1 + num_apps;
+  const int exec_base = task_base + num_tasks;
+  const int sink = exec_base + instance.num_executors;
+  MaxFlow flow(sink + 1);
+
+  std::int64_t want = 0;
+  for (int a = 0; a < num_apps; ++a) {
+    const auto amount = static_cast<std::int64_t>(
+        std::floor(lambda * instance.demands[a] * static_cast<double>(scale)));
+    flow.add_edge(0, 1 + a, amount);
+    want += amount;
+  }
+  for (int t = 0; t < num_tasks; ++t) {
+    flow.add_edge(1 + instance.task_app[t], task_base + t, scale);
+    for (int e : instance.task_execs[t]) {
+      flow.add_edge(task_base + t, exec_base + e, scale);
+    }
+  }
+  for (int e = 0; e < instance.num_executors; ++e) {
+    flow.add_edge(exec_base + e, sink, scale);
+  }
+  return flow.solve(0, sink) >= want;
+}
+
+}  // namespace
+
+ConcurrentFlowResult SolveMaxConcurrentFlow(
+    const ConcurrentFlowInstance& instance, double resolution) {
+  ConcurrentFlowResult result;
+  result.satisfied.assign(instance.demands.size(), 0.0);
+  if (instance.demands.empty()) {
+    result.lambda = 1.0;
+    return result;
+  }
+  // Apps with zero demand are trivially satisfied at any λ.
+  const bool any_demand = std::any_of(instance.demands.begin(),
+                                      instance.demands.end(),
+                                      [](int d) { return d > 0; });
+  if (!any_demand) {
+    result.lambda = 1.0;
+    return result;
+  }
+
+  const std::int64_t scale = 1000;
+  double lo = 0.0;
+  double hi = 1.0;
+  if (LambdaFeasible(instance, 1.0, scale)) {
+    lo = 1.0;
+  } else {
+    while (hi - lo > resolution) {
+      const double mid = 0.5 * (lo + hi);
+      if (LambdaFeasible(instance, mid, scale)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  result.lambda = lo;
+  for (std::size_t a = 0; a < instance.demands.size(); ++a) {
+    result.satisfied[a] = lo * instance.demands[a];
+  }
+  return result;
+}
+
+int MaxTasksSatisfiedAlone(const ConcurrentFlowInstance& instance, int app) {
+  // Max-cardinality matching between this app's tasks and all executors.
+  std::vector<std::vector<int>> adjacency;
+  for (std::size_t t = 0; t < instance.task_app.size(); ++t) {
+    if (instance.task_app[t] != app) continue;
+    adjacency.push_back(instance.task_execs[t]);
+  }
+  const auto result =
+      MaxCardinalityMatching(static_cast<int>(adjacency.size()),
+                             instance.num_executors, adjacency);
+  return result.cardinality;
+}
+
+}  // namespace custody::core

@@ -1,0 +1,93 @@
+// The maximum concurrent flow formulation (paper Sec. III-B, Fig. 2).
+//
+// Task-level data-aware resource sharing with max-min fairness is translated
+// into a maximum concurrent flow problem on the network:
+//
+//   source_i -> each of app i's input tasks        (capacity 1)
+//   task     -> each executor storing its input    (capacity 1)
+//   executor -> virtual sink                       (capacity 1)
+//
+// with demand(source_i) = τ_i.  The integral version is NP-hard; this module
+// provides (a) an exact max-flow core (Dinic) and (b) the fractional
+// concurrent-flow value λ* found by binary search, which upper-bounds any
+// integral allocation.  Tests and benches use λ* to measure how close
+// Custody's two-level heuristic gets to the relaxation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+
+namespace custody::core {
+
+/// A general max-flow solver on integer capacities (Dinic's algorithm).
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_vertices);
+
+  /// Adds a directed edge; returns its index for later inspection.
+  int add_edge(int from, int to, std::int64_t capacity);
+
+  /// Computes the maximum flow; callable once per instance.
+  std::int64_t solve(int source, int sink);
+
+  /// Flow pushed through the edge returned by add_edge.
+  [[nodiscard]] std::int64_t flow_on(int edge_index) const;
+
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(adjacency_.size());
+  }
+
+ private:
+  struct Edge {
+    int to;
+    std::int64_t capacity;
+    int reverse_index;
+  };
+
+  bool bfs(int source, int sink);
+  std::int64_t dfs(int vertex, int sink, std::int64_t pushed);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<int> level_;
+  std::vector<int> iterator_;
+  std::vector<std::pair<int, int>> edge_locator_;  // (vertex, offset)
+};
+
+/// The Fig.-2 flow network built from an allocation instance.
+struct ConcurrentFlowInstance {
+  /// demands[i] = τ_i, the number of input tasks of application i.
+  std::vector<int> demands;
+  /// task_app[t] = owning application of task t.
+  std::vector<int> task_app;
+  /// task_execs[t] = executors (indices) storing task t's input block.
+  std::vector<std::vector<int>> task_execs;
+  int num_executors = 0;
+};
+
+/// Build the instance from demand structs (every unsatisfied input task of
+/// every job of every app becomes a task vertex).
+ConcurrentFlowInstance BuildConcurrentFlowInstance(
+    const std::vector<AppDemand>& apps,
+    const std::vector<ExecutorInfo>& executors,
+    const BlockLocationsFn& locations);
+
+struct ConcurrentFlowResult {
+  /// λ* — the largest fraction of every demand that can be routed.
+  double lambda = 0.0;
+  /// Tasks routed per application at λ* (fractional, scaled back).
+  std::vector<double> satisfied;
+};
+
+/// Fractional maximum concurrent flow by binary search on λ with scaled
+/// integer capacities.  `resolution` controls the λ precision.
+ConcurrentFlowResult SolveMaxConcurrentFlow(
+    const ConcurrentFlowInstance& instance, double resolution = 1e-3);
+
+/// Best *integral* per-app locality achievable if apps did not have to share
+/// executors exclusively — i.e. a max-cardinality matching of tasks to
+/// executors per app alone (upper bound used in tests).
+int MaxTasksSatisfiedAlone(const ConcurrentFlowInstance& instance, int app);
+
+}  // namespace custody::core

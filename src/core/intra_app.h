@@ -1,0 +1,75 @@
+// Algorithm 2 — data-aware intra-application allocation.
+//
+// Given the executors an application may still claim, choose the subset that
+// maximizes the number of *local jobs* (paper Sec. IV-B).  Jobs are served
+// in ascending order of unsatisfied input tasks — the greedy heaviest-edge
+// rule of the 2-approximation to constrained bipartite matching — and a
+// job's tasks are all satisfied before moving on, so no job is left
+// straggling with partial locality when full locality was achievable.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/inter_app.h"
+#include "core/model.h"
+
+namespace custody::core {
+
+/// Tracks which round executors remain idle and where they live.
+class IdleExecutorPool {
+ public:
+  explicit IdleExecutorPool(std::vector<ExecutorInfo> executors);
+
+  /// Claim an idle executor on one of `nodes`; invalid id when none exists.
+  ExecutorId claim_on(const std::vector<NodeId>& nodes);
+  /// Claim any idle executor (deterministically the lowest id).
+  ExecutorId claim_any();
+
+  [[nodiscard]] bool empty() const { return remaining_ == 0; }
+  [[nodiscard]] std::size_t size() const { return remaining_; }
+  /// True when at least one idle executor sits on one of `nodes`.
+  [[nodiscard]] bool has_on(const std::vector<NodeId>& nodes) const;
+
+ private:
+  std::vector<ExecutorInfo> executors_;  // sorted by executor id
+  std::vector<bool> taken_;
+  std::size_t remaining_ = 0;
+  std::size_t scan_start_ = 0;  ///< rotates claim_any across nodes
+};
+
+/// Outcome of one intra-application pass.
+enum class IntraAppStop {
+  kBudgetExhausted,   ///< ζ_i reached σ_i
+  kLostMinLocality,   ///< another app now has lower locality (back to Alg. 1)
+  kNoMoreExecutors,   ///< pool drained
+  kDemandSatisfied,   ///< every unsatisfied task got a local executor
+};
+
+struct IntraAppPassResult {
+  IntraAppStop stop = IntraAppStop::kDemandSatisfied;
+  int executors_taken = 0;
+};
+
+/// Run one Algorithm-2 pass for `apps[current]`:
+///  * phase 1 — serve jobs in fewest-unsatisfied-tasks-first order, claiming
+///    a local executor per task, re-checking MINLOCALITY after every claim;
+///  * phase 2 — backfill with arbitrary idle executors up to the budget
+///    (line 17-20 of the pseudocode), so the app is never starved of
+///    compute even when locality is impossible.
+///
+/// `jobs` is the mutable copy of the app's pending jobs (tasks are erased
+/// from `unsatisfied` as they are satisfied).  `emit` receives every
+/// assignment as it happens.
+IntraAppPassResult IntraAppAllocate(
+    std::vector<AppAllocState>& apps, std::size_t current,
+    std::vector<JobDemand>& jobs, IdleExecutorPool& pool,
+    const BlockLocationsFn& locations,
+    const std::function<void(const Assignment&)>& emit,
+    bool priority_jobs = true, bool locality_fair = true);
+
+/// The job-priority comparator (fewest unsatisfied input tasks first;
+/// deterministic tie-break by job uid — the paper breaks ties randomly).
+bool JobPriorityLess(const JobDemand& a, const JobDemand& b);
+
+}  // namespace custody::core

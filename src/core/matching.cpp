@@ -1,0 +1,205 @@
+#include "core/matching.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace custody::core {
+
+namespace {
+
+constexpr int kFree = -1;
+
+/// BFS phase of Hopcroft–Karp: layer the free left vertices.
+bool HkBfs(const std::vector<std::vector<int>>& adj,
+           const std::vector<int>& match_l, const std::vector<int>& match_r,
+           std::vector<int>& dist) {
+  std::queue<int> q;
+  const int n = static_cast<int>(adj.size());
+  bool found_augmenting = false;
+  for (int l = 0; l < n; ++l) {
+    if (match_l[l] == kFree) {
+      dist[l] = 0;
+      q.push(l);
+    } else {
+      dist[l] = std::numeric_limits<int>::max();
+    }
+  }
+  while (!q.empty()) {
+    const int l = q.front();
+    q.pop();
+    for (int r : adj[l]) {
+      const int next = match_r[r];
+      if (next == kFree) {
+        found_augmenting = true;
+      } else if (dist[next] == std::numeric_limits<int>::max()) {
+        dist[next] = dist[l] + 1;
+        q.push(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+/// DFS phase of Hopcroft–Karp: augment along layered paths.
+bool HkDfs(int l, const std::vector<std::vector<int>>& adj,
+           std::vector<int>& match_l, std::vector<int>& match_r,
+           std::vector<int>& dist) {
+  for (int r : adj[l]) {
+    const int next = match_r[r];
+    if (next == kFree ||
+        (dist[next] == dist[l] + 1 && HkDfs(next, adj, match_l, match_r, dist))) {
+      match_l[l] = r;
+      match_r[r] = l;
+      return true;
+    }
+  }
+  dist[l] = std::numeric_limits<int>::max();
+  return false;
+}
+
+}  // namespace
+
+MatchingResult MaxCardinalityMatching(
+    int num_left, int num_right, const std::vector<std::vector<int>>& adj) {
+  assert(static_cast<int>(adj.size()) == num_left);
+  MatchingResult result;
+  result.match_l.assign(num_left, kFree);
+  result.match_r.assign(num_right, kFree);
+  std::vector<int> dist(num_left);
+  while (HkBfs(adj, result.match_l, result.match_r, dist)) {
+    for (int l = 0; l < num_left; ++l) {
+      if (result.match_l[l] == kFree &&
+          HkDfs(l, adj, result.match_l, result.match_r, dist)) {
+        ++result.cardinality;
+      }
+    }
+  }
+  result.total_weight = result.cardinality;
+  return result;
+}
+
+MatchingResult GreedyWeightedMatching(int num_left, int num_right,
+                                      std::vector<MatchEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const MatchEdge& a, const MatchEdge& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.l != b.l) return a.l < b.l;
+              return a.r < b.r;
+            });
+  MatchingResult result;
+  result.match_l.assign(num_left, kFree);
+  result.match_r.assign(num_right, kFree);
+  for (const MatchEdge& e : edges) {
+    assert(e.l >= 0 && e.l < num_left && e.r >= 0 && e.r < num_right);
+    if (result.match_l[e.l] != kFree || result.match_r[e.r] != kFree) continue;
+    result.match_l[e.l] = e.r;
+    result.match_r[e.r] = e.l;
+    ++result.cardinality;
+    result.total_weight += e.weight;
+  }
+  return result;
+}
+
+MatchingResult MaxWeightMatching(int num_left, int num_right,
+                                 const std::vector<MatchEdge>& edges,
+                                 int max_cardinality) {
+  for (const MatchEdge& e : edges) {
+    if (e.weight < 0.0) {
+      throw std::invalid_argument("MaxWeightMatching: negative weight");
+    }
+  }
+  // Min-cost max-flow on: source(0) -> left(1..L) -> right(L+1..L+R) ->
+  // sink(L+R+1), unit capacities, cost = -weight on matching edges.  We
+  // augment along the cheapest (most negative) path while it improves the
+  // objective and the cardinality bound allows.
+  const int source = 0;
+  const int sink = num_left + num_right + 1;
+  const int num_vertices = sink + 1;
+
+  struct Arc {
+    int to;
+    double capacity;
+    double cost;
+    int reverse_index;
+  };
+  std::vector<std::vector<Arc>> graph(num_vertices);
+  auto add_arc = [&](int from, int to, double capacity, double cost) {
+    graph[from].push_back(
+        {to, capacity, cost, static_cast<int>(graph[to].size())});
+    graph[to].push_back(
+        {from, 0.0, -cost, static_cast<int>(graph[from].size()) - 1});
+  };
+  for (int l = 0; l < num_left; ++l) add_arc(source, 1 + l, 1.0, 0.0);
+  for (int r = 0; r < num_right; ++r) {
+    add_arc(1 + num_left + r, sink, 1.0, 0.0);
+  }
+  for (const MatchEdge& e : edges) {
+    assert(e.l >= 0 && e.l < num_left && e.r >= 0 && e.r < num_right);
+    add_arc(1 + e.l, 1 + num_left + e.r, 1.0, -e.weight);
+  }
+
+  MatchingResult result;
+  result.match_l.assign(num_left, kFree);
+  result.match_r.assign(num_right, kFree);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  while (result.cardinality < max_cardinality) {
+    // Bellman–Ford/SPFA shortest path by cost (graphs are tiny: executors
+    // and pending tasks of one application).
+    std::vector<double> dist(num_vertices, kInf);
+    std::vector<int> prev_vertex(num_vertices, -1);
+    std::vector<int> prev_arc(num_vertices, -1);
+    std::vector<bool> in_queue(num_vertices, false);
+    std::queue<int> q;
+    dist[source] = 0.0;
+    q.push(source);
+    in_queue[source] = true;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      in_queue[u] = false;
+      for (int i = 0; i < static_cast<int>(graph[u].size()); ++i) {
+        const Arc& arc = graph[u][i];
+        if (arc.capacity <= 0.5) continue;
+        if (dist[u] + arc.cost < dist[arc.to] - 1e-12) {
+          dist[arc.to] = dist[u] + arc.cost;
+          prev_vertex[arc.to] = u;
+          prev_arc[arc.to] = i;
+          if (!in_queue[arc.to]) {
+            q.push(arc.to);
+            in_queue[arc.to] = true;
+          }
+        }
+      }
+    }
+    // Stop once another match no longer increases total weight.
+    if (dist[sink] >= -1e-12) break;
+
+    for (int v = sink; v != source; v = prev_vertex[v]) {
+      Arc& arc = graph[prev_vertex[v]][prev_arc[v]];
+      arc.capacity -= 1.0;
+      graph[arc.to][arc.reverse_index].capacity += 1.0;
+    }
+    ++result.cardinality;
+    result.total_weight += -dist[sink];
+  }
+
+  // Recover the matching from saturated task->executor arcs.
+  for (int l = 0; l < num_left; ++l) {
+    for (const Arc& arc : graph[1 + l]) {
+      const bool is_matching_arc =
+          arc.to >= 1 + num_left && arc.to < 1 + num_left + num_right;
+      if (is_matching_arc && arc.capacity <= 0.5) {
+        const int r = arc.to - 1 - num_left;
+        result.match_l[l] = r;
+        result.match_r[r] = l;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace custody::core

@@ -1,0 +1,52 @@
+// Bipartite matching algorithms underlying intra-application allocation.
+//
+// The paper (Sec. III-C / IV-B) reduces intra-application executor selection
+// to a constrained bipartite matching between input tasks and candidate
+// executors, where an edge (T_ijk, E_u) of weight 1/µ_ij exists iff E_u
+// stores d_ijk.  Custody uses the greedy heaviest-edge-first rule (a
+// 2-approximation to maximum weighted matching), which translates into the
+// fewest-remaining-tasks-first job priority of Algorithm 2.  The exact
+// algorithms here let tests and ablation benches quantify that choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace custody::core {
+
+/// An undirected edge between left vertex `l` and right vertex `r`.
+struct MatchEdge {
+  int l = 0;
+  int r = 0;
+  double weight = 1.0;
+};
+
+struct MatchingResult {
+  /// match_l[l] = matched right vertex or -1.
+  std::vector<int> match_l;
+  /// match_r[r] = matched left vertex or -1.
+  std::vector<int> match_r;
+  int cardinality = 0;
+  double total_weight = 0.0;
+};
+
+/// Maximum-cardinality bipartite matching (Hopcroft–Karp, O(E sqrt(V))).
+/// `adj[l]` lists right-vertex neighbours of left vertex l.
+MatchingResult MaxCardinalityMatching(int num_left, int num_right,
+                                      const std::vector<std::vector<int>>& adj);
+
+/// Greedy weighted matching: repeatedly take the heaviest edge whose
+/// endpoints are both free.  Guarantees >= 1/2 of the optimal weight.
+/// Ties are broken by (l, r) for determinism.
+MatchingResult GreedyWeightedMatching(int num_left, int num_right,
+                                      std::vector<MatchEdge> edges);
+
+/// Exact maximum-weight bipartite matching with cardinality at most
+/// `max_cardinality` (successive shortest augmenting paths on a min-cost
+/// flow network; weights must be non-negative).  Used as the optimal
+/// reference for the constrained-matching ablation.
+MatchingResult MaxWeightMatching(int num_left, int num_right,
+                                 const std::vector<MatchEdge>& edges,
+                                 int max_cardinality);
+
+}  // namespace custody::core

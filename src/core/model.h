@@ -1,0 +1,106 @@
+// Problem-model types for data-aware resource sharing (paper Table I).
+//
+// These structs are deliberately simulator-independent: the Custody
+// allocation algorithms consume plain demand descriptions and produce plain
+// assignments, so all of the paper's theory (Secs. III–IV) can be unit- and
+// property-tested in isolation, then driven by the cluster manager.
+//
+// Mapping to the paper's notation:
+//   ExecutorInfo            E_u (an executor; its node determines {D_x})
+//   TaskDemand              T_ijk with its required block d_ijk
+//   JobDemand               J_ij with µ_ij input tasks
+//   AppDemand               A_i with budget σ_i and held count ζ_i
+//   LocalityStats           the fractions used by MINLOCALITY (Algorithm 1)
+//   Assignment              y_i^u = 1 (+ an optional z^u_ijk placement hint)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace custody::core {
+
+/// Stable identifier for a task inside an allocation request.
+using TaskUid = std::uint64_t;
+/// Stable identifier for a job inside an allocation request.
+using JobUid = std::uint64_t;
+
+inline constexpr TaskUid kNoTask = ~TaskUid{0};
+
+/// An idle executor the manager may hand out, and the node it lives on.
+struct ExecutorInfo {
+  ExecutorId id;
+  NodeId node;
+};
+
+/// One input task still lacking a data-local executor.
+struct TaskDemand {
+  TaskUid task = kNoTask;
+  BlockId block;
+};
+
+/// One job's outstanding locality demand.
+struct JobDemand {
+  JobUid job = 0;
+  /// µ_ij — the job's total number of input tasks (used for priorities).
+  int total_tasks = 0;
+  /// Input tasks not yet satisfiable by executors the app already holds.
+  std::vector<TaskDemand> unsatisfied;
+
+  [[nodiscard]] int satisfied_tasks() const {
+    return total_tasks - static_cast<int>(unsatisfied.size());
+  }
+};
+
+/// Locality achieved by an application so far; drives MINLOCALITY ordering.
+struct LocalityStats {
+  int local_jobs = 0;
+  int total_jobs = 0;
+  int local_tasks = 0;
+  int total_tasks = 0;
+
+  /// Percentage of local jobs; 0 when the app has no jobs yet.
+  [[nodiscard]] double job_fraction() const {
+    return total_jobs == 0 ? 0.0
+                           : static_cast<double>(local_jobs) / total_jobs;
+  }
+  /// Tie-breaker: percentage of local tasks.
+  [[nodiscard]] double task_fraction() const {
+    return total_tasks == 0 ? 0.0
+                            : static_cast<double>(local_tasks) / total_tasks;
+  }
+};
+
+/// One application's allocation request.
+struct AppDemand {
+  AppId app;
+  /// σ_i — the most executors this app may hold after this round.  Managers
+  /// pass the demand-capped fair share (see CustodyManager).
+  int budget = 0;
+  /// ζ_i — executors already held.
+  int held = 0;
+  /// Pending jobs with unsatisfied input tasks, submitted but not compiled
+  /// into running tasks yet (the paper's "postponed" allocation point).
+  std::vector<JobDemand> jobs;
+  /// Historical locality (completed + running work).
+  LocalityStats locality;
+};
+
+/// y_i^u = 1 — executor `exec` goes to application `app`.  When the executor
+/// was chosen to serve a specific input task, `hint_task` carries the z^u_ijk
+/// placement suggestion (applications are free to ignore it; the paper's
+/// evaluation relies on delay scheduling instead).
+struct Assignment {
+  ExecutorId exec;
+  AppId app;
+  TaskUid hint_task = kNoTask;
+};
+
+/// x^u_ijk oracle: which nodes store a replica of a block.  Backed by the
+/// DFS NameNode in the full system, or by a plain map in tests.
+using BlockLocationsFn =
+    std::function<const std::vector<NodeId>&(BlockId)>;
+
+}  // namespace custody::core

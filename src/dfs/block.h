@@ -1,0 +1,29 @@
+// Block and file metadata for the simulated distributed filesystem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace custody::dfs {
+
+/// A fixed-size chunk of a file — the unit of placement, replication and
+/// data locality (HDFS default in the paper: 128 MB).
+struct BlockInfo {
+  BlockId id;
+  FileId file;
+  std::uint32_t index = 0;  ///< position within the file
+  double bytes = 0.0;
+};
+
+/// A file in the DFS namespace.
+struct FileInfo {
+  FileId id;
+  std::string path;
+  double bytes = 0.0;
+  int replication = 3;
+  std::vector<BlockId> blocks;
+};
+
+}  // namespace custody::dfs

@@ -1,0 +1,106 @@
+#include "dfs/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace custody::dfs {
+
+BlockCache::BlockCache(const Dfs& dfs, double capacity_bytes)
+    : dfs_(dfs),
+      capacity_bytes_(capacity_bytes),
+      nodes_(dfs.num_nodes()) {}
+
+void BlockCache::touch(NodeCache& cache, BlockId block) {
+  auto it = cache.index.find(block);
+  assert(it != cache.index.end());
+  cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+}
+
+void BlockCache::evict_lru(NodeId node, NodeCache& cache) {
+  assert(!cache.lru.empty());
+  const BlockId victim = cache.lru.back();
+  cache.lru.pop_back();
+  cache.index.erase(victim);
+  cache.bytes -= dfs_.block(victim).bytes;
+  ++stats_.evictions;
+
+  auto& holders = cached_on_[victim];
+  holders.erase(std::remove(holders.begin(), holders.end(), node),
+                holders.end());
+  rebuild_merged(victim);
+}
+
+void BlockCache::rebuild_merged(BlockId block) {
+  std::vector<NodeId> merged = dfs_.locations(block);
+  auto it = cached_on_.find(block);
+  if (it != cached_on_.end()) {
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  merged_[block] = std::move(merged);
+}
+
+void BlockCache::insert(NodeId node, BlockId block) {
+  if (!enabled()) return;
+  assert(node.value() < nodes_.size());
+  NodeCache& cache = nodes_[node.value()];
+  if (cache.index.count(block)) {
+    touch(cache, block);
+    return;
+  }
+  if (dfs_.is_local(block, node)) return;  // disk copy already there
+  const double bytes = dfs_.block(block).bytes;
+  if (bytes > capacity_bytes_) return;  // would never fit
+  while (cache.bytes + bytes > capacity_bytes_) evict_lru(node, cache);
+
+  cache.lru.push_front(block);
+  cache.index[block] = cache.lru.begin();
+  cache.bytes += bytes;
+  ++stats_.insertions;
+  cached_on_[block].push_back(node);
+  rebuild_merged(block);
+}
+
+bool BlockCache::is_cached(NodeId node, BlockId block) {
+  ++stats_.lookups;
+  if (!enabled()) return false;
+  NodeCache& cache = nodes_[node.value()];
+  auto it = cache.index.find(block);
+  if (it == cache.index.end()) return false;
+  touch(cache, block);
+  ++stats_.hits;
+  return true;
+}
+
+const std::vector<NodeId>& BlockCache::merged_locations(BlockId block) {
+  auto it = merged_.find(block);
+  if (it != merged_.end()) return it->second;
+  return dfs_.locations(block);  // nothing cached: disk replicas as-is
+}
+
+bool BlockCache::is_local(BlockId block, NodeId node) {
+  return dfs_.is_local(block, node) || is_cached(node, block);
+}
+
+void BlockCache::fail_node(NodeId node) {
+  if (!enabled()) return;
+  NodeCache& cache = nodes_[node.value()];
+  const std::vector<BlockId> held(cache.lru.begin(), cache.lru.end());
+  cache.lru.clear();
+  cache.index.clear();
+  cache.bytes = 0.0;
+  for (BlockId block : held) {
+    auto& holders = cached_on_[block];
+    holders.erase(std::remove(holders.begin(), holders.end(), node),
+                  holders.end());
+    rebuild_merged(block);
+  }
+}
+
+double BlockCache::bytes_on(NodeId node) const {
+  assert(node.value() < nodes_.size());
+  return nodes_[node.value()].bytes;
+}
+
+}  // namespace custody::dfs

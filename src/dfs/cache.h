@@ -1,0 +1,80 @@
+// In-memory block caching on worker nodes.
+//
+// The paper's executor model is E_u = {D_x : E_u stores *or caches* D_x}
+// (Sec. III-A): a block a node has recently pulled over the network is as
+// local as one on its disk.  BlockCache implements that second clause — a
+// per-node LRU cache of remotely-read blocks — and maintains the *merged*
+// block -> nodes map (disk replicas + cached copies) that the Custody
+// allocator and delay scheduler consult.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "dfs/dfs.h"
+
+namespace custody::dfs {
+
+struct CacheStats {
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t hits = 0;    ///< is_cached() queries answered positively
+  std::uint64_t lookups = 0; ///< total is_cached() queries
+};
+
+class BlockCache {
+ public:
+  /// `capacity_bytes` is the per-node cache budget; 0 disables caching.
+  BlockCache(const Dfs& dfs, double capacity_bytes);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  [[nodiscard]] bool enabled() const { return capacity_bytes_ > 0.0; }
+
+  /// Record that `node` now holds a cached copy of `block`; evicts LRU
+  /// blocks if the node's budget is exceeded.  No-op when the block is
+  /// already cached there (it is just touched) or already on disk there.
+  void insert(NodeId node, BlockId block);
+
+  /// True when the node holds a *cached* copy (disk replicas not counted).
+  [[nodiscard]] bool is_cached(NodeId node, BlockId block);
+
+  /// Disk replicas plus cached copies, sorted by node id.  The reference
+  /// stays valid until the next insert/eviction touching the block.
+  [[nodiscard]] const std::vector<NodeId>& merged_locations(BlockId block);
+
+  /// Like Dfs::is_local but including cached copies (touches LRU).
+  [[nodiscard]] bool is_local(BlockId block, NodeId node);
+
+  /// Drop everything a failed node cached (its memory is gone).
+  void fail_node(NodeId node);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] double bytes_on(NodeId node) const;
+
+ private:
+  struct NodeCache {
+    std::list<BlockId> lru;  ///< front = most recently used
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> index;
+    double bytes = 0.0;
+  };
+
+  void touch(NodeCache& cache, BlockId block);
+  void evict_lru(NodeId node, NodeCache& cache);
+  void rebuild_merged(BlockId block);
+
+  const Dfs& dfs_;
+  double capacity_bytes_;
+  std::vector<NodeCache> nodes_;
+  /// block -> nodes caching it (unsorted working set)
+  std::unordered_map<BlockId, std::vector<NodeId>> cached_on_;
+  /// block -> disk ∪ cache locations, maintained incrementally
+  std::unordered_map<BlockId, std::vector<NodeId>> merged_;
+  CacheStats stats_;
+};
+
+}  // namespace custody::dfs

@@ -1,0 +1,90 @@
+#include "dfs/dfs.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace custody::dfs {
+
+Dfs::Dfs(DfsConfig config, Rng rng, std::unique_ptr<PlacementPolicy> policy)
+    : config_(config),
+      rng_(rng),
+      policy_(policy ? std::move(policy)
+                     : std::make_unique<RandomPlacement>()),
+      node_bytes_(config.num_nodes, 0.0) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("Dfs: num_nodes must be positive");
+  }
+}
+
+double Dfs::bytes_on(NodeId node) const {
+  assert(node.value() < node_bytes_.size());
+  return node_bytes_[node.value()];
+}
+
+void Dfs::place_block(const BlockInfo& block, int replicas) {
+  const auto nodes = policy_->place(block, replicas, *this, rng_);
+  assert(static_cast<int>(nodes.size()) == replicas);
+  for (NodeId n : nodes) {
+    namenode_.add_replica(block.id, n);
+    node_bytes_[n.value()] += block.bytes;
+  }
+}
+
+FileId Dfs::write_file(const std::string& path, double bytes) {
+  return write_file(path, bytes, config_.default_replication);
+}
+
+FileId Dfs::write_file(const std::string& path, double bytes,
+                       int replication) {
+  if (static_cast<std::size_t>(replication) > config_.num_nodes) {
+    throw std::invalid_argument("Dfs: replication exceeds cluster size");
+  }
+  const FileId id =
+      namenode_.create_file(path, bytes, config_.block_bytes, replication);
+  for (BlockId b : namenode_.blocks_of(id)) {
+    place_block(namenode_.block(b), replication);
+  }
+  return id;
+}
+
+void Dfs::fail_node(NodeId node, const std::vector<NodeId>& live_nodes) {
+  for (BlockId b : namenode_.all_blocks()) {
+    if (!namenode_.is_local(b, node)) continue;
+    const double bytes = namenode_.block(b).bytes;
+    // Pick a live target that does not already hold the block.
+    std::vector<NodeId> candidates;
+    for (NodeId live : live_nodes) {
+      if (live != node && !namenode_.is_local(b, live)) {
+        candidates.push_back(live);
+      }
+    }
+    if (!candidates.empty()) {
+      const NodeId target = rng_.pick(candidates);
+      namenode_.add_replica(b, target);
+      node_bytes_[target.value()] += bytes;
+    }
+    if (namenode_.locations(b).size() > 1) {
+      namenode_.remove_replica(b, node);
+      node_bytes_[node.value()] -= bytes;
+    }
+  }
+}
+
+void Dfs::boost_replication(FileId file, int extra) {
+  if (extra <= 0) return;
+  for (BlockId b : namenode_.blocks_of(file)) {
+    const auto& existing = namenode_.locations(b);
+    if (existing.size() + static_cast<std::size_t>(extra) >
+        config_.num_nodes) {
+      throw std::invalid_argument("Dfs: replica boost exceeds cluster size");
+    }
+    const auto nodes = SampleDistinctNodes(config_.num_nodes, extra,
+                                           existing, rng_);
+    for (NodeId n : nodes) {
+      namenode_.add_replica(b, n);
+      node_bytes_[n.value()] += namenode_.block(b).bytes;
+    }
+  }
+}
+
+}  // namespace custody::dfs

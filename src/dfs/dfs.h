@@ -1,0 +1,79 @@
+// Facade over the simulated distributed filesystem: NameNode metadata,
+// per-DataNode storage accounting, and a pluggable placement policy.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "dfs/block.h"
+#include "dfs/namenode.h"
+#include "dfs/placement.h"
+
+namespace custody::dfs {
+
+struct DfsConfig {
+  std::size_t num_nodes = 0;
+  double block_bytes = units::MB(128.0);  ///< paper default
+  int default_replication = 3;            ///< paper default
+};
+
+class Dfs final : public PlacementView {
+ public:
+  /// The policy defaults to HDFS-style RandomPlacement when null.
+  Dfs(DfsConfig config, Rng rng,
+      std::unique_ptr<PlacementPolicy> policy = nullptr);
+
+  // --- writing -----------------------------------------------------------
+  /// Create a file with the default replication and place all its blocks.
+  FileId write_file(const std::string& path, double bytes);
+  /// Create a file with an explicit replication level.
+  FileId write_file(const std::string& path, double bytes, int replication);
+
+  /// Add `extra` more replicas to every block of a file (Scarlett-style
+  /// popularity boosting).  No-op when extra <= 0.
+  void boost_replication(FileId file, int extra);
+
+  /// A DataNode died: every replica it held is re-replicated onto a random
+  /// node from `live_nodes` (not already holding the block) and the dead
+  /// copy is dropped.  Blocks whose last copy lived there keep it (the
+  /// cluster would restore them from cold storage).
+  void fail_node(NodeId node, const std::vector<NodeId>& live_nodes);
+
+  // --- reading / inquiry (what Custody asks the NameNode) -----------------
+  [[nodiscard]] const NameNode& namenode() const { return namenode_; }
+  [[nodiscard]] const std::vector<BlockId>& blocks_of(FileId file) const {
+    return namenode_.blocks_of(file);
+  }
+  [[nodiscard]] const std::vector<NodeId>& locations(BlockId block) const {
+    return namenode_.locations(block);
+  }
+  [[nodiscard]] bool is_local(BlockId block, NodeId node) const {
+    return namenode_.is_local(block, node);
+  }
+  [[nodiscard]] const BlockInfo& block(BlockId id) const {
+    return namenode_.block(id);
+  }
+
+  // --- PlacementView -----------------------------------------------------
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return config_.num_nodes;
+  }
+  [[nodiscard]] double bytes_on(NodeId node) const override;
+
+  [[nodiscard]] const DfsConfig& config() const { return config_; }
+
+ private:
+  void place_block(const BlockInfo& block, int replicas);
+
+  DfsConfig config_;
+  Rng rng_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  NameNode namenode_;
+  std::vector<double> node_bytes_;
+};
+
+}  // namespace custody::dfs

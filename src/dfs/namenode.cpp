@@ -1,0 +1,137 @@
+#include "dfs/namenode.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace custody::dfs {
+
+FileId NameNode::create_file(const std::string& path, double bytes,
+                             double block_bytes, int replication) {
+  if (bytes <= 0.0 || block_bytes <= 0.0) {
+    throw std::invalid_argument("NameNode: file and block sizes must be > 0");
+  }
+  if (replication < 1) {
+    throw std::invalid_argument("NameNode: replication must be >= 1");
+  }
+  if (by_path_.count(path)) {
+    throw std::invalid_argument("NameNode: path already exists: " + path);
+  }
+
+  const FileId id(next_file_++);
+  FileInfo info;
+  info.id = id;
+  info.path = path;
+  info.bytes = bytes;
+  info.replication = replication;
+
+  const auto num_blocks =
+      static_cast<std::uint32_t>(std::ceil(bytes / block_bytes));
+  double left = bytes;
+  for (std::uint32_t i = 0; i < num_blocks; ++i) {
+    const BlockId bid(next_block_++);
+    BlockInfo block;
+    block.id = bid;
+    block.file = id;
+    block.index = i;
+    block.bytes = std::min(block_bytes, left);
+    left -= block.bytes;
+    blocks_.emplace(bid, block);
+    replicas_.emplace(bid, std::vector<NodeId>{});
+    info.blocks.push_back(bid);
+  }
+
+  by_path_.emplace(path, id);
+  files_.emplace(id, std::move(info));
+  return id;
+}
+
+void NameNode::delete_file(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) throw std::invalid_argument("NameNode: no such file");
+  for (BlockId b : it->second.blocks) {
+    blocks_.erase(b);
+    replicas_.erase(b);
+  }
+  by_path_.erase(it->second.path);
+  files_.erase(it);
+}
+
+std::optional<FileId> NameNode::lookup(const std::string& path) const {
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) return std::nullopt;
+  return it->second;
+}
+
+const FileInfo& NameNode::file(FileId id) const {
+  auto it = files_.find(id);
+  if (it == files_.end()) throw std::invalid_argument("NameNode: no such file");
+  return it->second;
+}
+
+const BlockInfo& NameNode::block(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    throw std::invalid_argument("NameNode: no such block");
+  }
+  return it->second;
+}
+
+const std::vector<BlockId>& NameNode::blocks_of(FileId id) const {
+  return file(id).blocks;
+}
+
+const std::vector<NodeId>& NameNode::locations(BlockId block) const {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    throw std::invalid_argument("NameNode: no such block");
+  }
+  return it->second;
+}
+
+bool NameNode::is_local(BlockId block, NodeId node) const {
+  const auto& locs = locations(block);
+  return std::binary_search(locs.begin(), locs.end(), node);
+}
+
+void NameNode::add_replica(BlockId block, NodeId node) {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    throw std::invalid_argument("NameNode: no such block");
+  }
+  auto& locs = it->second;
+  const auto pos = std::lower_bound(locs.begin(), locs.end(), node);
+  if (pos != locs.end() && *pos == node) {
+    throw std::invalid_argument("NameNode: replica already on node");
+  }
+  locs.insert(pos, node);
+}
+
+void NameNode::remove_replica(BlockId block, NodeId node) {
+  auto it = replicas_.find(block);
+  if (it == replicas_.end()) {
+    throw std::invalid_argument("NameNode: no such block");
+  }
+  auto& locs = it->second;
+  if (locs.size() <= 1) {
+    throw std::logic_error("NameNode: refusing to remove the last replica");
+  }
+  const auto pos = std::lower_bound(locs.begin(), locs.end(), node);
+  if (pos == locs.end() || *pos != node) {
+    throw std::invalid_argument("NameNode: no replica on node");
+  }
+  locs.erase(pos);
+}
+
+std::vector<BlockId> NameNode::all_blocks() const {
+  std::vector<BlockId> out;
+  out.reserve(blocks_.size());
+  for (BlockId::value_type i = 0; i < next_block_; ++i) {
+    const BlockId id(i);
+    if (blocks_.count(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace custody::dfs

@@ -1,0 +1,81 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+namespace custody::metrics {
+
+std::vector<double> MetricsCollector::per_job_locality_percent() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const JobRecord& job : jobs_) out.push_back(job.locality_percent());
+  return out;
+}
+
+double MetricsCollector::overall_input_locality_percent() const {
+  std::int64_t total = 0;
+  std::int64_t local = 0;
+  for (const JobRecord& job : jobs_) {
+    total += job.input_tasks;
+    local += job.local_input_tasks;
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(local) / total;
+}
+
+double MetricsCollector::local_job_percent() const {
+  if (jobs_.empty()) return 0.0;
+  const auto local = std::count_if(jobs_.begin(), jobs_.end(),
+                                   [](const JobRecord& job) {
+                                     return job.perfectly_local();
+                                   });
+  return 100.0 * static_cast<double>(local) / jobs_.size();
+}
+
+std::vector<double> MetricsCollector::job_completion_times() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const JobRecord& job : jobs_) out.push_back(job.completion_time());
+  return out;
+}
+
+std::vector<double> MetricsCollector::input_stage_durations() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const JobRecord& job : jobs_) out.push_back(job.input_stage_duration());
+  return out;
+}
+
+std::vector<double> MetricsCollector::input_scheduler_delays() const {
+  std::vector<double> out;
+  for (const TaskRecord& task : tasks_) {
+    if (task.is_input) out.push_back(task.scheduler_delay());
+  }
+  return out;
+}
+
+std::vector<double> MetricsCollector::per_app_local_job_fraction(
+    std::size_t num_apps) const {
+  std::vector<int> total(num_apps, 0);
+  std::vector<int> local(num_apps, 0);
+  for (const JobRecord& job : jobs_) {
+    const auto a = job.app.value();
+    if (a >= num_apps) continue;
+    ++total[a];
+    if (job.perfectly_local()) ++local[a];
+  }
+  std::vector<double> out(num_apps, 0.0);
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    out[a] = total[a] == 0 ? 0.0
+                           : static_cast<double>(local[a]) / total[a];
+  }
+  return out;
+}
+
+SimTime MetricsCollector::makespan() const {
+  SimTime latest = 0.0;
+  for (const JobRecord& job : jobs_) {
+    latest = std::max(latest, job.finish_time);
+  }
+  return latest;
+}
+
+}  // namespace custody::metrics

@@ -1,0 +1,95 @@
+// Experiment metrics: everything the paper's evaluation section reports.
+//
+//   Fig. 7  — per-job percentage of local input tasks (mean ± std)
+//   Fig. 8  — average job completion time
+//   Fig. 9  — average completion time of the input (map) stage
+//   Fig. 10 — scheduler delay (task submitted -> task launched)
+//
+// The collector records raw per-task and per-job events; summaries are
+// derived on demand so benches can slice them any way the figures need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace custody::metrics {
+
+struct TaskRecord {
+  AppId app;
+  JobId job;
+  int stage = 0;
+  bool is_input = false;
+  bool local = false;        ///< ran on a node storing its input block
+  SimTime ready_time = 0.0;  ///< became runnable (paper: "submitted")
+  SimTime launch_time = 0.0;
+  SimTime finish_time = 0.0;
+
+  [[nodiscard]] SimTime scheduler_delay() const {
+    return launch_time - ready_time;
+  }
+  [[nodiscard]] SimTime duration() const { return finish_time - launch_time; }
+};
+
+struct JobRecord {
+  AppId app;
+  JobId job;
+  SimTime submit_time = 0.0;
+  SimTime input_stage_finish = 0.0;
+  SimTime finish_time = 0.0;
+  int input_tasks = 0;
+  int local_input_tasks = 0;
+
+  [[nodiscard]] SimTime completion_time() const {
+    return finish_time - submit_time;
+  }
+  [[nodiscard]] SimTime input_stage_duration() const {
+    return input_stage_finish - submit_time;
+  }
+  [[nodiscard]] double locality_percent() const {
+    return input_tasks == 0
+               ? 0.0
+               : 100.0 * local_input_tasks / static_cast<double>(input_tasks);
+  }
+  [[nodiscard]] bool perfectly_local() const {
+    return input_tasks > 0 && local_input_tasks == input_tasks;
+  }
+};
+
+class MetricsCollector {
+ public:
+  void record_task(const TaskRecord& record) { tasks_.push_back(record); }
+  void record_job(const JobRecord& record) { jobs_.push_back(record); }
+
+  [[nodiscard]] const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
+
+  // --- figure-level summaries -------------------------------------------
+  /// Fig. 7: one sample per job — % of its input tasks that were local.
+  [[nodiscard]] std::vector<double> per_job_locality_percent() const;
+  /// Fraction of all input tasks that were local, in percent.
+  [[nodiscard]] double overall_input_locality_percent() const;
+  /// Fraction of jobs with perfect input locality, in percent.
+  [[nodiscard]] double local_job_percent() const;
+  /// Fig. 8: one sample per job — completion time in seconds.
+  [[nodiscard]] std::vector<double> job_completion_times() const;
+  /// Fig. 9: one sample per job — input (map) stage duration.
+  [[nodiscard]] std::vector<double> input_stage_durations() const;
+  /// Fig. 10: one sample per *input task* — scheduler delay.
+  [[nodiscard]] std::vector<double> input_scheduler_delays() const;
+
+  /// Per-application fraction of perfectly local jobs (max-min fairness
+  /// property checks).  Indexed by AppId value; missing apps are skipped.
+  [[nodiscard]] std::vector<double> per_app_local_job_fraction(
+      std::size_t num_apps) const;
+
+  [[nodiscard]] SimTime makespan() const;
+
+ private:
+  std::vector<TaskRecord> tasks_;
+  std::vector<JobRecord> jobs_;
+};
+
+}  // namespace custody::metrics

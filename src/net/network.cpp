@@ -1,0 +1,214 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace custody::net {
+
+namespace {
+/// Bytes below which a flow is considered fully delivered (guards rounding).
+constexpr double kByteEpsilon = 1e-6;
+/// A flow whose remaining transfer time is below this is also complete:
+/// at high rates a handful of leftover rounding bytes would otherwise map
+/// to a delay smaller than the double-precision resolution of the clock,
+/// so the completion event could never advance time.
+constexpr double kTimeEpsilon = 1e-9;
+}  // namespace
+
+std::vector<double> MaxMinFairRates(
+    const std::vector<std::vector<std::size_t>>& flow_links,
+    const std::vector<double>& capacity) {
+  const std::size_t num_flows = flow_links.size();
+  const std::size_t num_links = capacity.size();
+  std::vector<double> rate(num_flows, 0.0);
+  if (num_flows == 0) return rate;
+
+  std::vector<double> rem_cap = capacity;
+  std::vector<std::size_t> unassigned_on(num_links, 0);
+  std::vector<bool> assigned(num_flows, false);
+  for (const auto& links : flow_links) {
+    for (std::size_t l : links) {
+      assert(l < num_links);
+      ++unassigned_on[l];
+    }
+  }
+
+  std::size_t remaining = num_flows;
+  while (remaining > 0) {
+    // Find the bottleneck link: smallest fair share among links that still
+    // carry unassigned flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = num_links;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (unassigned_on[l] == 0) continue;
+      const double share = rem_cap[l] / static_cast<double>(unassigned_on[l]);
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    assert(best_link < num_links);
+
+    // Freeze every unassigned flow that traverses the bottleneck.
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (assigned[f]) continue;
+      const auto& links = flow_links[f];
+      if (std::find(links.begin(), links.end(), best_link) == links.end()) {
+        continue;
+      }
+      rate[f] = best_share;
+      assigned[f] = true;
+      --remaining;
+      for (std::size_t l : links) {
+        rem_cap[l] = std::max(0.0, rem_cap[l] - best_share);
+        --unassigned_on[l];
+      }
+    }
+  }
+  return rate;
+}
+
+Network::Network(sim::Simulator& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("Network: num_nodes must be positive");
+  }
+  if (config_.uplink_bps <= 0.0 || config_.downlink_bps <= 0.0) {
+    throw std::invalid_argument("Network: link capacities must be positive");
+  }
+  last_update_ = sim_.now();
+}
+
+double Network::uncontended_transfer_time(double bytes) const {
+  double rate = std::min(config_.uplink_bps, config_.downlink_bps);
+  if (config_.core_bps > 0.0) rate = std::min(rate, config_.core_bps);
+  return bytes / rate;
+}
+
+FlowId Network::start_flow(NodeId src, NodeId dst, double bytes,
+                           CompletionFn on_complete) {
+  if (src == dst) {
+    throw std::invalid_argument("Network: flow source equals destination");
+  }
+  if (bytes <= 0.0) {
+    throw std::invalid_argument("Network: flow must carry positive bytes");
+  }
+  assert(src.value() < config_.num_nodes && dst.value() < config_.num_nodes);
+
+  advance_progress();
+  const FlowId id(next_flow_++);
+  flows_.emplace(id, Flow{src, dst, bytes, 0.0, std::move(on_complete)});
+  active_.push_back(id);
+  recompute();
+  return id;
+}
+
+void Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_progress();
+  flows_.erase(it);
+  active_.erase(std::remove(active_.begin(), active_.end(), id),
+                active_.end());
+  recompute();
+}
+
+double Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double Network::flow_remaining(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.remaining;
+}
+
+bool Network::flow_active(FlowId id) const { return flows_.count(id) > 0; }
+
+void Network::advance_progress() {
+  const SimTime now = sim_.now();
+  const double elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed <= 0.0) return;
+  for (FlowId id : active_) {
+    Flow& flow = flows_.at(id);
+    const double moved = std::min(flow.remaining, flow.rate * elapsed);
+    flow.remaining -= moved;
+    bytes_delivered_ += moved;
+  }
+}
+
+void Network::recompute() {
+  // Link layout: [0, N) uplinks, [N, 2N) downlinks, optional 2N = core.
+  const std::size_t n = config_.num_nodes;
+  const bool has_core = config_.core_bps > 0.0;
+  std::vector<double> capacity(2 * n + (has_core ? 1 : 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    capacity[i] = config_.uplink_bps;
+    capacity[n + i] = config_.downlink_bps;
+  }
+  if (has_core) capacity[2 * n] = config_.core_bps;
+
+  std::vector<std::vector<std::size_t>> flow_links;
+  flow_links.reserve(active_.size());
+  for (FlowId id : active_) {
+    const Flow& flow = flows_.at(id);
+    std::vector<std::size_t> links{flow.src.value(), n + flow.dst.value()};
+    if (has_core) links.push_back(2 * n);
+    flow_links.push_back(std::move(links));
+  }
+
+  const std::vector<double> rates = MaxMinFairRates(flow_links, capacity);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    flows_.at(active_[i]).rate = rates[i];
+  }
+  arm_completion_event();
+}
+
+void Network::arm_completion_event() {
+  completion_event_.cancel();
+  if (active_.empty()) return;
+  double soonest = std::numeric_limits<double>::infinity();
+  for (FlowId id : active_) {
+    const Flow& flow = flows_.at(id);
+    if (flow.rate <= 0.0) continue;
+    soonest = std::min(soonest, flow.remaining / flow.rate);
+  }
+  if (!std::isfinite(soonest)) return;
+  completion_event_ =
+      sim_.schedule(std::max(0.0, soonest), [this] { on_completion_event(); });
+}
+
+void Network::on_completion_event() {
+  advance_progress();
+
+  // Collect finished flows first, then mutate state, then run callbacks:
+  // callbacks routinely start new flows re-entrantly.
+  std::vector<CompletionFn> callbacks;
+  std::vector<FlowId> still_active;
+  still_active.reserve(active_.size());
+  for (FlowId id : active_) {
+    Flow& flow = flows_.at(id);
+    const bool done = flow.remaining <= kByteEpsilon ||
+                      (flow.rate > 0.0 &&
+                       flow.remaining <= flow.rate * kTimeEpsilon);
+    if (done) {
+      callbacks.push_back(std::move(flow.on_complete));
+      flows_.erase(id);
+    } else {
+      still_active.push_back(id);
+    }
+  }
+  active_ = std::move(still_active);
+  recompute();
+
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+}
+
+}  // namespace custody::net

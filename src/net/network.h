@@ -1,0 +1,103 @@
+// Fluid network model with max-min fair bandwidth sharing.
+//
+// Every remote block read and shuffle fetch is a *flow* from a source node's
+// uplink to a destination node's downlink.  Whenever the set of active flows
+// changes, rates are recomputed with progressive filling (water-filling),
+// which yields the classic max-min fair allocation over link capacities.  A
+// single pending completion event tracks the next flow to finish; it is
+// re-derived after every rate change.
+//
+// The default capacities mirror the paper's Linode nodes (Sec. VI-A):
+// 40 Gbps downlink and 2 Gbps uplink per node.  An optional aggregate core
+// capacity models an oversubscribed fabric for ablation experiments.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace custody::net {
+
+struct NetworkConfig {
+  std::size_t num_nodes = 0;
+  double uplink_bps = units::Gbps(2.0);
+  double downlink_bps = units::Gbps(40.0);
+  /// Aggregate fabric capacity shared by all flows; 0 disables the bottleneck.
+  double core_bps = 0.0;
+};
+
+class Network {
+ public:
+  using CompletionFn = std::function<void()>;
+
+  Network(sim::Simulator& sim, NetworkConfig config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Begin transferring `bytes` from `src` to `dst`; `on_complete` fires in a
+  /// simulator event when the last byte arrives.  src must differ from dst.
+  FlowId start_flow(NodeId src, NodeId dst, double bytes,
+                    CompletionFn on_complete);
+
+  /// Abort an in-flight flow; its completion callback never fires.
+  void cancel_flow(FlowId id);
+
+  /// Current max-min fair rate of a live flow, bytes/second.
+  [[nodiscard]] double flow_rate(FlowId id) const;
+
+  /// Bytes still to transfer for a live flow (as of the last rate change).
+  [[nodiscard]] double flow_remaining(FlowId id) const;
+
+  [[nodiscard]] bool flow_active(FlowId id) const;
+  [[nodiscard]] std::size_t active_flow_count() const { return active_.size(); }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Total bytes delivered since construction (for reporting).
+  [[nodiscard]] double bytes_delivered() const { return bytes_delivered_; }
+
+  /// Lower bound on the time to ship `bytes` between two idle nodes.
+  [[nodiscard]] double uncontended_transfer_time(double bytes) const;
+
+ private:
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double remaining = 0.0;
+    double rate = 0.0;
+    CompletionFn on_complete;
+  };
+
+  /// Account progress of all active flows since `last_update_`.
+  void advance_progress();
+  /// Recompute max-min rates and re-arm the next completion event.
+  void recompute();
+  void arm_completion_event();
+  void on_completion_event();
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<FlowId> active_;  // insertion order; kept deterministic
+  SimTime last_update_ = 0.0;
+  sim::EventHandle completion_event_;
+  FlowId::value_type next_flow_ = 0;
+  double bytes_delivered_ = 0.0;
+};
+
+/// Pure function: max-min fair rates via progressive filling.
+///
+/// `flow_links[i]` lists the link indices flow i traverses; `capacity[l]` is
+/// the capacity of link l.  Returns one rate per flow.  Exposed separately so
+/// the fairness property can be unit-tested without a simulator.
+std::vector<double> MaxMinFairRates(
+    const std::vector<std::vector<std::size_t>>& flow_links,
+    const std::vector<double>& capacity);
+
+}  // namespace custody::net

@@ -1,0 +1,41 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace custody::sim {
+
+EventHandle EventQueue::push(SimTime at, EventFn fn) {
+  auto state = std::make_shared<EventState>();
+  heap_.push(Entry{at, next_seq_++, state, std::move(fn)});
+  return EventHandle(state);
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast is unsafe with
+  // some implementations, so copy the function object instead.
+  Entry top = heap_.top();
+  heap_.pop();
+  return Popped{top.time, std::move(top.fn)};
+}
+
+}  // namespace custody::sim

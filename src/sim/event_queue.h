@@ -1,0 +1,89 @@
+// The event queue at the heart of the discrete-event simulator.
+//
+// Events are (time, sequence, callback) triples ordered by time with FIFO
+// tie-breaking, so same-timestamp events fire in scheduling order — this
+// keeps runs bit-reproducible.  Cancellation is O(1): the handle flips a
+// shared flag and the queue drops the event lazily when it is popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace custody::sim {
+
+using EventFn = std::function<void()>;
+
+/// Shared cancellation state for a scheduled event.
+struct EventState {
+  bool cancelled = false;
+};
+
+/// A handle to a scheduled event; copyable, cheap, may outlive the event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::shared_ptr<EventState> state)
+      : state_(std::move(state)) {}
+
+  /// Cancel the event if it has not fired yet.  Safe to call repeatedly.
+  void cancel() {
+    if (state_) state_->cancelled = true;
+  }
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool cancelled() const {
+    return state_ && state_->cancelled;
+  }
+
+ private:
+  std::shared_ptr<EventState> state_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`.
+  EventHandle push(SimTime at, EventFn fn);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty();
+
+  /// Time of the earliest live event; requires !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Pop and return the earliest live event.
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  [[nodiscard]] Popped pop();
+
+  [[nodiscard]] std::size_t size_including_cancelled() const {
+    return heap_.size();
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::shared_ptr<EventState> state;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace custody::sim

@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <cstdio>
+
+namespace custody::sim {
+
+EventHandle Simulator::schedule(SimTime delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
+  if (at < now_) throw std::invalid_argument("Simulator: time in the past");
+  return queue_.push(at, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, fn] = queue_.pop();
+  assert(time >= now_);
+  now_ = time;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+#ifdef CUSTODY_SIM_TRACE
+    if (events_processed_ % 100000 == 0) {
+      std::fprintf(stderr, "[sim] events=%llu now=%f\n",
+                   static_cast<unsigned long long>(events_processed_), now_);
+    }
+#endif
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace custody::sim

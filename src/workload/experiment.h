@@ -1,0 +1,117 @@
+// The experiment runner: wires simulator, network, DFS, cluster, manager
+// and applications together, replays a submission trace, and returns the
+// summaries the paper's figures report.
+//
+// Determinism contract: for a fixed seed, the DFS layout, dataset catalog
+// and submission schedule are identical across manager kinds, so a
+// Custody-vs-standalone comparison differs only in allocation decisions —
+// the paper's "common job submission schedule" methodology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/application.h"
+#include "cluster/manager.h"
+#include "core/allocator.h"
+#include "common/stats.h"
+#include "metrics/metrics.h"
+#include "workload/trace.h"
+#include "workload/workloads.h"
+
+namespace custody::workload {
+
+enum class ManagerKind { kStandalone, kCustody, kOffer, kPool };
+
+[[nodiscard]] const char* ManagerName(ManagerKind kind);
+
+struct ExperimentConfig {
+  // Cluster (paper Sec. VI-A1).
+  std::size_t num_nodes = 100;
+  int executors_per_node = 2;
+  double disk_mbps = 400.0;
+  double uplink_gbps = 2.0;
+  double downlink_gbps = 40.0;
+  double core_gbps = 0.0;  ///< 0 = non-blocking fabric
+
+  // DFS.
+  double block_mb = 128.0;
+  int replication = 3;
+  DatasetConfig dataset;
+  /// Per-node in-memory block cache (0 disables).  Remote reads populate
+  /// it; cached copies count as data-local afterwards (Sec. III-A's
+  /// "stores or caches" executor model).
+  double cache_mb_per_node = 0.0;
+
+  // Scheduling.
+  ManagerKind manager = ManagerKind::kCustody;
+  /// Custody ablation switches (ignored by the other managers).
+  core::AllocatorOptions allocator;
+  app::SchedulerConfig scheduler;  // delay scheduling, 3 s wait
+  int shuffle_fan_in = 3;
+  /// Speculative execution of slow input tasks (straggler mitigation).
+  bool speculation = false;
+  double speculation_multiplier = 1.5;
+
+  /// Heterogeneity: this fraction of nodes computes `slow_node_factor`
+  /// times slower than nominal (the classic straggler source).
+  double slow_node_fraction = 0.0;
+  double slow_node_factor = 4.0;
+
+  // Failure injection: crash this many random nodes, the first at
+  // `failure_start`, then every `failure_interval` seconds.
+  int node_failures = 0;
+  double failure_start = 20.0;
+  double failure_interval = 20.0;
+
+  // Workload.
+  std::vector<WorkloadKind> kinds{WorkloadKind::kWordCount};
+  TraceConfig trace;
+  WorkloadParams params;
+
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  std::string manager_name;
+  /// Fig. 7: per-job % of local input tasks (mean/stddev are the bars).
+  Summary job_locality;
+  double overall_task_locality_percent = 0.0;
+  double local_job_percent = 0.0;
+  /// Fig. 8: job completion times.
+  Summary jct;
+  /// Fig. 9: input (map) stage durations.
+  Summary input_stage;
+  /// Fig. 10: scheduler delay of input tasks.
+  Summary sched_delay;
+  /// Max-min fairness check: per-app fraction of perfectly local jobs.
+  std::vector<double> per_app_local_job_fraction;
+  cluster::ManagerStats manager_stats;
+  /// Cache effectiveness when a block cache is configured.
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_hits = 0;
+  int speculative_launches = 0;
+  int speculative_wins = 0;
+  int nodes_failed = 0;
+  /// Aggregated launch diagnostics: local / covered-but-busy / uncovered.
+  int launches_local = 0;
+  int launches_covered_busy = 0;
+  int launches_uncovered = 0;
+  SimTime makespan = 0.0;
+  std::uint64_t events_processed = 0;
+  int jobs_completed = 0;
+};
+
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Convenience: same config run under two managers, for gain rows.
+struct Comparison {
+  ExperimentResult baseline;
+  ExperimentResult custody;
+};
+Comparison CompareManagers(ExperimentConfig config,
+                           ManagerKind baseline = ManagerKind::kStandalone);
+
+}  // namespace custody::workload

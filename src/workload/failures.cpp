@@ -1,0 +1,46 @@
+#include "workload/failures.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.h"
+
+namespace custody::workload {
+
+void InjectNodeFailure(cluster::Cluster& cluster, dfs::Dfs& dfs,
+                       dfs::BlockCache* cache,
+                       const std::vector<cluster::AppHandle*>& apps,
+                       cluster::ClusterManager& manager, NodeId node) {
+  if (!cluster.node_alive(node)) return;
+  if (cluster.alive_nodes().size() <= 1) {
+    throw std::logic_error("InjectNodeFailure: refusing to kill last node");
+  }
+  LOG_INFO << "failure: node " << node << " crashed";
+
+  // Snapshot which application owned which doomed executor before the
+  // cluster ledger forgets.
+  std::vector<std::pair<cluster::AppHandle*, ExecutorId>> lost;
+  for (const cluster::Executor& exec : cluster.executors()) {
+    if (exec.node != node || !exec.allocated()) continue;
+    for (cluster::AppHandle* app : apps) {
+      if (app->id() == exec.owner) {
+        lost.emplace_back(app, exec.id);
+        break;
+      }
+    }
+  }
+
+  // 1. The machine is gone: executors unallocatable from this instant.
+  cluster.fail_node(node);
+  // 2. Its disk is gone: re-replicate every block it held.
+  dfs.fail_node(node, cluster.alive_nodes());
+  // 3. Its memory is gone: cached copies vanish.
+  if (cache != nullptr) cache->fail_node(node);
+  // 4. Applications abort the attempts that were running there (they
+  //    re-ready the tasks and poke the manager for replacements).
+  for (auto& [app, exec] : lost) app->on_executor_lost(exec);
+  // 5. Give every application a chance at the re-shuffled landscape.
+  for (cluster::AppHandle* app : apps) manager.on_demand_changed(*app);
+}
+
+}  // namespace custody::workload

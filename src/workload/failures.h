@@ -1,0 +1,29 @@
+// Failure injection: coordinated worker-node crashes.
+//
+// A node failure touches every layer at once — the cluster loses the
+// node's executors, the DFS loses its replicas (and re-replicates), the
+// block cache loses its cached copies, applications lose running task
+// attempts (which are reset and re-executed), and the manager re-allocates
+// replacements.  InjectNodeFailure performs those steps in the correct
+// order; the experiment runner schedules it from ExperimentConfig's
+// failure knobs, and chaos tests drive it directly.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/manager.h"
+#include "common/types.h"
+#include "dfs/cache.h"
+#include "dfs/dfs.h"
+
+namespace custody::workload {
+
+/// Crash `node`.  `cache` may be null.  Safe to call for an already-dead
+/// node (no-op).  Refuses to kill the last alive node.
+void InjectNodeFailure(cluster::Cluster& cluster, dfs::Dfs& dfs,
+                       dfs::BlockCache* cache,
+                       const std::vector<cluster::AppHandle*>& apps,
+                       cluster::ClusterManager& manager, NodeId node);
+
+}  // namespace custody::workload

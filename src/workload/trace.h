@@ -1,0 +1,59 @@
+// Job-submission traces.
+//
+// The paper generates "a common job submission schedule shared by all the
+// experiments" with roughly exponential inter-arrival times (mean 4 s, after
+// the Facebook trace) and submits an independent schedule of 30 jobs to each
+// of 4 registered applications.  The trace is materialized up front — file
+// choices included — so the compared cluster managers see byte-identical
+// workloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/workloads.h"
+
+namespace custody::workload {
+
+struct Submission {
+  SimTime time = 0.0;
+  int app_index = 0;
+  WorkloadKind kind = WorkloadKind::kWordCount;
+  /// Index into the kind's dataset catalog.
+  std::size_t file_index = 0;
+};
+
+struct TraceConfig {
+  int num_apps = 4;
+  int jobs_per_app = 30;
+  /// Mean inter-arrival *per application*.  The paper quotes a mean of 4 s
+  /// for the common schedule (Facebook trace); with four applications
+  /// submitting independently that corresponds to ~16 s per application —
+  /// the calibration that keeps scheduler delays in the sub-second range
+  /// the paper reports (Fig. 10).
+  double mean_interarrival = 16.0;
+  double zipf_skew = 0.8;
+  int files_per_kind = 16;
+};
+
+/// Generate the submission schedule for a single-workload experiment.
+std::vector<Submission> GenerateTrace(WorkloadKind kind,
+                                      const TraceConfig& config, Rng& rng);
+
+/// Generate a mixed-workload schedule: each submission samples its kind
+/// uniformly from `kinds`.
+std::vector<Submission> GenerateMixedTrace(
+    const std::vector<WorkloadKind>& kinds, const TraceConfig& config,
+    Rng& rng);
+
+/// Persist a schedule as CSV (time,app,kind,file) so a workload can be
+/// archived, edited by hand, and replayed bit-identically.
+void SaveTrace(const std::vector<Submission>& trace, const std::string& path);
+
+/// Load a schedule written by SaveTrace (or by hand).  Throws on malformed
+/// rows or unknown workload names; the result is sorted by time.
+std::vector<Submission> LoadTrace(const std::string& path);
+
+}  // namespace custody::workload

@@ -1,0 +1,110 @@
+#include "workload/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace custody::workload {
+
+const char* WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kPageRank:
+      return "PageRank";
+    case WorkloadKind::kWordCount:
+      return "WordCount";
+    case WorkloadKind::kSort:
+      return "Sort";
+  }
+  return "unknown";
+}
+
+Dataset BuildDataset(dfs::Dfs& dfs, WorkloadKind kind,
+                     const DatasetConfig& config, Rng& rng) {
+  if (config.files_per_kind <= 0) {
+    throw std::invalid_argument("BuildDataset: files_per_kind must be > 0");
+  }
+  Dataset dataset;
+  dataset.kind = kind;
+  for (int i = 0; i < config.files_per_kind; ++i) {
+    double bytes = 0.0;
+    switch (kind) {
+      case WorkloadKind::kPageRank:
+        bytes = units::GB(1.0);
+        break;
+      case WorkloadKind::kWordCount:
+        bytes = units::GB(rng.uniform(4.0, 8.0));
+        break;
+      case WorkloadKind::kSort:
+        bytes = units::GB(rng.uniform(1.0, 8.0));
+        break;
+    }
+    const std::string path = std::string("/data/") + WorkloadName(kind) +
+                             "/part-" + std::to_string(i);
+    const FileId file = dfs.write_file(path, bytes);
+    // File index i is sampled with Zipf pmf(i): the lowest indices are the
+    // hottest, so they get the Scarlett-style replica boost.
+    if (config.popularity_replication &&
+        i < static_cast<int>(std::ceil(config.hot_fraction *
+                                       config.files_per_kind))) {
+      dfs.boost_replication(file, config.popularity_extra_replicas);
+    }
+    dataset.files.push_back(file);
+  }
+  return dataset;
+}
+
+app::JobSpec MakeJobSpec(WorkloadKind kind, FileId file, const dfs::Dfs& dfs,
+                         const WorkloadParams& params) {
+  const dfs::FileInfo& info = dfs.namenode().file(file);
+  const int num_blocks = static_cast<int>(info.blocks.size());
+  assert(num_blocks > 0);
+
+  app::JobSpec spec;
+  spec.input_file = file;
+  spec.name = std::string(WorkloadName(kind)) + "(" + info.path + ")";
+
+  switch (kind) {
+    case WorkloadKind::kPageRank: {
+      spec.input_compute_secs_per_byte = params.pagerank_compute_per_byte;
+      // Each iteration is a bulk-synchronous stage over the whole graph.
+      for (int it = 0; it < params.pagerank_iterations; ++it) {
+        app::ShuffleStageSpec stage;
+        stage.num_tasks = num_blocks;
+        stage.shuffle_bytes = params.pagerank_shuffle_ratio * info.bytes;
+        stage.compute_secs_per_task =
+            params.pagerank_iter_compute_per_byte * info.bytes / num_blocks;
+        spec.downstream.push_back(stage);
+      }
+      break;
+    }
+    case WorkloadKind::kWordCount: {
+      spec.input_compute_secs_per_byte = params.wordcount_compute_per_byte;
+      app::ShuffleStageSpec reduce;
+      reduce.num_tasks = std::max(1, num_blocks / 8);
+      reduce.shuffle_bytes = params.wordcount_shuffle_ratio * info.bytes;
+      reduce.compute_secs_per_task = params.wordcount_reduce_secs;
+      spec.downstream.push_back(reduce);
+      break;
+    }
+    case WorkloadKind::kSort: {
+      spec.input_compute_secs_per_byte = params.sort_compute_per_byte;
+      app::ShuffleStageSpec reduce;
+      reduce.num_tasks = std::max(1, num_blocks / 2);
+      reduce.shuffle_bytes = params.sort_shuffle_ratio * info.bytes;
+      reduce.compute_secs_per_task = params.sort_reduce_compute_per_byte *
+                                     info.bytes / reduce.num_tasks;
+      spec.downstream.push_back(reduce);
+      break;
+    }
+  }
+  return spec;
+}
+
+FileId SampleFile(const Dataset& dataset, const ZipfDistribution& zipf,
+                  Rng& rng) {
+  assert(zipf.size() == dataset.files.size());
+  return dataset.files[zipf(rng)];
+}
+
+}  // namespace custody::workload

@@ -1,0 +1,443 @@
+// Tests for the Custody allocation algorithms (Algorithms 1 and 2),
+// including the paper's motivating scenarios of Figs. 1, 3 and 4 and
+// property checks of the capacity constraints (2)-(4).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "core/allocator.h"
+
+namespace custody::core {
+namespace {
+
+/// Simple block->nodes oracle backed by a map.
+class Locations {
+ public:
+  void set(BlockId block, std::vector<NodeId> nodes) {
+    map_[block] = std::move(nodes);
+  }
+  BlockLocationsFn fn() const {
+    return [this](BlockId b) -> const std::vector<NodeId>& {
+      static const std::vector<NodeId> kEmpty;
+      auto it = map_.find(b);
+      return it == map_.end() ? kEmpty : it->second;
+    };
+  }
+
+ private:
+  std::map<BlockId, std::vector<NodeId>> map_;
+};
+
+std::map<ExecutorId, AppId> ByExecutor(const AllocationResult& result) {
+  std::map<ExecutorId, AppId> out;
+  for (const Assignment& a : result.assignments) {
+    EXPECT_EQ(out.count(a.exec), 0u) << "executor assigned twice";
+    out[a.exec] = a.app;
+  }
+  return out;
+}
+
+// ---------- inter-app ordering ----------------------------------------------
+
+TEST(MinLocality, OrdersByJobFractionThenTaskFraction) {
+  AppAllocState a;
+  a.app = AppId(0);
+  a.projected = {1, 2, 5, 10};  // 50% jobs
+  AppAllocState b;
+  b.app = AppId(1);
+  b.projected = {1, 4, 5, 10};  // 25% jobs
+  EXPECT_TRUE(MinLocalityLess(b, a));
+  EXPECT_FALSE(MinLocalityLess(a, b));
+
+  b.projected = {1, 2, 4, 10};  // same jobs %, fewer local tasks
+  EXPECT_TRUE(MinLocalityLess(b, a));
+}
+
+TEST(MinLocality, TieBrokenByAppId) {
+  AppAllocState a;
+  a.app = AppId(3);
+  AppAllocState b;
+  b.app = AppId(1);
+  EXPECT_TRUE(MinLocalityLess(b, a));
+}
+
+TEST(MinLocality, PickSkipsAppsAtBudget) {
+  AppAllocState a;
+  a.app = AppId(0);
+  a.budget = 1;
+  a.held = 1;  // full
+  AppAllocState b;
+  b.app = AppId(1);
+  b.budget = 2;
+  b.held = 0;
+  b.projected = {5, 10, 5, 10};  // worse locality than a, but a is full
+  const auto pick = PickMinLocality({a, b});
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(MinLocality, PickReturnsNulloptWhenAllFull) {
+  AppAllocState a;
+  a.budget = 0;
+  EXPECT_FALSE(PickMinLocality({a}).has_value());
+}
+
+TEST(MinLocality, MakeAllocStateProjectsPendingJobs) {
+  AppDemand demand;
+  demand.app = AppId(2);
+  demand.budget = 4;
+  demand.held = 1;
+  demand.locality = {1, 2, 8, 16};
+  JobDemand job;
+  job.job = 9;
+  job.total_tasks = 4;
+  job.unsatisfied = {{100, BlockId(0)}, {101, BlockId(1)}};
+  demand.jobs.push_back(job);
+
+  const auto state = MakeAllocState(demand, 0);
+  EXPECT_EQ(state.projected.total_jobs, 3);
+  EXPECT_EQ(state.projected.total_tasks, 20);
+  // 2 of the pending job's 4 tasks are already covered by held executors.
+  EXPECT_EQ(state.projected.local_tasks, 10);
+  EXPECT_EQ(state.projected.local_jobs, 1);  // pending job not yet local
+}
+
+// ---------- job priority ----------------------------------------------------
+
+TEST(JobPriority, FewestUnsatisfiedFirst) {
+  JobDemand small;
+  small.job = 2;
+  small.unsatisfied = {{1, BlockId(0)}};
+  JobDemand big;
+  big.job = 1;
+  big.unsatisfied = {{2, BlockId(0)}, {3, BlockId(1)}};
+  EXPECT_TRUE(JobPriorityLess(small, big));
+  EXPECT_FALSE(JobPriorityLess(big, small));
+}
+
+TEST(JobPriority, TieBrokenByJobUid) {
+  JobDemand a;
+  a.job = 5;
+  JobDemand b;
+  b.job = 3;
+  EXPECT_TRUE(JobPriorityLess(b, a));
+}
+
+// ---------- idle pool -------------------------------------------------------
+
+TEST(IdlePool, ClaimOnMatchesNode) {
+  IdleExecutorPool pool({{ExecutorId(3), NodeId(1)}, {ExecutorId(1), NodeId(2)}});
+  EXPECT_TRUE(pool.has_on({NodeId(2)}));
+  const ExecutorId claimed = pool.claim_on({NodeId(2)});
+  EXPECT_EQ(claimed, ExecutorId(1));
+  EXPECT_FALSE(pool.has_on({NodeId(2)}));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_FALSE(pool.claim_on({NodeId(2)}).valid());
+}
+
+TEST(IdlePool, ClaimAnyDrainsPool) {
+  IdleExecutorPool pool({{ExecutorId(0), NodeId(0)}, {ExecutorId(1), NodeId(1)}});
+  std::set<ExecutorId> seen;
+  seen.insert(pool.claim_any());
+  seen.insert(pool.claim_any());
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_FALSE(pool.claim_any().valid());
+}
+
+// ---------- the paper's motivating scenarios --------------------------------
+
+// Fig. 1: four single-executor nodes, two apps each with one 2-task job.
+// A data-aware allocation achieves 100% locality for both applications.
+TEST(CustodyAllocator, Fig1PerfectLocalityForBothApps) {
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(0)});  // D1 on W1
+  loc.set(BlockId(2), {NodeId(1)});  // D2 on W2
+  loc.set(BlockId(3), {NodeId(2)});  // D3 on W3
+  loc.set(BlockId(4), {NodeId(3)});  // D4 on W4
+
+  std::vector<AppDemand> demands(2);
+  demands[0].app = AppId(0);
+  demands[0].budget = 2;
+  demands[0].jobs.push_back(
+      {0, 2, {{11, BlockId(1)}, {12, BlockId(2)}}});
+  demands[1].app = AppId(1);
+  demands[1].budget = 2;
+  demands[1].jobs.push_back(
+      {1, 2, {{21, BlockId(3)}, {22, BlockId(4)}}});
+
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)},
+                                       {ExecutorId(1), NodeId(1)},
+                                       {ExecutorId(2), NodeId(2)},
+                                       {ExecutorId(3), NodeId(3)}};
+
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  const auto owner = ByExecutor(result);
+  EXPECT_EQ(owner.at(ExecutorId(0)), AppId(0));  // E1 -> A1
+  EXPECT_EQ(owner.at(ExecutorId(1)), AppId(0));  // E2 -> A1
+  EXPECT_EQ(owner.at(ExecutorId(2)), AppId(1));  // E3 -> A2
+  EXPECT_EQ(owner.at(ExecutorId(3)), AppId(1));  // E4 -> A2
+  EXPECT_EQ(result.tasks_satisfied[0], 2);
+  EXPECT_EQ(result.tasks_satisfied[1], 2);
+  EXPECT_EQ(result.jobs_satisfied[0], 1);
+  EXPECT_EQ(result.jobs_satisfied[1], 1);
+}
+
+// Fig. 3: two apps, each with two one-task jobs; both apps want W1 and W2
+// (the "hot" nodes for their first jobs).  Locality-aware fairness gives
+// each application exactly one local job instead of a 2/0 split.
+TEST(CustodyAllocator, Fig3LocalityFairSplit) {
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(0)});
+  loc.set(BlockId(2), {NodeId(1)});
+
+  std::vector<AppDemand> demands(2);
+  for (int a = 0; a < 2; ++a) {
+    demands[a].app = AppId(static_cast<AppId::value_type>(a));
+    demands[a].budget = 2;
+    // Job 1 wants D1 (on W1), job 2 wants D2 (on W2) — for both apps.
+    demands[a].jobs.push_back(
+        {static_cast<JobUid>(2 * a), 1,
+         {{static_cast<TaskUid>(10 * a), BlockId(1)}}});
+    demands[a].jobs.push_back(
+        {static_cast<JobUid>(2 * a + 1), 1,
+         {{static_cast<TaskUid>(10 * a + 1), BlockId(2)}}});
+  }
+
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)},
+                                       {ExecutorId(1), NodeId(1)},
+                                       {ExecutorId(2), NodeId(2)},
+                                       {ExecutorId(3), NodeId(3)}};
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  // Max-min fairness on local jobs: one hot executor each.
+  EXPECT_EQ(result.jobs_satisfied[0], 1);
+  EXPECT_EQ(result.jobs_satisfied[1], 1);
+  const auto owner = ByExecutor(result);
+  EXPECT_NE(owner.at(ExecutorId(0)), owner.at(ExecutorId(1)));
+}
+
+// Fig. 4: one app, two jobs x two tasks, budget two executors.  The
+// priority strategy satisfies BOTH tasks of one job rather than one task
+// of each.
+TEST(CustodyAllocator, Fig4PriorityOverJobFairness) {
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(0)});
+  loc.set(BlockId(2), {NodeId(1)});
+  loc.set(BlockId(3), {NodeId(2)});
+  loc.set(BlockId(4), {NodeId(3)});
+
+  std::vector<AppDemand> demands(1);
+  demands[0].app = AppId(5);
+  demands[0].budget = 2;
+  demands[0].jobs.push_back(
+      {1, 2, {{51, BlockId(1)}, {52, BlockId(2)}}});
+  demands[0].jobs.push_back(
+      {2, 2, {{53, BlockId(3)}, {54, BlockId(4)}}});
+
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)},
+                                       {ExecutorId(1), NodeId(1)},
+                                       {ExecutorId(2), NodeId(2)},
+                                       {ExecutorId(3), NodeId(3)}};
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  ASSERT_EQ(result.assignments.size(), 2u);
+  // One whole job becomes local; the other gets nothing (not one each).
+  EXPECT_EQ(result.jobs_satisfied[0], 1);
+  EXPECT_EQ(result.tasks_satisfied[0], 2);
+  const auto owner = ByExecutor(result);
+  const bool job1 =
+      owner.count(ExecutorId(0)) == 1 && owner.count(ExecutorId(1)) == 1;
+  const bool job2 =
+      owner.count(ExecutorId(2)) == 1 && owner.count(ExecutorId(3)) == 1;
+  EXPECT_TRUE(job1 || job2);
+  EXPECT_FALSE(job1 && job2);
+}
+
+// ---------- behavioural details ---------------------------------------------
+
+TEST(CustodyAllocator, SmallJobHasPriorityWithinApp) {
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(0)});
+  loc.set(BlockId(2), {NodeId(0)});  // same node: contended
+
+  std::vector<AppDemand> demands(1);
+  demands[0].app = AppId(0);
+  demands[0].budget = 1;
+  JobDemand big;
+  big.job = 1;
+  big.total_tasks = 3;
+  big.unsatisfied = {{1, BlockId(1)}, {2, BlockId(1)}, {3, BlockId(1)}};
+  JobDemand small;
+  small.job = 2;
+  small.total_tasks = 1;
+  small.unsatisfied = {{4, BlockId(2)}};
+  demands[0].jobs = {big, small};
+
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)}};
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  ASSERT_EQ(result.assignments.size(), 1u);
+  EXPECT_EQ(result.assignments[0].hint_task, 4u);  // the small job's task
+  EXPECT_EQ(result.jobs_satisfied[0], 1);
+}
+
+TEST(CustodyAllocator, BackfillsUpToBudgetWithoutLocality) {
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(9)});  // data on a node with no executor
+
+  std::vector<AppDemand> demands(1);
+  demands[0].app = AppId(0);
+  demands[0].budget = 2;
+  demands[0].jobs.push_back({0, 1, {{1, BlockId(1)}}});
+
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)},
+                                       {ExecutorId(1), NodeId(1)},
+                                       {ExecutorId(2), NodeId(2)}};
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  EXPECT_EQ(result.assignments.size(), 2u);  // budget, not pool size
+  EXPECT_EQ(result.tasks_satisfied[0], 0);
+  for (const Assignment& a : result.assignments) {
+    EXPECT_EQ(a.hint_task, kNoTask);
+  }
+}
+
+TEST(CustodyAllocator, RespectsHeldCount) {
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(0)});
+  std::vector<AppDemand> demands(1);
+  demands[0].app = AppId(0);
+  demands[0].budget = 3;
+  demands[0].held = 3;  // already at budget
+  demands[0].jobs.push_back({0, 1, {{1, BlockId(1)}}});
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)}};
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(CustodyAllocator, LeastLocalizedAppPicksFirst) {
+  // One hot executor; the app with lower historical locality must get it.
+  Locations loc;
+  loc.set(BlockId(1), {NodeId(0)});
+
+  std::vector<AppDemand> demands(2);
+  demands[0].app = AppId(0);
+  demands[0].budget = 1;
+  demands[0].locality = {9, 10, 90, 100};  // 90% local jobs
+  demands[0].jobs.push_back({0, 1, {{1, BlockId(1)}}});
+  demands[1].app = AppId(1);
+  demands[1].budget = 1;
+  demands[1].locality = {1, 10, 10, 100};  // 10% local jobs
+  demands[1].jobs.push_back({1, 1, {{2, BlockId(1)}}});
+
+  const std::vector<ExecutorInfo> idle{{ExecutorId(0), NodeId(0)}};
+  const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+  ASSERT_EQ(result.assignments.size(), 1u);
+  EXPECT_EQ(result.assignments[0].app, AppId(1));
+}
+
+TEST(CustodyAllocator, EmptyInputsAreSafe) {
+  Locations loc;
+  EXPECT_TRUE(
+      CustodyAllocator::Allocate({}, {}, loc.fn()).assignments.empty());
+  std::vector<AppDemand> demands(1);
+  demands[0].app = AppId(0);
+  demands[0].budget = 5;
+  EXPECT_TRUE(
+      CustodyAllocator::Allocate(demands, {}, loc.fn()).assignments.empty());
+}
+
+// Property: constraints (2)-(4) hold on random instances — every executor
+// to at most one app, budgets respected, assignments deterministic.
+TEST(CustodyAllocator, PropertyCapacityConstraintsAndDeterminism) {
+  Rng rng(47);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int num_nodes = rng.uniform_int(2, 8);
+    const int num_execs = rng.uniform_int(1, 12);
+    const int num_blocks = rng.uniform_int(1, 10);
+    Locations loc;
+    for (int b = 0; b < num_blocks; ++b) {
+      std::vector<NodeId> nodes;
+      const int replicas = rng.uniform_int(1, std::min(3, num_nodes));
+      while (static_cast<int>(nodes.size()) < replicas) {
+        const NodeId n(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+        if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+          nodes.push_back(n);
+        }
+      }
+      loc.set(BlockId(static_cast<BlockId::value_type>(b)), nodes);
+    }
+    std::vector<ExecutorInfo> idle;
+    for (int e = 0; e < num_execs; ++e) {
+      idle.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                      NodeId(static_cast<NodeId::value_type>(
+                          rng.index(num_nodes)))});
+    }
+    std::vector<AppDemand> demands(rng.uniform_int(1, 3));
+    TaskUid next_task = 0;
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      demands[a].app = AppId(static_cast<AppId::value_type>(a));
+      demands[a].budget = rng.uniform_int(0, num_execs);
+      const int jobs = rng.uniform_int(0, 3);
+      for (int j = 0; j < jobs; ++j) {
+        JobDemand job;
+        job.job = next_task * 100 + static_cast<JobUid>(j);
+        const int tasks = rng.uniform_int(1, 4);
+        job.total_tasks = tasks;
+        for (int t = 0; t < tasks; ++t) {
+          job.unsatisfied.push_back(
+              {next_task++, BlockId(static_cast<BlockId::value_type>(
+                                rng.index(num_blocks)))});
+        }
+        demands[a].jobs.push_back(job);
+      }
+    }
+
+    const auto result = CustodyAllocator::Allocate(demands, idle, loc.fn());
+    const auto again = CustodyAllocator::Allocate(demands, idle, loc.fn());
+
+    // Determinism.
+    ASSERT_EQ(result.assignments.size(), again.assignments.size());
+    for (std::size_t i = 0; i < result.assignments.size(); ++i) {
+      EXPECT_EQ(result.assignments[i].exec, again.assignments[i].exec);
+      EXPECT_EQ(result.assignments[i].app, again.assignments[i].app);
+    }
+
+    // Constraint (2): executor to at most one app.
+    const auto owner = ByExecutor(result);
+
+    // Budgets respected.
+    std::map<AppId, int> granted;
+    for (const auto& [exec, app] : owner) ++granted[app];
+    for (const auto& demand : demands) {
+      EXPECT_LE(granted[demand.app] + demand.held, std::max(demand.budget,
+                demand.held));
+    }
+
+    // Hints reference this app's own tasks and a local executor.
+    std::map<ExecutorId, NodeId> exec_node;
+    for (const auto& e : idle) exec_node[e.id] = e.node;
+    for (const Assignment& a : result.assignments) {
+      if (a.hint_task == kNoTask) continue;
+      bool found = false;
+      for (const auto& demand : demands) {
+        if (demand.app != a.app) continue;
+        for (const auto& job : demand.jobs) {
+          for (const auto& task : job.unsatisfied) {
+            if (task.task == a.hint_task) {
+              found = true;
+              const auto& nodes = loc.fn()(task.block);
+              EXPECT_NE(std::find(nodes.begin(), nodes.end(),
+                                  exec_node[a.exec]),
+                        nodes.end())
+                  << "hinted executor does not store the task's block";
+            }
+          }
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace custody::core

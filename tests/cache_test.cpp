@@ -1,0 +1,171 @@
+// Tests for the executor-side block cache: LRU semantics, merged location
+// maps, and the end-to-end locality boost it provides.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "dfs/cache.h"
+#include "workload/experiment.h"
+
+namespace custody::dfs {
+namespace {
+
+using custody::units::MB;
+
+struct CacheFixture {
+  CacheFixture()
+      : dfs(MakeConfig(), Rng(1), std::make_unique<RoundRobinPlacement>()) {}
+
+  static DfsConfig MakeConfig() {
+    DfsConfig c;
+    c.num_nodes = 8;
+    c.block_bytes = MB(128.0);
+    c.default_replication = 1;
+    return c;
+  }
+
+  BlockId block(int i) {
+    while (static_cast<int>(blocks.size()) <= i) {
+      const FileId f = dfs.write_file("/f" + std::to_string(blocks.size()),
+                                      MB(128.0));
+      blocks.push_back(dfs.blocks_of(f).front());
+    }
+    return blocks[static_cast<std::size_t>(i)];
+  }
+
+  Dfs dfs;
+  std::vector<BlockId> blocks;
+};
+
+TEST(BlockCache, DisabledWhenZeroCapacity) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, 0.0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(NodeId(1), f.block(0));
+  EXPECT_FALSE(cache.is_cached(NodeId(1), f.block(0)));
+}
+
+TEST(BlockCache, InsertAndQuery) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(512.0));
+  // Block 0 lives on node 0 (round-robin); cache it on node 5.
+  cache.insert(NodeId(5), f.block(0));
+  EXPECT_TRUE(cache.is_cached(NodeId(5), f.block(0)));
+  EXPECT_FALSE(cache.is_cached(NodeId(4), f.block(0)));
+  EXPECT_TRUE(cache.is_local(f.block(0), NodeId(5)));
+  EXPECT_TRUE(cache.is_local(f.block(0), NodeId(0)));  // disk replica
+  EXPECT_DOUBLE_EQ(cache.bytes_on(NodeId(5)), MB(128.0));
+}
+
+TEST(BlockCache, SkipsBlocksAlreadyOnDisk) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(512.0));
+  cache.insert(NodeId(0), f.block(0));  // node 0 already stores block 0
+  EXPECT_FALSE(cache.is_cached(NodeId(0), f.block(0)));
+  EXPECT_DOUBLE_EQ(cache.bytes_on(NodeId(0)), 0.0);
+}
+
+TEST(BlockCache, LruEviction) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(256.0));  // room for two 128 MB blocks
+  cache.insert(NodeId(5), f.block(0));
+  cache.insert(NodeId(5), f.block(1));
+  // Touch block 0 so block 1 becomes LRU.
+  EXPECT_TRUE(cache.is_cached(NodeId(5), f.block(0)));
+  cache.insert(NodeId(5), f.block(2));
+  EXPECT_TRUE(cache.is_cached(NodeId(5), f.block(0)));
+  EXPECT_FALSE(cache.is_cached(NodeId(5), f.block(1)));  // evicted
+  EXPECT_TRUE(cache.is_cached(NodeId(5), f.block(2)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BlockCache, OversizedBlockNeverCached) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(64.0));  // smaller than one block
+  cache.insert(NodeId(5), f.block(0));
+  EXPECT_FALSE(cache.is_cached(NodeId(5), f.block(0)));
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(BlockCache, MergedLocationsCombineDiskAndCache) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(512.0));
+  const BlockId b = f.block(0);  // disk replica on node 0
+  EXPECT_EQ(cache.merged_locations(b), f.dfs.locations(b));
+  cache.insert(NodeId(5), b);
+  cache.insert(NodeId(3), b);
+  const auto& merged = cache.merged_locations(b);
+  EXPECT_EQ(merged, (std::vector<NodeId>{NodeId(0), NodeId(3), NodeId(5)}));
+}
+
+TEST(BlockCache, MergedLocationsShrinkOnEviction) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(128.0));  // room for exactly one block
+  const BlockId b0 = f.block(0);
+  cache.insert(NodeId(5), b0);
+  EXPECT_EQ(cache.merged_locations(b0).size(), 2u);
+  cache.insert(NodeId(5), f.block(1));  // evicts b0 from node 5
+  EXPECT_EQ(cache.merged_locations(b0), f.dfs.locations(b0));
+}
+
+TEST(BlockCache, StatsCountHitsAndLookups) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(512.0));
+  cache.insert(NodeId(5), f.block(0));
+  (void)cache.is_cached(NodeId(5), f.block(0));  // hit
+  (void)cache.is_cached(NodeId(4), f.block(0));  // miss
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(BlockCache, IndependentPerNodeBudgets) {
+  CacheFixture f;
+  BlockCache cache(f.dfs, MB(128.0));
+  cache.insert(NodeId(4), f.block(0));
+  cache.insert(NodeId(5), f.block(1));
+  EXPECT_TRUE(cache.is_cached(NodeId(4), f.block(0)));
+  EXPECT_TRUE(cache.is_cached(NodeId(5), f.block(1)));
+}
+
+// ---------- end-to-end -------------------------------------------------------
+
+TEST(CacheIntegration, CacheLiftsBaselineLocality) {
+  using namespace custody::workload;
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.manager = ManagerKind::kStandalone;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 6;
+  config.trace.files_per_kind = 3;  // hot files: re-reads hit the cache
+  config.trace.zipf_skew = 1.2;
+  config.seed = 17;
+
+  const auto without = RunExperiment(config);
+  config.cache_mb_per_node = 4096.0;
+  const auto with_cache = RunExperiment(config);
+  EXPECT_GT(with_cache.cache_insertions, 0u);
+  EXPECT_GE(with_cache.overall_task_locality_percent,
+            without.overall_task_locality_percent);
+  EXPECT_LE(with_cache.jct.mean, without.jct.mean * 1.05);
+}
+
+TEST(CacheIntegration, CustodySeesCachedCopiesAsLocality) {
+  using namespace custody::workload;
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.manager = ManagerKind::kCustody;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 6;
+  config.trace.files_per_kind = 3;
+  config.trace.zipf_skew = 1.2;
+  config.cache_mb_per_node = 4096.0;
+  config.seed = 17;
+  const auto result = RunExperiment(config);
+  EXPECT_EQ(result.jobs_completed, 18);
+  EXPECT_GT(result.overall_task_locality_percent, 90.0);
+}
+
+}  // namespace
+}  // namespace custody::dfs

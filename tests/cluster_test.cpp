@@ -1,0 +1,92 @@
+// Tests for the physical cluster ledger: executors, ownership, idle pool.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+
+namespace custody::cluster {
+namespace {
+
+TEST(Cluster, CreatesExecutorsPerNode) {
+  Cluster cluster(3, WorkerConfig{.executors_per_node = 2});
+  EXPECT_EQ(cluster.num_nodes(), 3u);
+  EXPECT_EQ(cluster.num_executors(), 6u);
+  EXPECT_EQ(cluster.node_of(ExecutorId(0)), NodeId(0));
+  EXPECT_EQ(cluster.node_of(ExecutorId(1)), NodeId(0));
+  EXPECT_EQ(cluster.node_of(ExecutorId(4)), NodeId(2));
+}
+
+TEST(Cluster, RejectsDegenerateConfigs) {
+  EXPECT_THROW(Cluster(0, WorkerConfig{}), std::invalid_argument);
+  EXPECT_THROW(Cluster(2, WorkerConfig{.executors_per_node = 0}),
+               std::invalid_argument);
+}
+
+TEST(Cluster, AssignAndRelease) {
+  Cluster cluster(2, WorkerConfig{});
+  cluster.assign(ExecutorId(0), AppId(7));
+  EXPECT_TRUE(cluster.executor(ExecutorId(0)).allocated());
+  EXPECT_EQ(cluster.executor(ExecutorId(0)).owner, AppId(7));
+  EXPECT_EQ(cluster.owned_by(AppId(7)), 1);
+  cluster.release(ExecutorId(0));
+  EXPECT_FALSE(cluster.executor(ExecutorId(0)).allocated());
+  EXPECT_EQ(cluster.owned_by(AppId(7)), 0);
+}
+
+TEST(Cluster, RejectsDoubleAssign) {
+  Cluster cluster(2, WorkerConfig{});
+  cluster.assign(ExecutorId(0), AppId(1));
+  EXPECT_THROW(cluster.assign(ExecutorId(0), AppId(2)), std::logic_error);
+}
+
+TEST(Cluster, RejectsReleasingUnallocated) {
+  Cluster cluster(2, WorkerConfig{});
+  EXPECT_THROW(cluster.release(ExecutorId(0)), std::logic_error);
+}
+
+TEST(Cluster, RejectsReleasingBusy) {
+  Cluster cluster(2, WorkerConfig{});
+  cluster.assign(ExecutorId(0), AppId(1));
+  cluster.executor(ExecutorId(0)).busy = true;
+  EXPECT_THROW(cluster.release(ExecutorId(0)), std::logic_error);
+}
+
+TEST(Cluster, RejectsUnknownExecutor) {
+  Cluster cluster(1, WorkerConfig{.executors_per_node = 1});
+  EXPECT_THROW((void)cluster.executor(ExecutorId(5)), std::out_of_range);
+}
+
+TEST(Cluster, IdleExecutorsTrackAllocation) {
+  Cluster cluster(2, WorkerConfig{.executors_per_node = 2});
+  EXPECT_EQ(cluster.idle_count(), 4u);
+  cluster.assign(ExecutorId(1), AppId(0));
+  cluster.assign(ExecutorId(2), AppId(1));
+  const auto idle = cluster.idle_executors();
+  ASSERT_EQ(idle.size(), 2u);
+  std::set<ExecutorId> ids;
+  for (const auto& e : idle) ids.insert(e.id);
+  EXPECT_TRUE(ids.count(ExecutorId(0)));
+  EXPECT_TRUE(ids.count(ExecutorId(3)));
+  // Idle info carries the right node.
+  for (const auto& e : idle) EXPECT_EQ(e.node, cluster.node_of(e.id));
+}
+
+TEST(Cluster, BusyFlagIndependentOfOwnership) {
+  Cluster cluster(1, WorkerConfig{});
+  cluster.assign(ExecutorId(0), AppId(0));
+  cluster.executor(ExecutorId(0)).busy = true;
+  // Busy executors are not idle, but they are also not in the pool (owned).
+  EXPECT_EQ(cluster.idle_count(), 1u);  // only executor 1 remains idle
+  cluster.executor(ExecutorId(0)).busy = false;
+  cluster.release(ExecutorId(0));
+  EXPECT_EQ(cluster.idle_count(), 2u);
+}
+
+TEST(Cluster, DiskRateFromConfig) {
+  Cluster cluster(2, WorkerConfig{.disk_bps = 12345.0});
+  EXPECT_DOUBLE_EQ(cluster.disk_bps(NodeId(0)), 12345.0);
+}
+
+}  // namespace
+}  // namespace custody::cluster

@@ -1,0 +1,176 @@
+// Tests for the max-flow core and the maximum concurrent flow relaxation
+// (the paper's Fig.-2 construction).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/flow_network.h"
+
+namespace custody::core {
+namespace {
+
+// ---------- Dinic -----------------------------------------------------------
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlow flow(2);
+  const int e = flow.add_edge(0, 1, 7);
+  EXPECT_EQ(flow.solve(0, 1), 7);
+  EXPECT_EQ(flow.flow_on(e), 7);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlow flow(3);
+  flow.add_edge(0, 1, 10);
+  flow.add_edge(1, 2, 4);
+  EXPECT_EQ(flow.solve(0, 2), 4);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 3);
+  flow.add_edge(1, 3, 3);
+  flow.add_edge(0, 2, 5);
+  flow.add_edge(2, 3, 5);
+  EXPECT_EQ(flow.solve(0, 3), 8);
+}
+
+TEST(MaxFlow, ClassicCLRSNetwork) {
+  // The textbook example with max flow 23.
+  MaxFlow flow(6);
+  flow.add_edge(0, 1, 16);
+  flow.add_edge(0, 2, 13);
+  flow.add_edge(1, 2, 10);
+  flow.add_edge(2, 1, 4);
+  flow.add_edge(1, 3, 12);
+  flow.add_edge(3, 2, 9);
+  flow.add_edge(2, 4, 14);
+  flow.add_edge(4, 3, 7);
+  flow.add_edge(3, 5, 20);
+  flow.add_edge(4, 5, 4);
+  EXPECT_EQ(flow.solve(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow flow(4);
+  flow.add_edge(0, 1, 5);
+  flow.add_edge(2, 3, 5);
+  EXPECT_EQ(flow.solve(0, 3), 0);
+}
+
+TEST(MaxFlow, NeedsAtLeastOneVertex) {
+  EXPECT_THROW(MaxFlow(0), std::invalid_argument);
+}
+
+// ---------- Concurrent flow instance ----------------------------------------
+
+/// Helper: a two-app instance mirroring the paper's Fig. 2 — app 0 has
+/// tasks {T11, T12}, app 1 has {T21}; three executors.
+ConcurrentFlowInstance Fig2Instance() {
+  ConcurrentFlowInstance instance;
+  instance.demands = {2, 1};
+  instance.task_app = {0, 0, 1};
+  instance.task_execs = {{0}, {0, 1}, {1, 2}};
+  instance.num_executors = 3;
+  return instance;
+}
+
+TEST(ConcurrentFlow, Fig2IsFullySatisfiable) {
+  // T11->E1, T12->E2, T21->E3 satisfies every demand.
+  const auto result = SolveMaxConcurrentFlow(Fig2Instance());
+  EXPECT_DOUBLE_EQ(result.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(result.satisfied[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.satisfied[1], 1.0);
+}
+
+TEST(ConcurrentFlow, ContendedExecutorHalvesLambda) {
+  // Both apps need the single executor 0 for their only task.
+  ConcurrentFlowInstance instance;
+  instance.demands = {1, 1};
+  instance.task_app = {0, 1};
+  instance.task_execs = {{0}, {0}};
+  instance.num_executors = 1;
+  const auto result = SolveMaxConcurrentFlow(instance);
+  EXPECT_NEAR(result.lambda, 0.5, 2e-3);
+}
+
+TEST(ConcurrentFlow, TaskWithNoExecutorCapsLambdaAtZero) {
+  ConcurrentFlowInstance instance;
+  instance.demands = {1};
+  instance.task_app = {0};
+  instance.task_execs = {{}};
+  instance.num_executors = 1;
+  const auto result = SolveMaxConcurrentFlow(instance);
+  EXPECT_NEAR(result.lambda, 0.0, 2e-3);
+}
+
+TEST(ConcurrentFlow, EmptyInstanceIsTriviallySatisfied) {
+  ConcurrentFlowInstance instance;
+  EXPECT_DOUBLE_EQ(SolveMaxConcurrentFlow(instance).lambda, 1.0);
+  instance.demands = {0, 0};
+  EXPECT_DOUBLE_EQ(SolveMaxConcurrentFlow(instance).lambda, 1.0);
+}
+
+TEST(ConcurrentFlow, BuildFromDemands) {
+  std::vector<AppDemand> demands(2);
+  demands[0].app = AppId(0);
+  demands[0].jobs.push_back(
+      {0, 2, {{1, BlockId(0)}, {2, BlockId(1)}}});
+  demands[1].app = AppId(1);
+  demands[1].jobs.push_back({1, 1, {{3, BlockId(2)}}});
+
+  const std::vector<ExecutorInfo> executors{
+      {ExecutorId(0), NodeId(0)}, {ExecutorId(1), NodeId(1)}};
+  std::vector<std::vector<NodeId>> locations{
+      {NodeId(0)}, {NodeId(0), NodeId(1)}, {NodeId(5)}};
+  const auto locate = [&locations](BlockId b) -> const std::vector<NodeId>& {
+    return locations[b.value()];
+  };
+
+  const auto instance = BuildConcurrentFlowInstance(demands, executors, locate);
+  EXPECT_EQ(instance.demands, (std::vector<int>{2, 1}));
+  EXPECT_EQ(instance.task_app, (std::vector<int>{0, 0, 1}));
+  ASSERT_EQ(instance.task_execs.size(), 3u);
+  EXPECT_EQ(instance.task_execs[0], (std::vector<int>{0}));
+  EXPECT_EQ(instance.task_execs[1], (std::vector<int>{0, 1}));
+  EXPECT_TRUE(instance.task_execs[2].empty());  // block on node w/o executor
+}
+
+TEST(ConcurrentFlow, MaxTasksSatisfiedAlone) {
+  const auto instance = Fig2Instance();
+  EXPECT_EQ(MaxTasksSatisfiedAlone(instance, 0), 2);
+  EXPECT_EQ(MaxTasksSatisfiedAlone(instance, 1), 1);
+}
+
+// Property: λ* from the fractional relaxation never exceeds what any app
+// could get alone (sanity upper-bound ordering), and is in [0, 1].
+TEST(ConcurrentFlow, PropertyLambdaBounds) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    ConcurrentFlowInstance instance;
+    const int num_apps = rng.uniform_int(1, 3);
+    instance.num_executors = rng.uniform_int(1, 6);
+    for (int a = 0; a < num_apps; ++a) {
+      const int tasks = rng.uniform_int(1, 4);
+      instance.demands.push_back(tasks);
+      for (int t = 0; t < tasks; ++t) {
+        instance.task_app.push_back(a);
+        std::vector<int> execs;
+        for (int e = 0; e < instance.num_executors; ++e) {
+          if (rng.bernoulli(0.5)) execs.push_back(e);
+        }
+        instance.task_execs.push_back(execs);
+      }
+    }
+    const auto result = SolveMaxConcurrentFlow(instance);
+    EXPECT_GE(result.lambda, 0.0);
+    EXPECT_LE(result.lambda, 1.0);
+    for (std::size_t a = 0; a < instance.demands.size(); ++a) {
+      // Allow the binary-search resolution (1e-3 of each demand).
+      EXPECT_LE(result.satisfied[a],
+                MaxTasksSatisfiedAlone(instance, static_cast<int>(a)) +
+                    1e-3 * instance.demands[a] + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace custody::core

@@ -1,0 +1,192 @@
+// Tests for the bipartite matching algorithms, including property-based
+// comparison against brute force and the greedy 2-approximation guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "common/rng.h"
+#include "core/matching.h"
+
+namespace custody::core {
+namespace {
+
+/// Exhaustive maximum-weight matching with cardinality bound, for small
+/// instances only (reference oracle).
+double BruteForceBestWeight(int num_left, int num_right,
+                            const std::vector<MatchEdge>& edges,
+                            int max_cardinality) {
+  double best = 0.0;
+  std::vector<bool> used_l(num_left, false);
+  std::vector<bool> used_r(num_right, false);
+  std::function<void(std::size_t, int, double)> rec =
+      [&](std::size_t i, int taken, double weight) {
+        best = std::max(best, weight);
+        if (i == edges.size() || taken == max_cardinality) return;
+        rec(i + 1, taken, weight);
+        const MatchEdge& e = edges[i];
+        if (!used_l[e.l] && !used_r[e.r]) {
+          used_l[e.l] = used_r[e.r] = true;
+          rec(i + 1, taken + 1, weight + e.weight);
+          used_l[e.l] = used_r[e.r] = false;
+        }
+      };
+  rec(0, 0, 0.0);
+  return best;
+}
+
+bool MatchingIsConsistent(const MatchingResult& m) {
+  int count = 0;
+  for (std::size_t l = 0; l < m.match_l.size(); ++l) {
+    if (m.match_l[l] < 0) continue;
+    ++count;
+    if (m.match_r[static_cast<std::size_t>(m.match_l[l])] !=
+        static_cast<int>(l)) {
+      return false;
+    }
+  }
+  return count == m.cardinality;
+}
+
+std::vector<MatchEdge> RandomEdges(Rng& rng, int num_left, int num_right,
+                                   double density, bool weighted) {
+  std::vector<MatchEdge> edges;
+  for (int l = 0; l < num_left; ++l) {
+    for (int r = 0; r < num_right; ++r) {
+      if (rng.uniform(0.0, 1.0) < density) {
+        edges.push_back({l, r, weighted ? rng.uniform(0.1, 5.0) : 1.0});
+      }
+    }
+  }
+  return edges;
+}
+
+// ---------- Hopcroft–Karp ---------------------------------------------------
+
+TEST(MaxCardinalityMatching, PerfectMatchingOnDiagonal) {
+  const std::vector<std::vector<int>> adj{{0}, {1}, {2}};
+  const auto m = MaxCardinalityMatching(3, 3, adj);
+  EXPECT_EQ(m.cardinality, 3);
+  EXPECT_TRUE(MatchingIsConsistent(m));
+}
+
+TEST(MaxCardinalityMatching, RequiresAugmentingPath) {
+  // Greedy left-to-right would match 0-0 and strand vertex 1; HK augments.
+  const std::vector<std::vector<int>> adj{{0, 1}, {0}};
+  const auto m = MaxCardinalityMatching(2, 2, adj);
+  EXPECT_EQ(m.cardinality, 2);
+  EXPECT_EQ(m.match_l[0], 1);
+  EXPECT_EQ(m.match_l[1], 0);
+}
+
+TEST(MaxCardinalityMatching, EmptyGraph) {
+  const auto m = MaxCardinalityMatching(3, 3, {{}, {}, {}});
+  EXPECT_EQ(m.cardinality, 0);
+}
+
+TEST(MaxCardinalityMatching, PropertyMatchesBruteForce) {
+  Rng rng(13);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nl = rng.uniform_int(1, 6);
+    const int nr = rng.uniform_int(1, 6);
+    const auto edges = RandomEdges(rng, nl, nr, 0.4, /*weighted=*/false);
+    std::vector<std::vector<int>> adj(nl);
+    for (const auto& e : edges) adj[e.l].push_back(e.r);
+    const auto m = MaxCardinalityMatching(nl, nr, adj);
+    const double best =
+        BruteForceBestWeight(nl, nr, edges, std::min(nl, nr));
+    EXPECT_TRUE(MatchingIsConsistent(m));
+    EXPECT_DOUBLE_EQ(static_cast<double>(m.cardinality), best);
+  }
+}
+
+// ---------- Greedy weighted -------------------------------------------------
+
+TEST(GreedyWeightedMatching, PicksHeaviestEdgeFirst) {
+  const std::vector<MatchEdge> edges{{0, 0, 1.0}, {0, 1, 5.0}, {1, 1, 4.0}};
+  const auto m = GreedyWeightedMatching(2, 2, edges);
+  // Greedy takes (0,1,5.0) first, then cannot take (1,1); takes nothing
+  // else for vertex 1 since only edge (1,1) exists.
+  EXPECT_EQ(m.match_l[0], 1);
+  EXPECT_EQ(m.match_l[1], -1);
+  EXPECT_DOUBLE_EQ(m.total_weight, 5.0);
+}
+
+TEST(GreedyWeightedMatching, DeterministicTieBreak) {
+  const std::vector<MatchEdge> edges{{1, 1, 2.0}, {0, 0, 2.0}, {0, 1, 2.0}};
+  const auto a = GreedyWeightedMatching(2, 2, edges);
+  const auto b = GreedyWeightedMatching(2, 2, edges);
+  EXPECT_EQ(a.match_l, b.match_l);
+  EXPECT_EQ(a.cardinality, 2);  // (0,0) then (1,1)
+}
+
+TEST(GreedyWeightedMatching, PropertyTwoApproximation) {
+  Rng rng(17);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int nl = rng.uniform_int(1, 6);
+    const int nr = rng.uniform_int(1, 6);
+    const auto edges = RandomEdges(rng, nl, nr, 0.5, /*weighted=*/true);
+    const auto greedy = GreedyWeightedMatching(nl, nr, edges);
+    const double optimal =
+        BruteForceBestWeight(nl, nr, edges, std::min(nl, nr));
+    EXPECT_TRUE(MatchingIsConsistent(greedy));
+    EXPECT_GE(greedy.total_weight, 0.5 * optimal - 1e-9)
+        << "greedy broke the 2-approximation bound";
+    EXPECT_LE(greedy.total_weight, optimal + 1e-9);
+  }
+}
+
+// ---------- Exact max-weight with cardinality bound -------------------------
+
+TEST(MaxWeightMatching, MatchesBruteForceUnbounded) {
+  Rng rng(19);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int nl = rng.uniform_int(1, 5);
+    const int nr = rng.uniform_int(1, 5);
+    const auto edges = RandomEdges(rng, nl, nr, 0.6, /*weighted=*/true);
+    const auto exact = MaxWeightMatching(nl, nr, edges, std::min(nl, nr));
+    const double best = BruteForceBestWeight(nl, nr, edges, std::min(nl, nr));
+    EXPECT_TRUE(MatchingIsConsistent(exact));
+    EXPECT_NEAR(exact.total_weight, best, 1e-9);
+  }
+}
+
+TEST(MaxWeightMatching, RespectsCardinalityBound) {
+  Rng rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nl = rng.uniform_int(2, 5);
+    const int nr = rng.uniform_int(2, 5);
+    const int bound = rng.uniform_int(1, 2);
+    const auto edges = RandomEdges(rng, nl, nr, 0.7, /*weighted=*/true);
+    const auto exact = MaxWeightMatching(nl, nr, edges, bound);
+    const double best = BruteForceBestWeight(nl, nr, edges, bound);
+    EXPECT_LE(exact.cardinality, bound);
+    EXPECT_NEAR(exact.total_weight, best, 1e-9);
+  }
+}
+
+TEST(MaxWeightMatching, PrefersWeightOverCardinality) {
+  // One heavy edge beats two light ones when the bound is 1.
+  const std::vector<MatchEdge> edges{{0, 0, 0.4}, {1, 1, 0.5}, {0, 1, 10.0}};
+  const auto m = MaxWeightMatching(2, 2, edges, 1);
+  EXPECT_EQ(m.cardinality, 1);
+  EXPECT_DOUBLE_EQ(m.total_weight, 10.0);
+  EXPECT_EQ(m.match_l[0], 1);
+}
+
+TEST(MaxWeightMatching, RejectsNegativeWeights) {
+  EXPECT_THROW(MaxWeightMatching(1, 1, {{0, 0, -1.0}}, 1),
+               std::invalid_argument);
+}
+
+TEST(MaxWeightMatching, JobPrioritySemantics) {
+  // The paper's intra-app reduction: tasks of a job with µ tasks carry
+  // weight 1/µ.  Two jobs compete for one executor (right vertex 0): the
+  // smaller job's task (weight 1) must win over the larger job's (1/2).
+  const std::vector<MatchEdge> edges{{0, 0, 1.0}, {1, 0, 0.5}};
+  const auto m = MaxWeightMatching(2, 1, edges, 1);
+  EXPECT_EQ(m.match_r[0], 0);
+}
+
+}  // namespace
+}  // namespace custody::core

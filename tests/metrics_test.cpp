@@ -1,0 +1,105 @@
+// Tests for the metrics collector and its figure-level summaries.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace custody::metrics {
+namespace {
+
+JobRecord Job(AppId app, JobId id, double submit, double input_done,
+              double finish, int tasks, int local) {
+  JobRecord r;
+  r.app = app;
+  r.job = id;
+  r.submit_time = submit;
+  r.input_stage_finish = input_done;
+  r.finish_time = finish;
+  r.input_tasks = tasks;
+  r.local_input_tasks = local;
+  return r;
+}
+
+TaskRecord Task(bool input, bool local, double ready, double launch,
+                double finish) {
+  TaskRecord r;
+  r.is_input = input;
+  r.local = local;
+  r.ready_time = ready;
+  r.launch_time = launch;
+  r.finish_time = finish;
+  return r;
+}
+
+TEST(JobRecord, DerivedQuantities) {
+  const auto r = Job(AppId(0), JobId(0), 10.0, 14.0, 20.0, 4, 3);
+  EXPECT_DOUBLE_EQ(r.completion_time(), 10.0);
+  EXPECT_DOUBLE_EQ(r.input_stage_duration(), 4.0);
+  EXPECT_DOUBLE_EQ(r.locality_percent(), 75.0);
+  EXPECT_FALSE(r.perfectly_local());
+  EXPECT_TRUE(Job(AppId(0), JobId(1), 0, 1, 2, 4, 4).perfectly_local());
+}
+
+TEST(TaskRecord, DerivedQuantities) {
+  const auto r = Task(true, true, 1.0, 3.0, 7.0);
+  EXPECT_DOUBLE_EQ(r.scheduler_delay(), 2.0);
+  EXPECT_DOUBLE_EQ(r.duration(), 4.0);
+}
+
+TEST(Metrics, PerJobLocality) {
+  MetricsCollector m;
+  m.record_job(Job(AppId(0), JobId(0), 0, 1, 2, 4, 4));
+  m.record_job(Job(AppId(0), JobId(1), 0, 1, 2, 4, 2));
+  const auto locality = m.per_job_locality_percent();
+  EXPECT_EQ(locality, (std::vector<double>{100.0, 50.0}));
+  EXPECT_DOUBLE_EQ(m.overall_input_locality_percent(), 75.0);
+  EXPECT_DOUBLE_EQ(m.local_job_percent(), 50.0);
+}
+
+TEST(Metrics, EmptyCollectorIsSafe) {
+  MetricsCollector m;
+  EXPECT_TRUE(m.per_job_locality_percent().empty());
+  EXPECT_DOUBLE_EQ(m.overall_input_locality_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(m.local_job_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(m.makespan(), 0.0);
+}
+
+TEST(Metrics, CompletionAndInputStageSeries) {
+  MetricsCollector m;
+  m.record_job(Job(AppId(0), JobId(0), 0, 3, 10, 2, 2));
+  m.record_job(Job(AppId(1), JobId(1), 5, 9, 25, 2, 2));
+  EXPECT_EQ(m.job_completion_times(), (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(m.input_stage_durations(), (std::vector<double>{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(m.makespan(), 25.0);
+}
+
+TEST(Metrics, SchedulerDelaysOnlyInputTasks) {
+  MetricsCollector m;
+  m.record_task(Task(true, true, 0.0, 1.0, 2.0));
+  m.record_task(Task(false, false, 0.0, 5.0, 6.0));  // downstream: excluded
+  m.record_task(Task(true, false, 2.0, 2.5, 9.0));
+  const auto delays = m.input_scheduler_delays();
+  EXPECT_EQ(delays, (std::vector<double>{1.0, 0.5}));
+}
+
+TEST(Metrics, PerAppLocalJobFraction) {
+  MetricsCollector m;
+  m.record_job(Job(AppId(0), JobId(0), 0, 1, 2, 2, 2));  // local
+  m.record_job(Job(AppId(0), JobId(1), 0, 1, 2, 2, 1));  // not local
+  m.record_job(Job(AppId(1), JobId(2), 0, 1, 2, 2, 2));  // local
+  const auto fractions = m.per_app_local_job_fraction(3);
+  ASSERT_EQ(fractions.size(), 3u);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.5);
+  EXPECT_DOUBLE_EQ(fractions[1], 1.0);
+  EXPECT_DOUBLE_EQ(fractions[2], 0.0);  // no jobs -> 0
+}
+
+TEST(Metrics, RawRecordsAccessible) {
+  MetricsCollector m;
+  m.record_task(Task(true, true, 0, 0, 1));
+  m.record_job(Job(AppId(0), JobId(0), 0, 1, 2, 1, 1));
+  EXPECT_EQ(m.tasks().size(), 1u);
+  EXPECT_EQ(m.jobs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace custody::metrics

@@ -1,0 +1,284 @@
+// Tests for the fluid network: max-min fairness properties, completion
+// timing, contention, cancellation, and the core-bottleneck option.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace custody::net {
+namespace {
+
+using custody::NodeId;
+using custody::units::Gbps;
+using custody::units::MB;
+
+NetworkConfig SmallConfig(std::size_t nodes = 4) {
+  NetworkConfig c;
+  c.num_nodes = nodes;
+  c.uplink_bps = 100.0;    // small round numbers for exact math
+  c.downlink_bps = 200.0;
+  return c;
+}
+
+// ---------- MaxMinFairRates (pure) ----------------------------------------
+
+TEST(MaxMinFairRates, SingleFlowGetsBottleneck) {
+  const auto rates = MaxMinFairRates({{0, 1}}, {100.0, 200.0});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMinFairRates, EqualShareOnSharedLink) {
+  // Two flows share link 0 (cap 100); each also uses a private link.
+  const auto rates = MaxMinFairRates({{0, 1}, {0, 2}}, {100.0, 500.0, 500.0});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMinFairRates, WaterFillingUnlocksLeftover) {
+  // Flow 0 is pinned to 10 by its private link; flow 1 then gets the rest
+  // of the shared link (100 - 10 = 90).
+  const auto rates = MaxMinFairRates({{0, 1}, {1}}, {10.0, 100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 90.0);
+}
+
+TEST(MaxMinFairRates, EmptyInput) {
+  EXPECT_TRUE(MaxMinFairRates({}, {100.0}).empty());
+}
+
+// Property: no link over capacity, and allocation is max-min (no flow can
+// grow without shrinking a flow of smaller-or-equal rate).
+TEST(MaxMinFairRates, PropertyFeasibleAndMaxMin) {
+  custody::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_links = rng.uniform_int(2, 8);
+    std::vector<double> capacity(num_links);
+    for (auto& c : capacity) c = rng.uniform(10.0, 100.0);
+    const int num_flows = rng.uniform_int(1, 12);
+    std::vector<std::vector<std::size_t>> flow_links(num_flows);
+    for (auto& links : flow_links) {
+      const int degree = rng.uniform_int(1, 2);
+      for (int d = 0; d < degree; ++d) {
+        const std::size_t l = rng.index(num_links);
+        if (std::find(links.begin(), links.end(), l) == links.end()) {
+          links.push_back(l);
+        }
+      }
+    }
+    const auto rates = MaxMinFairRates(flow_links, capacity);
+
+    // Feasibility: per-link load <= capacity (small epsilon).
+    std::vector<double> load(num_links, 0.0);
+    for (int f = 0; f < num_flows; ++f) {
+      for (std::size_t l : flow_links[f]) load[l] += rates[f];
+    }
+    for (int l = 0; l < num_links; ++l) {
+      EXPECT_LE(load[l], capacity[l] + 1e-6);
+    }
+
+    // Max-min: every flow is bottlenecked by a saturated link on which it
+    // has the maximal rate.
+    for (int f = 0; f < num_flows; ++f) {
+      bool has_bottleneck = false;
+      for (std::size_t l : flow_links[f]) {
+        if (load[l] < capacity[l] - 1e-6) continue;  // not saturated
+        bool is_max_on_link = true;
+        for (int g = 0; g < num_flows; ++g) {
+          if (g == f) continue;
+          const auto& gl = flow_links[g];
+          if (std::find(gl.begin(), gl.end(), l) != gl.end() &&
+              rates[g] > rates[f] + 1e-6) {
+            is_max_on_link = false;
+            break;
+          }
+        }
+        if (is_max_on_link) {
+          has_bottleneck = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(has_bottleneck) << "flow " << f << " lacks a bottleneck";
+    }
+  }
+}
+
+// ---------- Network (simulated) --------------------------------------------
+
+TEST(Network, SingleTransferTime) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  double done_at = -1.0;
+  net.start_flow(NodeId(0), NodeId(1), 1000.0, [&] { done_at = sim.now(); });
+  sim.run();
+  // Bottleneck is the 100 B/s uplink: 1000 bytes -> 10 seconds.
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+  EXPECT_NEAR(net.bytes_delivered(), 1000.0, 1e-6);
+}
+
+TEST(Network, TwoFlowsShareUplink) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  double t1 = -1.0;
+  double t2 = -1.0;
+  net.start_flow(NodeId(0), NodeId(1), 1000.0, [&] { t1 = sim.now(); });
+  net.start_flow(NodeId(0), NodeId(2), 1000.0, [&] { t2 = sim.now(); });
+  sim.run();
+  // Each flow gets 50 B/s while both are active: both finish at t = 20.
+  EXPECT_NEAR(t1, 20.0, 1e-9);
+  EXPECT_NEAR(t2, 20.0, 1e-9);
+}
+
+TEST(Network, RateIncreasesWhenCompetitorFinishes) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  double t_small = -1.0;
+  double t_large = -1.0;
+  net.start_flow(NodeId(0), NodeId(1), 500.0, [&] { t_small = sim.now(); });
+  net.start_flow(NodeId(0), NodeId(2), 1500.0, [&] { t_large = sim.now(); });
+  sim.run();
+  // Shared at 50 B/s until the small one finishes at t=10 (500 bytes);
+  // the large one then has 1000 bytes left at 100 B/s -> finishes at 20.
+  EXPECT_NEAR(t_small, 10.0, 1e-9);
+  EXPECT_NEAR(t_large, 20.0, 1e-9);
+}
+
+TEST(Network, DownlinkCanBeTheBottleneck) {
+  sim::Simulator sim;
+  NetworkConfig config = SmallConfig();
+  config.downlink_bps = 30.0;  // below the 100 B/s uplink
+  Network net(sim, config);
+  double t = -1.0;
+  net.start_flow(NodeId(0), NodeId(1), 300.0, [&] { t = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(t, 10.0, 1e-9);
+}
+
+TEST(Network, ManyToOneCongestsDownlink) {
+  sim::Simulator sim;
+  NetworkConfig config = SmallConfig(8);
+  config.downlink_bps = 100.0;
+  Network net(sim, config);
+  int completed = 0;
+  double last = 0.0;
+  for (int s = 1; s <= 4; ++s) {
+    net.start_flow(NodeId(static_cast<NodeId::value_type>(s)), NodeId(0),
+                   250.0, [&] {
+                     ++completed;
+                     last = sim.now();
+                   });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 4);
+  // 4 x 250 bytes through a 100 B/s downlink: exactly 10 seconds.
+  EXPECT_NEAR(last, 10.0, 1e-9);
+}
+
+TEST(Network, CoreBottleneckLimitsAggregate) {
+  sim::Simulator sim;
+  NetworkConfig config = SmallConfig(6);
+  config.core_bps = 50.0;  // oversubscribed fabric
+  Network net(sim, config);
+  double t = -1.0;
+  // Disjoint node pairs: without the core each flow would get 100 B/s.
+  net.start_flow(NodeId(0), NodeId(1), 250.0, [&] { t = sim.now(); });
+  net.start_flow(NodeId(2), NodeId(3), 250.0, [&] { t = sim.now(); });
+  sim.run();
+  // 25 B/s each through the 50 B/s core -> 10 s.
+  EXPECT_NEAR(t, 10.0, 1e-9);
+}
+
+TEST(Network, CancelPreventsCompletion) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  bool completed = false;
+  const FlowId id =
+      net.start_flow(NodeId(0), NodeId(1), 1000.0, [&] { completed = true; });
+  sim.schedule(1.0, [&] { net.cancel_flow(id); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(net.flow_active(id));
+}
+
+TEST(Network, CancelReleasesBandwidth) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  double t = -1.0;
+  const FlowId victim = net.start_flow(NodeId(0), NodeId(1), 10000.0, [] {});
+  net.start_flow(NodeId(0), NodeId(2), 1000.0, [&] { t = sim.now(); });
+  sim.schedule(2.0, [&] { net.cancel_flow(victim); });
+  sim.run();
+  // 2 s at 50 B/s = 100 bytes, then 900 bytes at 100 B/s = 9 s -> t = 11.
+  EXPECT_NEAR(t, 11.0, 1e-9);
+}
+
+TEST(Network, CompletionCallbackCanStartNewFlow) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  double t = -1.0;
+  net.start_flow(NodeId(0), NodeId(1), 1000.0, [&] {
+    net.start_flow(NodeId(1), NodeId(2), 1000.0, [&] { t = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(t, 20.0, 1e-9);
+}
+
+TEST(Network, RejectsInvalidFlows) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  EXPECT_THROW(net.start_flow(NodeId(0), NodeId(0), 10.0, [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(net.start_flow(NodeId(0), NodeId(1), 0.0, [] {}),
+               std::invalid_argument);
+}
+
+TEST(Network, FlowIntrospection) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig());
+  const FlowId id = net.start_flow(NodeId(0), NodeId(1), 1000.0, [] {});
+  EXPECT_DOUBLE_EQ(net.flow_rate(id), 100.0);
+  EXPECT_DOUBLE_EQ(net.flow_remaining(id), 1000.0);
+  EXPECT_EQ(net.active_flow_count(), 1u);
+  sim.run();
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  EXPECT_DOUBLE_EQ(net.flow_rate(id), 0.0);
+}
+
+TEST(Network, UncontendedTransferTime) {
+  sim::Simulator sim;
+  NetworkConfig config;
+  config.num_nodes = 2;
+  config.uplink_bps = Gbps(2.0);
+  config.downlink_bps = Gbps(40.0);
+  Network net(sim, config);
+  EXPECT_NEAR(net.uncontended_transfer_time(MB(128.0)),
+              MB(128.0) / Gbps(2.0), 1e-12);
+}
+
+TEST(Network, TinyResidualBytesDoNotStallTheClock) {
+  // Regression: leftover rounding bytes at multi-GB/s rates used to map to
+  // delays below the double-precision tick and spin the simulator forever.
+  sim::Simulator sim;
+  NetworkConfig config;
+  config.num_nodes = 4;
+  config.uplink_bps = Gbps(2.0);
+  config.downlink_bps = Gbps(40.0);
+  Network net(sim, config);
+  int completed = 0;
+  // Stagger flows so rates change mid-transfer and residuals accumulate.
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule(0.37 * i + 60.0, [&net, &sim, &completed, i] {
+      net.start_flow(NodeId(static_cast<NodeId::value_type>(i % 3)),
+                     NodeId(3), MB(128.0) * (1.0 + 0.013 * i),
+                     [&completed] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 40);
+}
+
+}  // namespace
+}  // namespace custody::net

@@ -1,0 +1,138 @@
+// Parameterized property sweeps over full experiments: system-level
+// invariants that must hold for any seed, cluster size and workload.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/experiment.h"
+
+namespace custody::workload {
+namespace {
+
+ExperimentConfig Config(ManagerKind manager, WorkloadKind kind,
+                        std::size_t nodes, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.manager = manager;
+  config.kinds = {kind};
+  config.num_nodes = nodes;
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 4;
+  config.trace.files_per_kind = 6;
+  config.seed = seed;
+  return config;
+}
+
+using Params = std::tuple<ManagerKind, WorkloadKind, std::size_t,
+                          std::uint64_t>;
+
+class ExperimentInvariants : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ExperimentInvariants, Hold) {
+  const auto [manager, kind, nodes, seed] = GetParam();
+  const auto result = RunExperiment(Config(manager, kind, nodes, seed));
+
+  // Liveness: every submitted job completes.
+  EXPECT_EQ(result.jobs_completed, 12);
+  EXPECT_EQ(result.jct.count, 12u);
+
+  // Sanity ranges.
+  EXPECT_GE(result.job_locality.mean, 0.0);
+  EXPECT_LE(result.job_locality.mean, 100.0);
+  EXPECT_GE(result.overall_task_locality_percent, 0.0);
+  EXPECT_LE(result.overall_task_locality_percent, 100.0);
+  EXPECT_GE(result.local_job_percent, 0.0);
+  EXPECT_LE(result.local_job_percent, 100.0);
+
+  // Times are causal and non-negative.
+  EXPECT_GT(result.jct.min, 0.0);
+  EXPECT_GE(result.sched_delay.min, 0.0);
+  EXPECT_GT(result.input_stage.min, 0.0);
+  EXPECT_LE(result.input_stage.mean, result.jct.mean)
+      << "input stage cannot exceed the whole job";
+  EXPECT_GE(result.makespan, result.jct.max);
+
+  // A perfectly-local job percentage of 100 requires task locality of 100.
+  if (result.local_job_percent == 100.0) {
+    EXPECT_DOUBLE_EQ(result.overall_task_locality_percent, 100.0);
+  }
+
+  // Launch counters partition launched input tasks.
+  const int launches = result.launches_local + result.launches_covered_busy +
+                       result.launches_uncovered;
+  EXPECT_GT(launches, 0);
+  EXPECT_NEAR(100.0 * result.launches_local / launches,
+              result.overall_task_locality_percent, 1e-6);
+
+  // Per-app fractions are valid probabilities.
+  for (double f : result.per_app_local_job_fraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExperimentInvariants,
+    ::testing::Combine(
+        ::testing::Values(ManagerKind::kStandalone, ManagerKind::kCustody,
+                          ManagerKind::kOffer),
+        ::testing::Values(WorkloadKind::kPageRank, WorkloadKind::kWordCount,
+                          WorkloadKind::kSort),
+        ::testing::Values(std::size_t{12}, std::size_t{24}),
+        ::testing::Values(std::uint64_t{3}, std::uint64_t{31})),
+    [](const auto& info) {
+      return std::string(ManagerName(std::get<0>(info.param))) + "_" +
+             WorkloadName(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param)) + "n_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+class ReplicationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicationSweep, MoreReplicasNeverHurtCustodyMuch) {
+  // Locality opportunities grow with the replication factor; Custody's
+  // achieved locality must be monotone up to noise.
+  auto config = Config(ManagerKind::kCustody, WorkloadKind::kWordCount, 16, 5);
+  config.replication = 1;
+  const auto one = RunExperiment(config);
+  config.replication = GetParam();
+  const auto more = RunExperiment(config);
+  EXPECT_GE(more.job_locality.mean, one.job_locality.mean - 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ReplicationSweep, ::testing::Values(2, 3, 5));
+
+class ExecutorDensitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExecutorDensitySweep, ClusterScalesWithExecutorsPerNode) {
+  auto config = Config(ManagerKind::kCustody, WorkloadKind::kSort, 16, 9);
+  config.executors_per_node = GetParam();
+  const auto result = RunExperiment(config);
+  EXPECT_EQ(result.jobs_completed, 12);
+  // More executors per node -> no worse completion times.
+  if (GetParam() >= 4) {
+    auto thin = config;
+    thin.executors_per_node = 1;
+    const auto thin_result = RunExperiment(thin);
+    EXPECT_LE(result.jct.mean, thin_result.jct.mean + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Density, ExecutorDensitySweep,
+                         ::testing::Values(1, 2, 4));
+
+class WaitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaitSweep, SchedulerDelayBoundedByWaitPlusQueueing) {
+  auto config =
+      Config(ManagerKind::kStandalone, WorkloadKind::kWordCount, 16, 21);
+  config.scheduler.locality_wait = GetParam();
+  const auto result = RunExperiment(config);
+  EXPECT_EQ(result.jobs_completed, 12);
+  EXPECT_GE(result.sched_delay.max, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Waits, WaitSweep,
+                         ::testing::Values(0.0, 1.0, 3.0, 10.0));
+
+}  // namespace
+}  // namespace custody::workload

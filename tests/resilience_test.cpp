@@ -1,0 +1,222 @@
+// Tests for the resilience features: speculative execution of stragglers,
+// node-failure injection across all layers, and the YARN-style pool
+// manager.
+#include <gtest/gtest.h>
+
+#include "cluster/pool_manager.h"
+#include "common/units.h"
+#include "workload/experiment.h"
+#include "workload/failures.h"
+
+namespace custody::workload {
+namespace {
+
+using custody::units::MB;
+
+ExperimentConfig SmallConfig(ManagerKind manager, std::uint64_t seed = 42) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.manager = manager;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 5;
+  config.trace.files_per_kind = 4;
+  config.seed = seed;
+  return config;
+}
+
+// ---------- pool manager ------------------------------------------------------
+
+TEST(PoolManager, RunsExperimentsToCompletion) {
+  const auto result = RunExperiment(SmallConfig(ManagerKind::kPool));
+  EXPECT_EQ(result.jobs_completed, 15);
+  EXPECT_EQ(result.manager_name, "pool");
+  EXPECT_GT(result.manager_stats.executors_granted, 0u);
+}
+
+TEST(PoolManager, DataUnawareLikeStandaloneButDynamic) {
+  // Pool grants random executors: locality lands near the standalone
+  // baseline, far below Custody's.
+  const auto pool = RunExperiment(SmallConfig(ManagerKind::kPool));
+  const auto custody = RunExperiment(SmallConfig(ManagerKind::kCustody));
+  EXPECT_GT(custody.overall_task_locality_percent,
+            pool.overall_task_locality_percent);
+  // Dynamic: executors come and go (releases happen).
+  EXPECT_GT(pool.manager_stats.executors_released, 0u);
+}
+
+// ---------- speculation -------------------------------------------------------
+
+TEST(Speculation, CountersConsistent) {
+  auto config = SmallConfig(ManagerKind::kStandalone);
+  config.speculation = true;
+  config.speculation_multiplier = 1.2;
+  // Hot files + skew: plenty of remote-read stragglers to clone.
+  config.trace.zipf_skew = 1.2;
+  const auto result = RunExperiment(config);
+  EXPECT_EQ(result.jobs_completed, 15);
+  EXPECT_GE(result.speculative_launches, result.speculative_wins);
+}
+
+TEST(Speculation, CloningStragglersHelpsOrAtLeastDoesNotHurt) {
+  auto config = SmallConfig(ManagerKind::kStandalone);
+  config.trace.zipf_skew = 1.2;
+  const auto plain = RunExperiment(config);
+  config.speculation = true;
+  config.speculation_multiplier = 1.2;
+  const auto spec = RunExperiment(config);
+  EXPECT_EQ(spec.jobs_completed, plain.jobs_completed);
+  // Stragglers are remote reads; winning clones shorten the tail.
+  EXPECT_LE(spec.jct.p95, plain.jct.p95 * 1.10);
+  if (spec.speculative_wins > 0) {
+    EXPECT_LE(spec.jct.mean, plain.jct.mean * 1.05);
+  }
+}
+
+TEST(Speculation, NoClonesWithoutStragglers) {
+  // Custody achieves near-perfect locality: tasks are uniform, nothing is
+  // slow relative to siblings, so (almost) nothing gets cloned.
+  auto config = SmallConfig(ManagerKind::kCustody);
+  config.speculation = true;
+  const auto result = RunExperiment(config);
+  EXPECT_EQ(result.jobs_completed, 15);
+  EXPECT_LE(result.speculative_launches, 5);
+}
+
+// ---------- failure injection -------------------------------------------------
+
+TEST(Failures, AllJobsCompleteDespiteCrashes) {
+  for (const ManagerKind manager :
+       {ManagerKind::kCustody, ManagerKind::kOffer, ManagerKind::kPool}) {
+    auto config = SmallConfig(manager);
+    config.node_failures = 3;
+    config.failure_start = 5.0;
+    config.failure_interval = 10.0;
+    const auto result = RunExperiment(config);
+    EXPECT_EQ(result.jobs_completed, 15) << ManagerName(manager);
+    EXPECT_EQ(result.nodes_failed, 3) << ManagerName(manager);
+  }
+}
+
+TEST(Failures, DeterministicUnderSeed) {
+  auto config = SmallConfig(ManagerKind::kCustody);
+  config.node_failures = 2;
+  config.failure_start = 4.0;
+  const auto a = RunExperiment(config);
+  const auto b = RunExperiment(config);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_DOUBLE_EQ(a.jct.mean, b.jct.mean);
+}
+
+TEST(Failures, LocalityDegradesGracefully) {
+  auto config = SmallConfig(ManagerKind::kCustody);
+  const auto calm = RunExperiment(config);
+  config.node_failures = 4;
+  config.failure_start = 3.0;
+  config.failure_interval = 8.0;
+  const auto chaos = RunExperiment(config);
+  EXPECT_EQ(chaos.jobs_completed, 15);
+  // Locality may drop under churn but must stay a recognizable system.
+  EXPECT_GT(chaos.overall_task_locality_percent, 50.0);
+  EXPECT_GE(calm.overall_task_locality_percent,
+            chaos.overall_task_locality_percent - 1e-9);
+}
+
+TEST(Failures, WithCacheAndSpeculationSimultaneously) {
+  auto config = SmallConfig(ManagerKind::kCustody);
+  config.cache_mb_per_node = 2048.0;
+  config.speculation = true;
+  config.node_failures = 2;
+  config.failure_start = 5.0;
+  const auto result = RunExperiment(config);
+  EXPECT_EQ(result.jobs_completed, 15);
+}
+
+// ---------- the failure primitive itself ---------------------------------------
+
+TEST(InjectNodeFailure, ReReplicatesBlocksAndClearsState) {
+  sim::Simulator sim;
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = 6;
+  dfs_config.default_replication = 2;
+  dfs::Dfs dfs(dfs_config, Rng(3));
+  const FileId file = dfs.write_file("/f", MB(512.0));
+
+  cluster::WorkerConfig worker;
+  worker.executors_per_node = 1;
+  cluster::Cluster cluster(6, worker);
+  cluster::PoolConfig pool_config;
+  pool_config.expected_apps = 1;
+  cluster::PoolManager manager(sim, cluster, pool_config);
+
+  dfs::BlockCache cache(dfs, MB(1024.0));
+  const BlockId block = dfs.blocks_of(file).front();
+  const NodeId victim = dfs.locations(block).front();
+  // Cache the block somewhere else, then also on the victim - only if the
+  // victim does not store it on disk, so cache it on a non-replica node.
+  NodeId other = NodeId::invalid();
+  for (NodeId::value_type n = 0; n < 6; ++n) {
+    if (!dfs.is_local(block, NodeId(n))) {
+      other = NodeId(n);
+      break;
+    }
+  }
+  ASSERT_TRUE(other.valid());
+  cache.insert(other, block);
+
+  InjectNodeFailure(cluster, dfs, &cache, {}, manager, victim);
+
+  EXPECT_FALSE(cluster.node_alive(victim));
+  EXPECT_EQ(cluster.alive_executor_count(), 5u);
+  // Every block that lived on the victim has been re-replicated: the
+  // replication factor is preserved and the victim holds nothing.
+  for (BlockId b : dfs.blocks_of(file)) {
+    EXPECT_FALSE(dfs.is_local(b, victim));
+    EXPECT_EQ(dfs.locations(b).size(), 2u);
+  }
+  // Cached copy elsewhere survives; allocator input excludes dead nodes.
+  EXPECT_TRUE(cache.is_cached(other, block));
+  for (const auto& idle : cluster.idle_executors()) {
+    EXPECT_NE(idle.node, victim);
+  }
+  // Idempotent.
+  InjectNodeFailure(cluster, dfs, &cache, {}, manager, victim);
+  EXPECT_EQ(cluster.alive_executor_count(), 5u);
+}
+
+TEST(InjectNodeFailure, RefusesToKillLastNode) {
+  sim::Simulator sim;
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = 1;
+  dfs_config.default_replication = 1;
+  dfs::Dfs dfs(dfs_config, Rng(3));
+  cluster::Cluster cluster(1, cluster::WorkerConfig{});
+  cluster::PoolConfig pool_config;
+  cluster::PoolManager manager(sim, cluster, pool_config);
+  EXPECT_THROW(
+      InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(0)),
+      std::logic_error);
+}
+
+TEST(ClusterFailNode, AssignOnDeadNodeThrows) {
+  cluster::Cluster cluster(2, cluster::WorkerConfig{.executors_per_node = 1});
+  cluster.fail_node(NodeId(0));
+  EXPECT_THROW(cluster.assign(ExecutorId(0), AppId(0)), std::logic_error);
+  cluster.assign(ExecutorId(1), AppId(0));  // alive node still fine
+}
+
+TEST(DfsFailNode, KeepsLastReplicaWhenNoTargetExists) {
+  dfs::DfsConfig config;
+  config.num_nodes = 2;
+  config.default_replication = 2;  // both nodes hold every block
+  dfs::Dfs dfs(config, Rng(5));
+  const FileId f = dfs.write_file("/f", MB(128.0));
+  const BlockId b = dfs.blocks_of(f).front();
+  dfs.fail_node(NodeId(0), {NodeId(1)});
+  // No third node to re-replicate to: node 1's copy remains, node 0's is
+  // dropped (it was not the last).
+  EXPECT_EQ(dfs.locations(b), (std::vector<NodeId>{NodeId(1)}));
+}
+
+}  // namespace
+}  // namespace custody::workload

@@ -1,0 +1,285 @@
+// Tests for the in-application task schedulers: delay scheduling semantics,
+// locality-preferred and FIFO variants.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "app/scheduler.h"
+#include "common/units.h"
+
+namespace custody::app {
+namespace {
+
+using custody::units::MB;
+
+/// Builds a self-contained scheduling scenario: a DFS with chosen block
+/// locations and a single job whose input tasks read those blocks.
+class SchedulerFixture {
+ public:
+  SchedulerFixture() : dfs_(MakeConfig(), Rng(1)) {}
+
+  BlockId add_block(std::vector<NodeId> nodes) {
+    const FileId f =
+        dfs_.write_file("/b" + std::to_string(next_file_++), MB(1.0), 1);
+    const BlockId b = dfs_.blocks_of(f).front();
+    // Rewrite the replica set to the requested nodes.
+    auto& nn = const_cast<dfs::NameNode&>(dfs_.namenode());
+    for (NodeId n : nodes) {
+      if (!nn.is_local(b, n)) nn.add_replica(b, n);
+    }
+    for (NodeId existing : std::vector<NodeId>(nn.locations(b))) {
+      if (std::find(nodes.begin(), nodes.end(), existing) == nodes.end()) {
+        nn.remove_replica(b, existing);
+      }
+    }
+    return b;
+  }
+
+  Job& add_job() {
+    jobs_storage_.push_back(std::make_unique<Job>());
+    Job& j = *jobs_storage_.back();
+    j.id = JobId(static_cast<JobId::value_type>(jobs_storage_.size()));
+    j.stages.push_back(Stage{});
+    jobs_.push_back(&j);
+    return j;
+  }
+
+  Task& add_input_task(Job& j, BlockId block, TaskState state) {
+    Task t;
+    t.id = TaskId(next_task_++);
+    t.job = j.id;
+    t.stage = 0;
+    t.block = block;
+    t.state = state;
+    j.stages.front().tasks.push_back(t.id);
+    j.input_tasks += 1;
+    auto [it, inserted] = tasks_.emplace(t.id, t);
+    return it->second;
+  }
+
+  Task& add_downstream_task(Job& j, TaskState state) {
+    if (j.stages.size() < 2) {
+      Stage s;
+      s.index = 1;
+      j.stages.push_back(s);
+    }
+    Task t;
+    t.id = TaskId(next_task_++);
+    t.job = j.id;
+    t.stage = 1;
+    t.state = state;
+    j.stages.back().tasks.push_back(t.id);
+    auto [it, inserted] = tasks_.emplace(t.id, t);
+    return it->second;
+  }
+
+  std::function<Task&(TaskId)> task_fn() {
+    return [this](TaskId id) -> Task& { return tasks_.at(id); };
+  }
+
+  const dfs::Dfs& dfs() const { return dfs_; }
+  std::vector<Job*>& jobs() { return jobs_; }
+
+ private:
+  static dfs::DfsConfig MakeConfig() {
+    dfs::DfsConfig c;
+    c.num_nodes = 8;
+    c.default_replication = 1;
+    return c;
+  }
+
+  dfs::Dfs dfs_;
+  std::unordered_map<TaskId, Task> tasks_;
+  std::vector<std::unique_ptr<Job>> jobs_storage_;
+  std::vector<Job*> jobs_;
+  TaskId::value_type next_task_ = 0;
+  int next_file_ = 0;
+};
+
+SchedulerConfig Delay(double wait = 3.0) {
+  return {SchedulerKind::kDelay, wait};
+}
+
+TEST(DelayScheduler, PrefersLocalInputTask) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  const BlockId remote = f.add_block({NodeId(5)});
+  const BlockId local = f.add_block({NodeId(1)});
+  f.add_input_task(j, remote, TaskState::kReady);
+  Task& local_task = f.add_input_task(j, local, TaskState::kReady);
+
+  TaskScheduler sched(Delay(), f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->task, local_task.id);
+  EXPECT_TRUE(pick->local);
+}
+
+TEST(DelayScheduler, WaitsBeforeGoingRemote) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
+
+  TaskScheduler sched(Delay(3.0), f.dfs());
+  std::optional<SimTime> retry;
+  // First ask at t=0: nothing local -> the job starts its wait.
+  EXPECT_FALSE(sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry));
+  EXPECT_TRUE(j.waiting_since_set());
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_DOUBLE_EQ(*retry, 3.0);
+  // Still within the wait: refuse again.
+  EXPECT_FALSE(sched.pick(NodeId(1), 2.9, f.jobs(), f.task_fn(), retry));
+  // Wait expired: accept the remote slot.
+  const auto pick = sched.pick(NodeId(1), 3.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_FALSE(pick->local);
+}
+
+TEST(DelayScheduler, WaitExpiryExactTimeDoesNotSpin) {
+  // Regression: the retry event fires at exactly wait_start + wait; the
+  // comparison must treat that instant as expired despite fp rounding.
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
+  TaskScheduler sched(Delay(3.0), f.dfs());
+  std::optional<SimTime> retry;
+  const double start = 9.133414204015;  // awkward binary representation
+  EXPECT_FALSE(sched.pick(NodeId(1), start, f.jobs(), f.task_fn(), retry));
+  ASSERT_TRUE(retry.has_value());
+  const auto pick =
+      sched.pick(NodeId(1), *retry, f.jobs(), f.task_fn(), retry);
+  EXPECT_TRUE(pick.has_value());
+}
+
+TEST(DelayScheduler, LocalLaunchResetsWait) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  Task& t = f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kReady);
+  j.wait_start = 5.0;
+  t.local = true;
+  TaskScheduler sched(Delay(), f.dfs());
+  sched.on_launched(j, t);
+  EXPECT_FALSE(j.waiting_since_set());
+}
+
+TEST(DelayScheduler, NonLocalLaunchKeepsExpiredTimer) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  Task& t = f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
+  j.wait_start = 5.0;
+  t.local = false;
+  TaskScheduler sched(Delay(), f.dfs());
+  sched.on_launched(j, t);
+  // The expired timer persists so follow-up tasks launch without re-waiting.
+  EXPECT_TRUE(j.waiting_since_set());
+}
+
+TEST(DelayScheduler, DownstreamTasksLaunchAnywhere) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  Task& reduce = f.add_downstream_task(j, TaskState::kReady);
+  TaskScheduler sched(Delay(), f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(7), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->task, reduce.id);
+}
+
+TEST(DelayScheduler, SkipsJobButServesNextOne) {
+  SchedulerFixture f;
+  Job& first = f.add_job();
+  f.add_input_task(first, f.add_block({NodeId(5)}), TaskState::kReady);
+  Job& second = f.add_job();
+  Task& local = f.add_input_task(second, f.add_block({NodeId(1)}),
+                                 TaskState::kReady);
+  TaskScheduler sched(Delay(), f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->task, local.id);  // job 1 skipped, job 2 local served
+  EXPECT_TRUE(first.waiting_since_set());
+}
+
+TEST(DelayScheduler, IgnoresNonReadyTasks) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kBlocked);
+  f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kRunning);
+  f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kFinished);
+  TaskScheduler sched(Delay(), f.dfs());
+  std::optional<SimTime> retry;
+  EXPECT_FALSE(sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry));
+  EXPECT_FALSE(retry.has_value());  // nothing will become pickable by time
+}
+
+TEST(LocalityPreferredScheduler, NeverWaits) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
+  TaskScheduler sched({SchedulerKind::kLocalityPreferred, 3.0}, f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_FALSE(pick->local);
+  EXPECT_FALSE(j.waiting_since_set());
+}
+
+TEST(LocalityPreferredScheduler, StillPrefersLocal) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
+  Task& local = f.add_input_task(j, f.add_block({NodeId(1)}),
+                                 TaskState::kReady);
+  TaskScheduler sched({SchedulerKind::kLocalityPreferred, 0.0}, f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->task, local.id);
+}
+
+TEST(FifoScheduler, IgnoresLocalityEntirely) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  Task& first = f.add_input_task(j, f.add_block({NodeId(5)}),
+                                 TaskState::kReady);
+  f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kReady);
+  TaskScheduler sched({SchedulerKind::kFifo, 3.0}, f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pick->task, first.id);  // stage order, not locality
+  EXPECT_FALSE(pick->local);
+}
+
+TEST(FifoScheduler, StillReportsLocalityForMetrics) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kReady);
+  TaskScheduler sched({SchedulerKind::kFifo, 0.0}, f.dfs());
+  std::optional<SimTime> retry;
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_TRUE(pick->local);  // happened to be local
+}
+
+TEST(Scheduler, HasLocalReadyInput) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(2)}), TaskState::kReady);
+  TaskScheduler sched(Delay(), f.dfs());
+  EXPECT_TRUE(sched.has_local_ready_input(j, NodeId(2), f.task_fn()));
+  EXPECT_FALSE(sched.has_local_ready_input(j, NodeId(3), f.task_fn()));
+}
+
+TEST(Scheduler, ZeroWaitDelayActsLikeLocalityPreferred) {
+  SchedulerFixture f;
+  Job& j = f.add_job();
+  f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
+  TaskScheduler sched(Delay(0.0), f.dfs());
+  std::optional<SimTime> retry;
+  EXPECT_TRUE(sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry));
+}
+
+}  // namespace
+}  // namespace custody::app

@@ -1,0 +1,168 @@
+// Unit tests for the discrete-event engine: ordering, cancellation,
+// re-entrancy, run_until semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace custody::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(2.0, [&] { fired.push_back(2); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelDropsEvent) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.push(1.0, [&] { fired = true; });
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(1.0, [&] { fired.push_back(1); });
+  EventHandle h = q.push(2.0, [&] { fired.push_back(2); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle h = q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  h.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventHandle, DefaultInvalid) {
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  h.cancel();  // no-op, must not crash
+  EXPECT_FALSE(h.cancelled());
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, ZeroDelayRunsAtSameTime) {
+  Simulator sim;
+  sim.schedule(1.0, [&] {
+    sim.schedule(0.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 1.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsPastAbsoluteTime) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.schedule(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancellationFromInsideEvent) {
+  Simulator sim;
+  bool late_fired = false;
+  EventHandle late = sim.schedule(2.0, [&] { late_fired = true; });
+  sim.schedule(1.0, [&] { late.cancel(); });
+  sim.run();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(Simulator, ManyEventsDeterministicCount) {
+  Simulator sim;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule(static_cast<double>(i % 17) * 0.1, [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 1000u);
+}
+
+}  // namespace
+}  // namespace custody::sim

@@ -1,0 +1,118 @@
+// Tests for trace persistence (SaveTrace/LoadTrace round-trips) and the
+// heterogeneous node-speed knob.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cluster/cluster.h"
+#include "workload/experiment.h"
+#include "workload/trace.h"
+
+namespace custody::workload {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverySubmission) {
+  Rng rng(21);
+  TraceConfig config;
+  config.num_apps = 3;
+  config.jobs_per_app = 7;
+  const auto original = GenerateMixedTrace(
+      {WorkloadKind::kPageRank, WorkloadKind::kSort}, config, rng);
+
+  const std::string path = ::testing::TempDir() + "/custody_trace.csv";
+  SaveTrace(original, path);
+  const auto loaded = LoadTrace(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded[i].time, original[i].time, 1e-4);
+    EXPECT_EQ(loaded[i].app_index, original[i].app_index);
+    EXPECT_EQ(loaded[i].kind, original[i].kind);
+    EXPECT_EQ(loaded[i].file_index, original[i].file_index);
+  }
+}
+
+TEST(TraceIo, LoadSortsByTime) {
+  const std::string path = ::testing::TempDir() + "/custody_trace2.csv";
+  {
+    std::ofstream out(path);
+    out << "time,app,kind,file\n";
+    out << "9.5,1,Sort,2\n";
+    out << "1.25,0,WordCount,0\n";
+  }
+  const auto trace = LoadTrace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace[0].time, 1.25);
+  EXPECT_EQ(trace[0].kind, WorkloadKind::kWordCount);
+  EXPECT_EQ(trace[1].app_index, 1);
+}
+
+TEST(TraceIo, RejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "/custody_trace3.csv";
+  auto write = [&path](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  write("wrong header\n");
+  EXPECT_THROW(LoadTrace(path), std::runtime_error);
+  write("time,app,kind,file\n1.0,0,NotAWorkload,0\n");
+  EXPECT_THROW(LoadTrace(path), std::runtime_error);
+  write("time,app,kind,file\n1.0,0,Sort\n");
+  EXPECT_THROW(LoadTrace(path), std::runtime_error);
+  write("time,app,kind,file\nxyz,0,Sort,0\n");
+  EXPECT_THROW(LoadTrace(path), std::runtime_error);
+  write("time,app,kind,file\n-1.0,0,Sort,0\n");
+  EXPECT_THROW(LoadTrace(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(LoadTrace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+// ---------- heterogeneous node speeds ----------------------------------------
+
+TEST(NodeSpeed, DefaultsToNominalAndValidates) {
+  cluster::Cluster cluster(4, cluster::WorkerConfig{});
+  EXPECT_DOUBLE_EQ(cluster.node_speed(NodeId(0)), 1.0);
+  cluster.set_node_speed(NodeId(1), 0.25);
+  EXPECT_DOUBLE_EQ(cluster.node_speed(NodeId(1)), 0.25);
+  EXPECT_THROW(cluster.set_node_speed(NodeId(9), 1.0), std::out_of_range);
+  EXPECT_THROW(cluster.set_node_speed(NodeId(1), 0.0), std::invalid_argument);
+}
+
+TEST(NodeSpeed, SlowNodesStretchCompletionTimes) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.manager = ManagerKind::kCustody;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 2;
+  config.trace.jobs_per_app = 4;
+  config.trace.files_per_kind = 3;
+  const auto uniform = RunExperiment(config);
+  config.slow_node_fraction = 0.25;
+  config.slow_node_factor = 5.0;
+  const auto hetero = RunExperiment(config);
+  EXPECT_EQ(hetero.jobs_completed, uniform.jobs_completed);
+  EXPECT_GT(hetero.jct.max, uniform.jct.max);
+}
+
+TEST(NodeSpeed, SpeculationRecoversSomeOfTheStretch) {
+  ExperimentConfig config;
+  config.num_nodes = 20;
+  config.manager = ManagerKind::kCustody;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 6;
+  config.trace.files_per_kind = 4;
+  config.slow_node_fraction = 0.2;
+  config.slow_node_factor = 5.0;
+  const auto plain = RunExperiment(config);
+  config.speculation = true;
+  const auto spec = RunExperiment(config);
+  EXPECT_GT(spec.speculative_wins, 0);
+  EXPECT_LT(spec.jct.max, plain.jct.max);
+}
+
+}  // namespace
+}  // namespace custody::workload

@@ -1,0 +1,244 @@
+// Tests for the workload generators, datasets, traces, and the experiment
+// runner's determinism contract.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "workload/experiment.h"
+#include "workload/trace.h"
+#include "workload/workloads.h"
+
+namespace custody::workload {
+namespace {
+
+using custody::units::GB;
+using custody::units::MB;
+
+dfs::Dfs MakeDfs(std::size_t nodes = 20) {
+  dfs::DfsConfig c;
+  c.num_nodes = nodes;
+  return dfs::Dfs(c, Rng(3));
+}
+
+TEST(Workloads, Names) {
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kPageRank), "PageRank");
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kWordCount), "WordCount");
+  EXPECT_STREQ(WorkloadName(WorkloadKind::kSort), "Sort");
+}
+
+TEST(Dataset, FileSizesMatchThePaper) {
+  auto dfs = MakeDfs();
+  Rng rng(1);
+  DatasetConfig config;
+  config.files_per_kind = 6;
+  const auto pr = BuildDataset(dfs, WorkloadKind::kPageRank, config, rng);
+  for (FileId f : pr.files) {
+    EXPECT_DOUBLE_EQ(dfs.namenode().file(f).bytes, GB(1.0));
+  }
+  const auto wc = BuildDataset(dfs, WorkloadKind::kWordCount, config, rng);
+  for (FileId f : wc.files) {
+    EXPECT_GE(dfs.namenode().file(f).bytes, GB(4.0));
+    EXPECT_LE(dfs.namenode().file(f).bytes, GB(8.0));
+  }
+  const auto sort = BuildDataset(dfs, WorkloadKind::kSort, config, rng);
+  for (FileId f : sort.files) {
+    EXPECT_GE(dfs.namenode().file(f).bytes, GB(1.0));
+    EXPECT_LE(dfs.namenode().file(f).bytes, GB(8.0));
+  }
+}
+
+TEST(Dataset, PopularityReplicationBoostsHotFiles) {
+  auto dfs = MakeDfs();
+  Rng rng(2);
+  DatasetConfig config;
+  config.files_per_kind = 8;
+  config.popularity_replication = true;
+  config.popularity_extra_replicas = 2;
+  config.hot_fraction = 0.25;  // 2 of 8 files are hot
+  const auto ds = BuildDataset(dfs, WorkloadKind::kPageRank, config, rng);
+  for (std::size_t i = 0; i < ds.files.size(); ++i) {
+    const auto replicas =
+        dfs.locations(dfs.blocks_of(ds.files[i]).front()).size();
+    EXPECT_EQ(replicas, i < 2 ? 5u : 3u) << "file " << i;
+  }
+}
+
+TEST(JobSpecs, WordCountShape) {
+  auto dfs = MakeDfs();
+  Rng rng(4);
+  DatasetConfig config;
+  config.files_per_kind = 1;
+  const auto ds = BuildDataset(dfs, WorkloadKind::kWordCount, config, rng);
+  const auto spec =
+      MakeJobSpec(WorkloadKind::kWordCount, ds.files[0], dfs, WorkloadParams{});
+  const int blocks = static_cast<int>(dfs.blocks_of(ds.files[0]).size());
+  ASSERT_EQ(spec.downstream.size(), 1u);  // map + one reduce
+  EXPECT_EQ(spec.downstream[0].num_tasks, std::max(1, blocks / 8));
+  // Network-light: shuffle is a few percent of the input.
+  const double input = dfs.namenode().file(ds.files[0]).bytes;
+  EXPECT_LT(spec.downstream[0].shuffle_bytes, 0.1 * input);
+}
+
+TEST(JobSpecs, SortShufflesEverything) {
+  auto dfs = MakeDfs();
+  Rng rng(5);
+  DatasetConfig config;
+  config.files_per_kind = 1;
+  const auto ds = BuildDataset(dfs, WorkloadKind::kSort, config, rng);
+  const auto spec =
+      MakeJobSpec(WorkloadKind::kSort, ds.files[0], dfs, WorkloadParams{});
+  const double input = dfs.namenode().file(ds.files[0]).bytes;
+  ASSERT_EQ(spec.downstream.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.downstream[0].shuffle_bytes, input);
+}
+
+TEST(JobSpecs, PageRankIterates) {
+  auto dfs = MakeDfs();
+  Rng rng(6);
+  DatasetConfig config;
+  config.files_per_kind = 1;
+  const auto ds = BuildDataset(dfs, WorkloadKind::kPageRank, config, rng);
+  WorkloadParams params;
+  params.pagerank_iterations = 5;
+  const auto spec = MakeJobSpec(WorkloadKind::kPageRank, ds.files[0], dfs,
+                                params);
+  EXPECT_EQ(spec.downstream.size(), 5u);
+  for (const auto& stage : spec.downstream) {
+    EXPECT_EQ(stage.num_tasks,
+              static_cast<int>(dfs.blocks_of(ds.files[0]).size()));
+    EXPECT_GT(stage.shuffle_bytes, 0.0);
+  }
+}
+
+TEST(Trace, SortedWithCorrectCounts) {
+  Rng rng(7);
+  TraceConfig config;
+  config.num_apps = 3;
+  config.jobs_per_app = 5;
+  const auto trace = GenerateTrace(WorkloadKind::kSort, config, rng);
+  ASSERT_EQ(trace.size(), 15u);
+  std::vector<int> per_app(3, 0);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].time, trace[i].time);
+  }
+  for (const auto& s : trace) {
+    ++per_app[static_cast<std::size_t>(s.app_index)];
+    EXPECT_EQ(s.kind, WorkloadKind::kSort);
+    EXPECT_LT(s.file_index, static_cast<std::size_t>(config.files_per_kind));
+  }
+  EXPECT_EQ(per_app, (std::vector<int>{5, 5, 5}));
+}
+
+TEST(Trace, MeanInterArrivalApproximatelyRight) {
+  Rng rng(8);
+  TraceConfig config;
+  config.num_apps = 1;
+  config.jobs_per_app = 4000;
+  config.mean_interarrival = 16.0;
+  const auto trace = GenerateTrace(WorkloadKind::kWordCount, config, rng);
+  EXPECT_NEAR(trace.back().time / 4000.0, 16.0, 1.0);
+}
+
+TEST(Trace, MixedTraceUsesAllKinds) {
+  Rng rng(9);
+  TraceConfig config;
+  config.num_apps = 2;
+  config.jobs_per_app = 50;
+  const auto trace = GenerateMixedTrace(
+      {WorkloadKind::kPageRank, WorkloadKind::kSort}, config, rng);
+  std::set<WorkloadKind> kinds;
+  for (const auto& s : trace) kinds.insert(s.kind);
+  EXPECT_EQ(kinds.size(), 2u);
+}
+
+TEST(Trace, RejectsDegenerateConfigs) {
+  Rng rng(10);
+  TraceConfig config;
+  config.num_apps = 0;
+  EXPECT_THROW(GenerateTrace(WorkloadKind::kSort, config, rng),
+               std::invalid_argument);
+  config.num_apps = 1;
+  EXPECT_THROW(GenerateMixedTrace({}, config, rng), std::invalid_argument);
+}
+
+// ---------- experiment runner ------------------------------------------------
+
+ExperimentConfig SmallExperiment(ManagerKind manager) {
+  ExperimentConfig config;
+  config.num_nodes = 12;
+  config.manager = manager;
+  config.kinds = {WorkloadKind::kWordCount};
+  config.trace.num_apps = 2;
+  config.trace.jobs_per_app = 4;
+  config.trace.files_per_kind = 3;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Experiment, CompletesAllJobs) {
+  for (ManagerKind m : {ManagerKind::kStandalone, ManagerKind::kCustody,
+                        ManagerKind::kOffer}) {
+    const auto result = RunExperiment(SmallExperiment(m));
+    EXPECT_EQ(result.jobs_completed, 8) << ManagerName(m);
+    EXPECT_EQ(result.jct.count, 8u);
+    EXPECT_GT(result.makespan, 0.0);
+    EXPECT_GT(result.events_processed, 0u);
+  }
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto a = RunExperiment(SmallExperiment(ManagerKind::kCustody));
+  const auto b = RunExperiment(SmallExperiment(ManagerKind::kCustody));
+  EXPECT_DOUBLE_EQ(a.job_locality.mean, b.job_locality.mean);
+  EXPECT_DOUBLE_EQ(a.jct.mean, b.jct.mean);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Experiment, SeedChangesTheRun) {
+  auto config = SmallExperiment(ManagerKind::kCustody);
+  const auto a = RunExperiment(config);
+  config.seed = 12;
+  const auto b = RunExperiment(config);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(Experiment, ManagerNameReported) {
+  EXPECT_EQ(RunExperiment(SmallExperiment(ManagerKind::kOffer)).manager_name,
+            "offer");
+  EXPECT_STREQ(ManagerName(ManagerKind::kStandalone), "standalone");
+}
+
+TEST(Experiment, OfferManagerTracksRejections) {
+  const auto result = RunExperiment(SmallExperiment(ManagerKind::kOffer));
+  EXPECT_GT(result.manager_stats.offers_made, 0u);
+}
+
+TEST(Experiment, CompareManagersSharesLayout) {
+  const auto cmp = CompareManagers(SmallExperiment(ManagerKind::kCustody));
+  EXPECT_EQ(cmp.baseline.jobs_completed, cmp.custody.jobs_completed);
+  EXPECT_EQ(cmp.baseline.manager_name, "standalone");
+  EXPECT_EQ(cmp.custody.manager_name, "custody");
+}
+
+TEST(Experiment, RejectsEmptyKinds) {
+  auto config = SmallExperiment(ManagerKind::kCustody);
+  config.kinds.clear();
+  EXPECT_THROW(RunExperiment(config), std::invalid_argument);
+}
+
+TEST(Experiment, LaunchCountersAddUp) {
+  const auto result = RunExperiment(SmallExperiment(ManagerKind::kCustody));
+  int input_tasks = 0;
+  // 8 jobs, input task counts vary per file; recompute from locality stats:
+  input_tasks = result.launches_local + result.launches_covered_busy +
+                result.launches_uncovered;
+  EXPECT_GT(input_tasks, 0);
+  const double locality =
+      100.0 * result.launches_local / static_cast<double>(input_tasks);
+  EXPECT_NEAR(locality, result.overall_task_locality_percent, 1e-6);
+}
+
+}  // namespace
+}  // namespace custody::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_managers"
+  "../bench/bench_ablation_managers.pdb"
+  "CMakeFiles/bench_ablation_managers.dir/bench_ablation_managers.cpp.o"
+  "CMakeFiles/bench_ablation_managers.dir/bench_ablation_managers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_locality"
+  "../bench/bench_fig7_locality.pdb"
+  "CMakeFiles/bench_fig7_locality.dir/bench_fig7_locality.cpp.o"
+  "CMakeFiles/bench_fig7_locality.dir/bench_fig7_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_jct"
+  "../bench/bench_fig8_jct.pdb"
+  "CMakeFiles/bench_fig8_jct.dir/bench_fig8_jct.cpp.o"
+  "CMakeFiles/bench_fig8_jct.dir/bench_fig8_jct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_input_stage"
+  "../bench/bench_fig9_input_stage.pdb"
+  "CMakeFiles/bench_fig9_input_stage.dir/bench_fig9_input_stage.cpp.o"
+  "CMakeFiles/bench_fig9_input_stage.dir/bench_fig9_input_stage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_input_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

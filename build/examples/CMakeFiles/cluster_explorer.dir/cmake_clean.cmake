@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_explorer.dir/cluster_explorer.cpp.o"
+  "CMakeFiles/cluster_explorer.dir/cluster_explorer.cpp.o.d"
+  "cluster_explorer"
+  "cluster_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_dataset.dir/hot_dataset.cpp.o"
+  "CMakeFiles/hot_dataset.dir/hot_dataset.cpp.o.d"
+  "hot_dataset"
+  "hot_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

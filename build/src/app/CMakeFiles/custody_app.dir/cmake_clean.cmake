@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_app.dir/application.cpp.o"
+  "CMakeFiles/custody_app.dir/application.cpp.o.d"
+  "CMakeFiles/custody_app.dir/scheduler.cpp.o"
+  "CMakeFiles/custody_app.dir/scheduler.cpp.o.d"
+  "libcustody_app.a"
+  "libcustody_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/custody_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/custody_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/custody_manager.cpp" "src/cluster/CMakeFiles/custody_cluster.dir/custody_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/custody_cluster.dir/custody_manager.cpp.o.d"
+  "/root/repo/src/cluster/manager.cpp" "src/cluster/CMakeFiles/custody_cluster.dir/manager.cpp.o" "gcc" "src/cluster/CMakeFiles/custody_cluster.dir/manager.cpp.o.d"
+  "/root/repo/src/cluster/offer_manager.cpp" "src/cluster/CMakeFiles/custody_cluster.dir/offer_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/custody_cluster.dir/offer_manager.cpp.o.d"
+  "/root/repo/src/cluster/pool_manager.cpp" "src/cluster/CMakeFiles/custody_cluster.dir/pool_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/custody_cluster.dir/pool_manager.cpp.o.d"
+  "/root/repo/src/cluster/standalone_manager.cpp" "src/cluster/CMakeFiles/custody_cluster.dir/standalone_manager.cpp.o" "gcc" "src/cluster/CMakeFiles/custody_cluster.dir/standalone_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/custody_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/custody_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/custody_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/custody_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/custody_cluster.dir/custody_manager.cpp.o"
+  "CMakeFiles/custody_cluster.dir/custody_manager.cpp.o.d"
+  "CMakeFiles/custody_cluster.dir/manager.cpp.o"
+  "CMakeFiles/custody_cluster.dir/manager.cpp.o.d"
+  "CMakeFiles/custody_cluster.dir/offer_manager.cpp.o"
+  "CMakeFiles/custody_cluster.dir/offer_manager.cpp.o.d"
+  "CMakeFiles/custody_cluster.dir/pool_manager.cpp.o"
+  "CMakeFiles/custody_cluster.dir/pool_manager.cpp.o.d"
+  "CMakeFiles/custody_cluster.dir/standalone_manager.cpp.o"
+  "CMakeFiles/custody_cluster.dir/standalone_manager.cpp.o.d"
+  "libcustody_cluster.a"
+  "libcustody_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

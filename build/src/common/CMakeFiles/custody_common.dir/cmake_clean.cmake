@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_common.dir/csv.cpp.o"
+  "CMakeFiles/custody_common.dir/csv.cpp.o.d"
+  "CMakeFiles/custody_common.dir/log.cpp.o"
+  "CMakeFiles/custody_common.dir/log.cpp.o.d"
+  "CMakeFiles/custody_common.dir/rng.cpp.o"
+  "CMakeFiles/custody_common.dir/rng.cpp.o.d"
+  "CMakeFiles/custody_common.dir/stats.cpp.o"
+  "CMakeFiles/custody_common.dir/stats.cpp.o.d"
+  "CMakeFiles/custody_common.dir/table.cpp.o"
+  "CMakeFiles/custody_common.dir/table.cpp.o.d"
+  "libcustody_common.a"
+  "libcustody_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

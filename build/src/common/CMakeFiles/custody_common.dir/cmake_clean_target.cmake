@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcustody_common.a"
+)

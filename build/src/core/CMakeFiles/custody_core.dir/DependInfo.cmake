@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/custody_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/custody_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/flow_network.cpp" "src/core/CMakeFiles/custody_core.dir/flow_network.cpp.o" "gcc" "src/core/CMakeFiles/custody_core.dir/flow_network.cpp.o.d"
+  "/root/repo/src/core/inter_app.cpp" "src/core/CMakeFiles/custody_core.dir/inter_app.cpp.o" "gcc" "src/core/CMakeFiles/custody_core.dir/inter_app.cpp.o.d"
+  "/root/repo/src/core/intra_app.cpp" "src/core/CMakeFiles/custody_core.dir/intra_app.cpp.o" "gcc" "src/core/CMakeFiles/custody_core.dir/intra_app.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/custody_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/custody_core.dir/matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/custody_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

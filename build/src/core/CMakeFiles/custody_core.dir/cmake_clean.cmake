@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_core.dir/allocator.cpp.o"
+  "CMakeFiles/custody_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/custody_core.dir/flow_network.cpp.o"
+  "CMakeFiles/custody_core.dir/flow_network.cpp.o.d"
+  "CMakeFiles/custody_core.dir/inter_app.cpp.o"
+  "CMakeFiles/custody_core.dir/inter_app.cpp.o.d"
+  "CMakeFiles/custody_core.dir/intra_app.cpp.o"
+  "CMakeFiles/custody_core.dir/intra_app.cpp.o.d"
+  "CMakeFiles/custody_core.dir/matching.cpp.o"
+  "CMakeFiles/custody_core.dir/matching.cpp.o.d"
+  "libcustody_core.a"
+  "libcustody_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

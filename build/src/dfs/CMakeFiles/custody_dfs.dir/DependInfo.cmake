@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/cache.cpp" "src/dfs/CMakeFiles/custody_dfs.dir/cache.cpp.o" "gcc" "src/dfs/CMakeFiles/custody_dfs.dir/cache.cpp.o.d"
+  "/root/repo/src/dfs/dfs.cpp" "src/dfs/CMakeFiles/custody_dfs.dir/dfs.cpp.o" "gcc" "src/dfs/CMakeFiles/custody_dfs.dir/dfs.cpp.o.d"
+  "/root/repo/src/dfs/namenode.cpp" "src/dfs/CMakeFiles/custody_dfs.dir/namenode.cpp.o" "gcc" "src/dfs/CMakeFiles/custody_dfs.dir/namenode.cpp.o.d"
+  "/root/repo/src/dfs/placement.cpp" "src/dfs/CMakeFiles/custody_dfs.dir/placement.cpp.o" "gcc" "src/dfs/CMakeFiles/custody_dfs.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/custody_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

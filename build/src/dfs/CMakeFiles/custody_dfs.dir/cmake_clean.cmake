@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_dfs.dir/cache.cpp.o"
+  "CMakeFiles/custody_dfs.dir/cache.cpp.o.d"
+  "CMakeFiles/custody_dfs.dir/dfs.cpp.o"
+  "CMakeFiles/custody_dfs.dir/dfs.cpp.o.d"
+  "CMakeFiles/custody_dfs.dir/namenode.cpp.o"
+  "CMakeFiles/custody_dfs.dir/namenode.cpp.o.d"
+  "CMakeFiles/custody_dfs.dir/placement.cpp.o"
+  "CMakeFiles/custody_dfs.dir/placement.cpp.o.d"
+  "libcustody_dfs.a"
+  "libcustody_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

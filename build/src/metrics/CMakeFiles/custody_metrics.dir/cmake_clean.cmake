@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/custody_metrics.dir/metrics.cpp.o.d"
+  "libcustody_metrics.a"
+  "libcustody_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

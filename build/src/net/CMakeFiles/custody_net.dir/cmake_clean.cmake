@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_net.dir/network.cpp.o"
+  "CMakeFiles/custody_net.dir/network.cpp.o.d"
+  "libcustody_net.a"
+  "libcustody_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/custody_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/custody_sim.dir/simulator.cpp.o"
+  "CMakeFiles/custody_sim.dir/simulator.cpp.o.d"
+  "libcustody_sim.a"
+  "libcustody_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custody_workload.dir/experiment.cpp.o"
+  "CMakeFiles/custody_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/custody_workload.dir/failures.cpp.o"
+  "CMakeFiles/custody_workload.dir/failures.cpp.o.d"
+  "CMakeFiles/custody_workload.dir/trace.cpp.o"
+  "CMakeFiles/custody_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/custody_workload.dir/workloads.cpp.o"
+  "CMakeFiles/custody_workload.dir/workloads.cpp.o.d"
+  "libcustody_workload.a"
+  "libcustody_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custody_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

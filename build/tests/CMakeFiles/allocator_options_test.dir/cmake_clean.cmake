@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_options_test.dir/allocator_options_test.cpp.o"
+  "CMakeFiles/allocator_options_test.dir/allocator_options_test.cpp.o.d"
+  "allocator_options_test"
+  "allocator_options_test.pdb"
+  "allocator_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/motivating_test.cpp" "tests/CMakeFiles/motivating_test.dir/motivating_test.cpp.o" "gcc" "tests/CMakeFiles/motivating_test.dir/motivating_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/custody_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/custody_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/custody_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/custody_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/custody_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/custody_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/custody_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/custody_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/custody_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivating_test.dir/motivating_test.cpp.o"
+  "CMakeFiles/motivating_test.dir/motivating_test.cpp.o.d"
+  "motivating_test"
+  "motivating_test.pdb"
+  "motivating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

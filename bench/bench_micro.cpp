@@ -110,15 +110,33 @@ void BM_DinicMaxFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_DinicMaxFlow)->Arg(100)->Arg(1000);
 
-/// A full Custody allocation round at paper scale: 100 nodes, 200
-/// executors, 4 applications with a handful of pending jobs each.
-void BM_CustodyAllocationRound(benchmark::State& state) {
-  const std::size_t num_nodes = static_cast<std::size_t>(state.range(0));
+/// Everything one allocation round consumes, pre-built outside the timed
+/// loop so indexed and reference runs see identical inputs.
+struct AllocationRoundInstance {
+  std::vector<std::vector<NodeId>> locations;
+  std::vector<core::ExecutorInfo> idle;
+  std::vector<core::AppDemand> demands;
+  int pending_tasks = 0;
+
+  [[nodiscard]] core::BlockLocationsFn locate() const {
+    return [this](BlockId b) -> const std::vector<NodeId>& {
+      return locations[b.value()];
+    };
+  }
+};
+
+/// Build a round instance: `num_nodes` x 2 executors, `num_apps` apps whose
+/// budgets sum to the whole pool, jobs of 48 input tasks over 3-replica
+/// blocks (one block per 2 executors, the paper's shape scaled up).
+AllocationRoundInstance MakeAllocationRound(std::size_t num_nodes,
+                                            std::size_t num_apps,
+                                            std::size_t jobs_per_app) {
   const int execs_per_node = 2;
+  AllocationRoundInstance inst;
   Rng rng(7);
-  const int num_blocks = 500;
-  std::vector<std::vector<NodeId>> locations(num_blocks);
-  for (auto& nodes : locations) {
+  const std::size_t num_blocks = std::max<std::size_t>(num_nodes, 8);
+  inst.locations.resize(num_blocks);
+  for (auto& nodes : inst.locations) {
     while (nodes.size() < 3) {
       const NodeId n(static_cast<NodeId::value_type>(rng.index(num_nodes)));
       if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
@@ -126,25 +144,22 @@ void BM_CustodyAllocationRound(benchmark::State& state) {
       }
     }
   }
-  const auto locate = [&locations](BlockId b) -> const std::vector<NodeId>& {
-    return locations[b.value()];
-  };
 
-  std::vector<core::ExecutorInfo> idle;
   for (std::size_t n = 0; n < num_nodes; ++n) {
     for (int e = 0; e < execs_per_node; ++e) {
-      idle.push_back(
-          {ExecutorId(static_cast<ExecutorId::value_type>(idle.size())),
+      inst.idle.push_back(
+          {ExecutorId(static_cast<ExecutorId::value_type>(inst.idle.size())),
            NodeId(static_cast<NodeId::value_type>(n))});
     }
   }
 
-  std::vector<core::AppDemand> demands(4);
+  inst.demands.resize(num_apps);
   core::TaskUid uid = 0;
-  for (std::size_t a = 0; a < demands.size(); ++a) {
-    demands[a].app = AppId(static_cast<AppId::value_type>(a));
-    demands[a].budget = static_cast<int>(idle.size()) / 4;
-    for (int j = 0; j < 4; ++j) {
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    inst.demands[a].app = AppId(static_cast<AppId::value_type>(a));
+    inst.demands[a].budget =
+        static_cast<int>(inst.idle.size() / num_apps);
+    for (std::size_t j = 0; j < jobs_per_app; ++j) {
       core::JobDemand job;
       job.job = uid;
       job.total_tasks = 48;
@@ -152,19 +167,69 @@ void BM_CustodyAllocationRound(benchmark::State& state) {
         job.unsatisfied.push_back(
             {uid++, BlockId(static_cast<BlockId::value_type>(
                         rng.index(num_blocks)))});
+        ++inst.pending_tasks;
       }
-      demands[a].jobs.push_back(std::move(job));
+      inst.demands[a].jobs.push_back(std::move(job));
     }
   }
+  return inst;
+}
 
+void RunAllocationRoundBench(benchmark::State& state,
+                             const AllocationRoundInstance& inst,
+                             bool indexed) {
+  core::AllocatorOptions options;
+  options.indexed = indexed;
+  const auto locate = inst.locate();
+  std::uint64_t grants = 0;
+  std::uint64_t scanned = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::CustodyAllocator::Allocate(demands, idle, locate));
+    const auto result =
+        core::CustodyAllocator::Allocate(inst.demands, inst.idle, locate,
+                                         options);
+    grants = result.stats.grants;
+    scanned = result.stats.executors_scanned;
+    benchmark::DoNotOptimize(result);
   }
-  state.SetLabel(std::to_string(idle.size()) + " executors, " +
-                 std::to_string(4 * 4 * 48) + " pending tasks");
+  // items/s == executor grants/s: the comparable ops/sec column between
+  // the indexed and reference rows at each scale.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(grants));
+  state.SetLabel(std::to_string(inst.idle.size()) + " execs, " +
+                 std::to_string(inst.pending_tasks) + " tasks, " +
+                 std::to_string(grants) + " grants, " +
+                 std::to_string(scanned) + " slots scanned");
+}
+
+/// A full Custody allocation round at paper scale: 100 nodes, 200
+/// executors, 4 applications with a handful of pending jobs each.
+void BM_CustodyAllocationRound(benchmark::State& state) {
+  const auto inst = MakeAllocationRound(
+      static_cast<std::size_t>(state.range(0)), 4, 4);
+  RunAllocationRoundBench(state, inst, /*indexed=*/true);
 }
 BENCHMARK(BM_CustodyAllocationRound)->Arg(25)->Arg(100);
+
+/// Allocation rounds at production scale — 1k/5k/10k executors, 8 apps,
+/// pending tasks ~ 4x the pool (a contended round: every executor is
+/// granted and most tasks stay unsatisfied).  The `indexed:1` rows use the node-
+/// indexed pool + incremental min-locality tracker; `/indexed/0` is the
+/// seed's linear-scan reference path.  Compare items_per_second (executor
+/// grants per second) between the two rows at the same executor count.
+void BM_AllocationRoundAtScale(benchmark::State& state) {
+  const std::size_t execs = static_cast<std::size_t>(state.range(0));
+  const auto inst = MakeAllocationRound(execs / 2, 8, execs / 96);
+  RunAllocationRoundBench(state, inst, state.range(1) != 0);
+}
+BENCHMARK(BM_AllocationRoundAtScale)
+    ->ArgNames({"execs", "indexed"})
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({5000, 1})
+    ->Args({5000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Unit(benchmark::kMillisecond);
 
 /// End-to-end simulator throughput: events per second on a busy network.
 void BM_SimulatedTransfers(benchmark::State& state) {

@@ -61,5 +61,11 @@ int main(int argc, char** argv) {
             << cmp.custody.events_processed << " events in "
             << AsciiTable::fmt(cmp.custody.makespan, 1)
             << "s of simulated time.\n";
+  std::cout << "Custody ran " << cmp.custody.round_wall.count
+            << " allocation rounds (mean "
+            << AsciiTable::fmt(cmp.custody.round_wall.mean * 1e6, 1)
+            << " us wall each, "
+            << AsciiTable::fmt(cmp.custody.round_yield_fraction * 100.0, 1)
+            << "% granted at least one executor).\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "cluster/custody_manager.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -24,6 +25,9 @@ CustodyManager::CustodyManager(sim::Simulator& sim, Cluster& cluster,
 
 void CustodyManager::register_app(AppHandle& app) {
   app.set_share(share_);
+  if (!apps_by_id_.emplace(app.id(), &app).second) {
+    throw std::invalid_argument("CustodyManager: duplicate app id");
+  }
   apps_.push_back(&app);
   // No executors yet: Custody waits for job submissions so the allocation
   // can see the input data (the core idea of the paper).
@@ -63,21 +67,33 @@ void CustodyManager::reallocate_now() {
     demands.push_back(std::move(demand));
   }
 
+  const auto round_start = std::chrono::steady_clock::now();
   const auto result =
       core::CustodyAllocator::Allocate(demands, idle, locations_,
                                        config_.options);
-  if (result.assignments.empty()) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    round_start)
+          .count();
+
+  // Every round that ran the allocator counts, even when it granted
+  // nothing — fruitless rounds are exactly the overhead worth watching.
   ++stats_.allocation_rounds;
+  stats_.allocation_wall_seconds += wall;
+  stats_.last_round_wall_seconds = wall;
+  stats_.executors_scanned += result.stats.executors_scanned;
+  stats_.apps_considered += result.stats.apps_considered;
+  if (round_observer_) {
+    round_observer_({sim_.now(), wall, idle.size(),
+                     result.assignments.size(), apps_.size(),
+                     result.stats.executors_scanned});
+  }
 
   for (const core::Assignment& assignment : result.assignments) {
-    for (AppHandle* app : apps_) {
-      if (app->id() == assignment.app) {
-        LOG_DEBUG << "custody: grant executor " << assignment.exec << " to app "
-                  << assignment.app;
-        grant(*app, assignment.exec);
-        break;
-      }
-    }
+    AppHandle* app = apps_by_id_.at(assignment.app);
+    LOG_DEBUG << "custody: grant executor " << assignment.exec << " to app "
+              << assignment.app;
+    grant(*app, assignment.exec);
   }
 }
 

@@ -9,6 +9,7 @@
 // mirroring the plugin that batches proposals to Spark's standalone master.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/manager.h"
@@ -45,7 +46,10 @@ class CustodyManager final : public ClusterManager {
   core::BlockLocationsFn locations_;
   CustodyConfig config_;
   int share_ = 0;
-  std::vector<AppHandle*> apps_;
+  std::vector<AppHandle*> apps_;  // registration order drives demand order
+  /// Grant routing: assignment.app -> handle without scanning apps_ per
+  /// assignment (the seed's O(assignments x apps) loop).
+  std::unordered_map<AppId, AppHandle*> apps_by_id_;
   bool round_pending_ = false;
 };
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -53,12 +54,30 @@ class AppHandle {
 };
 
 /// Counters every manager maintains (offer churn matters for Sec. II-A).
+/// `allocation_rounds` counts every round that ran the allocator, including
+/// rounds that granted nothing — `executors_granted` separates the yield.
 struct ManagerStats {
   std::uint64_t allocation_rounds = 0;
   std::uint64_t executors_granted = 0;
   std::uint64_t executors_released = 0;
   std::uint64_t offers_made = 0;
   std::uint64_t offers_rejected = 0;
+  // Allocation-round cost (wall-clock, not simulated time; Custody only).
+  double allocation_wall_seconds = 0.0;    ///< cumulative across rounds
+  double last_round_wall_seconds = 0.0;
+  std::uint64_t executors_scanned = 0;     ///< pool slots inspected, total
+  std::uint64_t apps_considered = 0;       ///< inter-app picks, total
+};
+
+/// One allocation round's cost, pushed to the observer as it completes so
+/// experiment harnesses can feed metrics without the manager linking them.
+struct AllocationRoundInfo {
+  SimTime when = 0.0;            ///< simulated instant of the round
+  double wall_seconds = 0.0;     ///< real time spent inside Allocate
+  std::size_t idle_executors = 0;
+  std::size_t grants = 0;
+  std::size_t apps = 0;
+  std::uint64_t executors_scanned = 0;
 };
 
 class ClusterManager {
@@ -83,6 +102,13 @@ class ClusterManager {
 
   [[nodiscard]] const ManagerStats& stats() const { return stats_; }
 
+  /// Called after each allocation round with its cost; managers that do
+  /// not run discrete rounds (standalone) never invoke it.
+  using RoundObserver = std::function<void(const AllocationRoundInfo&)>;
+  void set_round_observer(RoundObserver observer) {
+    round_observer_ = std::move(observer);
+  }
+
  protected:
   /// Assign in the cluster ledger and notify the application.
   void grant(AppHandle& app, ExecutorId exec);
@@ -93,6 +119,7 @@ class ClusterManager {
   sim::Simulator& sim_;
   Cluster& cluster_;
   ManagerStats stats_;
+  RoundObserver round_observer_;
 };
 
 }  // namespace custody::cluster

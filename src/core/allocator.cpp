@@ -1,6 +1,7 @@
 #include "core/allocator.h"
 
 #include <cassert>
+#include <optional>
 
 namespace custody::core {
 
@@ -21,40 +22,52 @@ AllocationResult CustodyAllocator::Allocate(
     jobs.push_back(demands[i].jobs);  // mutable working copy
   }
 
-  IdleExecutorPool pool(idle);
+  IdleExecutorPool pool(idle, options.indexed);
+
+  // The incremental MINLOCALITY index replaces the reference path's
+  // O(apps) rescan per pick and per grant.  While an app is being served
+  // its stats mutate, so it is detached from the tracker for the duration
+  // of its intra-app pass and re-attached afterwards.
+  std::optional<MinLocalityTracker> tracker;
+  if (options.locality_fair && options.indexed) tracker.emplace(apps);
 
   // INTER-APP FAIRNESS (Algorithm 1): while executors remain, the app with
   // the lowest percentage of local jobs picks next.
   while (!pool.empty()) {
-    const auto pick = options.locality_fair ? PickMinLocality(apps)
-                                            : PickFewestHeld(apps);
+    const auto pick = tracker ? tracker->min()
+                              : (options.locality_fair ? PickMinLocality(apps)
+                                                       : PickFewestHeld(apps));
     if (!pick) break;  // every app is at its budget
     const std::size_t current = *pick;
+    ++result.stats.apps_considered;
+    if (tracker) tracker->remove(current);
 
     const auto before_tasks = apps[current].projected.local_tasks;
     const auto before_jobs = apps[current].projected.local_jobs;
     const auto pass = IntraAppAllocate(
         apps, current, jobs[current], pool, locations,
         [&result](const Assignment& a) { result.assignments.push_back(a); },
-        options.priority_jobs, options.locality_fair);
+        options.priority_jobs, options.locality_fair,
+        tracker ? &*tracker : nullptr);
     result.tasks_satisfied[current] +=
         apps[current].projected.local_tasks - before_tasks;
     result.jobs_satisfied[current] +=
         apps[current].projected.local_jobs - before_jobs;
 
-    if (pass.stop == IntraAppStop::kLostMinLocality) {
-      continue;  // someone else is now the least localized — re-pick
-    }
-    if (pass.executors_taken == 0 &&
+    if (pass.stop != IntraAppStop::kLostMinLocality &&
+        pass.executors_taken == 0 &&
         pass.stop != IntraAppStop::kBudgetExhausted) {
       // The app can take more but nothing useful remains for it; taking it
       // out of the round prevents a livelock on PickMinLocality.
       apps[current].budget = apps[current].held;
     }
+    if (tracker) tracker->restore(current);
   }
 
   result.projected.reserve(apps.size());
   for (const AppAllocState& app : apps) result.projected.push_back(app.projected);
+  result.stats.executors_scanned = pool.scanned();
+  result.stats.grants = result.assignments.size();
   return result;
 }
 

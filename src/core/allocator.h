@@ -8,6 +8,7 @@
 // assignment y plus per-task placement hints z.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/inter_app.h"
@@ -27,6 +28,23 @@ struct AllocatorOptions {
   /// the next.  Off: round-robin one task per job — the "fairness-based"
   /// intra-application split of Figs. 4–5.
   bool priority_jobs = true;
+  /// On (default): O(replicas) node-indexed executor pool and the
+  /// incremental MINLOCALITY tracker.  Off: the original linear-scan
+  /// reference path — kept only so tests can prove the indexed path emits
+  /// byte-identical assignments and benches can measure the speedup.
+  bool indexed = true;
+};
+
+/// What one allocation round cost — the observability half of the indexed
+/// hot path (scanned counts shrink ~100x at 10k executors; wall time is
+/// measured by the manager around the whole round).
+struct RoundStats {
+  /// Pool slots inspected across every claim/has_on during the round.
+  std::uint64_t executors_scanned = 0;
+  /// Inter-application picks taken (Algorithm 1 loop iterations).
+  std::uint64_t apps_considered = 0;
+  /// Executors handed out (== assignments.size(), for convenience).
+  std::uint64_t grants = 0;
 };
 
 struct AllocationResult {
@@ -37,6 +55,8 @@ struct AllocationResult {
   std::vector<int> tasks_satisfied;
   /// Per input demand: pending jobs that became fully local this round.
   std::vector<int> jobs_satisfied;
+  /// Work counters for this round.
+  RoundStats stats;
 };
 
 class CustodyAllocator {

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/model.h"
@@ -53,5 +54,43 @@ bool IsStillMinLocality(const std::vector<AppAllocState>& apps,
 /// Initialize allocation state from a demand: projected totals include the
 /// pending jobs/tasks, all initially non-local.
 AppAllocState MakeAllocState(const AppDemand& demand, std::size_t index);
+
+/// Incremental MINLOCALITY index: an ordered set over the apps that can
+/// still take executors, keyed exactly like PickMinLocality's linear argmin
+/// ((job %, task %, app id) ascending, then vector index so duplicate app
+/// ids keep the scan's first-wins behaviour).  Picking the next app and the
+/// per-grant ALLOCATEEXECUTOR re-check both become O(log apps) instead of
+/// re-scanning every application — the seed's O(apps) rescan per grant is
+/// what made a round O(executors x apps).
+///
+/// Contract: an app's key fields (projected stats, held, budget) may only
+/// be mutated while that app is detached via remove(); everything else in
+/// the set must stay unchanged, which holds because an intra-app pass only
+/// ever mutates the app it serves.
+class MinLocalityTracker {
+ public:
+  explicit MinLocalityTracker(const std::vector<AppAllocState>& apps);
+
+  /// Detach `index` before mutating apps[index] (no-op when absent).
+  void remove(std::size_t index);
+  /// Re-attach `index` after mutation iff it can still take executors.
+  void restore(std::size_t index);
+
+  /// The app PickMinLocality would choose among the attached apps.
+  [[nodiscard]] std::optional<std::size_t> min() const;
+
+  /// IsStillMinLocality for a *detached* index: true iff re-attaching it
+  /// would make it the pick.  Used after every single allocation.
+  [[nodiscard]] bool would_pick(std::size_t index) const;
+
+ private:
+  struct IndexLess {
+    const std::vector<AppAllocState>* apps;
+    bool operator()(std::size_t a, std::size_t b) const;
+  };
+
+  const std::vector<AppAllocState>* apps_;
+  std::set<std::size_t, IndexLess> ordered_;
+};
 
 }  // namespace custody::core

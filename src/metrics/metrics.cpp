@@ -70,6 +70,36 @@ std::vector<double> MetricsCollector::per_app_local_job_fraction(
   return out;
 }
 
+std::vector<double> MetricsCollector::round_wall_times() const {
+  std::vector<double> out;
+  out.reserve(rounds_.size());
+  for (const AllocationRoundRecord& r : rounds_) out.push_back(r.wall_seconds);
+  return out;
+}
+
+std::vector<double> MetricsCollector::round_grant_counts() const {
+  std::vector<double> out;
+  out.reserve(rounds_.size());
+  for (const AllocationRoundRecord& r : rounds_) {
+    out.push_back(static_cast<double>(r.grants));
+  }
+  return out;
+}
+
+std::uint64_t MetricsCollector::total_executors_scanned() const {
+  std::uint64_t total = 0;
+  for (const AllocationRoundRecord& r : rounds_) total += r.executors_scanned;
+  return total;
+}
+
+double MetricsCollector::round_yield_fraction() const {
+  if (rounds_.empty()) return 0.0;
+  const auto productive =
+      std::count_if(rounds_.begin(), rounds_.end(),
+                    [](const AllocationRoundRecord& r) { return r.grants > 0; });
+  return static_cast<double>(productive) / rounds_.size();
+}
+
 SimTime MetricsCollector::makespan() const {
   SimTime latest = 0.0;
   for (const JobRecord& job : jobs_) {

@@ -33,6 +33,19 @@ struct TaskRecord {
   [[nodiscard]] SimTime duration() const { return finish_time - launch_time; }
 };
 
+/// One manager allocation round: when it ran (simulated), what it cost
+/// (wall-clock) and what it did.  Mirrors cluster::AllocationRoundInfo so
+/// the metrics layer stays free of cluster dependencies; the experiment
+/// runner bridges the two.
+struct AllocationRoundRecord {
+  SimTime when = 0.0;
+  double wall_seconds = 0.0;
+  int idle_executors = 0;
+  int grants = 0;
+  int apps_active = 0;
+  std::uint64_t executors_scanned = 0;
+};
+
 struct JobRecord {
   AppId app;
   JobId job;
@@ -62,9 +75,15 @@ class MetricsCollector {
  public:
   void record_task(const TaskRecord& record) { tasks_.push_back(record); }
   void record_job(const JobRecord& record) { jobs_.push_back(record); }
+  void record_round(const AllocationRoundRecord& record) {
+    rounds_.push_back(record);
+  }
 
   [[nodiscard]] const std::vector<TaskRecord>& tasks() const { return tasks_; }
   [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
+  [[nodiscard]] const std::vector<AllocationRoundRecord>& rounds() const {
+    return rounds_;
+  }
 
   // --- figure-level summaries -------------------------------------------
   /// Fig. 7: one sample per job — % of its input tasks that were local.
@@ -87,9 +106,20 @@ class MetricsCollector {
 
   [[nodiscard]] SimTime makespan() const;
 
+  // --- allocation-round instrumentation ---------------------------------
+  /// Wall-clock seconds per allocation round (one sample per round).
+  [[nodiscard]] std::vector<double> round_wall_times() const;
+  /// Executors granted per round.
+  [[nodiscard]] std::vector<double> round_grant_counts() const;
+  /// Total pool slots inspected across all recorded rounds.
+  [[nodiscard]] std::uint64_t total_executors_scanned() const;
+  /// Fraction of rounds that granted at least one executor.
+  [[nodiscard]] double round_yield_fraction() const;
+
  private:
   std::vector<TaskRecord> tasks_;
   std::vector<JobRecord> jobs_;
+  std::vector<AllocationRoundRecord> rounds_;
 };
 
 }  // namespace custody::metrics

@@ -38,6 +38,17 @@ std::vector<double> MaxMinFairRates(
   }
 
   std::size_t remaining = num_flows;
+  // A flow that traverses no link is never frozen by any bottleneck, so
+  // `remaining` would never reach 0 and release builds (assert compiled
+  // out) would spin forever.  Such a flow is unconstrained: give it
+  // unbounded rate up front.
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (flow_links[f].empty()) {
+      rate[f] = std::numeric_limits<double>::infinity();
+      assigned[f] = true;
+      --remaining;
+    }
+  }
   while (remaining > 0) {
     // Find the bottleneck link: smallest fair share among links that still
     // carry unassigned flows.

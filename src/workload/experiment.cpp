@@ -132,6 +132,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   // --- applications --------------------------------------------------------
   metrics::MetricsCollector metrics;
+  manager->set_round_observer(
+      [&metrics](const cluster::AllocationRoundInfo& info) {
+        metrics.record_round({info.when, info.wall_seconds,
+                              static_cast<int>(info.idle_executors),
+                              static_cast<int>(info.grants),
+                              static_cast<int>(info.apps),
+                              info.executors_scanned});
+      });
   app::IdSource ids;
   app::AppConfig app_config;
   app_config.dynamic_executors = config.manager != ManagerKind::kStandalone;
@@ -194,6 +202,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.per_app_local_job_fraction = metrics.per_app_local_job_fraction(
       static_cast<std::size_t>(config.trace.num_apps));
   result.manager_stats = manager->stats();
+  result.round_wall = Summarize(metrics.round_wall_times());
+  result.round_yield_fraction = metrics.round_yield_fraction();
   result.cache_insertions = cache.stats().insertions;
   result.cache_hits = cache.stats().hits;
   result.nodes_failed = nodes_failed;

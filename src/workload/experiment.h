@@ -89,6 +89,10 @@ struct ExperimentResult {
   /// Max-min fairness check: per-app fraction of perfectly local jobs.
   std::vector<double> per_app_local_job_fraction;
   cluster::ManagerStats manager_stats;
+  /// Allocation-round cost (Custody rounds): wall time per round and the
+  /// fraction of rounds that granted at least one executor.
+  Summary round_wall;
+  double round_yield_fraction = 0.0;
   /// Cache effectiveness when a block cache is configured.
   std::uint64_t cache_insertions = 0;
   std::uint64_t cache_hits = 0;

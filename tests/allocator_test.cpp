@@ -147,6 +147,98 @@ TEST(IdlePool, ClaimAnyDrainsPool) {
   EXPECT_FALSE(pool.claim_any().valid());
 }
 
+// The node index and next-free structure must reproduce the linear scans'
+// claim order exactly, under arbitrary interleavings of claim_on/claim_any.
+TEST(IdlePool, IndexedMatchesReferenceScanOrder) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int num_nodes = rng.uniform_int(1, 10);
+    const int num_execs = rng.uniform_int(0, 30);
+    std::vector<ExecutorInfo> execs;
+    for (int e = 0; e < num_execs; ++e) {
+      execs.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                       NodeId(static_cast<NodeId::value_type>(
+                           rng.index(num_nodes)))});
+    }
+    IdleExecutorPool indexed(execs, /*indexed=*/true);
+    IdleExecutorPool reference(execs, /*indexed=*/false);
+    for (int step = 0; step < num_execs + 5; ++step) {
+      if (rng.uniform(0.0, 1.0) < 0.5) {
+        std::vector<NodeId> nodes;
+        const int want = rng.uniform_int(1, 3);
+        for (int k = 0; k < want; ++k) {
+          nodes.push_back(NodeId(static_cast<NodeId::value_type>(
+              rng.index(num_nodes + 2))));  // may name nodes with no executor
+        }
+        ASSERT_EQ(indexed.has_on(nodes), reference.has_on(nodes));
+        ASSERT_EQ(indexed.claim_on(nodes), reference.claim_on(nodes));
+      } else {
+        ASSERT_EQ(indexed.claim_any(), reference.claim_any());
+      }
+      ASSERT_EQ(indexed.size(), reference.size());
+    }
+  }
+}
+
+TEST(IdlePool, ScannedCounterGrowsSlowerWhenIndexed) {
+  std::vector<ExecutorInfo> execs;
+  for (int e = 0; e < 512; ++e) {
+    execs.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                     NodeId(static_cast<NodeId::value_type>(e / 2))});
+  }
+  IdleExecutorPool indexed(execs, /*indexed=*/true);
+  IdleExecutorPool reference(execs, /*indexed=*/false);
+  // Probing a node near the tail repeatedly: O(replicas) vs O(pool).
+  const std::vector<NodeId> tail{NodeId(255)};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(indexed.has_on(tail));
+    ASSERT_TRUE(reference.has_on(tail));
+  }
+  EXPECT_LT(indexed.scanned() * 10, reference.scanned());
+}
+
+// ---------- min-locality tracker --------------------------------------------
+
+TEST(MinLocalityTracker, MatchesPickMinLocality) {
+  std::vector<AppAllocState> apps(3);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    apps[i].app = AppId(static_cast<AppId::value_type>(i));
+    apps[i].budget = 2;
+  }
+  apps[0].projected = {3, 4, 30, 40};  // 75% local jobs
+  apps[1].projected = {1, 4, 10, 40};  // 25% — the min
+  apps[2].projected = {2, 4, 20, 40};  // 50%
+  MinLocalityTracker tracker(apps);
+  ASSERT_EQ(tracker.min(), PickMinLocality(apps));
+  ASSERT_TRUE(tracker.min().has_value());
+  EXPECT_EQ(*tracker.min(), 1u);
+
+  // Detach the min, improve it past app 2, re-attach: order updates.
+  tracker.remove(1);
+  EXPECT_EQ(*tracker.min(), 2u);
+  EXPECT_TRUE(tracker.would_pick(1));  // unchanged, it would still win
+  apps[1].projected.local_jobs = 3;    // now 75%, tied with app 0 on jobs
+  EXPECT_FALSE(tracker.would_pick(1));
+  tracker.restore(1);
+  ASSERT_EQ(tracker.min(), PickMinLocality(apps));
+
+  // Apps at budget leave the ordering, exactly like PickMinLocality.
+  tracker.remove(2);
+  apps[2].held = apps[2].budget;
+  tracker.restore(2);  // no-op: cannot take more
+  ASSERT_EQ(tracker.min(), PickMinLocality(apps));
+
+  // Everyone full -> no pick.
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    tracker.remove(i);
+    apps[i].held = apps[i].budget;
+    tracker.restore(i);
+  }
+  EXPECT_FALSE(tracker.min().has_value());
+  EXPECT_FALSE(PickMinLocality(apps).has_value());
+  EXPECT_FALSE(tracker.would_pick(0));
+}
+
 // ---------- the paper's motivating scenarios --------------------------------
 
 // Fig. 1: four single-executor nodes, two apps each with one 2-task job.
@@ -435,6 +527,101 @@ TEST(CustodyAllocator, PropertyCapacityConstraintsAndDeterminism) {
         }
       }
       EXPECT_TRUE(found);
+    }
+  }
+}
+
+// Property: the indexed hot path (node-indexed pool + incremental
+// min-locality tracker) must produce *byte-identical* assignment sequences
+// to the seed's linear-scan reference path, across random seeds, app/pool
+// shapes and every ablation combination.
+TEST(CustodyAllocator, PropertyIndexedMatchesReferenceAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 7919);
+    const int num_nodes = rng.uniform_int(2, 40);
+    const int num_execs = rng.uniform_int(1, 80);
+    const int num_blocks = rng.uniform_int(1, 60);
+    Locations loc;
+    for (int b = 0; b < num_blocks; ++b) {
+      std::vector<NodeId> nodes;
+      const int replicas = rng.uniform_int(1, std::min(3, num_nodes));
+      while (static_cast<int>(nodes.size()) < replicas) {
+        const NodeId n(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+        if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+          nodes.push_back(n);
+        }
+      }
+      loc.set(BlockId(static_cast<BlockId::value_type>(b)), nodes);
+    }
+    std::vector<ExecutorInfo> idle;
+    for (int e = 0; e < num_execs; ++e) {
+      idle.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                      NodeId(static_cast<NodeId::value_type>(
+                          rng.index(num_nodes)))});
+    }
+    std::vector<AppDemand> demands(rng.uniform_int(1, 6));
+    TaskUid next_task = 0;
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      demands[a].app = AppId(static_cast<AppId::value_type>(a));
+      demands[a].budget = rng.uniform_int(0, num_execs);
+      demands[a].held = rng.uniform_int(0, 2);
+      demands[a].locality = {rng.uniform_int(0, 5), rng.uniform_int(5, 10),
+                             rng.uniform_int(0, 40), rng.uniform_int(40, 80)};
+      const int jobs = rng.uniform_int(0, 6);
+      for (int j = 0; j < jobs; ++j) {
+        JobDemand job;
+        job.job = next_task * 100 + static_cast<JobUid>(j);
+        const int tasks = rng.uniform_int(1, 10);
+        job.total_tasks = tasks + rng.uniform_int(0, 2);
+        for (int t = 0; t < tasks; ++t) {
+          job.unsatisfied.push_back(
+              {next_task++, BlockId(static_cast<BlockId::value_type>(
+                                rng.index(num_blocks)))});
+        }
+        demands[a].jobs.push_back(job);
+      }
+    }
+
+    for (const bool locality_fair : {true, false}) {
+      for (const bool priority_jobs : {true, false}) {
+        AllocatorOptions fast;
+        fast.locality_fair = locality_fair;
+        fast.priority_jobs = priority_jobs;
+        fast.indexed = true;
+        AllocatorOptions reference = fast;
+        reference.indexed = false;
+
+        const auto a = CustodyAllocator::Allocate(demands, idle, loc.fn(),
+                                                  fast);
+        const auto b = CustodyAllocator::Allocate(demands, idle, loc.fn(),
+                                                  reference);
+        ASSERT_EQ(a.assignments.size(), b.assignments.size())
+            << "seed " << seed << " lf=" << locality_fair
+            << " pj=" << priority_jobs;
+        for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+          ASSERT_EQ(a.assignments[i].exec, b.assignments[i].exec)
+              << "seed " << seed << " assignment " << i;
+          ASSERT_EQ(a.assignments[i].app, b.assignments[i].app)
+              << "seed " << seed << " assignment " << i;
+          ASSERT_EQ(a.assignments[i].hint_task, b.assignments[i].hint_task)
+              << "seed " << seed << " assignment " << i;
+        }
+        ASSERT_EQ(a.tasks_satisfied, b.tasks_satisfied) << "seed " << seed;
+        ASSERT_EQ(a.jobs_satisfied, b.jobs_satisfied) << "seed " << seed;
+        ASSERT_EQ(a.projected.size(), b.projected.size());
+        for (std::size_t i = 0; i < a.projected.size(); ++i) {
+          ASSERT_EQ(a.projected[i].local_jobs, b.projected[i].local_jobs);
+          ASSERT_EQ(a.projected[i].local_tasks, b.projected[i].local_tasks);
+        }
+        ASSERT_EQ(a.stats.grants, b.stats.grants);
+        ASSERT_EQ(a.stats.apps_considered, b.stats.apps_considered);
+        // The whole point of the index: strictly less scanning on any
+        // instance big enough to matter.
+        if (num_execs >= 16 && a.stats.grants > 4) {
+          EXPECT_LE(a.stats.executors_scanned, b.stats.executors_scanned)
+              << "seed " << seed;
+        }
+      }
     }
   }
 }

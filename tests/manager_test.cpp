@@ -157,6 +157,92 @@ TEST(CustodyManager, CoalescesSameInstantRounds) {
   EXPECT_EQ(f.manager.stats().allocation_rounds, 1u);
 }
 
+TEST(CustodyManager, CountsRoundsThatGrantNothing) {
+  // Regression: rounds that ran the full allocator but granted nothing
+  // were invisible in the stats (the counter sat behind the empty check).
+  CustodyFixture f;
+  MockApp app(AppId(0));
+  f.manager.register_app(app);
+  app.wanted = 0;  // demand-capped budget is zero -> no grants possible
+  app.demand.push_back({0, 1, {{1, BlockId(0)}}});
+  f.manager.on_demand_changed(app);
+  f.sim.run();
+  EXPECT_TRUE(app.granted.empty());
+  EXPECT_EQ(f.manager.stats().allocation_rounds, 1u);
+  EXPECT_EQ(f.manager.stats().executors_granted, 0u);
+}
+
+TEST(CustodyManager, RoundInstrumentationAccumulates) {
+  CustodyFixture f;
+  f.locations[BlockId(0)] = {NodeId(1)};
+  MockApp app(AppId(0));
+  f.manager.register_app(app);
+
+  std::vector<AllocationRoundInfo> observed;
+  f.manager.set_round_observer(
+      [&observed](const AllocationRoundInfo& info) {
+        observed.push_back(info);
+      });
+
+  app.wanted = 1;
+  app.demand.push_back({0, 1, {{1, BlockId(0)}}});
+  f.manager.on_demand_changed(app);
+  f.sim.run();
+
+  const auto& stats = f.manager.stats();
+  EXPECT_EQ(stats.allocation_rounds, 1u);
+  EXPECT_EQ(stats.executors_granted, 1u);
+  EXPECT_GE(stats.allocation_wall_seconds, 0.0);
+  EXPECT_GE(stats.allocation_wall_seconds, stats.last_round_wall_seconds);
+  EXPECT_GT(stats.executors_scanned, 0u);
+  EXPECT_GT(stats.apps_considered, 0u);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].grants, 1u);
+  EXPECT_EQ(observed[0].apps, 1u);
+  EXPECT_EQ(observed[0].idle_executors, 4u);
+  EXPECT_EQ(observed[0].executors_scanned, stats.executors_scanned);
+}
+
+TEST(CustodyManager, RejectsDuplicateAppIds) {
+  CustodyFixture f;
+  MockApp a(AppId(0));
+  MockApp b(AppId(0));
+  f.manager.register_app(a);
+  EXPECT_THROW(f.manager.register_app(b), std::invalid_argument);
+}
+
+TEST(CustodyManager, RoutesGrantsAcrossManyApps) {
+  // The AppId -> handle map must route every grant to the right app even
+  // when registration order and id order disagree.
+  sim::Simulator sim;
+  Cluster cluster(16, WorkerConfig{.executors_per_node = 1});
+  std::map<BlockId, std::vector<NodeId>> locations;
+  CustodyManager manager(
+      sim, cluster,
+      [&locations](BlockId b) -> const std::vector<NodeId>& {
+        return locations[b];
+      },
+      CustodyConfig{8, {}});
+  std::vector<std::unique_ptr<MockApp>> apps;
+  for (int a = 7; a >= 0; --a) {  // reverse registration order
+    apps.push_back(std::make_unique<MockApp>(AppId(a)));
+    manager.register_app(*apps.back());
+  }
+  for (auto& app : apps) {
+    app->wanted = 2;
+    locations[BlockId(app->id().value())] = {NodeId(app->id().value())};
+    app->demand.push_back(
+        {app->id().value(), 1, {{app->id().value(), BlockId(app->id().value())}}});
+    manager.on_demand_changed(*app);
+  }
+  sim.run();
+  for (auto& app : apps) {
+    ASSERT_EQ(app->granted.size(), 2u) << "app " << app->id();
+    // The data-local grant lands on the node storing the app's block.
+    EXPECT_EQ(cluster.node_of(app->granted[0]), NodeId(app->id().value()));
+  }
+}
+
 TEST(CustodyManager, DemandCapsBudgetBelowShare) {
   CustodyFixture f;
   MockApp app(AppId(0));

@@ -101,5 +101,20 @@ TEST(Metrics, RawRecordsAccessible) {
   EXPECT_EQ(m.jobs().size(), 1u);
 }
 
+TEST(Metrics, AllocationRoundRecords) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.round_yield_fraction(), 0.0);  // no rounds yet
+  m.record_round({/*when=*/1.0, /*wall_seconds=*/2e-4, /*idle_executors=*/8,
+                  /*grants=*/4, /*apps_active=*/2, /*executors_scanned=*/40});
+  m.record_round({2.0, 1e-4, 4, 0, 2, 12});  // fruitless round
+  m.record_round({3.0, 3e-4, 4, 2, 2, 20});
+
+  ASSERT_EQ(m.rounds().size(), 3u);
+  EXPECT_EQ(m.round_wall_times(), (std::vector<double>{2e-4, 1e-4, 3e-4}));
+  EXPECT_EQ(m.round_grant_counts(), (std::vector<double>{4.0, 0.0, 2.0}));
+  EXPECT_EQ(m.total_executors_scanned(), 72u);
+  EXPECT_NEAR(m.round_yield_fraction(), 2.0 / 3.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace custody::metrics

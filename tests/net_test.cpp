@@ -50,6 +50,24 @@ TEST(MaxMinFairRates, EmptyInput) {
   EXPECT_TRUE(MaxMinFairRates({}, {100.0}).empty());
 }
 
+// Regression: a flow with an empty link list was never frozen by any
+// bottleneck, so `remaining` never reached 0 — in Release builds (assert
+// compiled out) the solver spun forever.  Such a flow is unconstrained
+// and must get unbounded rate without disturbing the others.
+TEST(MaxMinFairRates, EmptyLinkListGetsUnboundedRate) {
+  const auto rates = MaxMinFairRates({{}, {0}}, {100.0});
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_TRUE(std::isinf(rates[0]));
+  EXPECT_GT(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(MaxMinFairRates, AllFlowsLinklessTerminates) {
+  const auto rates = MaxMinFairRates({{}, {}, {}}, {50.0});
+  ASSERT_EQ(rates.size(), 3u);
+  for (double r : rates) EXPECT_TRUE(std::isinf(r));
+}
+
 // Property: no link over capacity, and allocation is max-min (no flow can
 // grow without shrinking a flow of smaller-or-equal rate).
 TEST(MaxMinFairRates, PropertyFeasibleAndMaxMin) {

@@ -46,6 +46,124 @@ void BM_MaxMinFairRates(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinFairRates)->Arg(16)->Arg(128)->Arg(512);
 
+/// One rate solve at scale: the persistent heap solver (`incremental:1`)
+/// against the from-scratch progressive-filling scan (`incremental:0`) over
+/// the same random flow set.  Compare the time columns row-pairwise; the
+/// label carries the per-solve work counters that explain the gap.
+void BM_MaxMinRecompute(benchmark::State& state) {
+  const std::size_t num_nodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t num_flows = static_cast<std::size_t>(state.range(1));
+  const bool incremental = state.range(2) != 0;
+  Rng rng(2);
+  std::vector<std::vector<std::size_t>> flow_links(num_flows);
+  for (auto& links : flow_links) {
+    const std::size_t src = rng.index(num_nodes);
+    std::size_t dst = rng.index(num_nodes);
+    if (dst == src) dst = (dst + 1) % num_nodes;
+    links = {src, num_nodes + dst};
+  }
+  std::vector<double> capacity(2 * num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    capacity[i] = units::Gbps(2.0);
+    capacity[num_nodes + i] = units::Gbps(40.0);
+  }
+
+  net::MaxMinFairSolver solver;
+  solver.reset_links(capacity);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    solver.add_flow(f, flow_links[f].data(), flow_links[f].size());
+  }
+  std::vector<double> rates;
+  net::SolveCounters counters;
+  if (incremental) {
+    for (auto _ : state) {
+      counters = {};
+      solver.solve(rates, &counters);
+      benchmark::DoNotOptimize(rates.data());
+    }
+  } else {
+    for (auto _ : state) {
+      counters = {};
+      benchmark::DoNotOptimize(
+          net::MaxMinFairRates(flow_links, capacity, &counters));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_flows));
+  state.SetLabel("rounds=" + std::to_string(counters.rounds) +
+                 " links_scanned=" + std::to_string(counters.links_scanned) +
+                 " flows_scanned=" + std::to_string(counters.flows_scanned));
+}
+BENCHMARK(BM_MaxMinRecompute)
+    ->ArgNames({"nodes", "flows", "incremental"})
+    ->Args({100, 1000, 1})
+    ->Args({100, 1000, 0})
+    ->Args({1000, 10000, 1})
+    ->Args({1000, 10000, 0})
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end network path under shuffle fan-out: bursts of `fan_in` flows
+/// converge on one destination per burst, all started in a single event —
+/// the Application's shuffle pattern at scale.  `incremental:1` is the
+/// batched + heap-solver path, `incremental:0` the recompute-per-change
+/// reference.  The label's NetStats counters show where the speedup comes
+/// from: solves batched away and sub-linear per-solve link work.
+void BM_NetworkShuffleFanOut(benchmark::State& state) {
+  const std::size_t num_nodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t num_flows = static_cast<std::size_t>(state.range(1));
+  const bool incremental = state.range(2) != 0;
+  const std::size_t fan_in = std::min<std::size_t>(num_nodes - 1, 100);
+  const std::size_t bursts = num_flows / fan_in;
+  std::uint64_t recomputes_run = 0;
+  std::uint64_t batched = 0;
+  std::uint64_t links_scanned = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::NetworkConfig config;
+    config.num_nodes = num_nodes;
+    config.incremental = incremental;
+    net::Network network(sim, config);
+    Rng rng(9);
+    std::size_t completed = 0;
+    for (std::size_t b = 0; b < bursts; ++b) {
+      const auto dst =
+          NodeId(static_cast<NodeId::value_type>(b % num_nodes));
+      const double when = 0.2 * static_cast<double>(b);
+      // One event starts the whole fan-in burst (the shuffle pattern).
+      sim.schedule_at(when, [&network, &rng, &completed, dst, fan_in,
+                             num_nodes] {
+        for (std::size_t f = 0; f < fan_in; ++f) {
+          auto src =
+              NodeId(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+          if (src == dst) {
+            src = NodeId(static_cast<NodeId::value_type>(
+                (src.value() + 1) % num_nodes));
+          }
+          network.start_flow(src, dst, units::MB(64.0),
+                             [&completed] { ++completed; });
+        }
+      });
+    }
+    sim.run();
+    if (completed != bursts * fan_in) state.SkipWithError("flows lost");
+    recomputes_run = network.stats().recomputes_run;
+    batched = network.stats().recomputes_batched();
+    links_scanned = network.stats().links_scanned;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(bursts * fan_in));
+  state.SetLabel("recomputes=" + std::to_string(recomputes_run) +
+                 " batched=" + std::to_string(batched) +
+                 " links_scanned=" + std::to_string(links_scanned));
+}
+BENCHMARK(BM_NetworkShuffleFanOut)
+    ->ArgNames({"nodes", "flows", "incremental"})
+    ->Args({100, 1000, 1})
+    ->Args({100, 1000, 0})
+    ->Args({1000, 10000, 1})
+    ->Args({1000, 10000, 0})
+    ->Unit(benchmark::kMillisecond);
+
 std::vector<core::MatchEdge> RandomEdges(int nl, int nr, double density,
                                          Rng& rng) {
   std::vector<core::MatchEdge> edges;

@@ -46,6 +46,22 @@ struct AllocationRoundRecord {
   std::uint64_t executors_scanned = 0;
 };
 
+/// What the fluid network's rate path cost over a whole run: recomputes
+/// executed vs. batched away by same-timestamp coalescing, and the scan
+/// counters that show the per-event work is sub-linear.  Mirrors
+/// net::NetStats so the metrics layer stays free of network dependencies;
+/// the experiment runner bridges the two (exactly like the allocation
+/// round records above).
+struct NetworkStatsRecord {
+  std::uint64_t recomputes_requested = 0;
+  std::uint64_t recomputes_run = 0;
+  std::uint64_t recomputes_batched = 0;
+  std::uint64_t flows_scanned = 0;
+  std::uint64_t links_scanned = 0;
+  std::uint64_t rounds = 0;
+  double wall_seconds = 0.0;
+};
+
 struct JobRecord {
   AppId app;
   JobId job;
@@ -78,11 +94,15 @@ class MetricsCollector {
   void record_round(const AllocationRoundRecord& record) {
     rounds_.push_back(record);
   }
+  void record_network(const NetworkStatsRecord& record) { network_ = record; }
 
   [[nodiscard]] const std::vector<TaskRecord>& tasks() const { return tasks_; }
   [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
   [[nodiscard]] const std::vector<AllocationRoundRecord>& rounds() const {
     return rounds_;
+  }
+  [[nodiscard]] const NetworkStatsRecord& network_stats() const {
+    return network_;
   }
 
   // --- figure-level summaries -------------------------------------------
@@ -120,6 +140,7 @@ class MetricsCollector {
   std::vector<TaskRecord> tasks_;
   std::vector<JobRecord> jobs_;
   std::vector<AllocationRoundRecord> rounds_;
+  NetworkStatsRecord network_;
 };
 
 }  // namespace custody::metrics

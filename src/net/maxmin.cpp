@@ -1,0 +1,162 @@
+#include "net/maxmin.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace custody::net {
+
+void MaxMinFairSolver::reset_links(std::vector<double> capacity) {
+  capacity_ = std::move(capacity);
+  link_flows_.assign(capacity_.size(), {});
+  flows_.clear();
+  live_slots_.clear();
+  touch_stamp_.assign(capacity_.size(), 0);
+  round_stamp_ = 0;
+}
+
+void MaxMinFairSolver::add_flow(std::size_t slot, const std::size_t* links,
+                                std::size_t count) {
+  assert(count <= kMaxLinksPerFlow);
+  if (slot >= flows_.size()) flows_.resize(slot + 1);
+  FlowEntry& flow = flows_[slot];
+  assert(!flow.live);
+  flow.degree = static_cast<std::uint32_t>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto link = static_cast<std::uint32_t>(links[i]);
+    assert(link < link_flows_.size());
+    flow.link[i] = link;
+    flow.pos[i] = static_cast<std::uint32_t>(link_flows_[link].size());
+    link_flows_[link].push_back(static_cast<std::uint32_t>(slot));
+  }
+  flow.live = true;
+  flow.live_pos = static_cast<std::uint32_t>(live_slots_.size());
+  live_slots_.push_back(static_cast<std::uint32_t>(slot));
+}
+
+void MaxMinFairSolver::remove_flow(std::size_t slot) {
+  assert(slot < flows_.size() && flows_[slot].live);
+  FlowEntry& flow = flows_[slot];
+  for (std::uint32_t i = 0; i < flow.degree; ++i) {
+    std::vector<std::uint32_t>& list = link_flows_[flow.link[i]];
+    const std::uint32_t pos = flow.pos[i];
+    const std::uint32_t moved = list.back();
+    list[pos] = moved;
+    list.pop_back();
+    if (moved != slot) {
+      // Fix the moved flow's recorded position on this link.
+      FlowEntry& other = flows_[moved];
+      for (std::uint32_t j = 0; j < other.degree; ++j) {
+        if (other.link[j] == flow.link[i] && other.pos[j] == list.size()) {
+          other.pos[j] = pos;
+          break;
+        }
+      }
+    }
+  }
+  const std::uint32_t moved_slot = live_slots_.back();
+  live_slots_[flow.live_pos] = moved_slot;
+  live_slots_.pop_back();
+  flows_[moved_slot].live_pos = flow.live_pos;
+  flow.live = false;
+  flow.degree = 0;
+}
+
+// Min-heap ordering on (share, link index): the reference scan keeps the
+// *first* strictly-smallest share, i.e. the lowest-indexed link among the
+// minima, so ties must break toward the lower link index here too.
+static bool HeapAfter(const MaxMinFairSolver::HeapEntry& a,
+                      const MaxMinFairSolver::HeapEntry& b) {
+  if (a.share != b.share) return a.share > b.share;
+  return a.link > b.link;
+}
+
+void MaxMinFairSolver::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+}
+
+MaxMinFairSolver::HeapEntry MaxMinFairSolver::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+  const HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+void MaxMinFairSolver::solve(std::vector<double>& rates,
+                             SolveCounters* counters) {
+  const std::size_t num_links = capacity_.size();
+  if (rates.size() < flows_.size()) rates.resize(flows_.size(), 0.0);
+  if (live_slots_.empty()) return;
+
+  rem_cap_.assign(capacity_.begin(), capacity_.end());
+  unassigned_.resize(num_links);
+  if (assigned_.size() < flows_.size()) assigned_.resize(flows_.size(), 1);
+  heap_.clear();
+
+  for (std::size_t l = 0; l < num_links; ++l) {
+    unassigned_[l] = static_cast<std::uint32_t>(link_flows_[l].size());
+  }
+  std::size_t remaining = 0;
+  for (const std::uint32_t slot : live_slots_) {
+    if (flows_[slot].degree == 0) {
+      // Unconstrained by any bottleneck: unbounded rate, as in the
+      // reference (a zero-degree flow would otherwise never be frozen).
+      rates[slot] = std::numeric_limits<double>::infinity();
+    } else {
+      assigned_[slot] = 0;
+      ++remaining;
+    }
+  }
+  for (std::size_t l = 0; l < num_links; ++l) {
+    if (unassigned_[l] == 0) continue;
+    heap_push({rem_cap_[l] / unassigned_[l], static_cast<std::uint32_t>(l)});
+  }
+  if (counters != nullptr) counters->links_scanned += num_links;
+
+  while (remaining > 0) {
+    assert(!heap_.empty());
+    const HeapEntry top = heap_pop();
+    if (counters != nullptr) ++counters->links_scanned;
+    const std::uint32_t l = top.link;
+    if (unassigned_[l] == 0) continue;  // drained since it was pushed
+    const double share = rem_cap_[l] / unassigned_[l];
+    if (share != top.share) {
+      // Stale entry: the link's share grew after this push (shares are
+      // monotone non-decreasing).  Re-queue it at its current share.
+      heap_push({share, l});
+      continue;
+    }
+    // `l` is the bottleneck: freeze every unassigned flow that crosses it.
+    if (counters != nullptr) ++counters->rounds;
+    ++round_stamp_;
+    touched_.clear();
+    for (const std::uint32_t f : link_flows_[l]) {
+      if (counters != nullptr) ++counters->flows_scanned;
+      if (assigned_[f]) continue;
+      rates[f] = share;
+      assigned_[f] = 1;
+      --remaining;
+      const FlowEntry& flow = flows_[f];
+      for (std::uint32_t i = 0; i < flow.degree; ++i) {
+        const std::uint32_t lk = flow.link[i];
+        rem_cap_[lk] = std::max(0.0, rem_cap_[lk] - share);
+        --unassigned_[lk];
+        if (touch_stamp_[lk] != round_stamp_) {
+          touch_stamp_[lk] = round_stamp_;
+          touched_.push_back(lk);
+        }
+      }
+    }
+    for (const std::uint32_t lk : touched_) {
+      if (unassigned_[lk] == 0) continue;
+      heap_push({rem_cap_[lk] / unassigned_[lk], lk});
+      if (counters != nullptr) ++counters->links_scanned;
+    }
+  }
+
+  // Leave assigned_ all-ones so the next solve only clears live slots.
+  for (const std::uint32_t slot : live_slots_) assigned_[slot] = 1;
+}
+
+}  // namespace custody::net

@@ -1,0 +1,99 @@
+// Incremental max-min fair rate solver.
+//
+// The reference algorithm (`MaxMinFairRates` in network.h) rescans every
+// flow and every link per bottleneck round: O(rounds x (F + L)) per
+// recompute, and the Network rebuilds its capacity and flow->link vectors
+// from scratch on every call.  This solver keeps the flow->link incidence
+// persistent across recomputes (flows are added/removed as they start,
+// cancel, or complete) and replaces the scan-everything bottleneck search
+// with a lazy min-heap of links keyed by fair share, so one solve costs
+// ~O((F*d + L) log L) with d <= kMaxLinksPerFlow links per flow.
+//
+// The solver is bit-identical to the reference: it processes bottleneck
+// links in the same order (smallest fair share first, lowest link index on
+// ties) and performs the same per-link capacity subtractions, so every
+// division and comparison sees the same operands.  The equivalence is
+// enforced by the multi-seed property suite in tests/net_equivalence_test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace custody::net {
+
+/// Work counters for one or more rate solves — the observability that shows
+/// the asymptotic win (entries visited, not just wall time).
+struct SolveCounters {
+  /// Flow-incidence entries visited while freezing bottlenecked flows.
+  std::uint64_t flows_scanned = 0;
+  /// Link inspections: per-round share scans (reference) or heap pushes,
+  /// pops and initializations (incremental).
+  std::uint64_t links_scanned = 0;
+  /// Bottleneck rounds executed.
+  std::uint64_t rounds = 0;
+};
+
+class MaxMinFairSolver {
+ public:
+  /// A network-model flow touches at most its source uplink, its
+  /// destination downlink and the optional shared core link.
+  static constexpr std::size_t kMaxLinksPerFlow = 3;
+
+  /// (Re)define the link set; drops every registered flow.
+  void reset_links(std::vector<double> capacity);
+
+  /// Register flow `slot` traversing `links[0..count)` (distinct link
+  /// indices, count <= kMaxLinksPerFlow).  Slots are caller-managed dense
+  /// indices and may be reused after remove_flow.
+  void add_flow(std::size_t slot, const std::size_t* links, std::size_t count);
+
+  /// Unregister a flow; O(degree) via swap-removal from its link lists.
+  void remove_flow(std::size_t slot);
+
+  /// Compute max-min fair rates for every registered flow into
+  /// `rates[slot]` (resized to cover the highest slot; dead slots keep
+  /// their previous values).  Allocation-free after warmup: all scratch
+  /// buffers are reused across calls.
+  void solve(std::vector<double>& rates, SolveCounters* counters = nullptr);
+
+  [[nodiscard]] std::size_t flow_count() const { return live_slots_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return capacity_.size(); }
+
+  /// Heap entry: a link and the fair share it had when pushed.  Entries go
+  /// stale when the link's share grows; stale entries are dropped (and the
+  /// fresh share re-pushed) lazily on pop.
+  struct HeapEntry {
+    double share;
+    std::uint32_t link;
+  };
+
+ private:
+  struct FlowEntry {
+    std::uint32_t link[kMaxLinksPerFlow] = {0, 0, 0};
+    /// Position of this flow inside link_flows_[link[i]].
+    std::uint32_t pos[kMaxLinksPerFlow] = {0, 0, 0};
+    std::uint32_t degree = 0;
+    std::uint32_t live_pos = 0;  ///< position inside live_slots_
+    bool live = false;
+  };
+
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop();
+
+  std::vector<double> capacity_;
+  std::vector<std::vector<std::uint32_t>> link_flows_;
+  std::vector<FlowEntry> flows_;           // indexed by slot
+  std::vector<std::uint32_t> live_slots_;  // unordered; swap-removed
+
+  // Scratch reused across solves (allocation-free recomputes).
+  std::vector<double> rem_cap_;
+  std::vector<std::uint32_t> unassigned_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::uint8_t> assigned_;
+  std::vector<std::uint32_t> touched_;
+  std::vector<std::uint64_t> touch_stamp_;
+  std::uint64_t round_stamp_ = 0;
+};
+
+}  // namespace custody::net

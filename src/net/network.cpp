@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
+
+#include "common/log.h"
 
 namespace custody::net {
 
@@ -21,7 +24,7 @@ constexpr double kTimeEpsilon = 1e-9;
 
 std::vector<double> MaxMinFairRates(
     const std::vector<std::vector<std::size_t>>& flow_links,
-    const std::vector<double>& capacity) {
+    const std::vector<double>& capacity, SolveCounters* counters) {
   const std::size_t num_flows = flow_links.size();
   const std::size_t num_links = capacity.size();
   std::vector<double> rate(num_flows, 0.0);
@@ -79,8 +82,17 @@ std::vector<double> MaxMinFairRates(
         --unassigned_on[l];
       }
     }
+    if (counters != nullptr) {
+      ++counters->rounds;
+      counters->links_scanned += num_links;
+      counters->flows_scanned += num_flows;
+    }
   }
   return rate;
+}
+
+bool AllFlowsStranded(std::size_t active_flows, double max_rate) {
+  return active_flows > 0 && !(max_rate > 0.0);
 }
 
 Network::Network(sim::Simulator& sim, NetworkConfig config)
@@ -92,12 +104,60 @@ Network::Network(sim::Simulator& sim, NetworkConfig config)
     throw std::invalid_argument("Network: link capacities must be positive");
   }
   last_update_ = sim_.now();
+  if (config_.incremental) {
+    // Link layout: [0, N) uplinks, [N, 2N) downlinks, optional 2N = core.
+    const std::size_t n = config_.num_nodes;
+    const bool has_core = config_.core_bps > 0.0;
+    std::vector<double> capacity(2 * n + (has_core ? 1 : 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      capacity[i] = config_.uplink_bps;
+      capacity[n + i] = config_.downlink_bps;
+    }
+    if (has_core) capacity[2 * n] = config_.core_bps;
+    solver_.reset_links(std::move(capacity));
+    // End-of-burst flush: the simulator runs this between events, so any
+    // number of same-timestamp start/cancel/completion mutations collapse
+    // into one recompute before the next event (or rate observation).
+    hook_ = sim_.add_post_event_hook([this] { flush(); });
+  }
+}
+
+Network::~Network() {
+  if (hook_ != 0) sim_.remove_post_event_hook(hook_);
 }
 
 double Network::uncontended_transfer_time(double bytes) const {
   double rate = std::min(config_.uplink_bps, config_.downlink_bps);
   if (config_.core_bps > 0.0) rate = std::min(rate, config_.core_bps);
   return bytes / rate;
+}
+
+std::uint32_t Network::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Network::unlink_slot(std::uint32_t slot) {
+  Slot& f = slots_[slot];
+  if (f.prev != kNil) {
+    slots_[f.prev].next = f.next;
+  } else {
+    head_ = f.next;
+  }
+  if (f.next != kNil) {
+    slots_[f.next].prev = f.prev;
+  } else {
+    tail_ = f.prev;
+  }
+  f.live = false;
+  f.on_complete = nullptr;
+  free_slots_.push_back(slot);
+  --live_count_;
 }
 
 FlowId Network::start_flow(NodeId src, NodeId dst, double bytes,
@@ -112,82 +172,159 @@ FlowId Network::start_flow(NodeId src, NodeId dst, double bytes,
 
   advance_progress();
   const FlowId id(next_flow_++);
-  flows_.emplace(id, Flow{src, dst, bytes, 0.0, std::move(on_complete)});
-  active_.push_back(id);
-  recompute();
+  const std::uint32_t slot = alloc_slot();
+  Slot& f = slots_[slot];
+  f.src = src;
+  f.dst = dst;
+  f.remaining = bytes;
+  f.rate = 0.0;
+  f.on_complete = std::move(on_complete);
+  f.id = id;
+  f.prev = tail_;
+  f.next = kNil;
+  f.live = true;
+  if (tail_ != kNil) {
+    slots_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+  ++live_count_;
+  slot_of_.emplace(id, slot);
+
+  if (config_.incremental) {
+    const std::size_t n = config_.num_nodes;
+    const std::size_t links[MaxMinFairSolver::kMaxLinksPerFlow] = {
+        src.value(), n + dst.value(), 2 * n};
+    solver_.add_flow(slot, links, config_.core_bps > 0.0 ? 3 : 2);
+  }
+  request_recompute();
   return id;
 }
 
 void Network::cancel_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
+  auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return;
   advance_progress();
-  flows_.erase(it);
-  active_.erase(std::remove(active_.begin(), active_.end(), id),
-                active_.end());
-  recompute();
+  const std::uint32_t slot = it->second;
+  slot_of_.erase(it);
+  if (config_.incremental) solver_.remove_flow(slot);
+  unlink_slot(slot);
+  request_recompute();
 }
 
 double Network::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  // Rates are flushed lazily so mid-burst observers always see the rates
+  // the burst will settle on (no simulated time passes inside a burst).
+  const_cast<Network*>(this)->flush();
+  auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? 0.0 : slots_[it->second].rate;
 }
 
 double Network::flow_remaining(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.remaining;
+  auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? 0.0 : slots_[it->second].remaining;
 }
 
-bool Network::flow_active(FlowId id) const { return flows_.count(id) > 0; }
+bool Network::flow_active(FlowId id) const { return slot_of_.count(id) > 0; }
 
 void Network::advance_progress() {
   const SimTime now = sim_.now();
   const double elapsed = now - last_update_;
   last_update_ = now;
   if (elapsed <= 0.0) return;
-  for (FlowId id : active_) {
-    Flow& flow = flows_.at(id);
+  assert(!dirty_);  // time must never pass with stale rates
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    Slot& flow = slots_[s];
     const double moved = std::min(flow.remaining, flow.rate * elapsed);
     flow.remaining -= moved;
     bytes_delivered_ += moved;
   }
 }
 
+void Network::request_recompute() {
+  ++stats_.recomputes_requested;
+  if (config_.incremental) {
+    dirty_ = true;  // flushed by the post-event hook or a rate observation
+  } else {
+    recompute();
+  }
+}
+
+void Network::flush() {
+  if (!dirty_) return;
+  dirty_ = false;
+  recompute();
+}
+
 void Network::recompute() {
-  // Link layout: [0, N) uplinks, [N, 2N) downlinks, optional 2N = core.
-  const std::size_t n = config_.num_nodes;
-  const bool has_core = config_.core_bps > 0.0;
-  std::vector<double> capacity(2 * n + (has_core ? 1 : 0));
-  for (std::size_t i = 0; i < n; ++i) {
-    capacity[i] = config_.uplink_bps;
-    capacity[n + i] = config_.downlink_bps;
-  }
-  if (has_core) capacity[2 * n] = config_.core_bps;
+  ++stats_.recomputes_run;
+  const auto wall_start = std::chrono::steady_clock::now();
+  SolveCounters counters;
+  if (config_.incremental) {
+    solver_.solve(rates_scratch_, &counters);
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      slots_[s].rate = rates_scratch_[s];
+    }
+  } else {
+    // Reference path: rebuild the solver inputs from scratch and rescan
+    // everything, exactly like the seed implementation.
+    const std::size_t n = config_.num_nodes;
+    const bool has_core = config_.core_bps > 0.0;
+    std::vector<double> capacity(2 * n + (has_core ? 1 : 0));
+    for (std::size_t i = 0; i < n; ++i) {
+      capacity[i] = config_.uplink_bps;
+      capacity[n + i] = config_.downlink_bps;
+    }
+    if (has_core) capacity[2 * n] = config_.core_bps;
 
-  std::vector<std::vector<std::size_t>> flow_links;
-  flow_links.reserve(active_.size());
-  for (FlowId id : active_) {
-    const Flow& flow = flows_.at(id);
-    std::vector<std::size_t> links{flow.src.value(), n + flow.dst.value()};
-    if (has_core) links.push_back(2 * n);
-    flow_links.push_back(std::move(links));
-  }
+    std::vector<std::vector<std::size_t>> flow_links;
+    flow_links.reserve(live_count_);
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      const Slot& flow = slots_[s];
+      std::vector<std::size_t> links{flow.src.value(), n + flow.dst.value()};
+      if (has_core) links.push_back(2 * n);
+      flow_links.push_back(std::move(links));
+    }
 
-  const std::vector<double> rates = MaxMinFairRates(flow_links, capacity);
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    flows_.at(active_[i]).rate = rates[i];
+    const std::vector<double> rates =
+        MaxMinFairRates(flow_links, capacity, &counters);
+    std::size_t i = 0;
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      slots_[s].rate = rates[i++];
+    }
   }
+  stats_.flows_scanned += counters.flows_scanned;
+  stats_.links_scanned += counters.links_scanned;
+  stats_.rounds += counters.rounds;
+  stats_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   arm_completion_event();
 }
 
 void Network::arm_completion_event() {
   completion_event_.cancel();
-  if (active_.empty()) return;
+  if (live_count_ == 0) return;
   double soonest = std::numeric_limits<double>::infinity();
-  for (FlowId id : active_) {
-    const Flow& flow = flows_.at(id);
+  double max_rate = 0.0;
+  for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+    const Slot& flow = slots_[s];
+    max_rate = std::max(max_rate, flow.rate);
     if (flow.rate <= 0.0) continue;
     soonest = std::min(soonest, flow.remaining / flow.rate);
+  }
+  if (AllFlowsStranded(live_count_, max_rate)) {
+    // Every active flow clamped to rate 0 (only reachable through
+    // floating-point rounding in the progressive filling): no completion
+    // event can be armed and the flows would hang silently.  Fail loudly.
+    LOG_ERROR << "net: all " << live_count_
+              << " active flows stranded at rate 0; no completion event can "
+                 "be armed (progressive-filling rounding collapse)";
+    throw std::runtime_error(
+        "Network: all active flows stranded at rate 0 — the fluid model "
+        "cannot make progress (rounding collapse in progressive filling)");
   }
   if (!std::isfinite(soonest)) return;
   completion_event_ =
@@ -198,24 +335,26 @@ void Network::on_completion_event() {
   advance_progress();
 
   // Collect finished flows first, then mutate state, then run callbacks:
-  // callbacks routinely start new flows re-entrantly.
+  // callbacks routinely start new flows re-entrantly.  Walking the intrusive
+  // list visits flows in start order, matching the seed's vector scan, so
+  // completion callbacks fire in the same deterministic order.
   std::vector<CompletionFn> callbacks;
-  std::vector<FlowId> still_active;
-  still_active.reserve(active_.size());
-  for (FlowId id : active_) {
-    Flow& flow = flows_.at(id);
+  std::uint32_t s = head_;
+  while (s != kNil) {
+    Slot& flow = slots_[s];
+    const std::uint32_t next = flow.next;
     const bool done = flow.remaining <= kByteEpsilon ||
                       (flow.rate > 0.0 &&
                        flow.remaining <= flow.rate * kTimeEpsilon);
     if (done) {
       callbacks.push_back(std::move(flow.on_complete));
-      flows_.erase(id);
-    } else {
-      still_active.push_back(id);
+      slot_of_.erase(flow.id);
+      if (config_.incremental) solver_.remove_flow(s);
+      unlink_slot(s);
     }
+    s = next;
   }
-  active_ = std::move(still_active);
-  recompute();
+  request_recompute();
 
   for (auto& cb : callbacks) {
     if (cb) cb();

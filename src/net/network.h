@@ -7,12 +7,28 @@
 // single pending completion event tracks the next flow to finish; it is
 // re-derived after every rate change.
 //
+// Two rate paths produce identical results (bit-for-bit, enforced by the
+// multi-seed property suite in tests/net_equivalence_test.cpp):
+//
+//  * incremental (default) — flow-set changes only mark the rates dirty;
+//    one recompute runs per simulator event ("same-timestamp batching": a
+//    shuffle fan-out that starts k flows in one event costs one solve, not
+//    k), flushed by a simulator post-event hook or lazily when a rate is
+//    observed.  The solve itself runs on MaxMinFairSolver's persistent
+//    link-incidence structure: ~O((F*d + L) log L) per recompute and
+//    allocation-free.
+//  * reference (NetworkConfig::incremental = false) — the seed behavior:
+//    a full O(rounds x (F + L)) progressive-filling pass on every start,
+//    cancel and completion, rebuilding its inputs each time.  Kept only so
+//    tests can prove equivalence and benches can measure the speedup.
+//
 // The default capacities mirror the paper's Linode nodes (Sec. VI-A):
 // 40 Gbps downlink and 2 Gbps uplink per node.  An optional aggregate core
 // capacity models an oversubscribed fabric for ablation experiments.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -20,6 +36,7 @@
 
 #include "common/types.h"
 #include "common/units.h"
+#include "net/maxmin.h"
 #include "sim/simulator.h"
 
 namespace custody::net {
@@ -30,6 +47,33 @@ struct NetworkConfig {
   double downlink_bps = units::Gbps(40.0);
   /// Aggregate fabric capacity shared by all flows; 0 disables the bottleneck.
   double core_bps = 0.0;
+  /// On (default): batched + incremental rate recomputation.  Off: the
+  /// recompute-per-change reference path (test/bench only).
+  bool incremental = true;
+};
+
+/// What the rate path cost — surfaced through the experiment runner next to
+/// the allocation-round records so the batching and the asymptotic solver
+/// win show up as counters, not just wall time.
+struct NetStats {
+  /// Flow-set changes that requested a rate recompute (each one would have
+  /// been a full recompute on the reference path).
+  std::uint64_t recomputes_requested = 0;
+  /// Rate solves actually executed.
+  std::uint64_t recomputes_run = 0;
+  /// Flow-incidence entries visited across all solves.
+  std::uint64_t flows_scanned = 0;
+  /// Link inspections (scans or heap operations) across all solves.
+  std::uint64_t links_scanned = 0;
+  /// Bottleneck rounds across all solves.
+  std::uint64_t rounds = 0;
+  /// Wall-clock seconds spent inside rate solves.
+  double wall_seconds = 0.0;
+
+  /// Recomputes absorbed by same-timestamp batching.
+  [[nodiscard]] std::uint64_t recomputes_batched() const {
+    return recomputes_requested - recomputes_run;
+  }
 };
 
 class Network {
@@ -37,6 +81,7 @@ class Network {
   using CompletionFn = std::function<void()>;
 
   Network(sim::Simulator& sim, NetworkConfig config);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -49,33 +94,55 @@ class Network {
   /// Abort an in-flight flow; its completion callback never fires.
   void cancel_flow(FlowId id);
 
-  /// Current max-min fair rate of a live flow, bytes/second.
+  /// Current max-min fair rate of a live flow, bytes/second.  Flushes any
+  /// pending recompute first, so mid-burst observations see final rates.
   [[nodiscard]] double flow_rate(FlowId id) const;
 
   /// Bytes still to transfer for a live flow (as of the last rate change).
   [[nodiscard]] double flow_remaining(FlowId id) const;
 
   [[nodiscard]] bool flow_active(FlowId id) const;
-  [[nodiscard]] std::size_t active_flow_count() const { return active_.size(); }
+  [[nodiscard]] std::size_t active_flow_count() const { return live_count_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
   /// Total bytes delivered since construction (for reporting).
   [[nodiscard]] double bytes_delivered() const { return bytes_delivered_; }
 
+  /// Rate-path work counters (recomputes run/batched, scan counts, wall).
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
   /// Lower bound on the time to ship `bytes` between two idle nodes.
   [[nodiscard]] double uncontended_transfer_time(double bytes) const;
 
  private:
-  struct Flow {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One flow-table slot.  Slots are reused after a flow ends; the intrusive
+  /// prev/next list preserves start order, which keeps completion-callback
+  /// ordering deterministic and identical to the seed's vector scan while
+  /// making cancel_flow O(1) instead of O(F).
+  struct Slot {
     NodeId src;
     NodeId dst;
     double remaining = 0.0;
     double rate = 0.0;
     CompletionFn on_complete;
+    FlowId id;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    bool live = false;
   };
+
+  std::uint32_t alloc_slot();
+  void unlink_slot(std::uint32_t slot);
 
   /// Account progress of all active flows since `last_update_`.
   void advance_progress();
+  /// A flow-set change happened: recompute now (reference) or mark dirty
+  /// and let the end-of-event hook / next observation flush (incremental).
+  void request_recompute();
+  /// Run the pending recompute, if any.
+  void flush();
   /// Recompute max-min rates and re-arm the next completion event.
   void recompute();
   void arm_completion_event();
@@ -83,21 +150,42 @@ class Network {
 
   sim::Simulator& sim_;
   NetworkConfig config_;
-  std::unordered_map<FlowId, Flow> flows_;
-  std::vector<FlowId> active_;  // insertion order; kept deterministic
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t head_ = kNil;  // oldest live flow (start order)
+  std::uint32_t tail_ = kNil;
+  std::size_t live_count_ = 0;
+  std::unordered_map<FlowId, std::uint32_t> slot_of_;
+
+  MaxMinFairSolver solver_;
+  std::vector<double> rates_scratch_;
+  bool dirty_ = false;
+  sim::Simulator::HookId hook_ = 0;
+
   SimTime last_update_ = 0.0;
   sim::EventHandle completion_event_;
   FlowId::value_type next_flow_ = 0;
   double bytes_delivered_ = 0.0;
+  NetStats stats_;
 };
 
 /// Pure function: max-min fair rates via progressive filling.
 ///
 /// `flow_links[i]` lists the link indices flow i traverses; `capacity[l]` is
 /// the capacity of link l.  Returns one rate per flow.  Exposed separately so
-/// the fairness property can be unit-tested without a simulator.
+/// the fairness property can be unit-tested without a simulator.  This is the
+/// reference implementation the incremental MaxMinFairSolver must match
+/// bit-for-bit; `counters` (optional) accumulates the work it performed.
 std::vector<double> MaxMinFairRates(
     const std::vector<std::vector<std::size_t>>& flow_links,
-    const std::vector<double>& capacity);
+    const std::vector<double>& capacity, SolveCounters* counters = nullptr);
+
+/// True when a non-empty flow set has no flow with a positive rate: nothing
+/// can make progress, no completion event can be armed, and the simulation
+/// would silently hang.  Reachable only through floating-point rounding (the
+/// rem_cap clamp-to-zero path); Network fails loudly when it happens.
+[[nodiscard]] bool AllFlowsStranded(std::size_t active_flows,
+                                    double max_rate);
 
 }  // namespace custody::net

@@ -16,7 +16,32 @@ EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
   return queue_.push(at, std::move(fn));
 }
 
+Simulator::HookId Simulator::add_post_event_hook(EventFn fn) {
+  const HookId id = next_hook_id_++;
+  hooks_.push_back({id, std::move(fn)});
+  return id;
+}
+
+void Simulator::remove_post_event_hook(HookId id) {
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->id == id) {
+      hooks_.erase(it);
+      return;
+    }
+  }
+}
+
+void Simulator::run_hooks() {
+  // Indexed loop: a hook may register further hooks (appended past the end).
+  for (std::size_t i = 0; i < hooks_.size(); ++i) hooks_[i].fn();
+}
+
 bool Simulator::step() {
+  // Hooks run before the pop, i.e. after the previous event and before the
+  // clock can advance — the point where batched same-timestamp work (like
+  // deferred network rate recomputes) must be flushed.  They may schedule
+  // events, so the empty check comes after.
+  run_hooks();
   if (queue_.empty()) return false;
   auto [time, fn] = queue_.pop();
   assert(time >= now_);
@@ -40,7 +65,9 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime until) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
+  for (;;) {
+    run_hooks();  // may schedule events; keep the bound checks after
+    if (stopped_ || queue_.empty() || queue_.next_time() > until) break;
     step();
   }
   if (now_ < until) now_ = until;

@@ -15,6 +15,8 @@ namespace custody::sim {
 
 class Simulator {
  public:
+  using HookId = std::uint64_t;
+
   /// Current virtual time in seconds.
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -23,6 +25,16 @@ class Simulator {
 
   /// Schedule `fn` at absolute time `at` (>= now()).
   EventHandle schedule_at(SimTime at, EventFn fn);
+
+  /// Register `fn` to run between events: after each processed event —
+  /// before the next one is popped and the clock advances — and once at the
+  /// start of a run, so work staged outside events is picked up too.  Lets
+  /// substrates batch same-timestamp work (e.g. the network defers rate
+  /// recomputation across a burst of flow changes) and flush it exactly
+  /// once before simulated time can pass.  Hooks run in registration order
+  /// and may schedule events.  Returns an id for remove_post_event_hook.
+  HookId add_post_event_hook(EventFn fn);
+  void remove_post_event_hook(HookId id);
 
   /// Run until the event queue drains or `stop()` is called.
   void run();
@@ -41,10 +53,19 @@ class Simulator {
   }
 
  private:
+  struct Hook {
+    HookId id;
+    EventFn fn;
+  };
+
+  void run_hooks();
+
   EventQueue queue_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
+  std::vector<Hook> hooks_;
+  HookId next_hook_id_ = 1;
 };
 
 }  // namespace custody::sim

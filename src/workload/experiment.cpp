@@ -52,6 +52,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   net_config.downlink_bps = units::Gbps(config.downlink_gbps);
   net_config.core_bps =
       config.core_gbps > 0.0 ? units::Gbps(config.core_gbps) : 0.0;
+  net_config.incremental = config.incremental_network;
   net::Network net(sim, net_config);
 
   cluster::WorkerConfig worker;
@@ -190,6 +191,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   sim.run();
 
   // --- collect -------------------------------------------------------------
+  const net::NetStats& ns = net.stats();
+  metrics.record_network({ns.recomputes_requested, ns.recomputes_run,
+                          ns.recomputes_batched(), ns.flows_scanned,
+                          ns.links_scanned, ns.rounds, ns.wall_seconds});
+
   ExperimentResult result;
   result.manager_name = ManagerName(config.manager);
   result.job_locality = Summarize(metrics.per_job_locality_percent());
@@ -204,6 +210,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.manager_stats = manager->stats();
   result.round_wall = Summarize(metrics.round_wall_times());
   result.round_yield_fraction = metrics.round_yield_fraction();
+  result.net_stats = metrics.network_stats();
+  result.net_bytes_delivered = net.bytes_delivered();
   result.cache_insertions = cache.stats().insertions;
   result.cache_hits = cache.stats().hits;
   result.nodes_failed = nodes_failed;

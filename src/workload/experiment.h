@@ -35,6 +35,10 @@ struct ExperimentConfig {
   double uplink_gbps = 2.0;
   double downlink_gbps = 40.0;
   double core_gbps = 0.0;  ///< 0 = non-blocking fabric
+  /// Batched + incremental network rate recomputation (default).  Off runs
+  /// the recompute-per-change reference path — kept for equivalence tests;
+  /// results are identical either way.
+  bool incremental_network = true;
 
   // DFS.
   double block_mb = 128.0;
@@ -93,6 +97,11 @@ struct ExperimentResult {
   /// fraction of rounds that granted at least one executor.
   Summary round_wall;
   double round_yield_fraction = 0.0;
+  /// Fluid-network rate-path cost: recomputes run vs. batched away, scan
+  /// counters, wall time.
+  metrics::NetworkStatsRecord net_stats;
+  /// Total bytes moved over the simulated network.
+  double net_bytes_delivered = 0.0;
   /// Cache effectiveness when a block cache is configured.
   std::uint64_t cache_insertions = 0;
   std::uint64_t cache_hits = 0;

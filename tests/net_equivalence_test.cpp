@@ -1,0 +1,316 @@
+// Equivalence proof for the two network rate paths.
+//
+// The incremental solver (batched recomputes + persistent incidence +
+// heap-based progressive filling) must be *bit-identical* to the reference
+// recompute-per-change scan: same rates, same completion order, same
+// completion times, same bytes delivered.  These suites drive both paths
+// through randomized churn — at the solver level, the Network level and the
+// full-experiment level — and compare with exact double equality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/maxmin.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workload/experiment.h"
+
+namespace custody::net {
+namespace {
+
+using custody::NodeId;
+using custody::Rng;
+
+// ---------- solver vs. reference, direct -----------------------------------
+
+// Random link sets and flow churn (interleaved adds and removes with slot
+// reuse); after every mutation batch the persistent solver's rates must be
+// bitwise equal to a from-scratch reference pass over the same live set.
+TEST(MaxMinFairSolver, BitIdenticalToReferenceUnderChurn) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 7919);
+    const std::size_t num_links = static_cast<std::size_t>(rng.uniform_int(2, 12));
+    std::vector<double> capacity(num_links);
+    for (auto& c : capacity) c = rng.uniform(1.0, 1000.0);
+
+    MaxMinFairSolver solver;
+    solver.reset_links(capacity);
+
+    struct LiveFlow {
+      std::size_t slot;
+      std::vector<std::size_t> links;
+    };
+    std::vector<LiveFlow> live;       // in add order (slot-stable)
+    std::vector<std::size_t> free_slots;
+    std::size_t next_slot = 0;
+    std::vector<double> rates;
+
+    const int batches = rng.uniform_int(5, 15);
+    for (int batch = 0; batch < batches; ++batch) {
+      // Remove a random subset.
+      for (std::size_t i = live.size(); i-- > 0;) {
+        if (live.size() > 0 && rng.uniform(0.0, 1.0) < 0.3) {
+          solver.remove_flow(live[i].slot);
+          free_slots.push_back(live[i].slot);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      // Add a few new flows, reusing slots like the Network does.
+      const int adds = rng.uniform_int(1, 8);
+      for (int a = 0; a < adds; ++a) {
+        std::size_t slot;
+        if (!free_slots.empty()) {
+          slot = free_slots.back();
+          free_slots.pop_back();
+        } else {
+          slot = next_slot++;
+        }
+        std::vector<std::size_t> links;
+        const int degree = rng.uniform_int(0, 3);
+        for (int d = 0; d < degree; ++d) {
+          const std::size_t l = rng.index(num_links);
+          if (std::find(links.begin(), links.end(), l) == links.end()) {
+            links.push_back(l);
+          }
+        }
+        solver.add_flow(slot, links.data(), links.size());
+        live.push_back({slot, links});
+      }
+
+      solver.solve(rates);
+
+      // Reference over the same live set.  Flow order is irrelevant to the
+      // result (the per-link subtractions commute bitwise), but use add
+      // order anyway, mirroring the Network's insertion-order walk.
+      std::vector<std::vector<std::size_t>> ref_links;
+      ref_links.reserve(live.size());
+      for (const auto& f : live) ref_links.push_back(f.links);
+      const std::vector<double> ref = MaxMinFairRates(ref_links, capacity);
+
+      ASSERT_EQ(ref.size(), live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const double got = rates[live[i].slot];
+        const double want = ref[i];
+        if (std::isinf(want)) {
+          EXPECT_TRUE(std::isinf(got)) << "seed " << seed << " batch " << batch;
+        } else {
+          EXPECT_EQ(got, want)  // bitwise: no tolerance
+              << "seed " << seed << " batch " << batch << " flow " << i;
+        }
+      }
+    }
+  }
+}
+
+// Counters must reflect the asymptotic win.  Both paths pay O(L) once per
+// solve, but the reference additionally rescans every flow and every link
+// per bottleneck round; the heap path only touches entries incident to the
+// round's bottleneck.  With F flows on F *distinct* bottlenecks (worst case
+// for the scan: F rounds) the reference does ~F x (F + 2L) work while the
+// heap path stays ~O(F + L).
+TEST(MaxMinFairSolver, CountersShowSubLinearPerRoundWork) {
+  const std::size_t n = 100;  // nodes -> 200 links
+  std::vector<double> capacity(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    capacity[i] = 10.0 + static_cast<double>(i);  // distinct uplink shares
+    capacity[n + i] = 1e9;
+  }
+  MaxMinFairSolver solver;
+  solver.reset_links(capacity);
+  std::vector<std::vector<std::size_t>> flow_links;
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::size_t links[2] = {f, n + f};
+    solver.add_flow(f, links, 2);
+    flow_links.push_back({f, n + f});
+  }
+  std::vector<double> rates;
+  SolveCounters inc;
+  solver.solve(rates, &inc);
+  SolveCounters ref;
+  const auto ref_rates = MaxMinFairRates(flow_links, capacity, &ref);
+  for (std::size_t f = 0; f < n; ++f) EXPECT_EQ(rates[f], ref_rates[f]);
+
+  // Every flow is its own bottleneck: F rounds on both paths.
+  EXPECT_EQ(ref.rounds, n);
+  EXPECT_EQ(inc.rounds, n);
+  // Reference: per-round full rescans.  Heap: one init pass + one pop per
+  // round, no rescans — over an order of magnitude fewer link inspections.
+  EXPECT_EQ(ref.links_scanned, ref.rounds * 2 * n);
+  EXPECT_EQ(ref.flows_scanned, ref.rounds * n);
+  EXPECT_LE(inc.links_scanned, 2 * n + 2 * inc.rounds);
+  EXPECT_EQ(inc.flows_scanned, n);
+  EXPECT_LT(inc.links_scanned * 10, ref.links_scanned);
+}
+
+// ---------- Network level: randomized churn scenarios -----------------------
+
+struct ScenarioResult {
+  std::vector<int> completion_order;       // flow label, callback order
+  std::vector<double> completion_times;    // one per completion, same order
+  std::vector<double> rate_samples;        // flow_rate probes
+  double bytes_delivered = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// Replays one randomized churn scenario (same-timestamp bursts, staggered
+/// starts, scheduled cancels, completion-driven restarts) on either path.
+ScenarioResult RunScenario(std::uint64_t seed, bool incremental) {
+  Rng rng(seed);
+  const std::size_t nodes = static_cast<std::size_t>(rng.uniform_int(4, 12));
+  NetworkConfig config;
+  config.num_nodes = nodes;
+  config.uplink_bps = rng.uniform(50.0, 400.0);
+  config.downlink_bps = rng.uniform(100.0, 800.0);
+  config.core_bps = rng.uniform(0.0, 1.0) < 0.3
+                        ? rng.uniform(100.0, 1000.0)
+                        : 0.0;
+  config.incremental = incremental;
+
+  sim::Simulator sim;
+  Network net(sim, config);
+  ScenarioResult out;
+  std::vector<FlowId> started;
+
+  auto pick_pair = [&rng, nodes](NodeId& src, NodeId& dst) {
+    const auto s = static_cast<NodeId::value_type>(rng.index(nodes));
+    auto d = static_cast<NodeId::value_type>(rng.index(nodes));
+    if (d == s) d = static_cast<NodeId::value_type>((d + 1) % nodes);
+    src = NodeId(s);
+    dst = NodeId(d);
+  };
+
+  int label = 0;
+  const int bursts = rng.uniform_int(3, 8);
+  double t = 0.0;
+  for (int b = 0; b < bursts; ++b) {
+    t += rng.uniform(0.0, 5.0);  // occasionally zero: coincident bursts
+    const int burst_flows = rng.uniform_int(1, 6);
+    for (int f = 0; f < burst_flows; ++f) {
+      const int this_label = label++;
+      const double bytes = rng.uniform(100.0, 5000.0);
+      const bool chain = rng.uniform(0.0, 1.0) < 0.25;
+      sim.schedule_at(t, [&, this_label, bytes, chain] {
+        NodeId src, dst;
+        pick_pair(src, dst);
+        const int chained_label = chain ? 10000 + this_label : -1;
+        started.push_back(net.start_flow(src, dst, bytes, [&, this_label,
+                                                           chained_label] {
+          out.completion_order.push_back(this_label);
+          out.completion_times.push_back(sim.now());
+          if (chained_label >= 0) {
+            // Restart from inside the completion callback (re-entrancy).
+            NodeId s2, d2;
+            pick_pair(s2, d2);
+            net.start_flow(s2, d2, 250.0, [&, chained_label] {
+              out.completion_order.push_back(chained_label);
+              out.completion_times.push_back(sim.now());
+            });
+          }
+        }));
+      });
+    }
+    // Probe rates mid-run (forces a flush on the incremental path) and
+    // cancel a random earlier flow.
+    const double probe_t = t + rng.uniform(0.1, 3.0);
+    const std::size_t cancel_ix = rng.index(64);
+    sim.schedule_at(probe_t, [&, cancel_ix] {
+      for (const FlowId id : started) {
+        out.rate_samples.push_back(net.flow_rate(id));
+      }
+      if (!started.empty()) {
+        net.cancel_flow(started[cancel_ix % started.size()]);
+      }
+    });
+  }
+  sim.run();
+  out.bytes_delivered = net.bytes_delivered();
+  out.events = sim.events_processed();
+  return out;
+}
+
+// The acceptance property: >= 40 seeds of random flow churn, identical
+// rates, completion order, completion times and bytes_delivered — exact
+// double equality, no tolerance.
+TEST(NetworkEquivalence, IncrementalMatchesReferenceAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    const ScenarioResult inc = RunScenario(seed, true);
+    const ScenarioResult ref = RunScenario(seed, false);
+    ASSERT_EQ(inc.completion_order, ref.completion_order) << "seed " << seed;
+    ASSERT_EQ(inc.completion_times.size(), ref.completion_times.size());
+    for (std::size_t i = 0; i < inc.completion_times.size(); ++i) {
+      EXPECT_EQ(inc.completion_times[i], ref.completion_times[i])
+          << "seed " << seed << " completion " << i;
+    }
+    ASSERT_EQ(inc.rate_samples.size(), ref.rate_samples.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < inc.rate_samples.size(); ++i) {
+      EXPECT_EQ(inc.rate_samples[i], ref.rate_samples[i])
+          << "seed " << seed << " sample " << i;
+    }
+    EXPECT_EQ(inc.bytes_delivered, ref.bytes_delivered) << "seed " << seed;
+  }
+}
+
+// Batching must actually batch: on the incremental path strictly fewer
+// solves run than were requested whenever bursts exist.
+TEST(NetworkEquivalence, IncrementalPathBatchesRecomputes) {
+  sim::Simulator sim;
+  NetworkConfig config;
+  config.num_nodes = 8;
+  config.uplink_bps = 100.0;
+  config.downlink_bps = 200.0;
+  Network net(sim, config);
+  sim.schedule_at(1.0, [&] {
+    for (int i = 0; i < 7; ++i) {
+      net.start_flow(NodeId(0), NodeId(static_cast<NodeId::value_type>(i + 1)),
+                     700.0, [] {});
+    }
+  });
+  sim.run();
+  const NetStats& s = net.stats();
+  EXPECT_GT(s.recomputes_requested, s.recomputes_run);
+  EXPECT_EQ(s.recomputes_batched(), s.recomputes_requested - s.recomputes_run);
+  EXPECT_GT(s.wall_seconds, 0.0);
+}
+
+// ---------- experiment level ------------------------------------------------
+
+// A full experiment (apps, shuffle fan-out, DFS reads, manager rounds) must
+// report identical figures on both rate paths.
+TEST(NetworkEquivalence, ExperimentResultsIdenticalAcrossRatePaths) {
+  namespace wl = custody::workload;
+  wl::ExperimentConfig config;
+  config.num_nodes = 12;
+  config.kinds = {wl::WorkloadKind::kSort};  // shuffle-heavy: network matters
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 3;
+  config.trace.files_per_kind = 4;
+  config.seed = 1234;
+
+  config.incremental_network = true;
+  const wl::ExperimentResult inc = wl::RunExperiment(config);
+  config.incremental_network = false;
+  const wl::ExperimentResult ref = wl::RunExperiment(config);
+
+  EXPECT_EQ(inc.makespan, ref.makespan);
+  EXPECT_EQ(inc.jobs_completed, ref.jobs_completed);
+  EXPECT_EQ(inc.jct.mean, ref.jct.mean);
+  EXPECT_EQ(inc.jct.stddev, ref.jct.stddev);
+  EXPECT_EQ(inc.input_stage.mean, ref.input_stage.mean);
+  EXPECT_EQ(inc.net_bytes_delivered, ref.net_bytes_delivered);
+  EXPECT_EQ(inc.overall_task_locality_percent,
+            ref.overall_task_locality_percent);
+  // Same flow-set changes on both paths; only the executed-solve count may
+  // differ (batching).
+  EXPECT_EQ(inc.net_stats.recomputes_requested,
+            ref.net_stats.recomputes_requested);
+  EXPECT_LT(inc.net_stats.recomputes_run, ref.net_stats.recomputes_run);
+  EXPECT_EQ(ref.net_stats.recomputes_batched, 0u);
+  EXPECT_GT(inc.net_stats.recomputes_batched, 0u);
+}
+
+}  // namespace
+}  // namespace custody::net

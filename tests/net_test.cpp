@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
 
 #include "common/rng.h"
 #include "net/network.h"
@@ -274,6 +277,212 @@ TEST(Network, UncontendedTransferTime) {
   Network net(sim, config);
   EXPECT_NEAR(net.uncontended_transfer_time(MB(128.0)),
               MB(128.0) / Gbps(2.0), 1e-12);
+}
+
+// ---------- same-timestamp batching ----------------------------------------
+
+TEST(Network, FanOutInOneEventBatchesToOneRecompute) {
+  sim::Simulator sim;
+  Network net(sim, SmallConfig(8));
+  constexpr int kFlows = 6;
+  std::vector<double> done_at(kFlows, -1.0);
+  std::vector<double> rates;
+  sim.schedule(1.0, [&] {
+    std::vector<FlowId> ids;
+    for (int i = 0; i < kFlows; ++i) {
+      ids.push_back(net.start_flow(NodeId(0),
+                                   NodeId(static_cast<NodeId::value_type>(i + 1)),
+                                   600.0, [&done_at, &sim, i] {
+                                     done_at[static_cast<std::size_t>(i)] =
+                                         sim.now();
+                                   }));
+    }
+    // Observing a rate mid-burst flushes the pending recompute: all flows
+    // must already see their final (post-burst) fair share.
+    for (const FlowId id : ids) rates.push_back(net.flow_rate(id));
+  });
+  sim.run();
+  ASSERT_EQ(rates.size(), static_cast<std::size_t>(kFlows));
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 100.0 / kFlows);
+  // 600 bytes at 100/6 B/s -> 36 s, all identical.
+  for (double t : done_at) EXPECT_NEAR(t, 37.0, 1e-9);
+  // 6 flow starts request 6 recomputes and the single completion event (all
+  // flows finish together) requests one more; batching collapses them to
+  // exactly one solve per distinct timestamp.
+  const NetStats& stats = net.stats();
+  EXPECT_EQ(stats.recomputes_requested, 7u);
+  EXPECT_EQ(stats.recomputes_run, 2u);
+  EXPECT_EQ(stats.recomputes_batched(),
+            stats.recomputes_requested - stats.recomputes_run);
+  EXPECT_GT(stats.rounds, 0u);
+}
+
+TEST(Network, FanOutIdenticalWithAndWithoutBatching) {
+  // N flows started in one event must produce identical completion times
+  // whether recomputes are batched (incremental) or not (reference).
+  auto run = [](bool incremental) {
+    sim::Simulator sim;
+    NetworkConfig config = SmallConfig(10);
+    config.incremental = incremental;
+    Network net(sim, config);
+    std::vector<double> done(9, -1.0);
+    sim.schedule(0.5, [&] {
+      for (int i = 0; i < 9; ++i) {
+        net.start_flow(NodeId(0),
+                       NodeId(static_cast<NodeId::value_type>(i + 1)),
+                       100.0 * (i + 1), [&done, &sim, i] {
+                         done[static_cast<std::size_t>(i)] = sim.now();
+                       });
+      }
+    });
+    sim.run();
+    return done;
+  };
+  const auto batched = run(true);
+  const auto reference = run(false);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], reference[i]) << "flow " << i;  // bit-identical
+  }
+}
+
+TEST(Network, CancelInsideCompletionCallback) {
+  // A completion callback cancelling a sibling flow mid-burst must not
+  // disturb the remaining flows, on either rate path.
+  auto run = [](bool incremental) {
+    sim::Simulator sim;
+    NetworkConfig config = SmallConfig(8);
+    config.incremental = incremental;
+    Network net(sim, config);
+    FlowId victim;
+    bool victim_completed = false;
+    double survivor_done = -1.0;
+    double first_done = -1.0;
+    // Same uplink: 3 flows at 100/3 B/s each.
+    net.start_flow(NodeId(0), NodeId(1), 100.0, [&] {
+      first_done = sim.now();
+      net.cancel_flow(victim);
+    });
+    victim =
+        net.start_flow(NodeId(0), NodeId(2), 900.0, [&] { victim_completed = true; });
+    net.start_flow(NodeId(0), NodeId(3), 400.0,
+                   [&] { survivor_done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(first_done, 3.0, 1e-9);
+    EXPECT_FALSE(victim_completed);
+    // Survivor: 3 s at 100/3 B/s = 100 bytes, then 300 bytes alone at
+    // 100 B/s -> done at t = 6.
+    EXPECT_NEAR(survivor_done, 6.0, 1e-9);
+    EXPECT_EQ(net.active_flow_count(), 0u);
+    return std::pair{first_done, survivor_done};
+  };
+  const auto batched = run(true);
+  const auto reference = run(false);
+  EXPECT_EQ(batched.first, reference.first);
+  EXPECT_EQ(batched.second, reference.second);
+}
+
+// ---------- cancel churn ----------------------------------------------------
+
+TEST(Network, CancelChurnKeepsAccountingExact) {
+  // Regression for the O(F) cancel path: heavy interleaved start/cancel
+  // churn (head, tail, middle, repeated and unknown ids) must keep slot
+  // reuse, rates and delivered-byte accounting exact.
+  sim::Simulator sim;
+  Network net(sim, SmallConfig(16));
+  custody::Rng rng(7);
+  std::vector<FlowId> live;
+  int completed = 0;
+  double expected_bytes = 0.0;
+  for (int wave = 0; wave < 20; ++wave) {
+    sim.schedule(5.0 * wave, [&, wave] {
+      // Cancel about half the currently live flows in random order.
+      rng.shuffle(live);
+      const std::size_t keep = live.size() / 2;
+      while (live.size() > keep) {
+        net.cancel_flow(live.back());
+        net.cancel_flow(live.back());  // double-cancel: silent no-op
+        live.pop_back();
+      }
+      net.cancel_flow(FlowId(9999999 + wave));  // unknown id: silent no-op
+      for (int i = 0; i < 8; ++i) {
+        const auto src = static_cast<NodeId::value_type>(rng.index(16));
+        auto dst = static_cast<NodeId::value_type>(rng.index(16));
+        if (dst == src) dst = (dst + 1) % 16;
+        const double bytes = rng.uniform(50.0, 500.0);
+        live.push_back(net.start_flow(NodeId(src), NodeId(dst), bytes,
+                                      [&completed] { ++completed; }));
+      }
+    });
+  }
+  sim.schedule(100.0 + 1e-9, [&] {
+    // Let every survivor run to completion from here on.
+    for (const FlowId id : live) {
+      expected_bytes += net.flow_remaining(id);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  EXPECT_GT(completed, 0);
+  // Everything still live at the last wave eventually completed, and the
+  // delivered-byte ledger covered at least those remaining bytes.
+  EXPECT_GE(net.bytes_delivered(), expected_bytes - 1e-6);
+}
+
+// ---------- stranded-flow guard ---------------------------------------------
+
+TEST(AllFlowsStranded, DetectsZeroRateFlowSets) {
+  EXPECT_FALSE(AllFlowsStranded(0, 0.0));  // empty set: nothing stranded
+  EXPECT_TRUE(AllFlowsStranded(1, 0.0));
+  EXPECT_TRUE(AllFlowsStranded(5, 0.0));
+  EXPECT_TRUE(AllFlowsStranded(2, -1.0));  // defensive: negative is stranded
+  EXPECT_FALSE(AllFlowsStranded(1, std::numeric_limits<double>::denorm_min()));
+  EXPECT_FALSE(AllFlowsStranded(3, 100.0));
+}
+
+TEST(Network, StrandedFlowsFailLoudly) {
+  // rem_cap clamp-to-zero rounding path: splitting the smallest subnormal
+  // capacity between two flows rounds each share to exactly 0.  Without the
+  // guard no completion event can be armed and the run hangs silently.
+  NetworkConfig config = SmallConfig(4);
+  config.uplink_bps = std::numeric_limits<double>::denorm_min();
+
+  {  // incremental path: the batched recompute flushes at the next step.
+    sim::Simulator sim;
+    Network net(sim, config);
+    net.start_flow(NodeId(0), NodeId(1), 10.0, [] {});
+    net.start_flow(NodeId(0), NodeId(2), 10.0, [] {});
+    EXPECT_THROW(sim.run(), std::runtime_error);
+  }
+  {  // observing a rate flushes too, and must surface the same failure.
+    sim::Simulator sim;
+    Network net(sim, config);
+    const FlowId a = net.start_flow(NodeId(0), NodeId(1), 10.0, [] {});
+    net.start_flow(NodeId(0), NodeId(2), 10.0, [] {});
+    EXPECT_THROW((void)net.flow_rate(a), std::runtime_error);
+  }
+  {  // reference path recomputes eagerly inside start_flow.
+    config.incremental = false;
+    sim::Simulator sim;
+    Network net(sim, config);
+    net.start_flow(NodeId(0), NodeId(1), 10.0, [] {});
+    EXPECT_THROW(net.start_flow(NodeId(0), NodeId(2), 10.0, [] {}),
+                 std::runtime_error);
+  }
+}
+
+TEST(Network, SingleSubnormalRateFlowIsNotStranded) {
+  // One flow on the subnormal uplink keeps a positive (subnormal) rate, so
+  // the guard must not trip; cancel it rather than simulate the eon-long
+  // transfer.
+  NetworkConfig config = SmallConfig(4);
+  config.uplink_bps = std::numeric_limits<double>::denorm_min();
+  sim::Simulator sim;
+  Network net(sim, config);
+  const FlowId id = net.start_flow(NodeId(0), NodeId(1), 10.0, [] {});
+  EXPECT_GT(net.flow_rate(id), 0.0);
+  net.cancel_flow(id);
+  sim.run();
+  EXPECT_EQ(net.active_flow_count(), 0u);
 }
 
 TEST(Network, TinyResidualBytesDoNotStallTheClock) {

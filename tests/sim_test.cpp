@@ -164,5 +164,62 @@ TEST(Simulator, ManyEventsDeterministicCount) {
   EXPECT_EQ(sim.events_processed(), 1000u);
 }
 
+// ---------- post-event hooks (same-timestamp batching support) -------------
+
+TEST(Simulator, PostEventHookRunsBetweenEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.add_post_event_hook([&] { order.push_back(0); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  // Hook fires before the first pop, between events, and after the last one.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 2, 0}));
+}
+
+TEST(Simulator, PostEventHookMayScheduleWork) {
+  // A hook that schedules an event must keep the run alive: the empty-queue
+  // check happens after hooks run, so deferred work armed by a hook (e.g.
+  // the network's batched completion event) is never dropped.
+  Simulator sim;
+  bool armed = false;
+  bool fired = false;
+  sim.add_post_event_hook([&] {
+    if (!armed) {
+      armed = true;
+      sim.schedule(5.0, [&] { fired = true; });
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_NEAR(sim.now(), 5.0, 1e-12);
+}
+
+TEST(Simulator, RemovedHookStopsFiring) {
+  Simulator sim;
+  int calls = 0;
+  const Simulator::HookId id = sim.add_post_event_hook([&] { ++calls; });
+  sim.schedule(1.0, [] {});
+  sim.run();
+  const int before = calls;
+  EXPECT_GT(before, 0);
+  sim.remove_post_event_hook(id);
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_EQ(calls, before);
+}
+
+TEST(Simulator, HookSeesPreAdvanceClock) {
+  // Hooks flush state *before* the clock moves to the next event's time, so
+  // a flush always accounts progress at the timestamp the changes happened.
+  Simulator sim;
+  std::vector<double> hook_times;
+  sim.schedule(1.0, [] {});
+  sim.schedule(3.0, [] {});
+  sim.add_post_event_hook([&] { hook_times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(hook_times, (std::vector<double>{0.0, 1.0, 3.0}));
+}
+
 }  // namespace
 }  // namespace custody::sim

@@ -34,8 +34,7 @@ int main(int argc, char** argv) {
       {"custody, both naive", true, {false, false}},
   };
 
-  AsciiTable table({"variant", "task locality", "fully local jobs",
-                    "fairness spread", "mean JCT (s)"});
+  std::vector<ExperimentConfig> grid;
   for (const Variant& v : variants) {
     // Contended regime: the two levels only matter when executors with
     // the right data are scarce — small cluster, hot files, fast arrivals.
@@ -46,7 +45,15 @@ int main(int argc, char** argv) {
     config.manager = v.custody ? ManagerKind::kCustody
                                : ManagerKind::kStandalone;
     config.allocator = v.options;
-    const auto result = RunExperiment(config);
+    grid.push_back(std::move(config));
+  }
+  const auto results = SweepExperiments(grid, Threads(argc, argv));
+
+  AsciiTable table({"variant", "task locality", "fully local jobs",
+                    "fairness spread", "mean JCT (s)"});
+  std::size_t cell = 0;
+  for (const Variant& v : variants) {
+    const auto& result = results[cell++];
     double lo = 2.0;
     double hi = -1.0;
     for (double f : result.per_app_local_job_fraction) {

@@ -17,13 +17,30 @@ int main(int argc, char** argv) {
                       {"manager", "task_locality", "jct_mean_s",
                        "sched_delay_s", "offers_made", "offers_rejected"});
 
-  AsciiTable table({"manager", "task locality", "mean JCT (s)",
-                    "sched delay (s)", "offers (rejected)"});
-  for (const ManagerKind manager :
-       {ManagerKind::kStandalone, ManagerKind::kOffer, ManagerKind::kCustody}) {
+  // One sweep over both tables' runs: 3 manager regimes, then the
+  // 5 delay-scheduling waits.
+  const std::vector<ManagerKind> managers{
+      ManagerKind::kStandalone, ManagerKind::kOffer, ManagerKind::kCustody};
+  const std::vector<double> waits{0.0, 1.0, 3.0, 6.0, 10.0};
+  std::vector<ExperimentConfig> grid;
+  for (const ManagerKind manager : managers) {
     auto config = PaperConfig(WorkloadKind::kWordCount, 50);
     config.manager = manager;
-    const auto result = RunExperiment(config);
+    grid.push_back(std::move(config));
+  }
+  for (const double wait : waits) {
+    auto config = PaperConfig(WorkloadKind::kWordCount, 50);
+    config.manager = ManagerKind::kStandalone;
+    config.scheduler.locality_wait = wait;
+    grid.push_back(std::move(config));
+  }
+  const auto results = SweepExperiments(grid, Threads(argc, argv));
+  std::size_t cell = 0;
+
+  AsciiTable table({"manager", "task locality", "mean JCT (s)",
+                    "sched delay (s)", "offers (rejected)"});
+  for ([[maybe_unused]] const ManagerKind manager : managers) {
+    const auto& result = results[cell++];
     table.add_row({result.manager_name,
                    Pct(result.overall_task_locality_percent),
                    Num(result.jct.mean), Num(result.sched_delay.mean, 3),
@@ -43,11 +60,8 @@ int main(int argc, char** argv) {
   PrintBanner(std::cout, "Ablation — delay-scheduling wait sweep (standalone)");
   AsciiTable wait_table({"locality wait (s)", "task locality",
                          "sched delay (s)", "mean JCT (s)"});
-  for (const double wait : {0.0, 1.0, 3.0, 6.0, 10.0}) {
-    auto config = PaperConfig(WorkloadKind::kWordCount, 50);
-    config.manager = ManagerKind::kStandalone;
-    config.scheduler.locality_wait = wait;
-    const auto result = RunExperiment(config);
+  for (const double wait : waits) {
+    const auto& result = results[cell++];
     wait_table.add_row({Num(wait, 1),
                         Pct(result.overall_task_locality_percent),
                         Num(result.sched_delay.mean, 3),

@@ -17,12 +17,29 @@ int main(int argc, char** argv) {
   auto csv = MaybeCsv(argc, argv, {"replication", "popularity", "manager",
                                    "task_locality", "jct_mean_s"});
 
-  AsciiTable repl({"replication", "spark locality", "custody locality",
-                   "spark JCT (s)", "custody JCT (s)"});
-  for (int replication : {1, 2, 3, 5}) {
+  // One sweep over both tables' cells: 4 replication factors, then the
+  // 2 popularity-placement variants.
+  const std::vector<int> replications{1, 2, 3, 5};
+  const std::vector<bool> popularities{false, true};
+  std::vector<ExperimentConfig> grid;
+  for (int replication : replications) {
     auto config = PaperConfig(WorkloadKind::kWordCount, 50);
     config.replication = replication;
-    const Comparison cmp = CompareManagers(config);
+    grid.push_back(std::move(config));
+  }
+  for (const bool popularity : popularities) {
+    auto config = PaperConfig(WorkloadKind::kWordCount, 50);
+    config.dataset.popularity_replication = popularity;
+    config.dataset.popularity_extra_replicas = 3;
+    grid.push_back(std::move(config));
+  }
+  const std::vector<Comparison> sweep = SweepComparisons(grid, Threads(argc, argv));
+  std::size_t cell = 0;
+
+  AsciiTable repl({"replication", "spark locality", "custody locality",
+                   "spark JCT (s)", "custody JCT (s)"});
+  for (int replication : replications) {
+    const Comparison& cmp = sweep[cell++];
     repl.add_row({std::to_string(replication),
                   Pct(cmp.baseline.overall_task_locality_percent),
                   Pct(cmp.custody.overall_task_locality_percent),
@@ -39,11 +56,8 @@ int main(int argc, char** argv) {
 
   PrintBanner(std::cout, "Ablation — Scarlett-style popularity replication");
   AsciiTable pop({"placement", "spark locality", "custody locality"});
-  for (const bool popularity : {false, true}) {
-    auto config = PaperConfig(WorkloadKind::kWordCount, 50);
-    config.dataset.popularity_replication = popularity;
-    config.dataset.popularity_extra_replicas = 3;
-    const Comparison cmp = CompareManagers(config);
+  for (const bool popularity : popularities) {
+    const Comparison& cmp = sweep[cell++];
     pop.add_row({popularity ? "popularity-boosted (hot files x2.5 replicas)"
                             : "uniform 3 replicas",
                  Pct(cmp.baseline.overall_task_locality_percent),

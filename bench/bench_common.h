@@ -3,10 +3,13 @@
 // Every bench binary prints paper-vs-measured rows for one table or figure
 // of the evaluation (Sec. VI).  The experiment scale defaults to the
 // paper's (4 applications x 30 jobs, exponential arrivals); set
-// CUSTODY_BENCH_JOBS / CUSTODY_BENCH_SEED to resize or re-seed, and pass
-// `--csv <path>` to also dump the series for replotting.
+// CUSTODY_BENCH_JOBS / CUSTODY_BENCH_SEED to resize or re-seed, pass
+// `--csv <path>` to also dump the series for replotting, and
+// `--threads <n>` (or CUSTODY_BENCH_THREADS) to run the sweep grid on a
+// thread pool — results are bit-identical at any thread count.
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -18,22 +21,68 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "workload/experiment.h"
+#include "workload/sweep.h"
 
 namespace custody::bench {
 
+/// Strict base-10 integer parse: the whole string must be consumed.
+/// std::atoi-style silent-garbage acceptance ("abc" -> 0) is exactly what
+/// this replaces.
+inline std::optional<long long> ParseInt(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return std::nullopt;
+  return value;
+}
+
+/// Parse an integer environment variable strictly; warn to stderr and
+/// return nullopt (caller falls back to the paper default) on garbage.
+inline std::optional<long long> EnvInt(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return std::nullopt;
+  const auto value = ParseInt(env);
+  if (!value) {
+    std::cerr << "warning: ignoring " << name << "=\"" << env
+              << "\" (not an integer); using the default\n";
+  }
+  return value;
+}
+
 inline int JobsPerApp() {
-  if (const char* env = std::getenv("CUSTODY_BENCH_JOBS")) {
-    const int jobs = std::atoi(env);
-    if (jobs > 0) return jobs;
+  if (const auto jobs = EnvInt("CUSTODY_BENCH_JOBS")) {
+    if (*jobs > 0) return static_cast<int>(*jobs);
+    std::cerr << "warning: ignoring CUSTODY_BENCH_JOBS=" << *jobs
+              << " (must be > 0); using the default\n";
   }
   return 30;  // paper Sec. VI-A2
 }
 
 inline std::uint64_t Seed() {
-  if (const char* env = std::getenv("CUSTODY_BENCH_SEED")) {
-    return static_cast<std::uint64_t>(std::atoll(env));
+  if (const auto seed = EnvInt("CUSTODY_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(*seed);
   }
   return 42;
+}
+
+/// Sweep parallelism: `--threads <n>` wins, then CUSTODY_BENCH_THREADS,
+/// then serial.  0 means "all hardware threads".
+inline int Threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      if (const auto threads = ParseInt(argv[i + 1])) {
+        return static_cast<int>(*threads);
+      }
+      std::cerr << "warning: ignoring --threads \"" << argv[i + 1]
+                << "\" (not an integer); running serially\n";
+      return 1;
+    }
+  }
+  if (const auto threads = EnvInt("CUSTODY_BENCH_THREADS")) {
+    return static_cast<int>(*threads);
+  }
+  return 1;
 }
 
 /// The paper's experiment setup for one workload on one cluster size.
@@ -63,6 +112,25 @@ inline const std::vector<workload::WorkloadKind>& PaperWorkloads() {
 inline const std::vector<std::size_t>& PaperClusterSizes() {
   static const std::vector<std::size_t> sizes{25, 50, 100};
   return sizes;
+}
+
+/// Shared sweep entry points: every bench builds its whole grid of configs
+/// first, runs it through the sweep engine (parallel when --threads asks
+/// for it), then prints rows in input order.  Results are bit-identical to
+/// the old one-RunExperiment-at-a-time loops for any thread count.
+inline std::vector<workload::Comparison> SweepComparisons(
+    const std::vector<workload::ExperimentConfig>& configs, int threads,
+    workload::ManagerKind baseline = workload::ManagerKind::kStandalone) {
+  workload::SweepOptions options;
+  options.threads = threads;
+  return workload::RunComparisonSweep(configs, options, baseline);
+}
+
+inline std::vector<workload::ExperimentResult> SweepExperiments(
+    const std::vector<workload::ExperimentConfig>& configs, int threads) {
+  workload::SweepOptions options;
+  options.threads = threads;
+  return workload::RunSweep(configs, options);
 }
 
 /// Optional --csv <path> argument shared by all benches.

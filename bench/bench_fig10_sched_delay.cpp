@@ -18,15 +18,22 @@ int main(int argc, char** argv) {
   auto csv = MaybeCsv(argc, argv, {"nodes", "manager", "sched_delay_mean_s",
                                    "sched_delay_p95_s"});
 
-  AsciiTable table({"cluster size", "spark delay (s)", "custody delay (s)",
-                    "custody wins?"});
+  std::vector<ExperimentConfig> grid;
   for (std::size_t nodes : PaperClusterSizes()) {
     // The paper's Fig. 10 aggregates the common schedule; use the mixed
     // workload so all three job types contribute.
     auto config = PaperConfig(WorkloadKind::kWordCount, nodes);
     config.kinds = {WorkloadKind::kPageRank, WorkloadKind::kWordCount,
                     WorkloadKind::kSort};
-    const Comparison cmp = CompareManagers(config);
+    grid.push_back(std::move(config));
+  }
+  const std::vector<Comparison> sweep = SweepComparisons(grid, Threads(argc, argv));
+
+  AsciiTable table({"cluster size", "spark delay (s)", "custody delay (s)",
+                    "custody wins?"});
+  std::size_t cell = 0;
+  for (std::size_t nodes : PaperClusterSizes()) {
+    const Comparison& cmp = sweep[cell++];
     const double base = cmp.baseline.sched_delay.mean;
     const double ours = cmp.custody.sched_delay.mean;
     table.add_row({std::to_string(nodes), Num(base, 3), Num(ours, 3),

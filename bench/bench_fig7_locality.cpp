@@ -19,8 +19,19 @@ int main(int argc, char** argv) {
                       {"nodes", "workload", "manager", "locality_mean",
                        "locality_std", "locality_min"});
 
+  // Whole grid through the sweep engine: one comparison per
+  // (cluster size, workload) cell, in parallel when --threads asks for it.
+  std::vector<ExperimentConfig> grid;
+  for (std::size_t nodes : PaperClusterSizes()) {
+    for (const WorkloadKind kind : PaperWorkloads()) {
+      grid.push_back(PaperConfig(kind, nodes));
+    }
+  }
+  const std::vector<Comparison> sweep = SweepComparisons(grid, Threads(argc, argv));
+
   double total_gain = 0.0;
   int rows = 0;
+  std::size_t cell = 0;
   for (std::size_t nodes : PaperClusterSizes()) {
     AsciiTable table({"workload", "spark mean±std (min)", "custody mean±std (min)",
                       "gain", "paper gain"});
@@ -35,7 +46,7 @@ int main(int argc, char** argv) {
     const int size_index = nodes == 25 ? 0 : nodes == 50 ? 1 : 2;
     for (std::size_t w = 0; w < PaperWorkloads().size(); ++w) {
       const WorkloadKind kind = PaperWorkloads()[w];
-      const Comparison cmp = CompareManagers(PaperConfig(kind, nodes));
+      const Comparison& cmp = sweep[cell++];
       const auto& base = cmp.baseline.job_locality;
       const auto& ours = cmp.custody.job_locality;
       const double gain = GainPercent(base.mean, ours.mean);

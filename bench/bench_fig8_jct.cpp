@@ -16,10 +16,19 @@ int main(int argc, char** argv) {
   auto csv = MaybeCsv(argc, argv, {"nodes", "workload", "manager",
                                    "jct_mean_s", "jct_p95_s"});
 
+  std::vector<ExperimentConfig> grid;
+  for (std::size_t nodes : PaperClusterSizes()) {
+    for (const WorkloadKind kind : PaperWorkloads()) {
+      grid.push_back(PaperConfig(kind, nodes));
+    }
+  }
+  const std::vector<Comparison> sweep = SweepComparisons(grid, Threads(argc, argv));
+
   double total_reduction = 0.0;
   int rows = 0;
   double pagerank_reduction = 0.0;
   double other_reduction = 0.0;
+  std::size_t cell = 0;
   for (std::size_t nodes : PaperClusterSizes()) {
     AsciiTable table({"workload", "spark JCT (s)", "custody JCT (s)",
                       "reduction", "paper reduction"});
@@ -31,7 +40,7 @@ int main(int argc, char** argv) {
     const int size_index = nodes == 25 ? 0 : nodes == 50 ? 1 : 2;
     for (std::size_t w = 0; w < PaperWorkloads().size(); ++w) {
       const WorkloadKind kind = PaperWorkloads()[w];
-      const Comparison cmp = CompareManagers(PaperConfig(kind, nodes));
+      const Comparison& cmp = sweep[cell++];
       const double reduction =
           ReductionPercent(cmp.baseline.jct.mean, cmp.custody.jct.mean);
       total_reduction += reduction;

@@ -20,11 +20,18 @@ int main(int argc, char** argv) {
                       {"workload", "manager", "input_stage_mean_s",
                        "input_stage_p95_s", "jct_mean_s"});
 
+  std::vector<ExperimentConfig> grid;
+  for (const WorkloadKind kind : PaperWorkloads()) {
+    grid.push_back(PaperConfig(kind, 100));
+  }
+  const std::vector<Comparison> sweep = SweepComparisons(grid, Threads(argc, argv));
+
   AsciiTable table({"workload", "spark input stage (s)",
                     "custody input stage (s)", "reduction",
                     "downstream untouched?"});
+  std::size_t cell = 0;
   for (const WorkloadKind kind : PaperWorkloads()) {
-    const Comparison cmp = CompareManagers(PaperConfig(kind, 100));
+    const Comparison& cmp = sweep[cell++];
     const double base = cmp.baseline.input_stage.mean;
     const double ours = cmp.custody.input_stage.mean;
     // Downstream = JCT minus the input stage; Custody should barely move it.

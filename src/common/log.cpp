@@ -2,14 +2,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace custody {
 
-LogLevel Logger::level_ = LogLevel::kOff;
-
-LogLevel Logger::level() { return level_; }
-
-void Logger::set_level(LogLevel level) { level_ = level; }
+std::atomic<LogLevel> Logger::level_{LogLevel::kOff};
 
 LogLevel Logger::parse(const std::string& name) {
   if (name == "debug") return LogLevel::kDebug;
@@ -20,16 +17,26 @@ LogLevel Logger::parse(const std::string& name) {
 }
 
 void Logger::init_from_env() {
-  if (const char* env = std::getenv("CUSTODY_LOG")) {
-    set_level(parse(env));
-  }
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* env = std::getenv("CUSTODY_LOG")) {
+      set_level(parse(env));
+    }
+  });
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
-  std::cerr << "[" << kNames[idx] << "] " << message << '\n';
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += kNames[idx];
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::cerr << line;  // one insertion: concurrent lines never interleave
 }
 
 }  // namespace custody

@@ -1,8 +1,14 @@
 // Tiny leveled logger.  The simulator is silent by default; raise the level
 // (e.g. via CUSTODY_LOG=debug or Logger::set_level) to trace allocations and
 // task placement decisions when debugging an experiment.
+//
+// Thread safety: the sweep engine runs independent simulations concurrently,
+// so the level is an atomic (relaxed loads on the hot CUSTODY_LOG macro
+// check), init_from_env is once-only, and write() emits each line with a
+// single stream insertion so concurrent lines never interleave mid-line.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -12,17 +18,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
-  static LogLevel level();
-  static void set_level(LogLevel level);
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
   /// Parse "debug" / "info" / "warn" / "error" / "off"; unknown -> kOff.
   static LogLevel parse(const std::string& name);
-  /// Initialize from the CUSTODY_LOG environment variable (idempotent).
+  /// Initialize from the CUSTODY_LOG environment variable.  The environment
+  /// is consulted exactly once per process (std::once_flag), so concurrent
+  /// experiment runs may all call this safely.
   static void init_from_env();
 
   static void write(LogLevel level, const std::string& message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 namespace detail {

@@ -1,239 +1,24 @@
+// Thin composition of the harness layers (workload/harness.h): validate,
+// snapshot the manager-independent inputs once, replay under the requested
+// manager(s).  All substrate wiring lives in harness.cpp; the manager
+// 4-way switch lives in cluster/manager_factory.cpp.
 #include "workload/experiment.h"
 
-#include <map>
-#include <stdexcept>
-
-#include "cluster/custody_manager.h"
-#include "cluster/offer_manager.h"
-#include "cluster/pool_manager.h"
-#include "cluster/standalone_manager.h"
-#include "common/log.h"
-#include "dfs/cache.h"
-#include "workload/failures.h"
-#include "dfs/dfs.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "workload/harness.h"
 
 namespace custody::workload {
 
-const char* ManagerName(ManagerKind kind) {
-  switch (kind) {
-    case ManagerKind::kStandalone:
-      return "standalone";
-    case ManagerKind::kCustody:
-      return "custody";
-    case ManagerKind::kOffer:
-      return "offer";
-    case ManagerKind::kPool:
-      return "pool";
-  }
-  return "unknown";
-}
-
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  Logger::init_from_env();
-  if (config.kinds.empty()) {
-    throw std::invalid_argument("RunExperiment: no workload kinds");
-  }
-
-  const Rng base(config.seed);
-  sim::Simulator sim;
-
-  // --- substrates (layout independent of the manager under test) ---------
-  dfs::DfsConfig dfs_config;
-  dfs_config.num_nodes = config.num_nodes;
-  dfs_config.block_bytes = units::MB(config.block_mb);
-  dfs_config.default_replication = config.replication;
-  dfs::Dfs dfs(dfs_config, base.fork(1));
-
-  net::NetworkConfig net_config;
-  net_config.num_nodes = config.num_nodes;
-  net_config.uplink_bps = units::Gbps(config.uplink_gbps);
-  net_config.downlink_bps = units::Gbps(config.downlink_gbps);
-  net_config.core_bps =
-      config.core_gbps > 0.0 ? units::Gbps(config.core_gbps) : 0.0;
-  net_config.incremental = config.incremental_network;
-  net::Network net(sim, net_config);
-
-  cluster::WorkerConfig worker;
-  worker.executors_per_node = config.executors_per_node;
-  worker.disk_bps = units::MBps(config.disk_mbps);
-  cluster::Cluster cluster(config.num_nodes, worker);
-
-  dfs::BlockCache cache(dfs, units::MB(config.cache_mb_per_node));
-
-  if (config.slow_node_fraction > 0.0) {
-    Rng slow_rng = base.fork(7);
-    std::vector<NodeId> nodes;
-    for (std::size_t n = 0; n < config.num_nodes; ++n) {
-      nodes.push_back(NodeId(static_cast<NodeId::value_type>(n)));
-    }
-    slow_rng.shuffle(nodes);
-    const auto slow = static_cast<std::size_t>(config.slow_node_fraction *
-                                               config.num_nodes);
-    for (std::size_t i = 0; i < slow && i < nodes.size(); ++i) {
-      cluster.set_node_speed(nodes[i], 1.0 / config.slow_node_factor);
-    }
-  }
-
-  // --- datasets and trace (shared across compared managers) --------------
-  DatasetConfig dataset_config = config.dataset;
-  dataset_config.files_per_kind = config.trace.files_per_kind;
-  dataset_config.zipf_skew = config.trace.zipf_skew;
-  Rng dataset_rng = base.fork(2);
-  std::map<WorkloadKind, Dataset> datasets;
-  for (WorkloadKind kind : config.kinds) {
-    if (!datasets.count(kind)) {
-      datasets.emplace(kind,
-                       BuildDataset(dfs, kind, dataset_config, dataset_rng));
-    }
-  }
-  Rng trace_rng = base.fork(3);
-  const std::vector<Submission> trace =
-      GenerateMixedTrace(config.kinds, config.trace, trace_rng);
-
-  // --- manager under test -------------------------------------------------
-  std::unique_ptr<cluster::ClusterManager> manager;
-  switch (config.manager) {
-    case ManagerKind::kStandalone: {
-      cluster::StandaloneConfig mc;
-      mc.expected_apps = config.trace.num_apps;
-      mc.seed = base.fork(4).seed();
-      manager = std::make_unique<cluster::StandaloneManager>(sim, cluster, mc);
-      break;
-    }
-    case ManagerKind::kCustody: {
-      cluster::CustodyConfig mc;
-      mc.expected_apps = config.trace.num_apps;
-      mc.options = config.allocator;
-      manager = std::make_unique<cluster::CustodyManager>(
-          sim, cluster,
-          [&dfs, &cache](BlockId b) -> const std::vector<NodeId>& {
-            // Custody sees cached copies as locality opportunities too.
-            return cache.enabled() ? cache.merged_locations(b)
-                                   : dfs.locations(b);
-          },
-          mc);
-      break;
-    }
-    case ManagerKind::kOffer: {
-      cluster::OfferConfig mc;
-      mc.expected_apps = config.trace.num_apps;
-      manager = std::make_unique<cluster::OfferManager>(sim, cluster, mc);
-      break;
-    }
-    case ManagerKind::kPool: {
-      cluster::PoolConfig mc;
-      mc.expected_apps = config.trace.num_apps;
-      mc.seed = base.fork(5).seed();
-      manager = std::make_unique<cluster::PoolManager>(sim, cluster, mc);
-      break;
-    }
-  }
-
-  // --- applications --------------------------------------------------------
-  metrics::MetricsCollector metrics;
-  manager->set_round_observer(
-      [&metrics](const cluster::AllocationRoundInfo& info) {
-        metrics.record_round({info.when, info.wall_seconds,
-                              static_cast<int>(info.idle_executors),
-                              static_cast<int>(info.grants),
-                              static_cast<int>(info.apps),
-                              info.executors_scanned});
-      });
-  app::IdSource ids;
-  app::AppConfig app_config;
-  app_config.dynamic_executors = config.manager != ManagerKind::kStandalone;
-  app_config.scheduler = config.scheduler;
-  app_config.shuffle_fan_in = config.shuffle_fan_in;
-  app_config.locality_swap = config.manager == ManagerKind::kCustody;
-  app_config.speculation = config.speculation;
-  app_config.speculation_multiplier = config.speculation_multiplier;
-
-  std::vector<std::unique_ptr<app::Application>> apps;
-  for (int a = 0; a < config.trace.num_apps; ++a) {
-    apps.push_back(std::make_unique<app::Application>(
-        AppId(static_cast<AppId::value_type>(a)), sim, net, dfs, cluster,
-        metrics, ids, base.fork(10 + static_cast<std::uint64_t>(a)),
-        app_config));
-    if (cache.enabled()) apps.back()->attach_cache(&cache);
-    apps.back()->attach_manager(*manager);
-  }
-
-  // --- replay the submission schedule -------------------------------------
-  for (const Submission& s : trace) {
-    sim.schedule_at(s.time, [&apps, &datasets, &dfs, &config, s] {
-      const Dataset& dataset = datasets.at(s.kind);
-      const FileId file = dataset.files.at(s.file_index);
-      apps[static_cast<std::size_t>(s.app_index)]->submit_job(
-          MakeJobSpec(s.kind, file, dfs, config.params));
-    });
-  }
-
-  // --- failure injection ---------------------------------------------------
-  int nodes_failed = 0;
-  Rng failure_rng = base.fork(6);
-  std::vector<cluster::AppHandle*> handles;
-  for (const auto& app : apps) handles.push_back(app.get());
-  for (int k = 0; k < config.node_failures; ++k) {
-    const SimTime when = config.failure_start + k * config.failure_interval;
-    sim.schedule_at(when, [&cluster, &dfs, &cache, &handles, &manager,
-                           &failure_rng, &nodes_failed] {
-      const auto alive = cluster.alive_nodes();
-      if (alive.size() <= 1) return;
-      const NodeId victim = failure_rng.pick(alive);
-      InjectNodeFailure(cluster, dfs, cache.enabled() ? &cache : nullptr,
-                        handles, *manager, victim);
-      ++nodes_failed;
-    });
-  }
-
-  sim.run();
-
-  // --- collect -------------------------------------------------------------
-  const net::NetStats& ns = net.stats();
-  metrics.record_network({ns.recomputes_requested, ns.recomputes_run,
-                          ns.recomputes_batched(), ns.flows_scanned,
-                          ns.links_scanned, ns.rounds, ns.wall_seconds});
-
-  ExperimentResult result;
-  result.manager_name = ManagerName(config.manager);
-  result.job_locality = Summarize(metrics.per_job_locality_percent());
-  result.overall_task_locality_percent =
-      metrics.overall_input_locality_percent();
-  result.local_job_percent = metrics.local_job_percent();
-  result.jct = Summarize(metrics.job_completion_times());
-  result.input_stage = Summarize(metrics.input_stage_durations());
-  result.sched_delay = Summarize(metrics.input_scheduler_delays());
-  result.per_app_local_job_fraction = metrics.per_app_local_job_fraction(
-      static_cast<std::size_t>(config.trace.num_apps));
-  result.manager_stats = manager->stats();
-  result.round_wall = Summarize(metrics.round_wall_times());
-  result.round_yield_fraction = metrics.round_yield_fraction();
-  result.net_stats = metrics.network_stats();
-  result.net_bytes_delivered = net.bytes_delivered();
-  result.cache_insertions = cache.stats().insertions;
-  result.cache_hits = cache.stats().hits;
-  result.nodes_failed = nodes_failed;
-  result.makespan = metrics.makespan();
-  result.events_processed = sim.events_processed();
-  for (const auto& app : apps) {
-    result.jobs_completed += app->jobs_completed();
-    result.launches_local += app->launch_breakdown().local;
-    result.launches_covered_busy += app->launch_breakdown().covered_busy;
-    result.launches_uncovered += app->launch_breakdown().uncovered;
-    result.speculative_launches += app->speculative_launches();
-    result.speculative_wins += app->speculative_wins();
-  }
-  return result;
+  return RunOnSnapshot(SubstrateSnapshot::Build(config), config.manager);
 }
 
 Comparison CompareManagers(ExperimentConfig config, ManagerKind baseline) {
+  // One snapshot, two replays: the dataset catalog, trace and plans are
+  // built once — previously each RunExperiment call rebuilt them.
+  const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
   Comparison cmp;
-  config.manager = baseline;
-  cmp.baseline = RunExperiment(config);
-  config.manager = ManagerKind::kCustody;
-  cmp.custody = RunExperiment(config);
+  cmp.baseline = RunOnSnapshot(snapshot, baseline);
+  cmp.custody = RunOnSnapshot(snapshot, ManagerKind::kCustody);
   return cmp;
 }
 

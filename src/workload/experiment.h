@@ -1,6 +1,10 @@
-// The experiment runner: wires simulator, network, DFS, cluster, manager
-// and applications together, replays a submission trace, and returns the
-// summaries the paper's figures report.
+// The experiment entry points: configure a run, get back the summaries the
+// paper's figures report.
+//
+// RunExperiment is a thin composition of the harness layers in harness.h —
+// ValidateConfig, SubstrateSnapshot (the manager-independent inputs, built
+// once), SimulationContext (the per-run substrate) and the cluster-side
+// ManagerFactory; sweep.h runs many configs on a thread pool.
 //
 // Determinism contract: for a fixed seed, the DFS layout, dataset catalog
 // and submission schedule are identical across manager kinds, so a
@@ -15,6 +19,7 @@
 
 #include "app/application.h"
 #include "cluster/manager.h"
+#include "cluster/manager_factory.h"
 #include "core/allocator.h"
 #include "common/stats.h"
 #include "metrics/metrics.h"
@@ -23,9 +28,10 @@
 
 namespace custody::workload {
 
-enum class ManagerKind { kStandalone, kCustody, kOffer, kPool };
-
-[[nodiscard]] const char* ManagerName(ManagerKind kind);
+// The manager 4-way switch lives behind cluster::MakeManager; the kind enum
+// is re-exported here so existing workload-level callers keep compiling.
+using cluster::ManagerKind;
+using cluster::ManagerName;
 
 struct ExperimentConfig {
   // Cluster (paper Sec. VI-A1).
@@ -117,6 +123,8 @@ struct ExperimentResult {
   int jobs_completed = 0;
 };
 
+/// Validate, snapshot, run `config.manager`, collect.  Throws
+/// std::invalid_argument (with the offending knob named) on bad configs.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
 /// Convenience: same config run under two managers, for gain rows.
@@ -124,6 +132,8 @@ struct Comparison {
   ExperimentResult baseline;
   ExperimentResult custody;
 };
+/// Builds the manager-independent substrate snapshot once and replays it
+/// under both managers — bit-identical to two RunExperiment calls.
 Comparison CompareManagers(ExperimentConfig config,
                            ManagerKind baseline = ManagerKind::kStandalone);
 

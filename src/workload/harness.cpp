@@ -1,0 +1,362 @@
+#include "workload/harness.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "cluster/manager_factory.h"
+#include "common/log.h"
+#include "metrics/metrics.h"
+#include "workload/failures.h"
+
+namespace custody::workload {
+
+namespace {
+
+[[noreturn]] void FailConfig(const std::string& what) {
+  throw std::invalid_argument("ExperimentConfig: " + what);
+}
+
+std::string Num(double v) { return std::to_string(v); }
+
+}  // namespace
+
+void ValidateConfig(const ExperimentConfig& config) {
+  // Cluster.
+  if (config.num_nodes == 0) FailConfig("num_nodes must be > 0");
+  if (config.executors_per_node <= 0) {
+    FailConfig("executors_per_node must be > 0 (got " +
+               std::to_string(config.executors_per_node) + ")");
+  }
+  if (config.disk_mbps <= 0.0) {
+    FailConfig("disk_mbps must be > 0 (got " + Num(config.disk_mbps) + ")");
+  }
+  if (config.uplink_gbps <= 0.0) {
+    FailConfig("uplink_gbps must be > 0 (got " + Num(config.uplink_gbps) +
+               ")");
+  }
+  if (config.downlink_gbps <= 0.0) {
+    FailConfig("downlink_gbps must be > 0 (got " + Num(config.downlink_gbps) +
+               ")");
+  }
+  if (config.core_gbps < 0.0) {
+    FailConfig("core_gbps must be >= 0, where 0 means non-blocking (got " +
+               Num(config.core_gbps) + ")");
+  }
+  // DFS.
+  if (config.block_mb <= 0.0) {
+    FailConfig("block_mb must be > 0 (got " + Num(config.block_mb) + ")");
+  }
+  if (config.replication < 1) {
+    FailConfig("replication must be >= 1 (got " +
+               std::to_string(config.replication) + ")");
+  }
+  if (config.cache_mb_per_node < 0.0) {
+    FailConfig("cache_mb_per_node must be >= 0 (got " +
+               Num(config.cache_mb_per_node) + ")");
+  }
+  if (config.dataset.hot_fraction < 0.0 || config.dataset.hot_fraction > 1.0) {
+    FailConfig("dataset.hot_fraction must be in [0, 1] (got " +
+               Num(config.dataset.hot_fraction) + ")");
+  }
+  if (config.dataset.popularity_extra_replicas < 0) {
+    FailConfig("dataset.popularity_extra_replicas must be >= 0 (got " +
+               std::to_string(config.dataset.popularity_extra_replicas) + ")");
+  }
+  // Scheduling.
+  if (config.shuffle_fan_in <= 0) {
+    FailConfig("shuffle_fan_in must be > 0 (got " +
+               std::to_string(config.shuffle_fan_in) + ")");
+  }
+  if (config.speculation && config.speculation_multiplier <= 1.0) {
+    FailConfig("speculation_multiplier must exceed 1 (got " +
+               Num(config.speculation_multiplier) + ")");
+  }
+  // Heterogeneity and failures.
+  if (config.slow_node_fraction < 0.0 || config.slow_node_fraction > 1.0) {
+    FailConfig("slow_node_fraction must be in [0, 1] (got " +
+               Num(config.slow_node_fraction) + ")");
+  }
+  if (config.slow_node_factor <= 0.0) {
+    FailConfig("slow_node_factor must be > 0 (got " +
+               Num(config.slow_node_factor) + ")");
+  }
+  if (config.node_failures < 0) {
+    FailConfig("node_failures must be >= 0 (got " +
+               std::to_string(config.node_failures) + ")");
+  }
+  if (config.node_failures > 0 && config.failure_start < 0.0) {
+    FailConfig("failure_start must be >= 0 (got " +
+               Num(config.failure_start) + ")");
+  }
+  if (config.node_failures > 1 && config.failure_interval <= 0.0) {
+    FailConfig("failure_interval must be > 0 to space multiple crashes"
+               " (got " + Num(config.failure_interval) + ")");
+  }
+  // Workload.
+  if (config.kinds.empty()) FailConfig("no workload kinds");
+  if (config.trace.num_apps <= 0) {
+    FailConfig("trace.num_apps must be > 0 (got " +
+               std::to_string(config.trace.num_apps) + ")");
+  }
+  if (config.trace.jobs_per_app <= 0) {
+    FailConfig("trace.jobs_per_app must be > 0 (got " +
+               std::to_string(config.trace.jobs_per_app) + ")");
+  }
+  if (config.trace.mean_interarrival <= 0.0) {
+    FailConfig("trace.mean_interarrival must be > 0 (got " +
+               Num(config.trace.mean_interarrival) + ")");
+  }
+  if (config.trace.zipf_skew < 0.0) {
+    FailConfig("trace.zipf_skew must be >= 0 (got " +
+               Num(config.trace.zipf_skew) + ")");
+  }
+  if (config.trace.files_per_kind <= 0) {
+    FailConfig("trace.files_per_kind must be > 0 (got " +
+               std::to_string(config.trace.files_per_kind) + ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SubstrateSnapshot
+// ---------------------------------------------------------------------------
+//
+// Rng stream map (unchanged from the monolithic runner):
+//   fork(1) DFS block placement      fork(2) dataset catalog sizes
+//   fork(3) submission trace         fork(4) standalone manager
+//   fork(5) pool manager             fork(6) failure victims
+//   fork(7) slow-node choice         fork(10+a) application a
+
+SubstrateSnapshot SubstrateSnapshot::Build(ExperimentConfig config) {
+  ValidateConfig(config);
+  SubstrateSnapshot snapshot;
+  const Rng base(config.seed);
+
+  // Dataset catalog plan (shared across compared managers).
+  snapshot.dataset_config_ = config.dataset;
+  snapshot.dataset_config_.files_per_kind = config.trace.files_per_kind;
+  snapshot.dataset_config_.zipf_skew = config.trace.zipf_skew;
+  Rng dataset_rng = base.fork(2);
+  for (WorkloadKind kind : config.kinds) {
+    bool seen = false;
+    for (const DatasetPlan& plan : snapshot.dataset_plans_) {
+      if (plan.kind == kind) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    snapshot.dataset_plans_.push_back(
+        {kind, PlanDataset(kind, snapshot.dataset_config_, dataset_rng)});
+  }
+
+  // Submission schedule.
+  Rng trace_rng = base.fork(3);
+  snapshot.trace_ = GenerateMixedTrace(config.kinds, config.trace, trace_rng);
+
+  // Slow-node plan.
+  if (config.slow_node_fraction > 0.0) {
+    Rng slow_rng = base.fork(7);
+    std::vector<NodeId> nodes;
+    for (std::size_t n = 0; n < config.num_nodes; ++n) {
+      nodes.push_back(NodeId(static_cast<NodeId::value_type>(n)));
+    }
+    slow_rng.shuffle(nodes);
+    const auto slow = static_cast<std::size_t>(config.slow_node_fraction *
+                                               config.num_nodes);
+    nodes.resize(std::min(slow, nodes.size()));
+    snapshot.slow_nodes_ = std::move(nodes);
+  }
+
+  snapshot.failure_rng_ = base.fork(6);
+  snapshot.config_ = std::move(config);
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// SimulationContext
+// ---------------------------------------------------------------------------
+
+namespace {
+
+dfs::DfsConfig MakeDfsConfig(const ExperimentConfig& config) {
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = config.num_nodes;
+  dfs_config.block_bytes = units::MB(config.block_mb);
+  dfs_config.default_replication = config.replication;
+  return dfs_config;
+}
+
+net::NetworkConfig MakeNetConfig(const ExperimentConfig& config) {
+  net::NetworkConfig net_config;
+  net_config.num_nodes = config.num_nodes;
+  net_config.uplink_bps = units::Gbps(config.uplink_gbps);
+  net_config.downlink_bps = units::Gbps(config.downlink_gbps);
+  net_config.core_bps =
+      config.core_gbps > 0.0 ? units::Gbps(config.core_gbps) : 0.0;
+  net_config.incremental = config.incremental_network;
+  return net_config;
+}
+
+cluster::WorkerConfig MakeWorkerConfig(const ExperimentConfig& config) {
+  cluster::WorkerConfig worker;
+  worker.executors_per_node = config.executors_per_node;
+  worker.disk_bps = units::MBps(config.disk_mbps);
+  return worker;
+}
+
+}  // namespace
+
+SimulationContext::SimulationContext(const SubstrateSnapshot& snapshot)
+    : sim_(),
+      dfs_(MakeDfsConfig(snapshot.config()),
+           Rng(snapshot.config().seed).fork(1)),
+      net_(sim_, MakeNetConfig(snapshot.config())),
+      cluster_(snapshot.config().num_nodes, MakeWorkerConfig(snapshot.config())),
+      cache_(dfs_, units::MB(snapshot.config().cache_mb_per_node)) {
+  const ExperimentConfig& config = snapshot.config();
+  for (NodeId node : snapshot.slow_nodes()) {
+    cluster_.set_node_speed(node, 1.0 / config.slow_node_factor);
+  }
+  for (const SubstrateSnapshot::DatasetPlan& plan : snapshot.dataset_plans()) {
+    datasets_.emplace(plan.kind,
+                      MaterializeDataset(dfs_, plan.kind,
+                                         snapshot.dataset_config(),
+                                         plan.files));
+  }
+}
+
+core::BlockLocationsFn SimulationContext::block_locations() {
+  return [this](BlockId b) -> const std::vector<NodeId>& {
+    // Custody sees cached copies as locality opportunities too.
+    return cache_.enabled() ? cache_.merged_locations(b) : dfs_.locations(b);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// RunOnSnapshot
+// ---------------------------------------------------------------------------
+
+ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
+                               ManagerKind manager_kind) {
+  Logger::init_from_env();
+  const ExperimentConfig& config = snapshot.config();
+  const Rng base(config.seed);
+
+  SimulationContext ctx(snapshot);
+  sim::Simulator& sim = ctx.simulator();
+  dfs::Dfs& dfs = ctx.dfs();
+  net::Network& net = ctx.network();
+  cluster::Cluster& cluster = ctx.cluster();
+  dfs::BlockCache& cache = ctx.cache();
+  const std::map<WorkloadKind, Dataset>& datasets = ctx.datasets();
+
+  // --- manager under test (the factory owns the 4-way switch) -------------
+  cluster::ManagerSpec spec;
+  spec.kind = manager_kind;
+  spec.expected_apps = config.trace.num_apps;
+  spec.standalone_seed = base.fork(4).seed();
+  spec.pool_seed = base.fork(5).seed();
+  spec.allocator = config.allocator;
+  std::unique_ptr<cluster::ClusterManager> manager =
+      cluster::MakeManager(spec, sim, cluster, ctx.block_locations());
+
+  // --- applications --------------------------------------------------------
+  metrics::MetricsCollector metrics;
+  manager->set_round_observer(
+      [&metrics](const cluster::AllocationRoundInfo& info) {
+        metrics.record_round({info.when, info.wall_seconds,
+                              static_cast<int>(info.idle_executors),
+                              static_cast<int>(info.grants),
+                              static_cast<int>(info.apps),
+                              info.executors_scanned});
+      });
+  app::IdSource ids;
+  app::AppConfig app_config;
+  app_config.dynamic_executors = manager_kind != ManagerKind::kStandalone;
+  app_config.scheduler = config.scheduler;
+  app_config.shuffle_fan_in = config.shuffle_fan_in;
+  app_config.locality_swap = manager_kind == ManagerKind::kCustody;
+  app_config.speculation = config.speculation;
+  app_config.speculation_multiplier = config.speculation_multiplier;
+
+  std::vector<std::unique_ptr<app::Application>> apps;
+  for (int a = 0; a < config.trace.num_apps; ++a) {
+    apps.push_back(std::make_unique<app::Application>(
+        AppId(static_cast<AppId::value_type>(a)), sim, net, dfs, cluster,
+        metrics, ids, base.fork(10 + static_cast<std::uint64_t>(a)),
+        app_config));
+    if (cache.enabled()) apps.back()->attach_cache(&cache);
+    apps.back()->attach_manager(*manager);
+  }
+
+  // --- replay the submission schedule -------------------------------------
+  for (const Submission& s : snapshot.trace()) {
+    sim.schedule_at(s.time, [&apps, &datasets, &dfs, &config, s] {
+      const Dataset& dataset = datasets.at(s.kind);
+      const FileId file = dataset.files.at(s.file_index);
+      apps[static_cast<std::size_t>(s.app_index)]->submit_job(
+          MakeJobSpec(s.kind, file, dfs, config.params));
+    });
+  }
+
+  // --- failure injection ---------------------------------------------------
+  int nodes_failed = 0;
+  Rng failure_rng = snapshot.failure_rng();
+  std::vector<cluster::AppHandle*> handles;
+  for (const auto& app : apps) handles.push_back(app.get());
+  for (int k = 0; k < config.node_failures; ++k) {
+    const SimTime when = config.failure_start + k * config.failure_interval;
+    sim.schedule_at(when, [&cluster, &dfs, &cache, &handles, &manager,
+                           &failure_rng, &nodes_failed] {
+      const auto alive = cluster.alive_nodes();
+      if (alive.size() <= 1) return;
+      const NodeId victim = failure_rng.pick(alive);
+      InjectNodeFailure(cluster, dfs, cache.enabled() ? &cache : nullptr,
+                        handles, *manager, victim);
+      ++nodes_failed;
+    });
+  }
+
+  sim.run();
+
+  // --- collect -------------------------------------------------------------
+  const net::NetStats& ns = net.stats();
+  metrics.record_network({ns.recomputes_requested, ns.recomputes_run,
+                          ns.recomputes_batched(), ns.flows_scanned,
+                          ns.links_scanned, ns.rounds, ns.wall_seconds});
+
+  ExperimentResult result;
+  result.manager_name = ManagerName(manager_kind);
+  result.job_locality = Summarize(metrics.per_job_locality_percent());
+  result.overall_task_locality_percent =
+      metrics.overall_input_locality_percent();
+  result.local_job_percent = metrics.local_job_percent();
+  result.jct = Summarize(metrics.job_completion_times());
+  result.input_stage = Summarize(metrics.input_stage_durations());
+  result.sched_delay = Summarize(metrics.input_scheduler_delays());
+  result.per_app_local_job_fraction = metrics.per_app_local_job_fraction(
+      static_cast<std::size_t>(config.trace.num_apps));
+  result.manager_stats = manager->stats();
+  result.round_wall = Summarize(metrics.round_wall_times());
+  result.round_yield_fraction = metrics.round_yield_fraction();
+  result.net_stats = metrics.network_stats();
+  result.net_bytes_delivered = net.bytes_delivered();
+  result.cache_insertions = cache.stats().insertions;
+  result.cache_hits = cache.stats().hits;
+  result.nodes_failed = nodes_failed;
+  result.makespan = metrics.makespan();
+  result.events_processed = sim.events_processed();
+  for (const auto& app : apps) {
+    result.jobs_completed += app->jobs_completed();
+    result.launches_local += app->launch_breakdown().local;
+    result.launches_covered_busy += app->launch_breakdown().covered_busy;
+    result.launches_uncovered += app->launch_breakdown().uncovered;
+    result.speculative_launches += app->speculative_launches();
+    result.speculative_wins += app->speculative_wins();
+  }
+  return result;
+}
+
+}  // namespace custody::workload

@@ -1,0 +1,123 @@
+// The experiment harness, decomposed into composable layers:
+//
+//   ValidateConfig     — every knob range-checked up front, with the
+//                        offending field named in the exception, instead of
+//                        failing deep inside a substrate constructor.
+//   SubstrateSnapshot  — the seed-deterministic, manager-INDEPENDENT inputs
+//                        of an experiment (dataset catalog plan, submission
+//                        trace, slow-node plan, failure stream), built once
+//                        and shared across manager variants and threads.
+//   SimulationContext  — the per-run substrate (Simulator, Dfs, Network,
+//                        Cluster, BlockCache) built fresh from the snapshot;
+//                        cheap relative to a run, and never shared.
+//   RunOnSnapshot      — replay the snapshot under one manager kind (the
+//                        cluster-side ManagerFactory picks the concrete
+//                        manager) and collect an ExperimentResult.
+//
+// Determinism contract: a snapshot fixes every stochastic input, and a
+// context replays the same forked rng streams the monolithic runner used,
+// so RunOnSnapshot(snapshot, m) is bit-identical to the pre-refactor
+// RunExperiment for every manager m — and safe to call from many threads
+// at once on the same snapshot (contexts share nothing mutable).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "dfs/cache.h"
+#include "dfs/dfs.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workload/experiment.h"
+
+namespace custody::workload {
+
+/// Range-check every ExperimentConfig knob; throws std::invalid_argument
+/// naming the bad field and its value.  RunExperiment, SubstrateSnapshot
+/// and the sweep engine all call this before building anything.
+void ValidateConfig(const ExperimentConfig& config);
+
+/// The manager-independent inputs of one experiment, derived only from
+/// config + seed.  Building it costs one pass over the rng streams; every
+/// manager variant (and every sweep thread) replays the same snapshot.
+class SubstrateSnapshot {
+ public:
+  /// Validates `config`, then materializes catalog plan, trace and plans.
+  static SubstrateSnapshot Build(ExperimentConfig config);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  /// The effective dataset config (trace knobs folded in, as the
+  /// monolithic runner did).
+  [[nodiscard]] const DatasetConfig& dataset_config() const {
+    return dataset_config_;
+  }
+
+  struct DatasetPlan {
+    WorkloadKind kind;
+    std::vector<FileSpec> files;
+  };
+  /// One plan per distinct workload kind, in first-appearance order.
+  [[nodiscard]] const std::vector<DatasetPlan>& dataset_plans() const {
+    return dataset_plans_;
+  }
+  [[nodiscard]] const std::vector<Submission>& trace() const {
+    return trace_;
+  }
+  /// Nodes slowed to 1/slow_node_factor speed (empty when fraction is 0).
+  [[nodiscard]] const std::vector<NodeId>& slow_nodes() const {
+    return slow_nodes_;
+  }
+  /// A fresh copy of the failure-injection stream; victims are picked at
+  /// run time (they depend on which nodes are still alive) but the stream
+  /// is fixed here so every variant kills the same sequence.
+  [[nodiscard]] Rng failure_rng() const { return failure_rng_; }
+
+ private:
+  SubstrateSnapshot() = default;
+
+  ExperimentConfig config_;
+  DatasetConfig dataset_config_;
+  std::vector<DatasetPlan> dataset_plans_;
+  std::vector<Submission> trace_;
+  std::vector<NodeId> slow_nodes_;
+  Rng failure_rng_{0};
+};
+
+/// Owns the substrate of ONE run: Simulator, Dfs, Network, Cluster and
+/// BlockCache built from the snapshot's config + seed.  Construction
+/// applies the slow-node plan and materializes the dataset catalog into
+/// the fresh DFS; two contexts over the same snapshot are bit-identical.
+class SimulationContext {
+ public:
+  explicit SimulationContext(const SubstrateSnapshot& snapshot);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] dfs::Dfs& dfs() { return dfs_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] dfs::BlockCache& cache() { return cache_; }
+  /// The materialized catalog: kind -> file ids in this context's DFS.
+  [[nodiscard]] const std::map<WorkloadKind, Dataset>& datasets() const {
+    return datasets_;
+  }
+  /// Custody's NameNode oracle over this context: DFS replica locations,
+  /// merged with cached copies when the block cache is enabled.
+  [[nodiscard]] core::BlockLocationsFn block_locations();
+
+ private:
+  sim::Simulator sim_;
+  dfs::Dfs dfs_;
+  net::Network net_;
+  cluster::Cluster cluster_;
+  dfs::BlockCache cache_;
+  std::map<WorkloadKind, Dataset> datasets_;
+};
+
+/// Replay `snapshot` under `manager` and collect the figure summaries.
+/// Thread-safe for concurrent calls sharing one snapshot.
+ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
+                               ManagerKind manager);
+
+}  // namespace custody::workload

@@ -1,0 +1,108 @@
+#include "workload/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <numeric>
+#include <thread>
+
+#include "workload/harness.h"
+
+namespace custody::workload {
+
+namespace {
+
+int ResolveThreads(const SweepOptions& options, std::size_t items) {
+  int threads = options.threads;
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw ? static_cast<int>(hw) : 1;
+  }
+  if (items < static_cast<std::size_t>(threads)) {
+    threads = static_cast<int>(items);
+  }
+  return std::max(threads, 1);
+}
+
+/// Rough per-config cost: simulated work scales with the job count and the
+/// cluster size.  Only used to order execution (longest first, so the big
+/// 100-node cells don't start in the last wave); results are written by
+/// input index, so this ordering never affects what the sweep returns.
+double EstimatedCost(const ExperimentConfig& config) {
+  const double jobs = static_cast<double>(config.trace.num_apps) *
+                      static_cast<double>(config.trace.jobs_per_app);
+  return jobs * static_cast<double>(config.num_nodes);
+}
+
+std::vector<std::size_t> ExecutionOrder(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<std::size_t> order(configs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&configs](std::size_t a, std::size_t b) {
+                     return EstimatedCost(configs[a]) >
+                            EstimatedCost(configs[b]);
+                   });
+  return order;
+}
+
+/// Run fn(i) for every index in `order`, on `threads` workers pulling from
+/// a shared cursor.  Exceptions are captured per index; the first one (by
+/// input index) is rethrown once all workers have drained.
+template <typename Fn>
+void RunIndexed(const std::vector<std::size_t>& order, int threads, Fn fn) {
+  const std::size_t n = order.size();
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t slot = next.fetch_add(1); slot < n;
+         slot = next.fetch_add(1)) {
+      const std::size_t i = order[slot];
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> RunSweep(
+    const std::vector<ExperimentConfig>& configs, SweepOptions options) {
+  for (const ExperimentConfig& config : configs) ValidateConfig(config);
+  std::vector<ExperimentResult> results(configs.size());
+  RunIndexed(ExecutionOrder(configs), ResolveThreads(options, configs.size()),
+             [&](std::size_t i) { results[i] = RunExperiment(configs[i]); });
+  return results;
+}
+
+std::vector<Comparison> RunComparisonSweep(
+    const std::vector<ExperimentConfig>& configs, SweepOptions options,
+    ManagerKind baseline) {
+  for (const ExperimentConfig& config : configs) ValidateConfig(config);
+  std::vector<Comparison> results(configs.size());
+  RunIndexed(ExecutionOrder(configs), ResolveThreads(options, configs.size()),
+             [&](std::size_t i) {
+               const SubstrateSnapshot snapshot =
+                   SubstrateSnapshot::Build(configs[i]);
+               results[i].baseline = RunOnSnapshot(snapshot, baseline);
+               results[i].custody =
+                   RunOnSnapshot(snapshot, ManagerKind::kCustody);
+             });
+  return results;
+}
+
+}  // namespace custody::workload

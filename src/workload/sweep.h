@@ -1,0 +1,43 @@
+// The deterministic parallel sweep engine.
+//
+// Every paper figure is a sweep — workloads x cluster sizes x managers,
+// plus ablations and multi-seed error bars.  Each experiment is an
+// independent simulation with no shared mutable state (see harness.h), so
+// the sweep engine just runs the configs on a thread pool and writes each
+// result into its input slot.
+//
+// Determinism contract: results are field-for-field identical to calling
+// RunExperiment serially on each config, in input order, for ANY thread
+// count (enforced by tests/sweep_test.cpp).  Only wall-clock diagnostic
+// fields (round/solver wall seconds) vary run to run — they measure real
+// time, not simulated behaviour.
+#pragma once
+
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace custody::workload {
+
+struct SweepOptions {
+  /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
+  /// 1 (the default) runs inline on the calling thread.
+  int threads = 1;
+};
+
+/// Run every config on a thread pool; results come back in input order.
+/// All configs are validated before any simulation starts; if a run still
+/// throws, the first failure (by input index) is rethrown after the pool
+/// drains.  Work is handed out longest-expected-first so one big config
+/// queued last cannot serialize the tail of the sweep.
+std::vector<ExperimentResult> RunSweep(
+    const std::vector<ExperimentConfig>& configs, SweepOptions options = {});
+
+/// One work item per config: build the manager-independent substrate
+/// snapshot once, replay it under `baseline` and under Custody.
+/// Equivalent to CompareManagers on each config, in parallel.
+std::vector<Comparison> RunComparisonSweep(
+    const std::vector<ExperimentConfig>& configs, SweepOptions options = {},
+    ManagerKind baseline = ManagerKind::kStandalone);
+
+}  // namespace custody::workload

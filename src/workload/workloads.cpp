@@ -19,39 +19,57 @@ const char* WorkloadName(WorkloadKind kind) {
   return "unknown";
 }
 
-Dataset BuildDataset(dfs::Dfs& dfs, WorkloadKind kind,
-                     const DatasetConfig& config, Rng& rng) {
+std::vector<FileSpec> PlanDataset(WorkloadKind kind,
+                                  const DatasetConfig& config, Rng& rng) {
   if (config.files_per_kind <= 0) {
-    throw std::invalid_argument("BuildDataset: files_per_kind must be > 0");
+    throw std::invalid_argument("PlanDataset: files_per_kind must be > 0");
   }
-  Dataset dataset;
-  dataset.kind = kind;
+  std::vector<FileSpec> plan;
+  plan.reserve(static_cast<std::size_t>(config.files_per_kind));
   for (int i = 0; i < config.files_per_kind; ++i) {
-    double bytes = 0.0;
+    FileSpec spec;
     switch (kind) {
       case WorkloadKind::kPageRank:
-        bytes = units::GB(1.0);
+        spec.bytes = units::GB(1.0);
         break;
       case WorkloadKind::kWordCount:
-        bytes = units::GB(rng.uniform(4.0, 8.0));
+        spec.bytes = units::GB(rng.uniform(4.0, 8.0));
         break;
       case WorkloadKind::kSort:
-        bytes = units::GB(rng.uniform(1.0, 8.0));
+        spec.bytes = units::GB(rng.uniform(1.0, 8.0));
         break;
     }
-    const std::string path = std::string("/data/") + WorkloadName(kind) +
-                             "/part-" + std::to_string(i);
-    const FileId file = dfs.write_file(path, bytes);
+    spec.path = std::string("/data/") + WorkloadName(kind) + "/part-" +
+                std::to_string(i);
     // File index i is sampled with Zipf pmf(i): the lowest indices are the
     // hottest, so they get the Scarlett-style replica boost.
-    if (config.popularity_replication &&
-        i < static_cast<int>(std::ceil(config.hot_fraction *
-                                       config.files_per_kind))) {
+    spec.hot = config.popularity_replication &&
+               i < static_cast<int>(std::ceil(config.hot_fraction *
+                                              config.files_per_kind));
+    plan.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+Dataset MaterializeDataset(dfs::Dfs& dfs, WorkloadKind kind,
+                           const DatasetConfig& config,
+                           const std::vector<FileSpec>& plan) {
+  Dataset dataset;
+  dataset.kind = kind;
+  dataset.files.reserve(plan.size());
+  for (const FileSpec& spec : plan) {
+    const FileId file = dfs.write_file(spec.path, spec.bytes);
+    if (spec.hot) {
       dfs.boost_replication(file, config.popularity_extra_replicas);
     }
     dataset.files.push_back(file);
   }
   return dataset;
+}
+
+Dataset BuildDataset(dfs::Dfs& dfs, WorkloadKind kind,
+                     const DatasetConfig& config, Rng& rng) {
+  return MaterializeDataset(dfs, kind, config, PlanDataset(kind, config, rng));
 }
 
 app::JobSpec MakeJobSpec(WorkloadKind kind, FileId file, const dfs::Dfs& dfs,

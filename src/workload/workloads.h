@@ -62,8 +62,29 @@ struct DatasetConfig {
   double hot_fraction = 0.25;
 };
 
-/// Create the input files for `kind` in the DFS.  File sizes follow the
-/// paper: PageRank 1 GB; WordCount uniform in [4, 8] GB; Sort in [1, 8] GB.
+/// One planned catalog file: everything stochastic about a dataset, drawn
+/// up front so the same plan can be materialized into any number of fresh
+/// DFS instances bit-identically (the SubstrateSnapshot contract).
+struct FileSpec {
+  std::string path;
+  double bytes = 0.0;
+  bool hot = false;  ///< receives the Scarlett-style popularity boost
+};
+
+/// Draw the catalog of `kind` from `rng` without touching a DFS.  File
+/// sizes follow the paper: PageRank 1 GB; WordCount uniform in [4, 8] GB;
+/// Sort in [1, 8] GB.
+std::vector<FileSpec> PlanDataset(WorkloadKind kind,
+                                  const DatasetConfig& config, Rng& rng);
+
+/// Create a planned catalog's files in `dfs` (consumes only the DFS's own
+/// placement randomness; `plan` already fixed the sizes).
+Dataset MaterializeDataset(dfs::Dfs& dfs, WorkloadKind kind,
+                           const DatasetConfig& config,
+                           const std::vector<FileSpec>& plan);
+
+/// Create the input files for `kind` in the DFS: PlanDataset +
+/// MaterializeDataset in one step.
 Dataset BuildDataset(dfs::Dfs& dfs, WorkloadKind kind,
                      const DatasetConfig& config, Rng& rng);
 

@@ -4,7 +4,8 @@
 // of the evaluation (Sec. VI).  The experiment scale defaults to the
 // paper's (4 applications x 30 jobs, exponential arrivals); set
 // CUSTODY_BENCH_JOBS / CUSTODY_BENCH_SEED to resize or re-seed, pass
-// `--csv <path>` to also dump the series for replotting, and
+// `--csv <path>` to also dump the series for replotting (or
+// `--json <path>` for the machine-readable form CI archives), and
 // `--threads <n>` (or CUSTODY_BENCH_THREADS) to run the sweep grid on a
 // thread pool — results are bit-identical at any thread count.
 #pragma once
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "workload/experiment.h"
@@ -139,6 +141,19 @@ inline std::unique_ptr<CsvWriter> MaybeCsv(int argc, char** argv,
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--csv") {
       return std::make_unique<CsvWriter>(argv[i + 1], std::move(columns));
+    }
+  }
+  return nullptr;
+}
+
+/// Optional --json <path> argument: the same rows as --csv, but as a JSON
+/// array of objects — the machine-readable form CI archives as artifacts
+/// so the perf trajectory is tracked across runs.
+inline std::unique_ptr<JsonWriter> MaybeJson(
+    int argc, char** argv, std::vector<std::string> columns) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return std::make_unique<JsonWriter>(argv[i + 1], std::move(columns));
     }
   }
   return nullptr;

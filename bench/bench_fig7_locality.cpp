@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
 
   PrintBanner(std::cout, "Fig. 7 — data locality of input tasks");
   PrintScaleNote(std::cout);
-  auto csv = MaybeCsv(argc, argv,
-                      {"nodes", "workload", "manager", "locality_mean",
-                       "locality_std", "locality_min"});
+  const std::vector<std::string> columns{"nodes",         "workload",
+                                         "manager",       "locality_mean",
+                                         "locality_std",  "locality_min"};
+  auto csv = MaybeCsv(argc, argv, columns);
+  auto json = MaybeJson(argc, argv, columns);
 
   // Whole grid through the sweep engine: one comparison per
   // (cluster size, workload) cell, in parallel when --threads asks for it.
@@ -58,12 +60,14 @@ int main(int argc, char** argv) {
                      Pct(ours.mean) + " ± " + Num(ours.stddev) + " (" +
                          Num(ours.min, 0) + ")",
                      "+" + Pct(gain), kPaperGain[size_index][w]});
-      if (csv) {
+      if (csv || json) {
         for (const auto* r : {&cmp.baseline, &cmp.custody}) {
-          csv->add_row({std::to_string(nodes), WorkloadName(kind),
-                        r->manager_name, Num(r->job_locality.mean),
-                        Num(r->job_locality.stddev),
-                        Num(r->job_locality.min)});
+          const std::vector<std::string> row{
+              std::to_string(nodes),          WorkloadName(kind),
+              r->manager_name,                Num(r->job_locality.mean),
+              Num(r->job_locality.stddev),    Num(r->job_locality.min)};
+          if (csv) csv->add_row(row);
+          if (json) json->add_row(row);
         }
       }
     }

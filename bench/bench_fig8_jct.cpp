@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
 
   PrintBanner(std::cout, "Fig. 8 — average job completion times");
   PrintScaleNote(std::cout);
-  auto csv = MaybeCsv(argc, argv, {"nodes", "workload", "manager",
-                                   "jct_mean_s", "jct_p95_s"});
+  const std::vector<std::string> columns{"nodes", "workload", "manager",
+                                         "jct_mean_s", "jct_p95_s"};
+  auto csv = MaybeCsv(argc, argv, columns);
+  auto json = MaybeJson(argc, argv, columns);
 
   std::vector<ExperimentConfig> grid;
   for (std::size_t nodes : PaperClusterSizes()) {
@@ -50,10 +52,13 @@ int main(int argc, char** argv) {
       table.add_row({WorkloadName(kind), Num(cmp.baseline.jct.mean),
                      Num(cmp.custody.jct.mean), "-" + Pct(reduction),
                      std::string("-") + kPaper[size_index][w]});
-      if (csv) {
+      if (csv || json) {
         for (const auto* r : {&cmp.baseline, &cmp.custody}) {
-          csv->add_row({std::to_string(nodes), WorkloadName(kind),
-                        r->manager_name, Num(r->jct.mean), Num(r->jct.p95)});
+          const std::vector<std::string> row{
+              std::to_string(nodes), WorkloadName(kind), r->manager_name,
+              Num(r->jct.mean), Num(r->jct.p95)};
+          if (csv) csv->add_row(row);
+          if (json) json->add_row(row);
         }
       }
     }

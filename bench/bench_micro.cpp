@@ -5,30 +5,92 @@
 // cluster manager's allocation path.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <optional>
+#include <string>
+
+#include "app/application.h"
+#include "app/ready_index.h"
+#include "app/scheduler.h"
+#include "cluster/cluster.h"
+#include "cluster/manager.h"
 #include "common/rng.h"
 #include "core/allocator.h"
 #include "core/flow_network.h"
 #include "core/matching.h"
+#include "dfs/dfs.h"
+#include "metrics/metrics.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+
+/// Process-wide heap-allocation counter, fed by the replaced global
+/// operator new below, so benches can report allocations per operation —
+/// the event-queue churn metric.  Standalone benchmark binary only.
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+// noinline keeps GCC's -Wmismatched-new-delete heuristic from flagging the
+// (correct) malloc/free pairing at inlined call sites.
+[[gnu::noinline]] void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
 using namespace custody;
 
+/// Event-queue churn: push/pop `events` events through a fresh queue.
+/// `detached:1` uses push_detached — no cancellation handle, so no
+/// shared_ptr<EventState> control block per event; `detached:0` is push()
+/// with a handle per event.  allocs_per_event (from the global
+/// operator-new hook) is the churn metric: detached pushes of
+/// inline-fitting callbacks cost only the heap vector's amortised growth.
 void BM_EventQueuePushPop(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  const bool detached = state.range(1) != 0;
   Rng rng(1);
   std::vector<double> times(static_cast<std::size_t>(n));
   for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
     sim::EventQueue queue;
-    for (double t : times) queue.push(t, [] {});
-    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+    if (detached) {
+      for (double t : times) queue.push_detached(t, [] {});
+    } else {
+      for (double t : times) {
+        sim::EventHandle handle = queue.push(t, [] {});
+        benchmark::DoNotOptimize(handle);
+      }
+    }
+    while (!queue.empty()) {
+      sim::EventQueue::Popped popped = queue.pop();
+      benchmark::DoNotOptimize(popped);
+    }
   }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocs) /
+      static_cast<double>(state.iterations() * n);
 }
-BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EventQueuePushPop)
+    ->ArgNames({"events", "detached"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
 
 void BM_MaxMinFairRates(benchmark::State& state) {
   const std::size_t num_flows = static_cast<std::size_t>(state.range(0));
@@ -348,6 +410,176 @@ BENCHMARK(BM_AllocationRoundAtScale)
     ->Args({10000, 1})
     ->Args({10000, 0})
     ->Unit(benchmark::kMillisecond);
+
+/// Everything the dispatch benches consume, pre-built outside the timed
+/// loop: `num_jobs` jobs of `tasks_per_job` ready input tasks over
+/// 3-replica blocks confined to `data_nodes` DFS nodes.  An offer from any
+/// node outside that set finds no local work, so with delay scheduling
+/// every job sits in its locality wait and each decision walks the whole
+/// job list — the worst case an offer storm hammers.
+struct DispatchInstance {
+  DispatchInstance(std::size_t data_nodes, std::size_t num_jobs,
+                   int tasks_per_job)
+      : dfs(MakeDfsConfig(data_nodes), Rng(10)), index(dfs) {
+    TaskId::value_type next_task = 0;
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+      const FileId file = dfs.write_file(
+          "job" + std::to_string(j),
+          tasks_per_job * dfs.config().block_bytes);
+      auto job = std::make_unique<app::Job>();
+      job->id = JobId(static_cast<JobId::value_type>(j));
+      job->input_tasks = tasks_per_job;
+      app::Stage stage;
+      stage.index = 0;
+      const auto& blocks = dfs.blocks_of(file);
+      for (int t = 0; t < tasks_per_job; ++t) {
+        app::Task task;
+        task.id = TaskId(next_task++);
+        task.job = job->id;
+        task.stage = 0;
+        task.index = t;
+        task.block = blocks[static_cast<std::size_t>(t)];
+        task.state = app::TaskState::kReady;
+        stage.tasks.push_back(task.id);
+        index.task_ready(task);
+        tasks.emplace(task.id, task);
+      }
+      job->stages.push_back(std::move(stage));
+      owned.push_back(std::move(job));
+      jobs.push_back(owned.back().get());
+    }
+  }
+
+  static dfs::DfsConfig MakeDfsConfig(std::size_t data_nodes) {
+    dfs::DfsConfig config;
+    config.num_nodes = data_nodes;
+    return config;
+  }
+
+  dfs::Dfs dfs;
+  app::ReadyTaskIndex index;
+  std::vector<std::unique_ptr<app::Job>> owned;
+  std::vector<app::Job*> jobs;
+  app::TaskTable tasks;
+};
+
+/// One pick() decision for an idle executor on a node with no local ready
+/// work — the per-offer hot path while every job waits out its locality
+/// delay.  `indexed:1` is the ReadyTaskIndex path (two lookups per job);
+/// `indexed:0` is the seed full scan (a task-table probe plus a replica
+/// check per ready task).  Ready tasks ~ 4x the executor pool, the
+/// contended shape of the allocation-round bench.
+void BM_SchedulerPick(benchmark::State& state) {
+  const std::size_t execs = static_cast<std::size_t>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  const std::size_t num_jobs = std::max<std::size_t>(execs / 100, 4);
+  const int tasks_per_job = static_cast<int>(4 * execs / num_jobs);
+  DispatchInstance inst(8, num_jobs, tasks_per_job);
+  app::SchedulerConfig config;
+  config.indexed = indexed;
+  app::TaskScheduler scheduler(config, inst.dfs);
+  if (indexed) scheduler.attach_index(&inst.index);
+  const NodeId offer_node(8);  // outside the data nodes: nothing is local
+  std::optional<SimTime> retry_at;
+  for (auto _ : state) {
+    auto pick =
+        scheduler.pick(offer_node, 0.0, inst.jobs, inst.tasks, retry_at);
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(num_jobs) + " jobs, " +
+                 std::to_string(num_jobs * static_cast<std::size_t>(
+                                               tasks_per_job)) +
+                 " ready tasks");
+}
+BENCHMARK(BM_SchedulerPick)
+    ->ArgNames({"execs", "indexed"})
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({5000, 1})
+    ->Args({5000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Stub manager: never grants, so jobs stay pending and every offer
+/// exercises the full consider_offer decision.
+class NullManager final : public cluster::ClusterManager {
+ public:
+  using cluster::ClusterManager::ClusterManager;
+  [[nodiscard]] const char* name() const override { return "null"; }
+  void register_app(cluster::AppHandle&) override {}
+  void on_demand_changed(cluster::AppHandle&) override {}
+};
+
+/// A Mesos-style offer storm against a real Application: every offer comes
+/// from a node holding none of the app's input blocks while all jobs sit
+/// in their delay-scheduling locality wait, so each offer is rejected
+/// after a full dispatch decision — the OfferManager's steady state on a
+/// contended cluster.  `indexed:0` rescans every task of every job per
+/// offer; `indexed:1` answers each job from the index.
+void BM_OfferStorm(benchmark::State& state) {
+  const std::size_t execs = static_cast<std::size_t>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  const std::size_t num_nodes = execs / 2;
+  const std::size_t data_nodes = 8;
+  const std::size_t num_jobs = std::max<std::size_t>(execs / 100, 4);
+  const int tasks_per_job = static_cast<int>(4 * execs / num_jobs);
+
+  sim::Simulator sim;
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = data_nodes;
+  dfs::Dfs dfs(dfs_config, Rng(11));
+  net::NetworkConfig net_config;
+  net_config.num_nodes = num_nodes;
+  net::Network network(sim, net_config);
+  cluster::Cluster cluster(num_nodes, cluster::WorkerConfig{});
+  metrics::MetricsCollector metrics;
+  app::IdSource ids;
+  NullManager manager(sim, cluster);
+  app::AppConfig app_config;
+  app_config.dynamic_executors = false;
+  app_config.locality_swap = false;
+  app_config.scheduler.indexed = indexed;
+  app::Application application(AppId(0), sim, network, dfs, cluster, metrics,
+                               ids, Rng(12), app_config);
+  application.attach_manager(manager);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    app::JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    spec.input_file = dfs.write_file(
+        "file" + std::to_string(j),
+        tasks_per_job * dfs.config().block_bytes);
+    spec.input_compute_secs_per_byte = 1e-12;
+    application.submit_job(spec);
+  }
+
+  const ExecutorId offer_exec(0);
+  auto next_node = static_cast<NodeId::value_type>(data_nodes);
+  std::uint64_t accepted = 0;
+  for (auto _ : state) {
+    const NodeId node(next_node);
+    if (++next_node >= num_nodes) {
+      next_node = static_cast<NodeId::value_type>(data_nodes);
+    }
+    if (application.consider_offer(offer_exec, node)) ++accepted;
+  }
+  if (accepted != 0) state.SkipWithError("offer unexpectedly accepted");
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::to_string(num_jobs) + " jobs, " +
+                 std::to_string(num_jobs * static_cast<std::size_t>(
+                                               tasks_per_job)) +
+                 " ready tasks, all offers rejected");
+}
+BENCHMARK(BM_OfferStorm)
+    ->ArgNames({"execs", "indexed"})
+    ->Args({1000, 1})
+    ->Args({1000, 0})
+    ->Args({5000, 1})
+    ->Args({5000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 0})
+    ->Unit(benchmark::kMicrosecond);
 
 /// End-to-end simulator throughput: events per second on a busy network.
 void BM_SimulatedTransfers(benchmark::State& state) {

@@ -21,7 +21,27 @@ Application::Application(AppId id, sim::Simulator& sim, net::Network& net,
       ids_(ids),
       rng_(rng),
       config_(config),
-      scheduler_(config.scheduler, dfs) {}
+      scheduler_(config.scheduler, dfs) {
+  if (config_.scheduler.indexed) {
+    index_ = std::make_unique<ReadyTaskIndex>(dfs_);
+    scheduler_.attach_index(index_.get());
+    dfs_listener_ = dfs_.add_replica_listener(
+        [this](BlockId block, NodeId node, bool added) {
+          if (added) {
+            index_->replica_added(block, node);
+          } else {
+            index_->replica_removed(block, node);
+          }
+        });
+  }
+}
+
+Application::~Application() {
+  if (index_ != nullptr) {
+    dfs_.remove_replica_listener(dfs_listener_);
+    if (cache_ != nullptr) cache_->remove_change_listener(cache_listener_);
+  }
+}
 
 void Application::attach_manager(cluster::ClusterManager& manager) {
   manager_ = &manager;
@@ -31,6 +51,17 @@ void Application::attach_manager(cluster::ClusterManager& manager) {
 void Application::attach_cache(dfs::BlockCache* cache) {
   cache_ = cache;
   scheduler_.set_cache(cache);
+  if (index_ != nullptr && cache != nullptr) {
+    index_->set_cache(cache);
+    cache_listener_ = cache->add_change_listener(
+        [this](BlockId block, NodeId node, bool cached) {
+          if (cached) {
+            index_->replica_added(block, node);
+          } else {
+            index_->replica_removed(block, node);
+          }
+        });
+  }
 }
 
 const std::vector<NodeId>& Application::locations_of(BlockId block) const {
@@ -152,6 +183,7 @@ void Application::mark_stage_ready(Job& j, Stage& stage) {
           sources.size(), static_cast<std::size_t>(config_.shuffle_fan_in));
       t.fetch_sources.assign(sources.begin(), sources.begin() + fan_in);
     }
+    if (index_ != nullptr) index_->task_ready(t);
   }
 }
 
@@ -172,15 +204,23 @@ std::vector<core::JobDemand> Application::pending_demand() const {
     core::JobDemand jd;
     jd.job = j->id.value();
     jd.total_tasks = j->input_tasks;
-    for (TaskId id : j->stages.front().tasks) {
-      const Task& t = task(id);
-      if (t.state != TaskState::kReady) continue;
+    // Indexed: iterate only the ready input tasks (id order == stage scan
+    // order); reference: scan the whole input stage.
+    auto consider = [&](const Task& t) {
       const auto& locs = locations_of(t.block);
       const bool covered = std::any_of(
           locs.begin(), locs.end(), [&held_nodes](NodeId n) {
             return std::binary_search(held_nodes.begin(), held_nodes.end(), n);
           });
       if (!covered) jd.unsatisfied.push_back({t.id.value(), t.block});
+    };
+    if (index_ != nullptr) {
+      for (TaskId id : index_->ready_inputs(j->id)) consider(task(id));
+    } else {
+      for (TaskId id : j->stages.front().tasks) {
+        const Task& t = task(id);
+        if (t.state == TaskState::kReady) consider(t);
+      }
     }
     demand.push_back(std::move(jd));
   }
@@ -188,6 +228,9 @@ std::vector<core::JobDemand> Application::pending_demand() const {
 }
 
 int Application::wanted_executors() const {
+  // Every running task belongs to an active job (jobs finish only after all
+  // their tasks do), so the counters cover exactly the scanned sets.
+  if (index_ != nullptr) return index_->ready_count() + running_tasks_;
   int want = 0;
   for (const Job* j : active_jobs_) {
     for (const Stage& stage : j->stages) {
@@ -201,6 +244,7 @@ int Application::wanted_executors() const {
 }
 
 int Application::count_ready_tasks() const {
+  if (index_ != nullptr) return index_->ready_count();
   int ready = 0;
   for (const Job* j : active_jobs_) {
     for (const Stage& stage : j->stages) {
@@ -222,6 +266,24 @@ void Application::on_executor_granted(ExecutorId exec) {
 
 bool Application::consider_offer(ExecutorId /*exec*/, NodeId node) {
   const SimTime now = sim_.now();
+  if (index_ != nullptr) {
+    // Index-backed mirror of the reference scan below, including its
+    // side-effect order: each scanned job may start its locality-wait
+    // clock before the loop returns or moves on.
+    for (Job* j : active_jobs_) {
+      if (index_->has_ready_other(j->id)) return true;
+      if (j->launched_input_tasks >= j->input_tasks) continue;
+      if (index_->has_local_ready_input(j->id, node)) return true;
+      if (index_->has_ready_input(j->id)) {
+        if (!j->waiting_since_set()) j->wait_start = now;
+        if (scheduler_.config().kind != SchedulerKind::kDelay ||
+            now - j->wait_start >= scheduler_.config().locality_wait) {
+          return true;  // waited long enough; settle for this node
+        }
+      }
+    }
+    return false;
+  }
   bool has_ready_input = false;
   for (Job* j : active_jobs_) {
     // Downstream work has no locality constraint: accept immediately.
@@ -232,8 +294,7 @@ bool Application::consider_offer(ExecutorId /*exec*/, NodeId node) {
       }
     }
     if (j->launched_input_tasks >= j->input_tasks) continue;
-    if (scheduler_.has_local_ready_input(
-            *j, node, [this](TaskId id) -> Task& { return task(id); })) {
+    if (scheduler_.has_local_ready_input(*j, node, tasks_)) {
       return true;
     }
     for (TaskId id : j->stages.front().tasks) {
@@ -263,9 +324,8 @@ void Application::kick() {
   for (const cluster::Executor& snapshot : cluster_.executors()) {
     if (snapshot.owner != id_ || snapshot.busy) continue;
     std::optional<SimTime> retry_at;
-    const auto pick = scheduler_.pick(
-        snapshot.node, now, active_jobs_,
-        [this](TaskId id) -> Task& { return task(id); }, retry_at);
+    const auto pick =
+        scheduler_.pick(snapshot.node, now, active_jobs_, tasks_, retry_at);
     if (pick) {
       Task& t = task(pick->task);
       t.local = pick->local;
@@ -306,7 +366,9 @@ void Application::launch(Task& t, ExecutorId exec) {
   cluster::Executor& e = cluster_.executor(exec);
   assert(!e.busy && e.owner == id_);
   e.busy = true;
+  if (index_ != nullptr) index_->task_unready(t);
   t.state = TaskState::kRunning;
+  ++running_tasks_;
   t.executor = exec;
   t.launch_time = now;
 
@@ -338,6 +400,9 @@ void Application::launch(Task& t, ExecutorId exec) {
     if (t.local) {
       // Disk replica or cached copy; cached reads run at memory speed.
       const bool on_disk = dfs_.is_local(t.block, e.node);
+      if (!on_disk && cache_ != nullptr) {
+        cache_->record_cached_read(e.node, t.block);
+      }
       const double rate = on_disk ? cluster_.disk_bps(e.node)
                                   : cluster_.config().memory_bps;
       const double read_secs = t.input_bytes / rate;
@@ -354,10 +419,11 @@ void Application::launch(Task& t, ExecutorId exec) {
       NodeId src = rng_.pick(locs);
       if (src == e.node) {
         // A cached copy appeared on this node after scheduling; read it.
+        if (cache_ != nullptr) cache_->record_cached_read(e.node, t.block);
         const double read_secs =
             t.input_bytes / cluster_.config().memory_bps;
-        sim_.schedule(read_secs,
-                      [this, id = t.id] { start_compute(task(id)); });
+        sim_.post(read_secs,
+                  [this, id = t.id] { start_compute(task(id)); });
         return;
       }
       t.pending_flow = net_.start_flow(
@@ -461,6 +527,9 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
 
   if (t.spec_local) {
     const bool on_disk = dfs_.is_local(t.block, e.node);
+    if (!on_disk && cache_ != nullptr) {
+      cache_->record_cached_read(e.node, t.block);
+    }
     const double rate = on_disk ? cluster_.disk_bps(e.node)
                                 : cluster_.config().memory_bps;
     t.spec_event = sim_.schedule(
@@ -476,6 +545,7 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
   assert(!locs.empty());
   NodeId src = rng_.pick(locs);
   if (src == e.node) {
+    if (cache_ != nullptr) cache_->record_cached_read(e.node, t.block);
     t.spec_event = sim_.schedule(
         t.input_bytes / cluster_.config().memory_bps,
         [this, id = t.id, ep = t.epoch] {
@@ -563,10 +633,12 @@ void Application::reset_task(Task& t) {
   }
   ++t.epoch;  // orphan every remaining callback of the old attempts
   t.state = TaskState::kReady;
+  --running_tasks_;
   t.ready_time = sim_.now();
   t.executor = ExecutorId::invalid();
   t.local = false;
   t.fetches_outstanding = 0;
+  if (index_ != nullptr) index_->task_ready(t);
 }
 
 void Application::on_executor_lost(ExecutorId exec) {
@@ -603,6 +675,7 @@ void Application::finish_task(Task& t) {
   assert(t.state == TaskState::kRunning);
   const SimTime now = sim_.now();
   t.state = TaskState::kFinished;
+  --running_tasks_;
   t.finish_time = now;
   cluster_.executor(t.executor).busy = false;
 
@@ -666,19 +739,15 @@ void Application::finish_job(Job& j) {
   for (const Stage& stage : j.stages) {
     for (TaskId id : stage.tasks) tasks_.erase(id);
   }
+  if (index_ != nullptr) index_->job_removed(j.id);
 
   manager_->on_demand_changed(*this);
 }
 
 bool Application::any_local_ready_input(NodeId node) const {
+  if (index_ != nullptr) return index_->any_local_ready_input(node);
   for (const Job* j : active_jobs_) {
-    if (scheduler_.has_local_ready_input(
-            *j, node, [this](TaskId id) -> Task& {
-              // has_local_ready_input only reads; const_cast confined here.
-              return const_cast<Application*>(this)->task(id);
-            })) {
-      return true;
-    }
+    if (scheduler_.has_local_ready_input(*j, node, tasks_)) return true;
   }
   return false;
 }

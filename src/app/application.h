@@ -63,6 +63,7 @@ class Application final : public cluster::AppHandle {
               const dfs::Dfs& dfs, cluster::Cluster& cluster,
               metrics::MetricsCollector& metrics, IdSource& ids, Rng rng,
               AppConfig config);
+  ~Application() override;
 
   Application(const Application&) = delete;
   Application& operator=(const Application&) = delete;
@@ -159,6 +160,14 @@ class Application final : public cluster::AppHandle {
   cluster::ClusterManager* manager_ = nullptr;
   dfs::BlockCache* cache_ = nullptr;
   TaskScheduler scheduler_;
+  /// Dispatch index (tentpole of the indexed scheduler path); null when
+  /// config_.scheduler.indexed is false — every consumer then falls back
+  /// to the seed scan.  Kept fresh via task state transitions here plus
+  /// Dfs replica / BlockCache change listeners.
+  std::unique_ptr<ReadyTaskIndex> index_;
+  dfs::Dfs::ListenerId dfs_listener_ = 0;
+  dfs::BlockCache::ListenerId cache_listener_ = 0;
+  int running_tasks_ = 0;
 
   int share_ = 0;
   std::unordered_map<TaskId, Task> tasks_;

@@ -8,12 +8,20 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
 
 namespace custody::app {
+
+struct Task;
+
+/// The application's task table: every live task keyed by id.  Passed to
+/// the scheduler directly — the seed's per-call std::function resolver
+/// allocated and indirected on the hottest path in the system.
+using TaskTable = std::unordered_map<TaskId, Task>;
 
 enum class TaskState { kBlocked, kReady, kRunning, kFinished };
 

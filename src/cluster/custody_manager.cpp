@@ -45,7 +45,7 @@ void CustodyManager::release_executor(ExecutorId exec) {
 void CustodyManager::schedule_reallocation() {
   if (round_pending_) return;
   round_pending_ = true;
-  sim_.schedule(0.0, [this] {
+  sim_.post(0.0, [this] {
     round_pending_ = false;
     reallocate_now();
   });

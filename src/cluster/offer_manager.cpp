@@ -55,7 +55,7 @@ void OfferManager::offer_round() {
 void OfferManager::schedule_retry() {
   if (retry_pending_) return;
   retry_pending_ = true;
-  sim_.schedule(config_.reoffer_interval, [this] {
+  sim_.post(config_.reoffer_interval, [this] {
     retry_pending_ = false;
     offer_round();
   });

@@ -29,7 +29,7 @@ void PoolManager::release_executor(ExecutorId exec) {
 void PoolManager::schedule_round() {
   if (round_pending_) return;
   round_pending_ = true;
-  sim_.schedule(0.0, [this] {
+  sim_.post(0.0, [this] {
     round_pending_ = false;
     distribute();
   });

@@ -1,0 +1,79 @@
+#include "common/json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace custody {
+
+std::string JsonWriter::quote(const std::string& text) {
+  std::string out = "\"";
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonWriter::value(const std::string& cell) {
+  if (cell.empty()) return quote(cell);
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(cell.c_str(), &end);
+  // Whole-string finite numbers pass through as JSON numbers; "nan"/"inf"
+  // parse but are not valid JSON, so they stay strings.
+  if (errno == 0 && end == cell.c_str() + cell.size() &&
+      parsed - parsed == 0.0) {
+    return cell;
+  }
+  return quote(cell);
+}
+
+JsonWriter::JsonWriter(const std::string& path,
+                       std::vector<std::string> columns)
+    : out_(path), columns_(std::move(columns)) {
+  if (!out_) throw std::runtime_error("JsonWriter: cannot open " + path);
+  out_ << "[";
+}
+
+JsonWriter::~JsonWriter() { out_ << "\n]\n"; }
+
+void JsonWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::runtime_error("JsonWriter: row width mismatch");
+  }
+  out_ << (first_row_ ? "\n" : ",\n") << "  {";
+  first_row_ = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ", ";
+    out_ << quote(columns_[i]) << ": " << value(cells[i]);
+  }
+  out_ << "}";
+}
+
+}  // namespace custody

@@ -1,0 +1,40 @@
+// JSON emission for benchmark results (each bench binary can dump its
+// series with --json <path>), so the perf trajectory can be tracked as
+// machine-readable artifacts across CI runs — the sibling of CsvWriter.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace custody {
+
+/// Writes rows as a JSON array of {column: value} objects.  Cells that
+/// parse as finite numbers are emitted as JSON numbers, everything else as
+/// escaped strings, so downstream plotting needs no coercion.
+class JsonWriter {
+ public:
+  /// Opens `path` for writing. Throws on failure.  The array is closed by
+  /// the destructor.
+  JsonWriter(const std::string& path, std::vector<std::string> columns);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t num_columns() const { return columns_.size(); }
+
+ private:
+  static std::string quote(const std::string& text);
+  /// `cell` as a JSON value: verbatim when it is a finite number, quoted
+  /// otherwise.
+  static std::string value(const std::string& cell);
+
+  std::ofstream out_;
+  std::vector<std::string> columns_;
+  bool first_row_ = true;
+};
+
+}  // namespace custody

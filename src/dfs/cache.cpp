@@ -16,6 +16,10 @@ void BlockCache::touch(NodeCache& cache, BlockId block) {
   cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
 }
 
+void BlockCache::notify(BlockId block, NodeId node, bool cached) {
+  for (const Listener& listener : listeners_) listener.fn(block, node, cached);
+}
+
 void BlockCache::evict_lru(NodeId node, NodeCache& cache) {
   assert(!cache.lru.empty());
   const BlockId victim = cache.lru.back();
@@ -28,6 +32,7 @@ void BlockCache::evict_lru(NodeId node, NodeCache& cache) {
   holders.erase(std::remove(holders.begin(), holders.end(), node),
                 holders.end());
   rebuild_merged(victim);
+  notify(victim, node, false);
 }
 
 void BlockCache::rebuild_merged(BlockId block) {
@@ -60,6 +65,7 @@ void BlockCache::insert(NodeId node, BlockId block) {
   ++stats_.insertions;
   cached_on_[block].push_back(node);
   rebuild_merged(block);
+  notify(block, node, true);
 }
 
 bool BlockCache::is_cached(NodeId node, BlockId block) {
@@ -73,10 +79,26 @@ bool BlockCache::is_cached(NodeId node, BlockId block) {
   return true;
 }
 
-const std::vector<NodeId>& BlockCache::merged_locations(BlockId block) {
+bool BlockCache::peek_cached(NodeId node, BlockId block) const {
+  if (!enabled()) return false;
+  assert(node.value() < nodes_.size());
+  return nodes_[node.value()].index.count(block) > 0;
+}
+
+void BlockCache::record_cached_read(NodeId node, BlockId block) {
+  (void)is_cached(node, block);
+}
+
+const std::vector<NodeId>& BlockCache::merged_locations(BlockId block) const {
   auto it = merged_.find(block);
   if (it != merged_.end()) return it->second;
   return dfs_.locations(block);  // nothing cached: disk replicas as-is
+}
+
+const std::vector<NodeId>& BlockCache::cached_holders(BlockId block) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = cached_on_.find(block);
+  return it == cached_on_.end() ? kEmpty : it->second;
 }
 
 bool BlockCache::is_local(BlockId block, NodeId node) {
@@ -95,6 +117,22 @@ void BlockCache::fail_node(NodeId node) {
     holders.erase(std::remove(holders.begin(), holders.end(), node),
                   holders.end());
     rebuild_merged(block);
+    notify(block, node, false);
+  }
+}
+
+BlockCache::ListenerId BlockCache::add_change_listener(ChangeListener fn) {
+  const ListenerId id = next_listener_++;
+  listeners_.push_back({id, std::move(fn)});
+  return id;
+}
+
+void BlockCache::remove_change_listener(ListenerId id) {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->id == id) {
+      listeners_.erase(it);
+      return;
+    }
   }
 }
 

@@ -6,9 +6,18 @@
 // per-node LRU cache of remotely-read blocks — and maintains the *merged*
 // block -> nodes map (disk replicas + cached copies) that the Custody
 // allocator and delay scheduler consult.
+//
+// Two kinds of query exist on purpose:
+//   - peek_cached() answers scheduling inquiries ("would this task be local
+//     there?") without touching LRU recency or the hit counters — an
+//     inquiry is not a read, and the dispatch hot path may ask thousands of
+//     times per decision.
+//   - record_cached_read() is called when a task actually reads a cached
+//     copy: it refreshes recency and counts the hit.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -21,12 +30,19 @@ namespace custody::dfs {
 struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
-  std::uint64_t hits = 0;    ///< is_cached() queries answered positively
-  std::uint64_t lookups = 0; ///< total is_cached() queries
+  std::uint64_t hits = 0;    ///< cached reads (record_cached_read / is_cached)
+  std::uint64_t lookups = 0; ///< total read-path queries
 };
 
 class BlockCache {
  public:
+  /// Observes cached-copy churn: fires with cached=true when a node gains a
+  /// cached copy of a block, cached=false when it loses one (eviction or
+  /// node failure).  Lets the dispatch index track cache locality without
+  /// rescanning.
+  using ChangeListener = std::function<void(BlockId, NodeId, bool cached)>;
+  using ListenerId = std::uint64_t;
+
   /// `capacity_bytes` is the per-node cache budget; 0 disables caching.
   BlockCache(const Dfs& dfs, double capacity_bytes);
 
@@ -41,17 +57,36 @@ class BlockCache {
   void insert(NodeId node, BlockId block);
 
   /// True when the node holds a *cached* copy (disk replicas not counted).
+  /// Touches LRU recency and counts a hit — use for actual reads; tests of
+  /// the cache itself also use it as the observable query.
   [[nodiscard]] bool is_cached(NodeId node, BlockId block);
+
+  /// Non-mutating is_cached: no LRU touch, no stats.  The scheduling paths
+  /// use this so that locality *inquiries* cannot perturb eviction order.
+  [[nodiscard]] bool peek_cached(NodeId node, BlockId block) const;
+
+  /// A task on `node` actually read its block from the local cache:
+  /// refresh recency and count the hit.
+  void record_cached_read(NodeId node, BlockId block);
 
   /// Disk replicas plus cached copies, sorted by node id.  The reference
   /// stays valid until the next insert/eviction touching the block.
-  [[nodiscard]] const std::vector<NodeId>& merged_locations(BlockId block);
+  [[nodiscard]] const std::vector<NodeId>& merged_locations(
+      BlockId block) const;
+
+  /// Nodes currently holding a cached copy of `block` (unsorted; empty when
+  /// none).  Unlike merged_locations this is always live — merged_ snapshots
+  /// can go stale when *disk* replicas move under them (node failover).
+  [[nodiscard]] const std::vector<NodeId>& cached_holders(BlockId block) const;
 
   /// Like Dfs::is_local but including cached copies (touches LRU).
   [[nodiscard]] bool is_local(BlockId block, NodeId node);
 
   /// Drop everything a failed node cached (its memory is gone).
   void fail_node(NodeId node);
+
+  ListenerId add_change_listener(ChangeListener fn);
+  void remove_change_listener(ListenerId id);
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] double bytes_on(NodeId node) const;
@@ -66,6 +101,7 @@ class BlockCache {
   void touch(NodeCache& cache, BlockId block);
   void evict_lru(NodeId node, NodeCache& cache);
   void rebuild_merged(BlockId block);
+  void notify(BlockId block, NodeId node, bool cached);
 
   const Dfs& dfs_;
   double capacity_bytes_;
@@ -74,6 +110,12 @@ class BlockCache {
   std::unordered_map<BlockId, std::vector<NodeId>> cached_on_;
   /// block -> disk ∪ cache locations, maintained incrementally
   std::unordered_map<BlockId, std::vector<NodeId>> merged_;
+  struct Listener {
+    ListenerId id;
+    ChangeListener fn;
+  };
+  std::vector<Listener> listeners_;
+  ListenerId next_listener_ = 1;
   CacheStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "dfs/dfs.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -21,12 +22,32 @@ double Dfs::bytes_on(NodeId node) const {
   return node_bytes_[node.value()];
 }
 
+void Dfs::notify(BlockId block, NodeId node, bool added) {
+  for (const Listener& listener : listeners_) listener.fn(block, node, added);
+}
+
+Dfs::ListenerId Dfs::add_replica_listener(ReplicaListener fn) const {
+  const ListenerId id = next_listener_++;
+  listeners_.push_back({id, std::move(fn)});
+  return id;
+}
+
+void Dfs::remove_replica_listener(ListenerId id) const {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->id == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
 void Dfs::place_block(const BlockInfo& block, int replicas) {
   const auto nodes = policy_->place(block, replicas, *this, rng_);
   assert(static_cast<int>(nodes.size()) == replicas);
   for (NodeId n : nodes) {
     namenode_.add_replica(block.id, n);
     node_bytes_[n.value()] += block.bytes;
+    notify(block.id, n, true);
   }
 }
 
@@ -48,6 +69,20 @@ FileId Dfs::write_file(const std::string& path, double bytes,
 }
 
 void Dfs::fail_node(NodeId node, const std::vector<NodeId>& live_nodes) {
+  // The indexed path needs binary search over live_nodes; callers pass
+  // Cluster::alive_nodes(), which is sorted, but fall back for arbitrary
+  // orderings (the reference scan filters live_nodes in input order, and
+  // candidate order feeds the RNG pick).
+  if (config_.indexed_failover &&
+      std::is_sorted(live_nodes.begin(), live_nodes.end())) {
+    fail_node_indexed(node, live_nodes);
+  } else {
+    fail_node_reference(node, live_nodes);
+  }
+}
+
+void Dfs::fail_node_reference(NodeId node,
+                              const std::vector<NodeId>& live_nodes) {
   for (BlockId b : namenode_.all_blocks()) {
     if (!namenode_.is_local(b, node)) continue;
     const double bytes = namenode_.block(b).bytes;
@@ -62,10 +97,60 @@ void Dfs::fail_node(NodeId node, const std::vector<NodeId>& live_nodes) {
       const NodeId target = rng_.pick(candidates);
       namenode_.add_replica(b, target);
       node_bytes_[target.value()] += bytes;
+      notify(b, target, true);
     }
     if (namenode_.locations(b).size() > 1) {
       namenode_.remove_replica(b, node);
       node_bytes_[node.value()] -= bytes;
+      notify(b, node, false);
+    }
+  }
+}
+
+void Dfs::fail_node_indexed(NodeId node,
+                            const std::vector<NodeId>& live_nodes) {
+  // Snapshot: remove_replica(b, node) mutates the set we would iterate.
+  // blocks_on(node) is ordered by block id, which is exactly the reference
+  // scan's all_blocks() order filtered by is_local(b, node).
+  const auto& held_set = namenode_.blocks_on(node);
+  const std::vector<BlockId> held(held_set.begin(), held_set.end());
+  std::vector<std::size_t> excluded;  // positions in live_nodes
+  for (BlockId b : held) {
+    const double bytes = namenode_.block(b).bytes;
+    // The reference candidate list is live_nodes minus `node` minus current
+    // replica holders, in live_nodes (= sorted) order.  Instead of building
+    // it, locate the excluded positions (node is a holder of b, so the
+    // holder pass covers it) ...
+    excluded.clear();
+    for (NodeId holder : namenode_.locations(b)) {
+      const auto it =
+          std::lower_bound(live_nodes.begin(), live_nodes.end(), holder);
+      if (it != live_nodes.end() && *it == holder) {
+        excluded.push_back(static_cast<std::size_t>(it - live_nodes.begin()));
+      }
+    }
+    const std::size_t count = live_nodes.size() - excluded.size();
+    if (count > 0) {
+      // ... draw the same order statistic the reference path draws, then
+      // skip it past the excluded positions (ascending, since locations()
+      // and live_nodes are both sorted) to land on the k-th candidate.
+      std::size_t j = rng_.index(count);
+      for (std::size_t pos : excluded) {
+        if (pos <= j) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      const NodeId target = live_nodes[j];
+      namenode_.add_replica(b, target);
+      node_bytes_[target.value()] += bytes;
+      notify(b, target, true);
+    }
+    if (namenode_.locations(b).size() > 1) {
+      namenode_.remove_replica(b, node);
+      node_bytes_[node.value()] -= bytes;
+      notify(b, node, false);
     }
   }
 }
@@ -83,6 +168,7 @@ void Dfs::boost_replication(FileId file, int extra) {
     for (NodeId n : nodes) {
       namenode_.add_replica(b, n);
       node_bytes_[n.value()] += namenode_.block(b).bytes;
+      notify(b, n, true);
     }
   }
 }

@@ -2,6 +2,8 @@
 // per-DataNode storage accounting, and a pluggable placement policy.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,10 +21,24 @@ struct DfsConfig {
   std::size_t num_nodes = 0;
   double block_bytes = units::MB(128.0);  ///< paper default
   int default_replication = 3;            ///< paper default
+  /// fail_node re-replication via the NameNode's node->blocks index and
+  /// order-statistics target sampling (O(blocks-on-node × replication))
+  /// instead of the seed's full-block-map scan with a candidates vector per
+  /// block (O(all-blocks × live-nodes)).  Both paths consume identical RNG
+  /// draws and choose identical targets; false keeps the seed scan as the
+  /// reference implementation.
+  bool indexed_failover = true;
 };
 
 class Dfs final : public PlacementView {
  public:
+  /// Observes disk-replica churn: fires with added=true when `node` gains a
+  /// replica of `block` (placement, re-replication, boosting) and
+  /// added=false when it loses one (node failure).  Lets the dispatch index
+  /// track disk locality without rescanning the NameNode.
+  using ReplicaListener = std::function<void(BlockId, NodeId, bool added)>;
+  using ListenerId = std::uint64_t;
+
   /// The policy defaults to HDFS-style RandomPlacement when null.
   Dfs(DfsConfig config, Rng rng,
       std::unique_ptr<PlacementPolicy> policy = nullptr);
@@ -66,14 +82,28 @@ class Dfs final : public PlacementView {
 
   [[nodiscard]] const DfsConfig& config() const { return config_; }
 
+  /// Listener registration is const: observers do not alter filesystem
+  /// state, and the scheduler side only ever sees a `const Dfs&`.
+  ListenerId add_replica_listener(ReplicaListener fn) const;
+  void remove_replica_listener(ListenerId id) const;
+
  private:
   void place_block(const BlockInfo& block, int replicas);
+  void fail_node_indexed(NodeId node, const std::vector<NodeId>& live_nodes);
+  void fail_node_reference(NodeId node, const std::vector<NodeId>& live_nodes);
+  void notify(BlockId block, NodeId node, bool added);
 
   DfsConfig config_;
   Rng rng_;
   std::unique_ptr<PlacementPolicy> policy_;
   NameNode namenode_;
   std::vector<double> node_bytes_;
+  struct Listener {
+    ListenerId id;
+    ReplicaListener fn;
+  };
+  mutable std::vector<Listener> listeners_;
+  mutable ListenerId next_listener_ = 1;
 };
 
 }  // namespace custody::dfs

@@ -51,6 +51,9 @@ void NameNode::delete_file(FileId file) {
   auto it = files_.find(file);
   if (it == files_.end()) throw std::invalid_argument("NameNode: no such file");
   for (BlockId b : it->second.blocks) {
+    if (auto rit = replicas_.find(b); rit != replicas_.end()) {
+      for (NodeId n : rit->second) blocks_on_node_[n].erase(b);
+    }
     blocks_.erase(b);
     replicas_.erase(b);
   }
@@ -106,6 +109,7 @@ void NameNode::add_replica(BlockId block, NodeId node) {
     throw std::invalid_argument("NameNode: replica already on node");
   }
   locs.insert(pos, node);
+  blocks_on_node_[node].insert(block);
 }
 
 void NameNode::remove_replica(BlockId block, NodeId node) {
@@ -122,6 +126,15 @@ void NameNode::remove_replica(BlockId block, NodeId node) {
     throw std::invalid_argument("NameNode: no replica on node");
   }
   locs.erase(pos);
+  if (auto nit = blocks_on_node_.find(node); nit != blocks_on_node_.end()) {
+    nit->second.erase(block);
+  }
+}
+
+const std::set<BlockId>& NameNode::blocks_on(NodeId node) const {
+  static const std::set<BlockId> kEmpty;
+  auto it = blocks_on_node_.find(node);
+  return it == blocks_on_node_.end() ? kEmpty : it->second;
 }
 
 std::vector<BlockId> NameNode::all_blocks() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,11 +46,18 @@ class NameNode {
   /// All block ids, in creation order (for test sweeps).
   [[nodiscard]] std::vector<BlockId> all_blocks() const;
 
+  /// Blocks with a replica on `node`, ordered by block id — the inverse of
+  /// the location map, maintained incrementally by add/remove_replica.
+  /// Iterating it is equivalent to the all_blocks() scan filtered by
+  /// is_local(b, node), at O(blocks-on-node) instead of O(all blocks).
+  [[nodiscard]] const std::set<BlockId>& blocks_on(NodeId node) const;
+
  private:
   std::unordered_map<FileId, FileInfo> files_;
   std::unordered_map<std::string, FileId> by_path_;
   std::unordered_map<BlockId, BlockInfo> blocks_;
   std::unordered_map<BlockId, std::vector<NodeId>> replicas_;
+  std::unordered_map<NodeId, std::set<BlockId>> blocks_on_node_;
   FileId::value_type next_file_ = 0;
   BlockId::value_type next_block_ = 0;
 };

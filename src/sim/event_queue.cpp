@@ -5,15 +5,62 @@
 
 namespace custody::sim {
 
+void EventQueue::sift_up(std::size_t i) {
+  Entry moving = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!fires_before(moving, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(moving);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry moving = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && fires_before(heap_[child + 1], heap_[child])) {
+      ++child;
+    }
+    if (!fires_before(heap_[child], moving)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(moving);
+}
+
+EventQueue::Entry EventQueue::pop_entry() {
+  assert(!heap_.empty());
+  Entry top = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
 EventHandle EventQueue::push(SimTime at, EventFn fn) {
   auto state = std::make_shared<EventState>();
-  heap_.push(Entry{at, next_seq_++, state, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, state, std::move(fn)});
+  sift_up(heap_.size() - 1);
   return EventHandle(state);
 }
 
+void EventQueue::push_detached(SimTime at, EventFn fn) {
+  heap_.push_back(Entry{at, next_seq_++, nullptr, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().state &&
+         heap_.front().state->cancelled) {
+    (void)pop_entry();
   }
 }
 
@@ -25,16 +72,13 @@ bool EventQueue::empty() {
 SimTime EventQueue::next_time() {
   drop_cancelled();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
-  // priority_queue::top() is const; move out via const_cast is unsafe with
-  // some implementations, so copy the function object instead.
-  Entry top = heap_.top();
-  heap_.pop();
+  Entry top = pop_entry();
   return Popped{top.time, std::move(top.fn)};
 }
 

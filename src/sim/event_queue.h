@@ -4,19 +4,134 @@
 // tie-breaking, so same-timestamp events fire in scheduling order — this
 // keeps runs bit-reproducible.  Cancellation is O(1): the handle flips a
 // shared flag and the queue drops the event lazily when it is popped.
+//
+// Two allocation-churn fixes over the seed implementation (the dispatch
+// retry path multiplies event volume, so per-event overhead matters):
+//   - EventFn is a move-only callable with 48 bytes of inline storage.
+//     The seed's std::function<void()> heap-allocates for any capture list
+//     past ~16 bytes on libstdc++ — i.e. for nearly every event in the
+//     system (`this` + an id + a time is already 24).
+//   - push_detached() skips the shared_ptr<EventState> control block for
+//     the common case where the caller discards the handle: such events
+//     can never be cancelled, so they need no cancellation state.
+// The heap is hand-rolled over a std::vector because
+// std::priority_queue::top() is const and forces a copy of the callback on
+// every pop, which defeats move-only storage.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace custody::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only callable with small-buffer storage, used for event callbacks
+/// and post-event hooks.  May be invoked repeatedly (hooks are); the target
+/// is destroyed only when the EventFn itself is.
+class EventFn {
+ public:
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      on_heap_ = false;
+    } else {
+      heap_ = new D(std::forward<F>(f));
+      on_heap_ = true;
+    }
+    ops_ = &kOpsFor<D>;
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(target()); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Inline capacity in bytes (exposed for tests).
+  static constexpr std::size_t inline_capacity() { return kInlineSize; }
+
+ private:
+  static constexpr std::size_t kInlineSize = 48;
+
+  struct Ops {
+    void (*invoke)(void* target);
+    // Move-construct the target into `dst` and destroy the source.  Only
+    // ever called for inline targets; heap targets move by pointer steal.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*dispose)(void* target, bool on_heap) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kOpsFor = {
+      [](void* target) { (*static_cast<D*>(target))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* target, bool on_heap) noexcept {
+        if (on_heap) {
+          delete static_cast<D*>(target);
+        } else {
+          static_cast<D*>(target)->~D();
+        }
+      },
+  };
+
+  void* target() noexcept { return on_heap_ ? heap_ : buf_; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->dispose(target(), on_heap_);
+      ops_ = nullptr;
+    }
+  }
+
+  void steal(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    on_heap_ = other.on_heap_;
+    if (on_heap_) {
+      heap_ = other.heap_;
+    } else {
+      ops_->relocate(other.buf_, buf_);
+    }
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+  bool on_heap_ = false;
+};
 
 /// Shared cancellation state for a scheduled event.
 struct EventState {
@@ -46,8 +161,12 @@ class EventHandle {
 
 class EventQueue {
  public:
-  /// Schedule `fn` at absolute time `at`.
+  /// Schedule `fn` at absolute time `at`; the handle can cancel it.
   EventHandle push(SimTime at, EventFn fn);
+
+  /// Schedule `fn` at absolute time `at` with no cancellation handle.
+  /// Allocation-free apart from the callback's own (usually inline) storage.
+  void push_detached(SimTime at, EventFn fn);
 
   /// True when no live (non-cancelled) events remain.
   [[nodiscard]] bool empty();
@@ -70,19 +189,22 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    std::shared_ptr<EventState> state;
+    std::shared_ptr<EventState> state;  // null for detached events
     EventFn fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
+  // True when `a` must fire strictly before `b`.
+  static bool fires_before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  Entry pop_entry();
   void drop_cancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;  // binary min-heap ordered by fires_before
   std::uint64_t next_seq_ = 0;
 };
 

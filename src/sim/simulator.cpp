@@ -16,6 +16,16 @@ EventHandle Simulator::schedule_at(SimTime at, EventFn fn) {
   return queue_.push(at, std::move(fn));
 }
 
+void Simulator::post(SimTime delay, EventFn fn) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  queue_.push_detached(now_ + delay, std::move(fn));
+}
+
+void Simulator::post_at(SimTime at, EventFn fn) {
+  if (at < now_) throw std::invalid_argument("Simulator: time in the past");
+  queue_.push_detached(at, std::move(fn));
+}
+
 Simulator::HookId Simulator::add_post_event_hook(EventFn fn) {
   const HookId id = next_hook_id_++;
   hooks_.push_back({id, std::move(fn)});

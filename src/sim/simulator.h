@@ -26,6 +26,12 @@ class Simulator {
   /// Schedule `fn` at absolute time `at` (>= now()).
   EventHandle schedule_at(SimTime at, EventFn fn);
 
+  /// Fire-and-forget variants of schedule/schedule_at: no cancellation
+  /// handle is created, so no EventState allocation happens.  Use these
+  /// whenever the handle would be discarded.
+  void post(SimTime delay, EventFn fn);
+  void post_at(SimTime at, EventFn fn);
+
   /// Register `fn` to run between events: after each processed event —
   /// before the next one is popped and the clock advances — and once at the
   /// start of a run, so work staged outside events is picked up too.  Lets

@@ -293,7 +293,7 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
 
   // --- replay the submission schedule -------------------------------------
   for (const Submission& s : snapshot.trace()) {
-    sim.schedule_at(s.time, [&apps, &datasets, &dfs, &config, s] {
+    sim.post_at(s.time, [&apps, &datasets, &dfs, &config, s] {
       const Dataset& dataset = datasets.at(s.kind);
       const FileId file = dataset.files.at(s.file_index);
       apps[static_cast<std::size_t>(s.app_index)]->submit_job(
@@ -308,8 +308,8 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   for (const auto& app : apps) handles.push_back(app.get());
   for (int k = 0; k < config.node_failures; ++k) {
     const SimTime when = config.failure_start + k * config.failure_interval;
-    sim.schedule_at(when, [&cluster, &dfs, &cache, &handles, &manager,
-                           &failure_rng, &nodes_failed] {
+    sim.post_at(when, [&cluster, &dfs, &cache, &handles, &manager,
+                       &failure_rng, &nodes_failed] {
       const auto alive = cluster.alive_nodes();
       if (alive.size() <= 1) return;
       const NodeId victim = failure_rng.pick(alive);

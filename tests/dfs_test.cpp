@@ -168,6 +168,134 @@ TEST(Dfs, DeterministicForSameSeed) {
   }
 }
 
+TEST(NameNode, BlocksOnTracksReplicaChurn) {
+  NameNode nn;
+  const FileId f = nn.create_file("/a", MB(300.0), MB(128.0), 3);
+  const BlockId b0 = nn.blocks_of(f)[0];
+  const BlockId b1 = nn.blocks_of(f)[1];
+  nn.add_replica(b0, NodeId(2));
+  nn.add_replica(b1, NodeId(2));
+  nn.add_replica(b1, NodeId(4));
+  EXPECT_EQ(nn.blocks_on(NodeId(2)), (std::set<BlockId>{b0, b1}));
+  EXPECT_EQ(nn.blocks_on(NodeId(4)), (std::set<BlockId>{b1}));
+  EXPECT_TRUE(nn.blocks_on(NodeId(7)).empty());
+  nn.remove_replica(b1, NodeId(2));
+  EXPECT_EQ(nn.blocks_on(NodeId(2)), (std::set<BlockId>{b0}));
+  nn.delete_file(f);
+  EXPECT_TRUE(nn.blocks_on(NodeId(2)).empty());
+  EXPECT_TRUE(nn.blocks_on(NodeId(4)).empty());
+}
+
+/// Two identically seeded filesystems with several failures applied must
+/// agree block-for-block between the indexed failover path (node->blocks
+/// index + order-statistics target sampling) and the seed full-scan
+/// reference — the two consume identical RNG draws by construction.
+TEST(Dfs, IndexedFailoverMatchesReferenceForFixedSeed) {
+  for (const std::uint64_t seed : {11u, 29u, 47u, 63u, 81u}) {
+    DfsConfig indexed_config = Config(12, 3);
+    indexed_config.indexed_failover = true;
+    DfsConfig reference_config = indexed_config;
+    reference_config.indexed_failover = false;
+    Dfs indexed(indexed_config, Rng(seed));
+    Dfs reference(reference_config, Rng(seed));
+
+    std::vector<FileId> indexed_files;
+    std::vector<FileId> reference_files;
+    for (int i = 0; i < 6; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      indexed_files.push_back(indexed.write_file(path, MB(400.0)));
+      reference_files.push_back(reference.write_file(path, MB(400.0)));
+    }
+
+    auto live_without = [](std::initializer_list<NodeId::value_type> dead) {
+      std::vector<NodeId> live;
+      for (NodeId::value_type n = 0; n < 12; ++n) {
+        if (std::find(dead.begin(), dead.end(), n) == dead.end()) {
+          live.emplace_back(n);
+        }
+      }
+      return live;
+    };
+    indexed.fail_node(NodeId(3), live_without({3}));
+    reference.fail_node(NodeId(3), live_without({3}));
+    indexed.fail_node(NodeId(7), live_without({3, 7}));
+    reference.fail_node(NodeId(7), live_without({3, 7}));
+
+    for (std::size_t i = 0; i < indexed_files.size(); ++i) {
+      const auto& ib = indexed.blocks_of(indexed_files[i]);
+      const auto& rb = reference.blocks_of(reference_files[i]);
+      ASSERT_EQ(ib.size(), rb.size());
+      for (std::size_t k = 0; k < ib.size(); ++k) {
+        EXPECT_EQ(indexed.locations(ib[k]), reference.locations(rb[k]))
+            << "seed=" << seed << " file=" << i << " block=" << k;
+      }
+    }
+    for (NodeId::value_type n = 0; n < 12; ++n) {
+      EXPECT_EQ(indexed.bytes_on(NodeId(n)), reference.bytes_on(NodeId(n)))
+          << "seed=" << seed << " node=" << n;
+    }
+  }
+}
+
+TEST(Dfs, IndexedFailoverFallsBackOnUnsortedLiveNodes) {
+  // The order-statistics sampler needs an ascending live list; an unsorted
+  // one must take the reference path and still match a reference twin fed
+  // the same (unsorted) list.
+  DfsConfig indexed_config = Config(10, 2);
+  indexed_config.indexed_failover = true;
+  DfsConfig reference_config = indexed_config;
+  reference_config.indexed_failover = false;
+  Dfs indexed(indexed_config, Rng(5));
+  Dfs reference(reference_config, Rng(5));
+  const FileId fi = indexed.write_file("/d", MB(600.0));
+  const FileId fr = reference.write_file("/d", MB(600.0));
+  const std::vector<NodeId> shuffled{NodeId(9), NodeId(1), NodeId(4),
+                                     NodeId(8), NodeId(2), NodeId(6),
+                                     NodeId(5), NodeId(7), NodeId(3)};
+  indexed.fail_node(NodeId(0), shuffled);
+  reference.fail_node(NodeId(0), shuffled);
+  const auto& ib = indexed.blocks_of(fi);
+  const auto& rb = reference.blocks_of(fr);
+  ASSERT_EQ(ib.size(), rb.size());
+  for (std::size_t k = 0; k < ib.size(); ++k) {
+    EXPECT_EQ(indexed.locations(ib[k]), reference.locations(rb[k]));
+  }
+}
+
+TEST(Dfs, ReplicaListenerSeesFailoverChurn) {
+  DfsConfig config = Config(8, 2);
+  Dfs dfs(config, Rng(21));
+  const FileId f = dfs.write_file("/a", MB(256.0));
+  struct Event {
+    BlockId block;
+    NodeId node;
+    bool added;
+  };
+  std::vector<Event> events;
+  const Dfs::ListenerId id = dfs.add_replica_listener(
+      [&events](BlockId b, NodeId n, bool added) {
+        events.push_back({b, n, added});
+      });
+  std::vector<NodeId> live;
+  for (NodeId::value_type n = 1; n < 8; ++n) live.emplace_back(n);
+  dfs.fail_node(NodeId(0), live);
+  for (const Event& e : events) {
+    if (!e.added) {
+      EXPECT_EQ(e.node, NodeId(0));  // only the dead node loses replicas
+    } else {
+      EXPECT_TRUE(dfs.is_local(e.block, e.node));  // adds landed
+    }
+  }
+  // Every add is paired with the dead-node remove of the same block.
+  const auto adds = std::count_if(events.begin(), events.end(),
+                                  [](const Event& e) { return e.added; });
+  const auto removes = static_cast<std::ptrdiff_t>(events.size()) - adds;
+  EXPECT_EQ(adds, removes);
+  dfs.remove_replica_listener(id);
+  dfs.boost_replication(f, 1);
+  EXPECT_EQ(adds + removes, static_cast<std::ptrdiff_t>(events.size()));
+}
+
 TEST(Placement, SampleDistinctNodesExcludes) {
   Rng rng(8);
   const std::vector<NodeId> exclude{NodeId(0), NodeId(1)};

@@ -1,0 +1,240 @@
+// Equivalence suite for the indexed dispatch path (the PR-4 contract):
+// RunExperiment with scheduler.indexed = true (ReadyTaskIndex lookups in
+// TaskScheduler::pick, consider_offer, pending_demand, wanted_executors)
+// must produce results field-for-field identical — exact double compare —
+// to the seed full-scan reference path, for every manager, every scheduler
+// policy, and across many seeds, including the cache / speculation /
+// failure extensions that exercise the replica- and cache-change listener
+// paths of the index.
+//
+// Wall-clock diagnostic fields measure real time, not simulated behaviour,
+// and are the only fields excluded (same contract as sweep_test.cpp).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/harness.h"
+
+namespace custody::workload {
+namespace {
+
+ExperimentConfig BaseConfig(ManagerKind manager, app::SchedulerKind kind,
+                            std::uint64_t seed) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.executors_per_node = 2;
+  config.manager = manager;
+  config.kinds = {WorkloadKind::kWordCount, WorkloadKind::kSort};
+  config.trace.num_apps = 2;
+  config.trace.jobs_per_app = 4;
+  config.trace.files_per_kind = 3;
+  config.scheduler.kind = kind;
+  config.seed = seed;
+  return config;
+}
+
+void ExpectSummariesIdentical(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.p25, b.p25);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.p75, b.p75);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.max, b.max);
+}
+
+/// Exact comparison of every deterministic field of two results.
+void ExpectResultsIdentical(const ExperimentResult& a,
+                            const ExperimentResult& b) {
+  EXPECT_EQ(a.manager_name, b.manager_name);
+  {
+    SCOPED_TRACE("job_locality");
+    ExpectSummariesIdentical(a.job_locality, b.job_locality);
+  }
+  EXPECT_EQ(a.overall_task_locality_percent, b.overall_task_locality_percent);
+  EXPECT_EQ(a.local_job_percent, b.local_job_percent);
+  {
+    SCOPED_TRACE("jct");
+    ExpectSummariesIdentical(a.jct, b.jct);
+  }
+  {
+    SCOPED_TRACE("input_stage");
+    ExpectSummariesIdentical(a.input_stage, b.input_stage);
+  }
+  {
+    SCOPED_TRACE("sched_delay");
+    ExpectSummariesIdentical(a.sched_delay, b.sched_delay);
+  }
+  ASSERT_EQ(a.per_app_local_job_fraction.size(),
+            b.per_app_local_job_fraction.size());
+  for (std::size_t i = 0; i < a.per_app_local_job_fraction.size(); ++i) {
+    EXPECT_EQ(a.per_app_local_job_fraction[i], b.per_app_local_job_fraction[i])
+        << "per_app_local_job_fraction[" << i << "]";
+  }
+  EXPECT_EQ(a.manager_stats.allocation_rounds,
+            b.manager_stats.allocation_rounds);
+  EXPECT_EQ(a.manager_stats.executors_granted,
+            b.manager_stats.executors_granted);
+  EXPECT_EQ(a.manager_stats.executors_released,
+            b.manager_stats.executors_released);
+  EXPECT_EQ(a.manager_stats.offers_made, b.manager_stats.offers_made);
+  EXPECT_EQ(a.manager_stats.offers_rejected, b.manager_stats.offers_rejected);
+  EXPECT_EQ(a.manager_stats.executors_scanned,
+            b.manager_stats.executors_scanned);
+  EXPECT_EQ(a.manager_stats.apps_considered, b.manager_stats.apps_considered);
+  EXPECT_EQ(a.round_wall.count, b.round_wall.count);
+  EXPECT_EQ(a.round_yield_fraction, b.round_yield_fraction);
+  EXPECT_EQ(a.net_stats.recomputes_requested, b.net_stats.recomputes_requested);
+  EXPECT_EQ(a.net_stats.recomputes_run, b.net_stats.recomputes_run);
+  EXPECT_EQ(a.net_stats.recomputes_batched, b.net_stats.recomputes_batched);
+  EXPECT_EQ(a.net_stats.flows_scanned, b.net_stats.flows_scanned);
+  EXPECT_EQ(a.net_stats.links_scanned, b.net_stats.links_scanned);
+  EXPECT_EQ(a.net_stats.rounds, b.net_stats.rounds);
+  EXPECT_EQ(a.net_bytes_delivered, b.net_bytes_delivered);
+  EXPECT_EQ(a.cache_insertions, b.cache_insertions);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.speculative_launches, b.speculative_launches);
+  EXPECT_EQ(a.speculative_wins, b.speculative_wins);
+  EXPECT_EQ(a.nodes_failed, b.nodes_failed);
+  EXPECT_EQ(a.launches_local, b.launches_local);
+  EXPECT_EQ(a.launches_covered_busy, b.launches_covered_busy);
+  EXPECT_EQ(a.launches_uncovered, b.launches_uncovered);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+}
+
+/// Runs `config` once indexed and once on the reference scan and demands
+/// bit-identical results.
+void ExpectPathsAgree(ExperimentConfig config) {
+  config.scheduler.indexed = true;
+  const ExperimentResult indexed = RunExperiment(config);
+  config.scheduler.indexed = false;
+  const ExperimentResult reference = RunExperiment(config);
+  ExpectResultsIdentical(indexed, reference);
+}
+
+constexpr app::SchedulerKind kKinds[] = {app::SchedulerKind::kDelay,
+                                         app::SchedulerKind::kLocalityPreferred,
+                                         app::SchedulerKind::kFifo};
+
+const char* KindName(app::SchedulerKind kind) {
+  switch (kind) {
+    case app::SchedulerKind::kDelay:
+      return "delay";
+    case app::SchedulerKind::kLocalityPreferred:
+      return "locality";
+    case app::SchedulerKind::kFifo:
+      return "fifo";
+  }
+  return "?";
+}
+
+/// Every (manager, scheduler kind) cell over `seeds_per_cell` distinct
+/// seeds.  Seeds are disjoint across cells so the suite as a whole covers
+/// kinds * seeds_per_cell * 4 distinct seeds.
+void SweepManager(ManagerKind manager, std::uint64_t seed_base,
+                  int seeds_per_cell) {
+  std::uint64_t seed = seed_base;
+  for (const app::SchedulerKind kind : kKinds) {
+    for (int i = 0; i < seeds_per_cell; ++i, ++seed) {
+      SCOPED_TRACE(std::string("kind=") + KindName(kind) +
+                   " seed=" + std::to_string(seed));
+      ExpectPathsAgree(BaseConfig(manager, kind, seed));
+    }
+  }
+}
+
+// 4 managers x 3 kinds x 4 seeds = 48 distinct seeds; the feature variants
+// below add 12 more (60 total, all distinct).
+TEST(DispatchEquivalence, CustodyAllKindsManySeeds) {
+  SweepManager(ManagerKind::kCustody, 100, 4);
+}
+
+TEST(DispatchEquivalence, StandaloneAllKindsManySeeds) {
+  SweepManager(ManagerKind::kStandalone, 200, 4);
+}
+
+TEST(DispatchEquivalence, PoolAllKindsManySeeds) {
+  SweepManager(ManagerKind::kPool, 300, 4);
+}
+
+TEST(DispatchEquivalence, OfferAllKindsManySeeds) {
+  SweepManager(ManagerKind::kOffer, 400, 4);
+}
+
+// The block cache feeds the index through BlockCache change listeners
+// (insert / evict); a hot zipf-skewed dataset makes both fire constantly.
+TEST(DispatchEquivalence, CachedWorkloadAgrees) {
+  for (std::uint64_t seed = 500; seed < 504; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExperimentConfig config =
+        BaseConfig(ManagerKind::kCustody, app::SchedulerKind::kDelay, seed);
+    config.cache_mb_per_node = 256.0;
+    config.trace.zipf_skew = 1.2;
+    ExpectPathsAgree(config);
+  }
+}
+
+// Node failures drive Dfs replica listeners (re-replication adds, dead-node
+// removes) plus task resets (task_ready re-insertions after reset_task).
+TEST(DispatchEquivalence, FailuresAndSpeculationAgree) {
+  for (std::uint64_t seed = 600; seed < 604; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExperimentConfig config =
+        BaseConfig(ManagerKind::kCustody, app::SchedulerKind::kDelay, seed);
+    config.node_failures = 2;
+    config.failure_start = 10.0;
+    config.failure_interval = 15.0;
+    config.slow_node_fraction = 0.2;
+    config.speculation = true;
+    ExpectPathsAgree(config);
+  }
+}
+
+// Cache + failures together: a failed node loses cached copies too, so the
+// index sees interleaved replica and cache removal notifications.
+TEST(DispatchEquivalence, CacheWithFailuresAgrees) {
+  for (std::uint64_t seed = 700; seed < 704; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExperimentConfig config =
+        BaseConfig(ManagerKind::kOffer, app::SchedulerKind::kDelay, seed);
+    config.cache_mb_per_node = 256.0;
+    config.trace.zipf_skew = 1.1;
+    config.node_failures = 2;
+    config.failure_start = 8.0;
+    config.failure_interval = 12.0;
+    ExpectPathsAgree(config);
+  }
+}
+
+
+// Regression, seed 702: the index once computed task_ready memberships from
+// BlockCache::merged_locations, a snapshot rebuilt only on cache churn.  A
+// node failure moving a *disk* replica under a cached block left the
+// snapshot stale, so tasks becoming ready afterwards indexed the dead node
+// and missed the re-replication target.  Either feature alone agreed; only
+// the combination diverged.
+TEST(DispatchEquivalence, OfferCacheOnlyRegressionSeed) {
+  ExperimentConfig config =
+      BaseConfig(ManagerKind::kOffer, app::SchedulerKind::kDelay, 702);
+  config.cache_mb_per_node = 256.0;
+  config.trace.zipf_skew = 1.1;
+  ExpectPathsAgree(config);
+}
+
+TEST(DispatchEquivalence, OfferFailuresOnlyRegressionSeed) {
+  ExperimentConfig config =
+      BaseConfig(ManagerKind::kOffer, app::SchedulerKind::kDelay, 702);
+  config.node_failures = 2;
+  config.failure_start = 8.0;
+  config.failure_interval = 12.0;
+  ExpectPathsAgree(config);
+}
+
+}  // namespace
+}  // namespace custody::workload

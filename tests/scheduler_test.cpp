@@ -1,9 +1,13 @@
 // Tests for the in-application task schedulers: delay scheduling semantics,
-// locality-preferred and FIFO variants.
+// locality-preferred and FIFO variants.  Every pick test runs twice — once
+// against the seed full-scan reference path and once against the
+// ReadyTaskIndex-backed path — and must behave identically in both.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <unordered_map>
 
+#include "app/ready_index.h"
 #include "app/scheduler.h"
 #include "common/units.h"
 
@@ -73,11 +77,8 @@ class SchedulerFixture {
     return it->second;
   }
 
-  std::function<Task&(TaskId)> task_fn() {
-    return [this](TaskId id) -> Task& { return tasks_.at(id); };
-  }
-
   const dfs::Dfs& dfs() const { return dfs_; }
+  const TaskTable& tasks() const { return tasks_; }
   std::vector<Job*>& jobs() { return jobs_; }
 
  private:
@@ -89,7 +90,7 @@ class SchedulerFixture {
   }
 
   dfs::Dfs dfs_;
-  std::unordered_map<TaskId, Task> tasks_;
+  TaskTable tasks_;
   std::vector<std::unique_ptr<Job>> jobs_storage_;
   std::vector<Job*> jobs_;
   TaskId::value_type next_task_ = 0;
@@ -100,55 +101,81 @@ SchedulerConfig Delay(double wait = 3.0) {
   return {SchedulerKind::kDelay, wait};
 }
 
-TEST(DelayScheduler, PrefersLocalInputTask) {
+/// Parametrized over the dispatch path: false = reference scan, true =
+/// ReadyTaskIndex lookups.  make() must be called after the scenario is
+/// built — it snapshots the ready tasks into the index.
+class SchedulerPath : public testing::TestWithParam<bool> {
+ protected:
+  TaskScheduler make(SchedulerConfig cfg) {
+    cfg.indexed = GetParam();
+    TaskScheduler sched(cfg, f.dfs());
+    if (cfg.indexed) {
+      index_ = std::make_unique<ReadyTaskIndex>(f.dfs());
+      for (const auto& [id, t] : f.tasks()) {
+        if (t.state == TaskState::kReady) index_->task_ready(t);
+      }
+      sched.attach_index(index_.get());
+    }
+    return sched;
+  }
+
   SchedulerFixture f;
+
+ private:
+  std::unique_ptr<ReadyTaskIndex> index_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Paths, SchedulerPath, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "indexed" : "reference";
+                         });
+
+TEST_P(SchedulerPath, DelayPrefersLocalInputTask) {
   Job& j = f.add_job();
   const BlockId remote = f.add_block({NodeId(5)});
   const BlockId local = f.add_block({NodeId(1)});
   f.add_input_task(j, remote, TaskState::kReady);
   Task& local_task = f.add_input_task(j, local, TaskState::kReady);
 
-  TaskScheduler sched(Delay(), f.dfs());
+  TaskScheduler sched = make(Delay());
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(pick->task, local_task.id);
   EXPECT_TRUE(pick->local);
 }
 
-TEST(DelayScheduler, WaitsBeforeGoingRemote) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, DelayWaitsBeforeGoingRemote) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
 
-  TaskScheduler sched(Delay(3.0), f.dfs());
+  TaskScheduler sched = make(Delay(3.0));
   std::optional<SimTime> retry;
   // First ask at t=0: nothing local -> the job starts its wait.
-  EXPECT_FALSE(sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry));
+  EXPECT_FALSE(sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry));
   EXPECT_TRUE(j.waiting_since_set());
   ASSERT_TRUE(retry.has_value());
   EXPECT_DOUBLE_EQ(*retry, 3.0);
   // Still within the wait: refuse again.
-  EXPECT_FALSE(sched.pick(NodeId(1), 2.9, f.jobs(), f.task_fn(), retry));
+  EXPECT_FALSE(sched.pick(NodeId(1), 2.9, f.jobs(), f.tasks(), retry));
   // Wait expired: accept the remote slot.
-  const auto pick = sched.pick(NodeId(1), 3.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 3.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_FALSE(pick->local);
 }
 
-TEST(DelayScheduler, WaitExpiryExactTimeDoesNotSpin) {
+TEST_P(SchedulerPath, DelayWaitExpiryExactTimeDoesNotSpin) {
   // Regression: the retry event fires at exactly wait_start + wait; the
   // comparison must treat that instant as expired despite fp rounding.
-  SchedulerFixture f;
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
-  TaskScheduler sched(Delay(3.0), f.dfs());
+  TaskScheduler sched = make(Delay(3.0));
   std::optional<SimTime> retry;
   const double start = 9.133414204015;  // awkward binary representation
-  EXPECT_FALSE(sched.pick(NodeId(1), start, f.jobs(), f.task_fn(), retry));
+  EXPECT_FALSE(sched.pick(NodeId(1), start, f.jobs(), f.tasks(), retry));
   ASSERT_TRUE(retry.has_value());
   const auto pick =
-      sched.pick(NodeId(1), *retry, f.jobs(), f.task_fn(), retry);
+      sched.pick(NodeId(1), *retry, f.jobs(), f.tasks(), retry);
   EXPECT_TRUE(pick.has_value());
 }
 
@@ -175,110 +202,101 @@ TEST(DelayScheduler, NonLocalLaunchKeepsExpiredTimer) {
   EXPECT_TRUE(j.waiting_since_set());
 }
 
-TEST(DelayScheduler, DownstreamTasksLaunchAnywhere) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, DelayDownstreamTasksLaunchAnywhere) {
   Job& j = f.add_job();
   Task& reduce = f.add_downstream_task(j, TaskState::kReady);
-  TaskScheduler sched(Delay(), f.dfs());
+  TaskScheduler sched = make(Delay());
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(7), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(7), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(pick->task, reduce.id);
 }
 
-TEST(DelayScheduler, SkipsJobButServesNextOne) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, DelaySkipsJobButServesNextOne) {
   Job& first = f.add_job();
   f.add_input_task(first, f.add_block({NodeId(5)}), TaskState::kReady);
   Job& second = f.add_job();
   Task& local = f.add_input_task(second, f.add_block({NodeId(1)}),
                                  TaskState::kReady);
-  TaskScheduler sched(Delay(), f.dfs());
+  TaskScheduler sched = make(Delay());
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(pick->task, local.id);  // job 1 skipped, job 2 local served
   EXPECT_TRUE(first.waiting_since_set());
 }
 
-TEST(DelayScheduler, IgnoresNonReadyTasks) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, DelayIgnoresNonReadyTasks) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kBlocked);
   f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kRunning);
   f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kFinished);
-  TaskScheduler sched(Delay(), f.dfs());
+  TaskScheduler sched = make(Delay());
   std::optional<SimTime> retry;
-  EXPECT_FALSE(sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry));
+  EXPECT_FALSE(sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry));
   EXPECT_FALSE(retry.has_value());  // nothing will become pickable by time
 }
 
-TEST(LocalityPreferredScheduler, NeverWaits) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, LocalityPreferredNeverWaits) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
-  TaskScheduler sched({SchedulerKind::kLocalityPreferred, 3.0}, f.dfs());
+  TaskScheduler sched = make({SchedulerKind::kLocalityPreferred, 3.0});
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_FALSE(pick->local);
   EXPECT_FALSE(j.waiting_since_set());
 }
 
-TEST(LocalityPreferredScheduler, StillPrefersLocal) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, LocalityPreferredStillPrefersLocal) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
   Task& local = f.add_input_task(j, f.add_block({NodeId(1)}),
                                  TaskState::kReady);
-  TaskScheduler sched({SchedulerKind::kLocalityPreferred, 0.0}, f.dfs());
+  TaskScheduler sched = make({SchedulerKind::kLocalityPreferred, 0.0});
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(pick->task, local.id);
 }
 
-TEST(FifoScheduler, IgnoresLocalityEntirely) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, FifoIgnoresLocalityEntirely) {
   Job& j = f.add_job();
   Task& first = f.add_input_task(j, f.add_block({NodeId(5)}),
                                  TaskState::kReady);
   f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kReady);
-  TaskScheduler sched({SchedulerKind::kFifo, 3.0}, f.dfs());
+  TaskScheduler sched = make({SchedulerKind::kFifo, 3.0});
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_EQ(pick->task, first.id);  // stage order, not locality
   EXPECT_FALSE(pick->local);
 }
 
-TEST(FifoScheduler, StillReportsLocalityForMetrics) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, FifoStillReportsLocalityForMetrics) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(1)}), TaskState::kReady);
-  TaskScheduler sched({SchedulerKind::kFifo, 0.0}, f.dfs());
+  TaskScheduler sched = make({SchedulerKind::kFifo, 0.0});
   std::optional<SimTime> retry;
-  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry);
+  const auto pick = sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry);
   ASSERT_TRUE(pick.has_value());
   EXPECT_TRUE(pick->local);  // happened to be local
 }
 
-TEST(Scheduler, HasLocalReadyInput) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, HasLocalReadyInput) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(2)}), TaskState::kReady);
-  TaskScheduler sched(Delay(), f.dfs());
-  EXPECT_TRUE(sched.has_local_ready_input(j, NodeId(2), f.task_fn()));
-  EXPECT_FALSE(sched.has_local_ready_input(j, NodeId(3), f.task_fn()));
+  TaskScheduler sched = make(Delay());
+  EXPECT_TRUE(sched.has_local_ready_input(j, NodeId(2), f.tasks()));
+  EXPECT_FALSE(sched.has_local_ready_input(j, NodeId(3), f.tasks()));
 }
 
-TEST(Scheduler, ZeroWaitDelayActsLikeLocalityPreferred) {
-  SchedulerFixture f;
+TEST_P(SchedulerPath, ZeroWaitDelayActsLikeLocalityPreferred) {
   Job& j = f.add_job();
   f.add_input_task(j, f.add_block({NodeId(5)}), TaskState::kReady);
-  TaskScheduler sched(Delay(0.0), f.dfs());
+  TaskScheduler sched = make(Delay(0.0));
   std::optional<SimTime> retry;
-  EXPECT_TRUE(sched.pick(NodeId(1), 0.0, f.jobs(), f.task_fn(), retry));
+  EXPECT_TRUE(sched.pick(NodeId(1), 0.0, f.jobs(), f.tasks(), retry));
 }
 
 }  // namespace

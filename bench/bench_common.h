@@ -12,6 +12,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -22,6 +23,8 @@
 #include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/critical_path.h"
+#include "obs/perfetto.h"
 #include "workload/experiment.h"
 #include "workload/sweep.h"
 
@@ -157,6 +160,40 @@ inline std::unique_ptr<JsonWriter> MaybeJson(
     }
   }
   return nullptr;
+}
+
+/// Optional --trace <dir> argument: enable span tracing for every run and
+/// drop one Chrome trace-event JSON file per run into <dir> (load them at
+/// ui.perfetto.dev or chrome://tracing), plus print each run's JCT
+/// critical-path breakdown.  Tracing never changes results — the tier-1
+/// suite asserts bit-identical outputs with it on or off.
+inline std::optional<std::string> TraceDir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// Turn span tracing on for every config of a sweep grid.
+inline void EnableTracing(std::vector<workload::ExperimentConfig>& configs) {
+  for (workload::ExperimentConfig& config : configs) {
+    config.tracing.enabled = true;
+  }
+}
+
+/// Export one run's trace as <dir>/trace_<label>.json and print its JCT
+/// critical-path and locality-miss tables.  No-op when the run recorded
+/// nothing (tracing was off).
+inline void ExportRunTrace(const workload::ExperimentResult& result,
+                           const std::string& dir, const std::string& label) {
+  if (result.trace == nullptr) return;
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/trace_" + label + ".json";
+  obs::WriteChromeTrace(*result.trace, path);
+  std::cout << "\ntrace: " << path << " (" << result.trace->size()
+            << " events, " << result.trace->dropped() << " dropped)\n";
+  const obs::CriticalPathAnalyzer analyzer(result.trace->events());
+  std::cout << analyzer.summary_table() << analyzer.locality_table();
 }
 
 inline std::string Pct(double v) { return AsciiTable::pct(v, 2); }

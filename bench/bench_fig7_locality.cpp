@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
       grid.push_back(PaperConfig(kind, nodes));
     }
   }
+  const auto trace_dir = TraceDir(argc, argv);
+  if (trace_dir) EnableTracing(grid);
   const std::vector<Comparison> sweep = SweepComparisons(grid, Threads(argc, argv));
 
   double total_gain = 0.0;
@@ -49,6 +51,14 @@ int main(int argc, char** argv) {
     for (std::size_t w = 0; w < PaperWorkloads().size(); ++w) {
       const WorkloadKind kind = PaperWorkloads()[w];
       const Comparison& cmp = sweep[cell++];
+      if (trace_dir) {
+        const std::string cell_label =
+            std::to_string(nodes) + "n_" + WorkloadName(kind);
+        ExportRunTrace(cmp.baseline, *trace_dir,
+                       cell_label + "_" + cmp.baseline.manager_name);
+        ExportRunTrace(cmp.custody, *trace_dir,
+                       cell_label + "_" + cmp.custody.manager_name);
+      }
       const auto& base = cmp.baseline.job_locality;
       const auto& ours = cmp.custody.job_locality;
       const double gain = GainPercent(base.mean, ours.mean);

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -24,7 +25,9 @@
 #include "dfs/dfs.h"
 #include "metrics/metrics.h"
 #include "net/network.h"
+#include "obs/perfetto.h"
 #include "sim/simulator.h"
+#include "workload/harness.h"
 
 /// Process-wide heap-allocation counter, fed by the replaced global
 /// operator new below, so benches can report allocations per operation —
@@ -580,6 +583,44 @@ BENCHMARK(BM_OfferStorm)
     ->Args({10000, 1})
     ->Args({10000, 0})
     ->Unit(benchmark::kMicrosecond);
+
+/// The span-tracing cost contract, end to end: one full experiment (500
+/// nodes = 1k executors, 4 WordCount apps x 2 jobs) with tracing off
+/// (`mode:0`, the null-pointer-branch path), on (`mode:1`, ring-buffer
+/// stores), and on plus a Chrome-JSON export of the recorded buffer
+/// (`mode:2`).  mode 0 vs 1 bounds the hot-path overhead the issue caps at
+/// <1%; mode 2 adds the (off-path) serialization cost.  The label carries
+/// the events recorded per run so the per-event cost can be derived.
+void BM_TracerOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  workload::ExperimentConfig config;
+  config.num_nodes = 500;
+  config.kinds = {workload::WorkloadKind::kWordCount};
+  config.trace.num_apps = 4;
+  config.trace.jobs_per_app = 2;
+  config.tracing.enabled = mode != 0;
+  const auto snapshot = workload::SubstrateSnapshot::Build(config);
+  const std::string export_path = "bm_tracer_overhead_trace.json";
+  std::uint64_t events_recorded = 0;
+  for (auto _ : state) {
+    const workload::ExperimentResult result =
+        workload::RunOnSnapshot(snapshot, workload::ManagerKind::kCustody);
+    if (mode == 2) obs::WriteChromeTrace(*result.trace, export_path);
+    if (result.trace != nullptr) events_recorded = result.trace->recorded();
+    benchmark::DoNotOptimize(result);
+  }
+  if (mode == 2) std::remove(export_path.c_str());
+  state.SetLabel(mode == 0 ? "tracing off"
+                           : std::to_string(events_recorded) +
+                                 " events/run" +
+                                 (mode == 2 ? " + JSON export" : ""));
+}
+BENCHMARK(BM_TracerOverhead)
+    ->ArgNames({"mode"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 /// End-to-end simulator throughput: events per second on a busy network.
 void BM_SimulatedTransfers(benchmark::State& state) {

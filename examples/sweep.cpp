@@ -9,6 +9,7 @@
 // value; only the wall clock changes.
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "common/csv.h"
 #include "common/table.h"
+#include "obs/perfetto.h"
 #include "workload/sweep.h"
 
 namespace {
@@ -45,7 +47,9 @@ std::vector<std::string> SplitCommas(const std::string& text) {
          "  --jobs <n>             jobs per application (default 30)\n"
          "  --seeds <s,s,...>      seeds, one grid copy each (default 42)\n"
          "  --threads <n>          worker threads; 0 = all cores (default 1)\n"
-         "  --csv <path>           also dump every row as CSV\n";
+         "  --csv <path>           also dump every row as CSV\n"
+         "  --trace <dir>          record a span trace per run and write\n"
+         "                         Chrome trace-event JSON files into <dir>\n";
   std::exit(2);
 }
 
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   int jobs = 30;
   int threads = 1;
   std::string csv_path;
+  std::string trace_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -125,6 +130,8 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(ParseIntOrDie(value, flag));
     } else if (flag == "--csv") {
       csv_path = value;
+    } else if (flag == "--trace") {
+      trace_dir = value;
     } else {
       Usage("unknown flag \"" + flag + "\"");
     }
@@ -145,6 +152,7 @@ int main(int argc, char** argv) {
           config.trace.num_apps = apps;
           config.trace.jobs_per_app = jobs;
           config.seed = seed;
+          config.tracing.enabled = !trace_dir.empty();
           grid.push_back(std::move(config));
         }
       }
@@ -174,6 +182,8 @@ int main(int argc, char** argv) {
                                  "jct_mean_s", "makespan_s"});
   }
 
+  if (!trace_dir.empty()) std::filesystem::create_directories(trace_dir);
+
   AsciiTable table({"seed", "nodes", "workload", "manager", "task locality",
                     "fully local jobs", "mean JCT (s)", "makespan (s)"});
   std::size_t row = 0;
@@ -182,6 +192,14 @@ int main(int argc, char** argv) {
       for (const WorkloadKind kind : workloads) {
         for ([[maybe_unused]] const ManagerKind manager : managers) {
           const ExperimentResult& r = results[row++];
+          if (!trace_dir.empty() && r.trace != nullptr) {
+            const std::string path = trace_dir + "/trace_s" +
+                                     std::to_string(seed) + "_" +
+                                     std::to_string(n) + "n_" +
+                                     WorkloadName(kind) + "_" +
+                                     r.manager_name + ".json";
+            obs::WriteChromeTrace(*r.trace, path);
+          }
           table.add_row({std::to_string(seed), std::to_string(n),
                          WorkloadName(kind), r.manager_name,
                          AsciiTable::pct(r.overall_task_locality_percent, 2),

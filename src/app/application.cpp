@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace custody::app {
 
@@ -63,6 +64,8 @@ void Application::attach_cache(dfs::BlockCache* cache) {
         });
   }
 }
+
+void Application::attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
 const std::vector<NodeId>& Application::locations_of(BlockId block) const {
   if (cache_ != nullptr) return cache_->merged_locations(block);
@@ -166,6 +169,7 @@ JobId Application::submit_job(const JobSpec& spec) {
 
 void Application::mark_stage_ready(Job& j, Stage& stage) {
   const SimTime now = sim_.now();
+  stage.ready_time = now;
   for (TaskId id : stage.tasks) {
     Task& t = task(id);
     assert(t.state == TaskState::kBlocked);
@@ -260,7 +264,7 @@ core::LocalityStats Application::locality() const { return achieved_; }
 
 void Application::on_executor_granted(ExecutorId exec) {
   assert(cluster_.executor(exec).owner == id_);
-  (void)exec;
+  if (tracer_ != nullptr) exec_idle_since_[exec] = sim_.now();
   kick();
 }
 
@@ -375,9 +379,31 @@ void Application::launch(Task& t, ExecutorId exec) {
   Job& j = job(t.job);
   scheduler_.on_launched(j, t);
 
+  // Tracing: how long the task waited, on which executor it landed, and —
+  // for input tasks — why it launched the way it did.  `value` carries when
+  // the executor last went idle so the analyzer can split the wait into
+  // executor-wait vs scheduler delay.
+  const auto trace_wait = [&](std::int32_t verdict) {
+    double idle_since = -1.0;
+    const auto idle = exec_idle_since_.find(exec);
+    if (idle != exec_idle_since_.end()) idle_since = idle->second;
+    tracer_->record({.t0 = t.ready_time,
+                     .t1 = now,
+                     .value = idle_since,
+                     .app = obs::IdOf(id_),
+                     .job = obs::IdOf(t.job),
+                     .id = obs::IdOf(t.id),
+                     .stage = t.stage,
+                     .node = obs::IdOf(e.node),
+                     .block = obs::IdOf(t.block),
+                     .aux = verdict,
+                     .kind = obs::EventKind::kTaskWait});
+  };
+
   if (t.is_input()) {
     ++j.launched_input_tasks;
     ++achieved_.total_tasks;
+    std::int32_t verdict = obs::kVerdictLocal;
     if (t.local) {
       ++j.local_input_tasks;
       ++achieved_.local_tasks;
@@ -393,10 +419,13 @@ void Application::launch(Task& t, ExecutorId exec) {
           });
       if (covered) {
         ++breakdown_.covered_busy;
+        verdict = obs::kVerdictCoveredBusy;
       } else {
         ++breakdown_.uncovered;
+        verdict = obs::kVerdictUncovered;
       }
     }
+    if (tracer_ != nullptr) trace_wait(verdict);
     if (t.local) {
       // Disk replica or cached copy; cached reads run at memory speed.
       const bool on_disk = dfs_.is_local(t.block, e.node);
@@ -440,6 +469,7 @@ void Application::launch(Task& t, ExecutorId exec) {
   }
 
   // Downstream task: fetch shuffle partitions from previous-stage nodes.
+  if (tracer_ != nullptr) trace_wait(obs::kVerdictNonInput);
   std::vector<NodeId> remote;
   double local_bytes = 0.0;
   for (NodeId src : t.fetch_sources) {
@@ -478,6 +508,7 @@ void Application::launch(Task& t, ExecutorId exec) {
 
 void Application::start_compute(Task& t) {
   assert(t.state == TaskState::kRunning);
+  t.compute_start = sim_.now();
   const double speed = cluster_.node_speed(cluster_.node_of(t.executor));
   t.pending_event = sim_.schedule(
       t.compute_secs / speed, [this, id = t.id, ep = t.epoch] {
@@ -524,6 +555,16 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
   t.spec_executor = exec;
   t.spec_local = scheduler_.is_local(t.block, e.node);
   ++spec_launches_;
+  if (tracer_ != nullptr) {
+    tracer_->instant({.app = obs::IdOf(id_),
+                      .job = obs::IdOf(t.job),
+                      .id = obs::IdOf(t.id),
+                      .stage = t.stage,
+                      .node = obs::IdOf(e.node),
+                      .block = obs::IdOf(t.block),
+                      .aux = t.spec_local ? 1 : 0,
+                      .kind = obs::EventKind::kSpecLaunch});
+  }
 
   if (t.spec_local) {
     const bool on_disk = dfs_.is_local(t.block, e.node);
@@ -569,6 +610,7 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
 
 void Application::start_clone_compute(Task& t) {
   if (t.state != TaskState::kRunning || !t.spec_active) return;
+  t.spec_compute_start = sim_.now();
   const double speed = cluster_.node_speed(cluster_.node_of(t.spec_executor));
   t.spec_event = sim_.schedule(
       t.compute_secs / speed, [this, id = t.id, ep = t.epoch] {
@@ -588,8 +630,10 @@ void Application::finish_attempt(Task& t, int attempt) {
     }
     t.pending_flow = FlowId::invalid();
     cluster_.executor(t.executor).busy = false;
+    if (tracer_ != nullptr) exec_idle_since_[t.executor] = sim_.now();
     t.executor = t.spec_executor;
     t.local = t.spec_local;
+    t.compute_start = t.spec_compute_start;
   } else if (t.spec_active) {
     // The primary won: abort the clone and free its executor.
     t.spec_event.cancel();
@@ -598,6 +642,7 @@ void Application::finish_attempt(Task& t, int attempt) {
     }
     t.spec_flow = FlowId::invalid();
     cluster_.executor(t.spec_executor).busy = false;
+    if (tracer_ != nullptr) exec_idle_since_[t.spec_executor] = sim_.now();
   }
   t.spec_active = false;
   finish_task(t);
@@ -618,8 +663,18 @@ void Application::reset_task(Task& t) {
     t.spec_flow = FlowId::invalid();
     if (cluster_.executor_alive(t.spec_executor)) {
       cluster_.executor(t.spec_executor).busy = false;
+      if (tracer_ != nullptr) exec_idle_since_[t.spec_executor] = sim_.now();
     }
     t.spec_active = false;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant({.app = obs::IdOf(id_),
+                      .job = obs::IdOf(t.job),
+                      .id = obs::IdOf(t.id),
+                      .stage = t.stage,
+                      .node = obs::IdOf(cluster_.node_of(t.executor)),
+                      .block = obs::IdOf(t.block),
+                      .kind = obs::EventKind::kTaskReset});
   }
   // Undo the launch-time accounting: the re-execution counts afresh.
   Job& j = job(t.job);
@@ -679,6 +734,33 @@ void Application::finish_task(Task& t) {
   t.finish_time = now;
   cluster_.executor(t.executor).busy = false;
 
+  if (tracer_ != nullptr) {
+    exec_idle_since_[t.executor] = now;
+    const std::int32_t node = obs::IdOf(cluster_.node_of(t.executor));
+    // Read/fetch span (launch → compute start) then compute span
+    // (compute start → finish); a clone win folds the primary's wasted
+    // read into the read span (compute_start is the winner's).
+    tracer_->record({.t0 = t.launch_time,
+                     .t1 = t.compute_start,
+                     .app = obs::IdOf(id_),
+                     .job = obs::IdOf(t.job),
+                     .id = obs::IdOf(t.id),
+                     .stage = t.stage,
+                     .node = node,
+                     .block = obs::IdOf(t.block),
+                     .aux = t.is_input() ? (t.local ? 1 : 0) : -1,
+                     .kind = t.is_input() ? obs::EventKind::kTaskInputRead
+                                          : obs::EventKind::kTaskShuffleRead});
+    tracer_->record({.t0 = t.compute_start,
+                     .t1 = now,
+                     .app = obs::IdOf(id_),
+                     .job = obs::IdOf(t.job),
+                     .id = obs::IdOf(t.id),
+                     .stage = t.stage,
+                     .node = node,
+                     .kind = obs::EventKind::kTaskCompute});
+  }
+
   metrics::TaskRecord record;
   record.app = id_;
   record.job = t.job;
@@ -701,6 +783,14 @@ void Application::finish_task(Task& t) {
 
 void Application::complete_stage(Job& j, Stage& stage) {
   const SimTime now = sim_.now();
+  if (tracer_ != nullptr) {
+    tracer_->record({.t0 = stage.ready_time,
+                     .t1 = now,
+                     .app = obs::IdOf(id_),
+                     .job = obs::IdOf(j.id),
+                     .stage = stage.index,
+                     .kind = obs::EventKind::kStageSpan});
+  }
   if (stage.index == 0) {
     j.input_stage_finish = now;
     ++achieved_.total_jobs;
@@ -719,6 +809,13 @@ void Application::finish_job(Job& j) {
   j.finished = true;
   j.finish_time = now;
   ++jobs_completed_;
+  if (tracer_ != nullptr) {
+    tracer_->record({.t0 = j.submit_time,
+                     .t1 = now,
+                     .app = obs::IdOf(id_),
+                     .job = obs::IdOf(j.id),
+                     .kind = obs::EventKind::kJobSpan});
+  }
   active_jobs_.erase(std::remove(active_jobs_.begin(), active_jobs_.end(), &j),
                      active_jobs_.end());
 

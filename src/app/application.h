@@ -24,6 +24,10 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 
+namespace custody::obs {
+class Tracer;
+}
+
 namespace custody::app {
 
 /// Experiment-wide id counters so task/job ids stay unique across
@@ -74,6 +78,12 @@ class Application final : public cluster::AppHandle {
   /// Optional: an executor-side block cache shared across applications.
   /// Remote reads populate it; cached blocks count as local afterwards.
   void attach_cache(dfs::BlockCache* cache);
+
+  /// Optional span tracing (null disables; the default).  Must be attached
+  /// before attach_manager so grant-time bookkeeping is complete.  Tracing
+  /// consumes no RNG and schedules nothing: results are bit-identical with
+  /// or without it.
+  void attach_tracer(obs::Tracer* tracer);
 
   /// A user submits an analytic request; Custody's allocation hook runs
   /// before the job's tasks become launchable (paper Sec. IV-C).
@@ -159,6 +169,12 @@ class Application final : public cluster::AppHandle {
   AppConfig config_;
   cluster::ClusterManager* manager_ = nullptr;
   dfs::BlockCache* cache_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  /// Tracing only: when each held executor last became idle, so the
+  /// analyzer can split ready→launch into executor-wait vs scheduler
+  /// delay.  Maintained solely when a tracer is attached (read-only
+  /// bookkeeping; never feeds scheduling decisions).
+  std::unordered_map<ExecutorId, SimTime> exec_idle_since_;
   TaskScheduler scheduler_;
   /// Dispatch index (tentpole of the indexed scheduler path); null when
   /// config_.scheduler.indexed is false — every consumer then falls back

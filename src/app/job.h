@@ -42,6 +42,9 @@ struct Task {
   SimTime ready_time = 0.0;
   SimTime launch_time = 0.0;
   SimTime finish_time = 0.0;
+  /// When the winning attempt's compute phase began (read/fetch done).
+  /// Inert bookkeeping for the tracing layer's read-vs-compute split.
+  SimTime compute_start = 0.0;
   /// Shuffle fetches still in flight (downstream tasks).
   int fetches_outstanding = 0;
   /// Downstream tasks: nodes this task pulls its shuffle input from,
@@ -62,6 +65,7 @@ struct Task {
   bool spec_local = false;
   sim::EventHandle spec_event;
   FlowId spec_flow;
+  SimTime spec_compute_start = 0.0;  ///< adopted into compute_start on a win
 
   [[nodiscard]] bool is_input() const { return stage == 0; }
 };
@@ -88,6 +92,9 @@ struct Stage {
   int index = 0;
   std::vector<TaskId> tasks;
   int finished = 0;
+  /// When mark_stage_ready readied this stage's tasks (== submit time for
+  /// stage 0, == previous stage's completion instant otherwise).
+  SimTime ready_time = 0.0;
   /// Nodes where this stage's tasks ran (shuffle sources for the next one).
   std::vector<NodeId> output_nodes;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace custody::cluster {
 
 void ClusterManager::release_executor(ExecutorId exec) {
@@ -12,6 +14,12 @@ void ClusterManager::release_executor(ExecutorId exec) {
 void ClusterManager::grant(AppHandle& app, ExecutorId exec) {
   cluster_.assign(exec, app.id());
   ++stats_.executors_granted;
+  if (tracer_ != nullptr) {
+    tracer_->instant({.app = obs::IdOf(app.id()),
+                      .id = obs::IdOf(exec),
+                      .node = obs::IdOf(cluster_.node_of(exec)),
+                      .kind = obs::EventKind::kGrant});
+  }
   app.on_executor_granted(exec);
 }
 

@@ -16,6 +16,10 @@
 #include "core/model.h"
 #include "sim/simulator.h"
 
+namespace custody::obs {
+class Tracer;
+}
+
 namespace custody::cluster {
 
 /// The manager-facing side of an application (implemented by
@@ -109,6 +113,10 @@ class ClusterManager {
     round_observer_ = std::move(observer);
   }
 
+  /// Optional span tracing (null disables; the default).  Grants are
+  /// recorded as instants; tracing never changes what the manager decides.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  protected:
   /// Assign in the cluster ledger and notify the application.
   void grant(AppHandle& app, ExecutorId exec);
@@ -120,6 +128,7 @@ class ClusterManager {
   Cluster& cluster_;
   ManagerStats stats_;
   RoundObserver round_observer_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace custody::cluster

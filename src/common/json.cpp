@@ -7,7 +7,7 @@
 
 namespace custody {
 
-std::string JsonWriter::quote(const std::string& text) {
+std::string JsonQuote(const std::string& text) {
   std::string out = "\"";
   for (char ch : text) {
     switch (ch) {
@@ -38,6 +38,10 @@ std::string JsonWriter::quote(const std::string& text) {
   }
   out += '"';
   return out;
+}
+
+std::string JsonWriter::quote(const std::string& text) {
+  return JsonQuote(text);
 }
 
 std::string JsonWriter::value(const std::string& cell) {

@@ -9,6 +9,11 @@
 
 namespace custody {
 
+/// `text` as a JSON string literal, including the surrounding quotes:
+/// escapes `"` `\` and all control characters (named escapes for \n \t \r,
+/// \u00XX for the rest).  Shared by JsonWriter and the trace exporter.
+[[nodiscard]] std::string JsonQuote(const std::string& text);
+
 /// Writes rows as a JSON array of {column: value} objects.  Cells that
 /// parse as finite numbers are emitted as JSON numbers, everything else as
 /// escaped strings, so downstream plotting needs no coercion.

@@ -1,8 +1,9 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace custody {
 
@@ -46,8 +47,13 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double Percentile(const std::vector<double>& sorted, double q) {
-  assert(!sorted.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) {
+    throw std::invalid_argument("Percentile: empty sample set");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("Percentile: q must be in [0, 1] (got " +
+                                std::to_string(q) + ")");
+  }
   if (sorted.size() == 1) return sorted.front();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

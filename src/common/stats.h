@@ -51,6 +51,9 @@ struct Summary {
 [[nodiscard]] Summary Summarize(std::vector<double> samples);
 
 /// Linear-interpolation percentile of a *sorted* sample, q in [0, 1].
+/// Throws std::invalid_argument on an empty sample or q outside [0, 1]
+/// (including NaN) — misuse fails loudly in every build type, not just
+/// debug asserts.
 [[nodiscard]] double Percentile(const std::vector<double>& sorted, double q);
 
 /// Relative improvement of `ours` over `baseline` in percent:

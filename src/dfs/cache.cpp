@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace custody::dfs {
 
 BlockCache::BlockCache(const Dfs& dfs, double capacity_bytes)
@@ -32,6 +34,11 @@ void BlockCache::evict_lru(NodeId node, NodeCache& cache) {
   holders.erase(std::remove(holders.begin(), holders.end(), node),
                 holders.end());
   rebuild_merged(victim);
+  if (tracer_ != nullptr) {
+    tracer_->instant({.node = obs::IdOf(node),
+                      .block = obs::IdOf(victim),
+                      .kind = obs::EventKind::kCacheEvict});
+  }
   notify(victim, node, false);
 }
 
@@ -117,6 +124,11 @@ void BlockCache::fail_node(NodeId node) {
     holders.erase(std::remove(holders.begin(), holders.end(), node),
                   holders.end());
     rebuild_merged(block);
+    if (tracer_ != nullptr) {
+      tracer_->instant({.node = obs::IdOf(node),
+                        .block = obs::IdOf(block),
+                        .kind = obs::EventKind::kCacheInvalidate});
+    }
     notify(block, node, false);
   }
 }

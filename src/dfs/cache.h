@@ -25,6 +25,10 @@
 #include "common/types.h"
 #include "dfs/dfs.h"
 
+namespace custody::obs {
+class Tracer;
+}
+
 namespace custody::dfs {
 
 struct CacheStats {
@@ -88,6 +92,12 @@ class BlockCache {
   ListenerId add_change_listener(ChangeListener fn);
   void remove_change_listener(ListenerId id);
 
+  /// Optional span tracing (null disables; the default).  LRU evictions and
+  /// failure invalidations are recorded as instants (the Tracer supplies the
+  /// timestamps — the cache itself holds no clock); tracing never changes
+  /// eviction order.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] double bytes_on(NodeId node) const;
 
@@ -117,6 +127,7 @@ class BlockCache {
   std::vector<Listener> listeners_;
   ListenerId next_listener_ = 1;
   CacheStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace custody::dfs

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace custody::dfs {
 
 Dfs::Dfs(DfsConfig config, Rng rng, std::unique_ptr<PlacementPolicy> policy)
@@ -97,11 +99,21 @@ void Dfs::fail_node_reference(NodeId node,
       const NodeId target = rng_.pick(candidates);
       namenode_.add_replica(b, target);
       node_bytes_[target.value()] += bytes;
+      if (tracer_ != nullptr) {
+        tracer_->instant({.node = obs::IdOf(target),
+                          .block = obs::IdOf(b),
+                          .kind = obs::EventKind::kReReplicate});
+      }
       notify(b, target, true);
     }
     if (namenode_.locations(b).size() > 1) {
       namenode_.remove_replica(b, node);
       node_bytes_[node.value()] -= bytes;
+      if (tracer_ != nullptr) {
+        tracer_->instant({.node = obs::IdOf(node),
+                          .block = obs::IdOf(b),
+                          .kind = obs::EventKind::kReplicaLost});
+      }
       notify(b, node, false);
     }
   }
@@ -145,11 +157,21 @@ void Dfs::fail_node_indexed(NodeId node,
       const NodeId target = live_nodes[j];
       namenode_.add_replica(b, target);
       node_bytes_[target.value()] += bytes;
+      if (tracer_ != nullptr) {
+        tracer_->instant({.node = obs::IdOf(target),
+                          .block = obs::IdOf(b),
+                          .kind = obs::EventKind::kReReplicate});
+      }
       notify(b, target, true);
     }
     if (namenode_.locations(b).size() > 1) {
       namenode_.remove_replica(b, node);
       node_bytes_[node.value()] -= bytes;
+      if (tracer_ != nullptr) {
+        tracer_->instant({.node = obs::IdOf(node),
+                          .block = obs::IdOf(b),
+                          .kind = obs::EventKind::kReplicaLost});
+      }
       notify(b, node, false);
     }
   }

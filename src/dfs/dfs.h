@@ -15,6 +15,10 @@
 #include "dfs/namenode.h"
 #include "dfs/placement.h"
 
+namespace custody::obs {
+class Tracer;
+}
+
 namespace custody::dfs {
 
 struct DfsConfig {
@@ -87,6 +91,11 @@ class Dfs final : public PlacementView {
   ListenerId add_replica_listener(ReplicaListener fn) const;
   void remove_replica_listener(ListenerId id) const;
 
+  /// Optional span tracing (null disables; the default).  Failover replica
+  /// churn (kReplicaLost / kReReplicate) is recorded as instants; tracing
+  /// never changes placement or consumes DFS RNG.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   void place_block(const BlockInfo& block, int replicas);
   void fail_node_indexed(NodeId node, const std::vector<NodeId>& live_nodes);
@@ -104,6 +113,7 @@ class Dfs final : public PlacementView {
   };
   mutable std::vector<Listener> listeners_;
   mutable ListenerId next_listener_ = 1;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace custody::dfs

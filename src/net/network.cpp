@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace custody::net {
 
@@ -297,10 +298,16 @@ void Network::recompute() {
   stats_.flows_scanned += counters.flows_scanned;
   stats_.links_scanned += counters.links_scanned;
   stats_.rounds += counters.rounds;
-  stats_.wall_seconds +=
+  const double solve_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  stats_.wall_seconds += solve_wall;
+  if (tracer_ != nullptr) {
+    tracer_->instant({.value = solve_wall,
+                      .id = static_cast<std::int32_t>(live_count_),
+                      .kind = obs::EventKind::kRateSolve});
+  }
   arm_completion_event();
 }
 

@@ -39,6 +39,10 @@
 #include "net/maxmin.h"
 #include "sim/simulator.h"
 
+namespace custody::obs {
+class Tracer;
+}
+
 namespace custody::net {
 
 struct NetworkConfig {
@@ -111,6 +115,10 @@ class Network {
   /// Rate-path work counters (recomputes run/batched, scan counts, wall).
   [[nodiscard]] const NetStats& stats() const { return stats_; }
 
+  /// Optional span tracing (null disables; the default).  Each executed rate
+  /// solve is recorded as an instant; tracing never changes flow rates.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Lower bound on the time to ship `bytes` between two idle nodes.
   [[nodiscard]] double uncontended_transfer_time(double bytes) const;
 
@@ -168,6 +176,7 @@ class Network {
   FlowId::value_type next_flow_ = 0;
   double bytes_delivered_ = 0.0;
   NetStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Pure function: max-min fair rates via progressive filling.

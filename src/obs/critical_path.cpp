@@ -1,0 +1,274 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/table.h"
+
+namespace custody::obs {
+
+namespace {
+
+/// A task's lifecycle, re-assembled from its events.  Re-executed tasks
+/// emit several wait events; later ones overwrite earlier ones, so the
+/// record describes the attempt that actually finished — the same
+/// convention the application's launch-breakdown counters use.
+struct TaskTrace {
+  std::int32_t stage = -1;
+  std::int32_t block = -1;
+  std::int32_t verdict = kVerdictNonInput;
+  double ready = 0.0;
+  double launch = 0.0;
+  double idle_since = -1.0;  ///< when the launching executor last went idle
+  double read_start = 0.0;
+  double read_end = 0.0;
+  double compute_start = 0.0;
+  double compute_end = 0.0;
+  EventKind read_kind = EventKind::kTaskInputRead;
+  bool read_local = false;
+  bool has_wait = false;
+  bool has_read = false;
+  bool has_compute = false;
+};
+
+struct StageTrace {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<std::int32_t> tasks;
+};
+
+struct JobTrace {
+  std::int32_t app = -1;
+  double submit = 0.0;
+  double finish = 0.0;
+  bool finished = false;
+  std::map<std::int32_t, StageTrace> stages;  ///< ordered by stage index
+};
+
+}  // namespace
+
+CriticalPathAnalyzer::CriticalPathAnalyzer(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::int32_t, JobTrace> jobs;  ///< ordered by job id
+  std::unordered_map<std::int32_t, TaskTrace> tasks;
+  std::unordered_map<std::int32_t, std::vector<double>> replica_losses;
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kTaskWait: {
+        TaskTrace& t = tasks[e.id];
+        t.stage = e.stage;
+        t.block = e.block;
+        t.verdict = e.aux;
+        t.ready = e.t0;
+        t.launch = e.t1;
+        t.idle_since = e.value;
+        t.has_read = t.has_compute = false;  // a re-launch starts over
+        if (!t.has_wait) {
+          t.has_wait = true;
+          jobs[e.job].stages[e.stage].tasks.push_back(e.id);
+        }
+        break;
+      }
+      case EventKind::kTaskInputRead:
+      case EventKind::kTaskShuffleRead: {
+        TaskTrace& t = tasks[e.id];
+        t.read_kind = e.kind;
+        t.read_local = e.aux == 1;
+        t.read_start = e.t0;
+        t.read_end = e.t1;
+        t.has_read = true;
+        break;
+      }
+      case EventKind::kTaskCompute: {
+        TaskTrace& t = tasks[e.id];
+        t.compute_start = e.t0;
+        t.compute_end = e.t1;
+        t.has_compute = true;
+        break;
+      }
+      case EventKind::kStageSpan: {
+        StageTrace& s = jobs[e.job].stages[e.stage];
+        s.t0 = e.t0;
+        s.t1 = e.t1;
+        break;
+      }
+      case EventKind::kJobSpan: {
+        JobTrace& j = jobs[e.job];
+        j.app = e.app;
+        j.submit = e.t0;
+        j.finish = e.t1;
+        j.finished = true;
+        break;
+      }
+      case EventKind::kReplicaLost:
+        replica_losses[e.block].push_back(e.t0);
+        break;
+      default:
+        break;  // allocator / network / cache events: not on the job DAG
+    }
+  }
+
+  // --- per-job critical path ----------------------------------------------
+  for (const auto& [job_id, j] : jobs) {
+    if (!j.finished) continue;  // job still running when the trace ended
+    JobBreakdown b;
+    b.app = j.app;
+    b.job = job_id;
+    b.submit = j.submit;
+    b.finish = j.finish;
+
+    for (const auto& [stage_index, stage] : j.stages) {
+      // The critical task is the one that finished last (it triggered the
+      // stage-complete event); ties break toward the first-launched task,
+      // which is deterministic because the trace itself is.
+      const TaskTrace* critical = nullptr;
+      for (std::int32_t id : stage.tasks) {
+        const TaskTrace& t = tasks[id];
+        if (!t.has_wait || !t.has_compute) continue;
+        if (critical == nullptr || t.compute_end > critical->compute_end) {
+          critical = &t;
+        }
+      }
+      if (critical == nullptr) {
+        // Task events lost to ring wrap-around: keep the sum exact by
+        // booking the whole stage as rework.
+        b.rework += stage.t1 - stage.t0;
+        continue;
+      }
+      const TaskTrace& t = *critical;
+      b.rework += t.ready - stage.t0;
+      const double wait = t.launch - t.ready;
+      const double exec_wait =
+          std::clamp(t.idle_since - t.ready, 0.0, wait);
+      b.executor_wait += exec_wait;
+      b.sched_delay += wait - exec_wait;
+      const double read = t.has_read ? t.read_end - t.read_start : 0.0;
+      if (t.read_kind == EventKind::kTaskShuffleRead) {
+        b.shuffle += read;
+      } else if (t.read_local) {
+        b.input_read_local += read;
+      } else {
+        b.input_read_remote += read;
+      }
+      b.compute += t.compute_end - t.compute_start;
+    }
+    jobs_.push_back(b);
+  }
+
+  // --- locality-miss attribution ------------------------------------------
+  for (const auto& [id, t] : tasks) {
+    (void)id;
+    if (!t.has_wait || t.stage != 0) continue;
+    switch (t.verdict) {
+      case kVerdictLocal:
+        ++misses_.local;
+        break;
+      case kVerdictCoveredBusy:
+        ++misses_.covered_busy;
+        break;
+      case kVerdictUncovered: {
+        // Did the block lose a disk replica while this task waited?  Then
+        // the miss is the failure's fault, not the allocator's.
+        bool lost = false;
+        auto it = replica_losses.find(t.block);
+        if (it != replica_losses.end()) {
+          for (double when : it->second) {
+            if (when >= t.ready && when <= t.launch) {
+              lost = true;
+              break;
+            }
+          }
+        }
+        ++(lost ? misses_.uncovered_replica_lost : misses_.uncovered);
+        break;
+      }
+      default:
+        break;  // kVerdictNonInput cannot appear on stage 0
+    }
+  }
+}
+
+namespace {
+
+std::vector<std::string> BreakdownRow(const std::string& label,
+                                      const JobBreakdown& b) {
+  return {label,
+          AsciiTable::fmt(b.jct(), 3),
+          AsciiTable::fmt(b.sched_delay, 3),
+          AsciiTable::fmt(b.executor_wait, 3),
+          AsciiTable::fmt(b.input_read_local, 3),
+          AsciiTable::fmt(b.input_read_remote, 3),
+          AsciiTable::fmt(b.shuffle, 3),
+          AsciiTable::fmt(b.compute, 3),
+          AsciiTable::fmt(b.rework, 3)};
+}
+
+const std::vector<std::string>& BreakdownHeaders() {
+  static const std::vector<std::string> headers{
+      "job (app)",  "jct (s)",  "sched",   "exec wait", "read loc",
+      "read rem",   "shuffle",  "compute", "rework"};
+  return headers;
+}
+
+JobBreakdown MeanBreakdown(const std::vector<JobBreakdown>& jobs) {
+  JobBreakdown mean;
+  if (jobs.empty()) return mean;
+  for (const JobBreakdown& b : jobs) {
+    mean.finish += b.jct();  // accumulate jct via finish (submit stays 0)
+    mean.sched_delay += b.sched_delay;
+    mean.executor_wait += b.executor_wait;
+    mean.input_read_local += b.input_read_local;
+    mean.input_read_remote += b.input_read_remote;
+    mean.shuffle += b.shuffle;
+    mean.compute += b.compute;
+    mean.rework += b.rework;
+  }
+  const double n = static_cast<double>(jobs.size());
+  mean.finish /= n;
+  mean.sched_delay /= n;
+  mean.executor_wait /= n;
+  mean.input_read_local /= n;
+  mean.input_read_remote /= n;
+  mean.shuffle /= n;
+  mean.compute /= n;
+  mean.rework /= n;
+  return mean;
+}
+
+}  // namespace
+
+std::string CriticalPathAnalyzer::breakdown_table() const {
+  AsciiTable table(BreakdownHeaders());
+  for (const JobBreakdown& b : jobs_) {
+    table.add_row(BreakdownRow(
+        std::to_string(b.job) + " (" + std::to_string(b.app) + ")", b));
+  }
+  table.add_row(BreakdownRow("mean", MeanBreakdown(jobs_)));
+  return table.to_string();
+}
+
+std::string CriticalPathAnalyzer::summary_table() const {
+  AsciiTable table(BreakdownHeaders());
+  table.add_row(BreakdownRow("mean of " + std::to_string(jobs_.size()),
+                             MeanBreakdown(jobs_)));
+  return table.to_string();
+}
+
+std::string CriticalPathAnalyzer::locality_table() const {
+  AsciiTable table({"input launch verdict", "tasks", "share"});
+  const double total =
+      misses_.total() > 0 ? static_cast<double>(misses_.total()) : 1.0;
+  auto row = [&](const char* name, std::uint64_t count) {
+    table.add_row({name, std::to_string(count),
+                   AsciiTable::pct(100.0 * static_cast<double>(count) / total)});
+  };
+  row("local", misses_.local);
+  row("covered but busy", misses_.covered_busy);
+  row("uncovered", misses_.uncovered);
+  row("uncovered (replica lost)", misses_.uncovered_replica_lost);
+  return table.to_string();
+}
+
+}  // namespace custody::obs

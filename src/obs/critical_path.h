@@ -1,0 +1,100 @@
+// JCT decomposition: walk each job's span DAG and attribute every second
+// of completion time to a cause.
+//
+// The simulator's job structure makes the walk exact: all tasks of a stage
+// share one ready instant (mark_stage_ready stamps them together), stage
+// s+1 becomes ready at the event that completes stage s, and the job
+// finishes at the event that completes its last stage.  So the critical
+// path of a job is: per stage, the task that finished last, and its
+// segments telescope —
+//
+//   rework        stage-ready → task-ready (0 unless a failure re-readied)
+//   executor_wait task-ready → the launching executor's last idle instant
+//                 (waiting for a slot to free up)
+//   sched_delay   the rest of ready → launch (delay scheduling, allocation)
+//   read          launch → compute (input local/remote, or shuffle fetch)
+//   compute       compute → finish (== stage completion)
+//
+// Summing segments over stages reproduces the job's measured JCT to
+// floating-point addition error (< 1e-9; asserted by tests/obs_test.cpp).
+//
+// The analyzer also builds the per-run locality-miss attribution
+// histogram: every input task's final launch verdict (local / covered-
+// but-busy / uncovered), with uncovered launches that lost a replica of
+// their block between ready and launch split out — the "why was this
+// non-local" answer aggregate counters cannot give.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace custody::obs {
+
+/// One job's critical-path decomposition.  All segment fields are seconds
+/// of simulated time; their sum reconciles with jct() within 1e-9.
+struct JobBreakdown {
+  std::int32_t app = -1;
+  std::int32_t job = -1;
+  double submit = 0.0;
+  double finish = 0.0;
+  double sched_delay = 0.0;
+  double executor_wait = 0.0;
+  double input_read_local = 0.0;
+  double input_read_remote = 0.0;
+  double shuffle = 0.0;
+  double compute = 0.0;
+  /// Failure re-execution on the critical path, plus (rare) stage spans
+  /// whose task events were lost to ring wrap-around.
+  double rework = 0.0;
+
+  [[nodiscard]] double jct() const { return finish - submit; }
+  [[nodiscard]] double segment_sum() const {
+    return sched_delay + executor_wait + input_read_local +
+           input_read_remote + shuffle + compute + rework;
+  }
+};
+
+/// Final launch verdicts of all input tasks in a run.
+struct LocalityMissHistogram {
+  std::uint64_t local = 0;
+  std::uint64_t covered_busy = 0;
+  std::uint64_t uncovered = 0;
+  /// Uncovered launches whose block lost a disk replica while the task
+  /// waited — misses caused by failures, not by allocation.
+  std::uint64_t uncovered_replica_lost = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return local + covered_busy + uncovered + uncovered_replica_lost;
+  }
+};
+
+class CriticalPathAnalyzer {
+ public:
+  /// `events` in chronological order (TraceBuffer::events()).
+  explicit CriticalPathAnalyzer(const std::vector<TraceEvent>& events);
+
+  /// Per-job breakdowns, ordered by job id.
+  [[nodiscard]] const std::vector<JobBreakdown>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] const LocalityMissHistogram& locality_misses() const {
+    return misses_;
+  }
+
+  /// Per-job JCT breakdown as an ASCII table (one row per job plus a mean
+  /// row), for bench output and EXPERIMENTS.md.
+  [[nodiscard]] std::string breakdown_table() const;
+  /// The mean row alone — compact per-run summary for sweep output.
+  [[nodiscard]] std::string summary_table() const;
+  /// The locality-miss attribution histogram as an ASCII table.
+  [[nodiscard]] std::string locality_table() const;
+
+ private:
+  std::vector<JobBreakdown> jobs_;
+  LocalityMissHistogram misses_;
+};
+
+}  // namespace custody::obs

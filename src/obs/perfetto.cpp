@@ -1,0 +1,216 @@
+#include "obs/perfetto.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/json.h"
+
+namespace custody::obs {
+
+namespace {
+
+// One pid per layer (see perfetto.h header comment).
+constexpr int kPidJobs = 1;
+constexpr int kPidTasks = 2;
+constexpr int kPidSched = 3;
+constexpr int kPidNet = 4;
+constexpr int kPidDfs = 5;
+constexpr int kPidFail = 6;
+
+/// Simulated seconds as trace microseconds, fixed-point (valid JSON).
+std::string Micros(double secs) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", secs * 1e6);
+  return buf;
+}
+
+/// Where one event renders: track + display name + arg fragment.
+struct Mapped {
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+  std::string args;  ///< inner "k": v list, no braces
+};
+
+void Arg(std::string& args, const char* key, long long v) {
+  if (!args.empty()) args += ", ";
+  args += JsonQuote(key) + ": " + std::to_string(v);
+}
+
+void ArgMicros(std::string& args, const char* key, double secs) {
+  if (!args.empty()) args += ", ";
+  args += JsonQuote(key) + ": " + Micros(secs);
+}
+
+Mapped MapEvent(const TraceEvent& e) {
+  Mapped m;
+  switch (e.kind) {
+    case EventKind::kTaskWait:
+      m = {kPidSched, e.app + 1, "wait task " + std::to_string(e.id), ""};
+      Arg(m.args, "task", e.id);
+      Arg(m.args, "job", e.job);
+      Arg(m.args, "stage", e.stage);
+      Arg(m.args, "node", e.node);
+      Arg(m.args, "block", e.block);
+      Arg(m.args, "verdict", e.aux);
+      break;
+    case EventKind::kTaskInputRead:
+      m = {kPidTasks, e.node + 1,
+           e.aux == 1 ? "read local" : "read remote", ""};
+      Arg(m.args, "task", e.id);
+      Arg(m.args, "job", e.job);
+      Arg(m.args, "block", e.block);
+      break;
+    case EventKind::kTaskShuffleRead:
+      m = {kPidTasks, e.node + 1, "shuffle", ""};
+      Arg(m.args, "task", e.id);
+      Arg(m.args, "job", e.job);
+      Arg(m.args, "stage", e.stage);
+      break;
+    case EventKind::kTaskCompute:
+      m = {kPidTasks, e.node + 1, "compute", ""};
+      Arg(m.args, "task", e.id);
+      Arg(m.args, "job", e.job);
+      Arg(m.args, "stage", e.stage);
+      break;
+    case EventKind::kTaskReset:
+      m = {kPidTasks, e.node + 1, "task reset", ""};
+      Arg(m.args, "task", e.id);
+      Arg(m.args, "job", e.job);
+      break;
+    case EventKind::kSpecLaunch:
+      m = {kPidTasks, e.node + 1, "speculative clone", ""};
+      Arg(m.args, "task", e.id);
+      Arg(m.args, "job", e.job);
+      break;
+    case EventKind::kStageSpan:
+      m = {kPidJobs, e.app + 1, "stage " + std::to_string(e.stage), ""};
+      Arg(m.args, "job", e.job);
+      Arg(m.args, "stage", e.stage);
+      break;
+    case EventKind::kJobSpan:
+      m = {kPidJobs, e.app + 1, "job " + std::to_string(e.job), ""};
+      Arg(m.args, "job", e.job);
+      break;
+    case EventKind::kAllocRound:
+      m = {kPidSched, 0, "allocation round", ""};
+      Arg(m.args, "idle_executors", e.id);
+      Arg(m.args, "grants", e.aux);
+      ArgMicros(m.args, "wall_us", e.value);
+      break;
+    case EventKind::kGrant:
+      m = {kPidSched, e.app + 1, "grant", ""};
+      Arg(m.args, "executor", e.id);
+      Arg(m.args, "node", e.node);
+      break;
+    case EventKind::kRateSolve:
+      m = {kPidNet, 0, "rate solve", ""};
+      Arg(m.args, "flows", e.id);
+      ArgMicros(m.args, "wall_us", e.value);
+      break;
+    case EventKind::kReplicaLost:
+      m = {kPidDfs, e.node + 1, "replica lost", ""};
+      Arg(m.args, "block", e.block);
+      break;
+    case EventKind::kReReplicate:
+      m = {kPidDfs, e.node + 1, "re-replicate", ""};
+      Arg(m.args, "block", e.block);
+      break;
+    case EventKind::kCacheEvict:
+      m = {kPidDfs, e.node + 1, "cache evict", ""};
+      Arg(m.args, "block", e.block);
+      break;
+    case EventKind::kCacheInvalidate:
+      m = {kPidDfs, e.node + 1, "cache invalidate", ""};
+      Arg(m.args, "block", e.block);
+      break;
+    case EventKind::kNodeFailure:
+      m = {kPidFail, e.node + 1, "node failure", ""};
+      Arg(m.args, "node", e.node);
+      break;
+  }
+  return m;
+}
+
+const char* ProcessName(int pid) {
+  switch (pid) {
+    case kPidJobs: return "jobs";
+    case kPidTasks: return "tasks";
+    case kPidSched: return "scheduling";
+    case kPidNet: return "network";
+    case kPidDfs: return "dfs";
+    case kPidFail: return "failures";
+    default: return "?";
+  }
+}
+
+std::string ThreadName(int pid, int tid) {
+  if (pid == kPidNet) return "solver";
+  if (pid == kPidSched && tid == 0) return "rounds";
+  if (pid == kPidJobs || pid == kPidSched) {
+    return "app " + std::to_string(tid - 1);
+  }
+  return "node " + std::to_string(tid - 1);
+}
+
+void WriteMetadata(std::ostream& os, const char* what, int pid, int tid,
+                   const std::string& name, bool& first) {
+  os << (first ? "\n" : ",\n") << "  {\"name\": " << JsonQuote(what)
+     << ", \"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
+     << ", \"args\": {\"name\": " << JsonQuote(name) << "}}";
+  first = false;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceEvent>& events,
+                      std::ostream& os) {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+
+  // Name every track up front so Perfetto groups them per layer.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> tracks;
+  for (const TraceEvent& e : events) {
+    const Mapped m = MapEvent(e);
+    pids.insert(m.pid);
+    tracks.insert({m.pid, m.tid});
+  }
+  for (int pid : pids) {
+    WriteMetadata(os, "process_name", pid, 0, ProcessName(pid), first);
+  }
+  for (const auto& [pid, tid] : tracks) {
+    WriteMetadata(os, "thread_name", pid, tid, ThreadName(pid, tid), first);
+  }
+
+  for (const TraceEvent& e : events) {
+    const Mapped m = MapEvent(e);
+    const bool instant = e.t1 <= e.t0;
+    os << (first ? "\n" : ",\n") << "  {\"name\": " << JsonQuote(m.name)
+       << ", \"ph\": " << (instant ? "\"i\"" : "\"X\"")
+       << ", \"ts\": " << Micros(e.t0);
+    if (instant) {
+      os << ", \"s\": \"t\"";
+    } else {
+      os << ", \"dur\": " << Micros(e.t1 - e.t0);
+    }
+    os << ", \"pid\": " << m.pid << ", \"tid\": " << m.tid
+       << ", \"args\": {" << m.args << "}}";
+    first = false;
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void WriteChromeTrace(const TraceBuffer& buffer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteChromeTrace: cannot open " + path);
+  }
+  WriteChromeTrace(buffer.events(), out);
+}
+
+}  // namespace custody::obs

@@ -1,0 +1,30 @@
+// Chrome trace-event export: turns a TraceBuffer into a JSON timeline that
+// chrome://tracing and ui.perfetto.dev load directly.
+//
+// Layout: one pid per simulated layer, one tid per node or app within it —
+//   pid 1 "jobs"       tid = app+1   job/stage spans, per-app
+//   pid 2 "tasks"      tid = node+1  read/compute spans on the running node
+//   pid 3 "scheduling" tid = app+1   task wait spans, grants; tid 0 rounds
+//   pid 4 "network"    tid 0         rate-solve instants
+//   pid 5 "dfs"        tid = node+1  replica / cache churn instants
+//   pid 6 "failures"   tid = node+1  node-crash instants
+// Simulated seconds map to trace microseconds ("ts"/"dur").
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace custody::obs {
+
+/// Write `events` (chronological, as TraceBuffer::events() returns them)
+/// as a Chrome trace-event JSON object to `os`.
+void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Export `buffer` to `path`.  Throws std::runtime_error when the file
+/// cannot be opened.
+void WriteChromeTrace(const TraceBuffer& buffer, const std::string& path);
+
+}  // namespace custody::obs

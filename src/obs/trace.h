@@ -1,0 +1,182 @@
+// Span-based tracing: the observability layer of the simulator.
+//
+// A Tracer records typed spans and instant events — task lifecycle
+// (ready→launch→finish with the locality verdict and the *reason* a
+// non-local launch happened), job/stage spans, allocation rounds and
+// per-app grants, network rate solves, DFS replica churn, cache
+// invalidations and injected failures — into a per-run, pre-sized ring
+// buffer.  Two consumers live next door: perfetto.h exports a Chrome
+// trace-event JSON timeline, critical_path.h decomposes each job's JCT.
+//
+// Cost contract (enforced by BM_TracerOverhead and the bit-identical
+// on/off suite in tests/obs_test.cpp):
+//   - disabled: every instrumentation site is a single branch on a null
+//     pointer — no tracer object exists at all;
+//   - enabled: one bounds check + one 64-byte POD store per event, into a
+//     buffer reserved up front — no allocation on the hot path, ever.
+// Tracing consumes no RNG and schedules nothing, so simulation results
+// are bit-identical with tracing on or off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace custody::obs {
+
+enum class EventKind : std::uint8_t {
+  // --- task lifecycle (application layer) ---------------------------------
+  kTaskWait,         ///< span ready→launch; aux = LaunchVerdict, value =
+                     ///< when the launching executor last went idle
+  kTaskInputRead,    ///< span launch→compute; aux = 1 local, 0 remote
+  kTaskShuffleRead,  ///< span launch→compute (downstream shuffle fetch)
+  kTaskCompute,      ///< span compute→finish
+  kTaskReset,        ///< instant: failure re-readied a running task
+  kSpecLaunch,       ///< instant: speculative clone launched
+  // --- job structure -------------------------------------------------------
+  kStageSpan,        ///< span stage-ready→stage-complete
+  kJobSpan,          ///< span submit→finish
+  // --- allocator (cluster manager) ----------------------------------------
+  kAllocRound,       ///< instant: id = idle executors, aux = grants,
+                     ///< value = wall seconds inside the round
+  kGrant,            ///< instant: executor `id` on `node` granted to `app`
+  // --- network -------------------------------------------------------------
+  kRateSolve,        ///< instant: id = live flows, value = solve wall secs
+  // --- DFS / cache ---------------------------------------------------------
+  kReplicaLost,      ///< instant: `node` lost its disk replica of `block`
+  kReReplicate,      ///< instant: failover placed `block` onto `node`
+  kCacheEvict,       ///< instant: LRU eviction of `block` on `node`
+  kCacheInvalidate,  ///< instant: node failure dropped cached `block`
+  // --- failures ------------------------------------------------------------
+  kNodeFailure,      ///< instant: `node` crashed (once per actual crash)
+};
+
+/// Why an input task launched where it did (TraceEvent::aux of kTaskWait).
+enum LaunchVerdict : std::int32_t {
+  kVerdictNonInput = -1,     ///< downstream task: locality does not apply
+  kVerdictLocal = 0,         ///< launched on a node storing/caching its block
+  kVerdictCoveredBusy = 1,   ///< a held executor's node had the block but the
+                             ///< slot was busy and the locality wait ran out
+  kVerdictUncovered = 2,     ///< no held executor sat on any replica node
+};
+
+/// One recorded event: a 64-byte POD.  Fields are kind-specific; unused
+/// ones stay -1/0.  Instants have t0 == t1.
+struct TraceEvent {
+  SimTime t0 = 0.0;
+  SimTime t1 = 0.0;
+  double value = 0.0;       ///< magnitude (idle-since time, wall secs, ...)
+  std::int32_t app = -1;
+  std::int32_t job = -1;
+  std::int32_t id = -1;     ///< task / executor / flow count, per kind
+  std::int32_t stage = -1;
+  std::int32_t node = -1;
+  std::int32_t block = -1;
+  std::int32_t aux = -1;    ///< verdict / grant count / locality, per kind
+  EventKind kind = EventKind::kTaskWait;
+};
+
+/// Strong ids as trace fields: invalid ids map to -1 (the all-ones invalid
+/// value reinterprets to -1, so this is a plain cast).
+template <typename Tag>
+[[nodiscard]] inline std::int32_t IdOf(Id<Tag> id) {
+  return static_cast<std::int32_t>(id.value());
+}
+
+struct TracerConfig {
+  bool enabled = false;
+  /// Ring capacity in events; the buffer is reserved up front and the
+  /// oldest events are overwritten once it fills (dropped() counts them).
+  std::size_t capacity = std::size_t{1} << 18;
+};
+
+/// The pre-sized ring the Tracer writes into.  Separated from the Tracer
+/// so the buffer can outlive the run that produced it: ExperimentResult
+/// carries a shared_ptr<const TraceBuffer> while the Tracer (which holds a
+/// pointer into the run's Simulator) dies with the SimulationContext.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void push(const TraceEvent& e) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);  // within reserve(): never allocates
+      return;
+    }
+    ring_[next_] = e;  // full: overwrite the oldest
+    next_ = next_ + 1 == capacity_ ? 0 : next_ + 1;
+    ++dropped_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently held (min(recorded, capacity)).
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Total events ever pushed, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const {
+    return static_cast<std::uint64_t>(ring_.size()) + dropped_;
+  }
+  /// Oldest events lost to ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// The held events in recording (chronological) order — unwraps the ring.
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< overwrite cursor == oldest event when full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+/// The recording facade handed to every instrumented layer.  Call sites
+/// guard with `if (tracer_ != nullptr)` so a disabled run pays exactly one
+/// predictable branch per site.
+class Tracer {
+ public:
+  /// `sim` is the time source; it must outlive the Tracer (both live in
+  /// SimulationContext).
+  Tracer(const sim::Simulator& sim, const TracerConfig& config)
+      : sim_(&sim), buffer_(std::make_shared<TraceBuffer>(config.capacity)) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record a span that ends now: fills t1 from the simulator clock.
+  void span(TraceEvent e) {
+    e.t1 = sim_->now();
+    buffer_->push(e);
+  }
+
+  /// Record an instant at the current simulated time.
+  void instant(TraceEvent e) {
+    e.t0 = e.t1 = sim_->now();
+    buffer_->push(e);
+  }
+
+  /// Record an event with explicit timestamps (already filled in).
+  void record(const TraceEvent& e) { buffer_->push(e); }
+
+  [[nodiscard]] std::shared_ptr<const TraceBuffer> buffer() const {
+    return buffer_;
+  }
+
+ private:
+  const sim::Simulator* sim_;
+  std::shared_ptr<TraceBuffer> buffer_;
+};
+
+}  // namespace custody::obs

@@ -23,6 +23,7 @@
 #include "core/allocator.h"
 #include "common/stats.h"
 #include "metrics/metrics.h"
+#include "obs/trace.h"
 #include "workload/trace.h"
 #include "workload/workloads.h"
 
@@ -81,6 +82,11 @@ struct ExperimentConfig {
   TraceConfig trace;
   WorkloadParams params;
 
+  /// Span tracing (obs::Tracer).  Off by default; when enabled the run
+  /// records into a pre-sized ring buffer surfaced as ExperimentResult's
+  /// `trace`.  Results are bit-identical with tracing on or off.
+  obs::TracerConfig tracing;
+
   std::uint64_t seed = 42;
 };
 
@@ -121,6 +127,9 @@ struct ExperimentResult {
   SimTime makespan = 0.0;
   std::uint64_t events_processed = 0;
   int jobs_completed = 0;
+  /// The run's recorded trace (null unless config.tracing.enabled).  Feed
+  /// it to obs::WriteChromeTrace or obs::CriticalPathAnalyzer.
+  std::shared_ptr<const obs::TraceBuffer> trace;
 };
 
 /// Validate, snapshot, run `config.manager`, collect.  Throws

@@ -4,18 +4,24 @@
 #include <utility>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace custody::workload {
 
 void InjectNodeFailure(cluster::Cluster& cluster, dfs::Dfs& dfs,
                        dfs::BlockCache* cache,
                        const std::vector<cluster::AppHandle*>& apps,
-                       cluster::ClusterManager& manager, NodeId node) {
+                       cluster::ClusterManager& manager, NodeId node,
+                       obs::Tracer* tracer) {
   if (!cluster.node_alive(node)) return;
   if (cluster.alive_nodes().size() <= 1) {
     throw std::logic_error("InjectNodeFailure: refusing to kill last node");
   }
   LOG_INFO << "failure: node " << node << " crashed";
+  if (tracer != nullptr) {
+    tracer->instant(
+        {.node = obs::IdOf(node), .kind = obs::EventKind::kNodeFailure});
+  }
 
   // Snapshot which application owned which doomed executor before the
   // cluster ledger forgets.

@@ -17,13 +17,20 @@
 #include "dfs/cache.h"
 #include "dfs/dfs.h"
 
+namespace custody::obs {
+class Tracer;
+}
+
 namespace custody::workload {
 
 /// Crash `node`.  `cache` may be null.  Safe to call for an already-dead
-/// node (no-op).  Refuses to kill the last alive node.
+/// node (no-op).  Refuses to kill the last alive node.  When `tracer` is
+/// non-null a kNodeFailure instant is recorded — exactly once per actual
+/// crash (never for the dead-node no-op or the last-node refusal).
 void InjectNodeFailure(cluster::Cluster& cluster, dfs::Dfs& dfs,
                        dfs::BlockCache* cache,
                        const std::vector<cluster::AppHandle*>& apps,
-                       cluster::ClusterManager& manager, NodeId node);
+                       cluster::ClusterManager& manager, NodeId node,
+                       obs::Tracer* tracer = nullptr);
 
 }  // namespace custody::workload

@@ -116,6 +116,10 @@ void ValidateConfig(const ExperimentConfig& config) {
     FailConfig("trace.files_per_kind must be > 0 (got " +
                std::to_string(config.trace.files_per_kind) + ")");
   }
+  // Tracing.
+  if (config.tracing.enabled && config.tracing.capacity == 0) {
+    FailConfig("tracing.capacity must be > 0 when tracing is enabled");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -216,6 +220,12 @@ SimulationContext::SimulationContext(const SubstrateSnapshot& snapshot)
       cluster_(snapshot.config().num_nodes, MakeWorkerConfig(snapshot.config())),
       cache_(dfs_, units::MB(snapshot.config().cache_mb_per_node)) {
   const ExperimentConfig& config = snapshot.config();
+  if (config.tracing.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(sim_, config.tracing);
+    net_.set_tracer(tracer_.get());
+    dfs_.set_tracer(tracer_.get());
+    cache_.set_tracer(tracer_.get());
+  }
   for (NodeId node : snapshot.slow_nodes()) {
     cluster_.set_node_speed(node, 1.0 / config.slow_node_factor);
   }
@@ -261,16 +271,24 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   spec.allocator = config.allocator;
   std::unique_ptr<cluster::ClusterManager> manager =
       cluster::MakeManager(spec, sim, cluster, ctx.block_locations());
+  obs::Tracer* tracer = ctx.tracer();
+  manager->set_tracer(tracer);
 
   // --- applications --------------------------------------------------------
   metrics::MetricsCollector metrics;
   manager->set_round_observer(
-      [&metrics](const cluster::AllocationRoundInfo& info) {
+      [&metrics, tracer](const cluster::AllocationRoundInfo& info) {
         metrics.record_round({info.when, info.wall_seconds,
                               static_cast<int>(info.idle_executors),
                               static_cast<int>(info.grants),
                               static_cast<int>(info.apps),
                               info.executors_scanned});
+        if (tracer != nullptr) {
+          tracer->instant({.value = info.wall_seconds,
+                           .id = static_cast<std::int32_t>(info.idle_executors),
+                           .aux = static_cast<std::int32_t>(info.grants),
+                           .kind = obs::EventKind::kAllocRound});
+        }
       });
   app::IdSource ids;
   app::AppConfig app_config;
@@ -288,6 +306,7 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
         metrics, ids, base.fork(10 + static_cast<std::uint64_t>(a)),
         app_config));
     if (cache.enabled()) apps.back()->attach_cache(&cache);
+    apps.back()->attach_tracer(tracer);
     apps.back()->attach_manager(*manager);
   }
 
@@ -309,12 +328,12 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   for (int k = 0; k < config.node_failures; ++k) {
     const SimTime when = config.failure_start + k * config.failure_interval;
     sim.post_at(when, [&cluster, &dfs, &cache, &handles, &manager,
-                       &failure_rng, &nodes_failed] {
+                       &failure_rng, &nodes_failed, tracer] {
       const auto alive = cluster.alive_nodes();
       if (alive.size() <= 1) return;
       const NodeId victim = failure_rng.pick(alive);
       InjectNodeFailure(cluster, dfs, cache.enabled() ? &cache : nullptr,
-                        handles, *manager, victim);
+                        handles, *manager, victim, tracer);
       ++nodes_failed;
     });
   }
@@ -348,6 +367,7 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   result.nodes_failed = nodes_failed;
   result.makespan = metrics.makespan();
   result.events_processed = sim.events_processed();
+  result.trace = tracer != nullptr ? tracer->buffer() : nullptr;
   for (const auto& app : apps) {
     result.jobs_completed += app->jobs_completed();
     result.launches_local += app->launch_breakdown().local;

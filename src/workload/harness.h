@@ -22,6 +22,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -29,6 +30,7 @@
 #include "dfs/cache.h"
 #include "dfs/dfs.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "workload/experiment.h"
 
@@ -106,12 +108,18 @@ class SimulationContext {
   /// merged with cached copies when the block cache is enabled.
   [[nodiscard]] core::BlockLocationsFn block_locations();
 
+  /// The run's span tracer — null unless config.tracing.enabled.  Owned
+  /// here (it holds a pointer into this context's Simulator); the buffer
+  /// it fills outlives the context via shared_ptr.
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
+
  private:
   sim::Simulator sim_;
   dfs::Dfs dfs_;
   net::Network net_;
   cluster::Cluster cluster_;
   dfs::BlockCache cache_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::map<WorkloadKind, Dataset> datasets_;
 };
 

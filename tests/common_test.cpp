@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -196,6 +197,32 @@ TEST(Percentile, Interpolates) {
   EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 10.0);
 }
 
+TEST(Percentile, EmptySampleThrows) {
+  EXPECT_THROW((void)Percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Percentile, QuantileOutOfRangeThrows) {
+  const std::vector<double> sorted{1.0, 2.0};
+  EXPECT_THROW((void)Percentile(sorted, -0.01), std::invalid_argument);
+  EXPECT_THROW((void)Percentile(sorted, 1.01), std::invalid_argument);
+  EXPECT_THROW((void)Percentile(sorted, std::nan("")), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  const std::vector<double> sorted{3.5};
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.5), 3.5);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 3.5);
+}
+
+TEST(Percentile, TwoSampleEndpointsAndInterior) {
+  const std::vector<double> sorted{2.0, 6.0};
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.25), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.75), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 6.0);
+}
+
 TEST(Gains, Percentages) {
   EXPECT_DOUBLE_EQ(GainPercent(50.0, 75.0), 50.0);
   EXPECT_DOUBLE_EQ(ReductionPercent(10.0, 8.0), 20.0);
@@ -239,6 +266,59 @@ TEST(Csv, RejectsWidthMismatch) {
   const std::string path = ::testing::TempDir() + "/custody_csv_test2.csv";
   CsvWriter csv(path, {"a", "b"});
   EXPECT_THROW(csv.add_row({"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonQuote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(JsonQuote("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(JsonQuote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+  EXPECT_EQ(JsonQuote(std::string("\x1f")), "\"\\u001f\"");
+  EXPECT_EQ(JsonQuote("say \"hi\" \\ bye"), "\"say \\\"hi\\\" \\\\ bye\"");
+
+  const std::string path = ::testing::TempDir() + "/custody_json_ctrl.json";
+  {
+    JsonWriter json(path, {"text"});
+    json.add_row({std::string("line1\nline2\x02")});
+  }
+  const std::string out = ReadWholeFile(path);
+  EXPECT_NE(out.find("\"line1\\nline2\\u0002\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Json, NonFiniteNumberCellsStayQuoted) {
+  // "nan" and "inf" parse via strtod and "1e999" overflows to +inf; none
+  // of them are valid JSON numbers, so all must be emitted as strings.
+  const std::string path = ::testing::TempDir() + "/custody_json_nan.json";
+  {
+    JsonWriter json(path, {"a", "b", "c", "d"});
+    json.add_row({"nan", "inf", "1e999", "2.5"});
+  }
+  const std::string out = ReadWholeFile(path);
+  EXPECT_NE(out.find("\"a\": \"nan\""), std::string::npos);
+  EXPECT_NE(out.find("\"b\": \"inf\""), std::string::npos);
+  EXPECT_NE(out.find("\"c\": \"1e999\""), std::string::npos);
+  EXPECT_NE(out.find("\"d\": 2.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Json, EmptyCellsAreEmptyStrings) {
+  const std::string path = ::testing::TempDir() + "/custody_json_empty.json";
+  {
+    JsonWriter json(path, {"a", "b"});
+    json.add_row({"", "x"});
+  }
+  const std::string out = ReadWholeFile(path);
+  EXPECT_NE(out.find("\"a\": \"\""), std::string::npos);
+  EXPECT_NE(out.find("\"b\": \"x\""), std::string::npos);
   std::remove(path.c_str());
 }
 

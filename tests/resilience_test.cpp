@@ -3,8 +3,11 @@
 // manager.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster/pool_manager.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "workload/experiment.h"
 #include "workload/failures.h"
 
@@ -12,6 +15,13 @@ namespace custody::workload {
 namespace {
 
 using custody::units::MB;
+
+std::size_t CountKind(const std::vector<obs::TraceEvent>& events,
+                      obs::EventKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [kind](const obs::TraceEvent& e) { return e.kind == kind; }));
+}
 
 ExperimentConfig SmallConfig(ManagerKind manager, std::uint64_t seed = 42) {
   ExperimentConfig config;
@@ -196,6 +206,89 @@ TEST(InjectNodeFailure, RefusesToKillLastNode) {
   EXPECT_THROW(
       InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(0)),
       std::logic_error);
+}
+
+TEST(InjectNodeFailure, DeadNodeReinjectionIsSilentNoOp) {
+  sim::Simulator sim;
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = 4;
+  dfs_config.default_replication = 2;
+  dfs::Dfs dfs(dfs_config, Rng(7));
+  dfs.write_file("/f", MB(256.0));
+  cluster::Cluster cluster(4, cluster::WorkerConfig{});
+  cluster::PoolConfig pool_config;
+  cluster::PoolManager manager(sim, cluster, pool_config);
+  obs::Tracer tracer(sim, {.enabled = true, .capacity = 64});
+
+  InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(1), &tracer);
+  ASSERT_FALSE(cluster.node_alive(NodeId(1)));
+  // Re-injecting the same dead node: no state change, no second event.
+  InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(1), &tracer);
+  InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(1), &tracer);
+  EXPECT_EQ(cluster.alive_nodes().size(), 3u);
+  EXPECT_EQ(CountKind(tracer.buffer()->events(), obs::EventKind::kNodeFailure),
+            1u);
+}
+
+TEST(InjectNodeFailure, TraceRecordsEachCrashExactlyOnce) {
+  sim::Simulator sim;
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = 5;
+  dfs_config.default_replication = 2;
+  dfs::Dfs dfs(dfs_config, Rng(9));
+  dfs.write_file("/f", MB(1280.0));  // 10 blocks: every node holds replicas
+  cluster::Cluster cluster(5, cluster::WorkerConfig{});
+  cluster::PoolConfig pool_config;
+  cluster::PoolManager manager(sim, cluster, pool_config);
+  obs::Tracer tracer(sim, {.enabled = true, .capacity = 256});
+  dfs.set_tracer(&tracer);  // re-replication churn records too
+
+  InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(0), &tracer);
+  InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(3), &tracer);
+  const auto events = tracer.buffer()->events();
+  EXPECT_EQ(CountKind(events, obs::EventKind::kNodeFailure), 2u);
+  // Each crash names its victim.
+  std::vector<std::int32_t> victims;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::EventKind::kNodeFailure) victims.push_back(e.node);
+  }
+  EXPECT_EQ(victims, (std::vector<std::int32_t>{0, 3}));
+  // A node that lost replicas also shows re-replication churn.
+  EXPECT_GT(CountKind(events, obs::EventKind::kReplicaLost), 0u);
+}
+
+TEST(InjectNodeFailure, LastNodeRefusalRecordsNoEvent) {
+  sim::Simulator sim;
+  dfs::DfsConfig dfs_config;
+  dfs_config.num_nodes = 2;
+  dfs_config.default_replication = 1;
+  dfs::Dfs dfs(dfs_config, Rng(11));
+  cluster::Cluster cluster(2, cluster::WorkerConfig{});
+  cluster::PoolConfig pool_config;
+  cluster::PoolManager manager(sim, cluster, pool_config);
+  obs::Tracer tracer(sim, {.enabled = true, .capacity = 64});
+
+  InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(0), &tracer);
+  EXPECT_THROW(
+      InjectNodeFailure(cluster, dfs, nullptr, {}, manager, NodeId(1), &tracer),
+      std::logic_error);
+  EXPECT_TRUE(cluster.node_alive(NodeId(1)));
+  EXPECT_EQ(CountKind(tracer.buffer()->events(), obs::EventKind::kNodeFailure),
+            1u);
+}
+
+TEST(Failures, TracedCrashCountMatchesNodesFailed) {
+  auto config = SmallConfig(ManagerKind::kCustody);
+  config.node_failures = 3;
+  config.failure_start = 5.0;
+  config.failure_interval = 10.0;
+  config.tracing.enabled = true;
+  const auto result = RunExperiment(config);
+  ASSERT_NE(result.trace, nullptr);
+  EXPECT_EQ(result.nodes_failed, 3);
+  EXPECT_EQ(
+      CountKind(result.trace->events(), obs::EventKind::kNodeFailure),
+      static_cast<std::size_t>(result.nodes_failed));
 }
 
 TEST(ClusterFailNode, AssignOnDeadNodeThrows) {

@@ -1,0 +1,126 @@
+// Steady-state streaming engine — sustained throughput over long horizons.
+//
+// Open-loop arrivals generated lazily (SubmissionStream), pool-backed job
+// retirement and constant-memory streaming metrics: nothing in the run
+// grows with the horizon, so the interesting numbers are the sustained
+// event rate and the live-object high-water mark, not the totals.  Two
+// rows: flat exponential arrivals and a diurnally modulated pattern (the
+// day/night load swing every production trace shows).
+//
+// Scale with CUSTODY_BENCH_STEADY_JOBS (total jobs across apps, default
+// 100000) and CUSTODY_BENCH_STEADY_NODES (default 100); CI runs a
+// scaled-down pass under an RSS ceiling via /usr/bin/time and archives
+// the --json output as BENCH_steady.json.
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace {
+
+custody::workload::ExperimentConfig SteadyBenchConfig(long long total_jobs,
+                                                      long long nodes,
+                                                      bool diurnal) {
+  using namespace custody::workload;
+  ExperimentConfig config;
+  config.num_nodes = static_cast<std::size_t>(nodes);
+  config.executors_per_node = 2;
+  config.kinds = {WorkloadKind::kWordCount, WorkloadKind::kSort};
+  config.trace.num_apps = 4;
+  config.trace.jobs_per_app = static_cast<int>(total_jobs / 4);
+  // Keep the offered load comfortably inside capacity: an open-loop run
+  // with arrivals faster than service accumulates live jobs without bound,
+  // which is exactly what this mode exists to avoid measuring.
+  config.trace.mean_interarrival = 16.0 * 100.0 / static_cast<double>(nodes);
+  config.steady.enabled = true;
+  config.steady.retire_jobs = true;
+  config.steady.streaming_metrics = true;
+  // Discard the fill-up transient so percentiles describe the steady phase.
+  config.steady.warmup = 50.0 * config.trace.mean_interarrival;
+  if (diurnal) {
+    config.steady.diurnal_amplitude = 0.5;
+    config.steady.diurnal_period = 3600.0;
+  }
+  config.seed = custody::bench::Seed();
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace custody;
+  using namespace custody::bench;
+  using namespace custody::workload;
+
+  PrintBanner(std::cout, "Steady state — streaming engine throughput");
+  const long long total_jobs =
+      EnvInt("CUSTODY_BENCH_STEADY_JOBS").value_or(100000);
+  const long long nodes = EnvInt("CUSTODY_BENCH_STEADY_NODES").value_or(100);
+  if (total_jobs < 4 || nodes < 1) {
+    std::cerr << "error: CUSTODY_BENCH_STEADY_JOBS must be >= 4 and "
+                 "CUSTODY_BENCH_STEADY_NODES >= 1\n";
+    return 1;
+  }
+  std::cout << "scale: " << total_jobs << " jobs over 4 apps, " << nodes
+            << " nodes, seed " << Seed()
+            << " (CUSTODY_BENCH_STEADY_JOBS / CUSTODY_BENCH_STEADY_NODES / "
+               "CUSTODY_BENCH_SEED to change)\n";
+
+  const std::vector<std::string> columns{
+      "scenario",        "manager",       "nodes",
+      "jobs",            "wall_s",        "events",
+      "events_per_sec",  "jobs_retired",  "peak_live_tasks",
+      "jct_mean_s",      "jct_p99_s",     "makespan_s"};
+  auto csv = MaybeCsv(argc, argv, columns);
+  auto json = MaybeJson(argc, argv, columns);
+
+  AsciiTable table({"scenario", "wall (s)", "events/s", "jobs retired",
+                    "peak live tasks", "JCT mean (s)", "JCT p99 (s)"});
+  for (const bool diurnal : {false, true}) {
+    const ExperimentConfig config =
+        SteadyBenchConfig(total_jobs, nodes, diurnal);
+    const auto start = std::chrono::steady_clock::now();
+    const ExperimentResult result = RunExperiment(config);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double events_per_sec =
+        wall > 0.0 ? static_cast<double>(result.events_processed) / wall : 0.0;
+    const std::string scenario = diurnal ? "diurnal" : "flat";
+    table.add_row({scenario, Num(wall), Num(events_per_sec, 0),
+                   std::to_string(result.jobs_retired),
+                   std::to_string(result.peak_live_tasks),
+                   Num(result.jct.mean), Num(result.jct.p99)});
+    const std::vector<std::string> row{
+        scenario,
+        result.manager_name,
+        std::to_string(nodes),
+        std::to_string(total_jobs),
+        Num(wall, 3),
+        std::to_string(result.events_processed),
+        Num(events_per_sec, 0),
+        std::to_string(result.jobs_retired),
+        std::to_string(result.peak_live_tasks),
+        Num(result.jct.mean, 3),
+        Num(result.jct.p99, 3),
+        Num(result.makespan, 1)};
+    if (csv) csv->add_row(row);
+    if (json) json->add_row(row);
+
+    // The run retires what it completes; anything else means the engine
+    // leaked live jobs and the memory story is fiction.
+    if (result.jobs_retired != result.jobs_completed ||
+        result.jobs_completed != static_cast<std::uint64_t>(
+                                     config.trace.num_apps *
+                                     config.trace.jobs_per_app)) {
+      std::cerr << "error: " << scenario << " run completed "
+                << result.jobs_completed << " and retired "
+                << result.jobs_retired << " of "
+                << config.trace.num_apps * config.trace.jobs_per_app
+                << " jobs\n";
+      return 1;
+    }
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

@@ -38,6 +38,8 @@ Application::Application(AppId id, sim::Simulator& sim, net::Network& net,
 }
 
 Application::~Application() {
+  for (auto& [id, j] : jobs_by_id_) job_pool_.destroy(j);
+  jobs_by_id_.clear();
   if (index_ != nullptr) {
     dfs_.remove_replica_listener(dfs_listener_);
     if (cache_ != nullptr) cache_->remove_change_listener(cache_listener_);
@@ -90,17 +92,16 @@ Task* Application::find_task(TaskId id) {
 }
 
 Job& Application::job(JobId id) {
-  for (auto& j : jobs_) {
-    if (j->id == id) return *j;
+  const auto it = jobs_by_id_.find(id);
+  if (it == jobs_by_id_.end()) {
+    throw std::logic_error("Application: unknown job");
   }
-  throw std::logic_error("Application: unknown job");
+  return *it->second;
 }
 
 const Job* Application::find_job(JobId id) const {
-  for (const auto& j : jobs_) {
-    if (j->id == id) return j.get();
-  }
-  return nullptr;
+  const auto it = jobs_by_id_.find(id);
+  return it == jobs_by_id_.end() ? nullptr : it->second;
 }
 
 JobId Application::submit_job(const JobSpec& spec) {
@@ -108,7 +109,7 @@ JobId Application::submit_job(const JobSpec& spec) {
     throw std::logic_error("Application: attach_manager before submit_job");
   }
   const SimTime now = sim_.now();
-  auto owned = std::make_unique<Job>();
+  Job* owned = job_pool_.create();
   Job& j = *owned;
   j.id = JobId(ids_.next_job++);
   j.app = id_;
@@ -154,9 +155,10 @@ JobId Application::submit_job(const JobSpec& spec) {
     j.stages.push_back(std::move(stage));
   }
 
-  jobs_.push_back(std::move(owned));
-  active_jobs_.push_back(jobs_.back().get());
+  jobs_by_id_.emplace(j.id, owned);
+  active_jobs_.push_back(owned);
   ++jobs_submitted_;
+  peak_live_tasks_ = std::max<std::uint64_t>(peak_live_tasks_, tasks_.size());
 
   // The input stage is runnable immediately; Custody's allocation round is
   // triggered by the demand change and runs before any executor could go
@@ -837,6 +839,15 @@ void Application::finish_job(Job& j) {
     for (TaskId id : stage.tasks) tasks_.erase(id);
   }
   if (index_ != nullptr) index_->job_removed(j.id);
+
+  if (config_.retire_finished_jobs) {
+    // Steady-state retirement: the job record (stages included) goes back
+    // to the pool.  finish_job is the last user of this Job — every caller
+    // up the stack only kick()s afterwards, so nothing dangles.
+    jobs_by_id_.erase(j.id);
+    ++jobs_retired_;
+    job_pool_.destroy(&j);
+  }
 
   manager_->on_demand_changed(*this);
 }

@@ -16,6 +16,7 @@
 #include "app/scheduler.h"
 #include "cluster/cluster.h"
 #include "cluster/manager.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "dfs/cache.h"
@@ -59,6 +60,13 @@ struct AppConfig {
   double speculation_multiplier = 1.5;
   /// Minimum finished siblings before durations are trusted.
   int speculation_min_finished = 3;
+
+  /// Steady-state retirement: destroy a job (stages and task records
+  /// included) the moment it finishes, returning its memory to the
+  /// application's job pool so million-job runs hold only live jobs.  Off
+  /// by default — tests and figure scripts read finished jobs back via
+  /// find_job.
+  bool retire_finished_jobs = false;
 };
 
 class Application final : public cluster::AppHandle {
@@ -104,23 +112,40 @@ class Application final : public cluster::AppHandle {
   [[nodiscard]] int executors_held() const;
   [[nodiscard]] std::vector<ExecutorId> held_executors() const;
   /// Why input tasks launched the way they did (diagnostics/ablation).
+  /// 64-bit: lifetime counters, which streaming runs push past 2^32.
   struct LaunchBreakdown {
-    int local = 0;
+    std::uint64_t local = 0;
     /// Non-local although a held executor's node stored the block (the
     /// local slot was busy and the delay-scheduling wait ran out).
-    int covered_busy = 0;
+    std::uint64_t covered_busy = 0;
     /// Non-local because no held executor was on any replica node.
-    int uncovered = 0;
+    std::uint64_t uncovered = 0;
   };
   [[nodiscard]] const LaunchBreakdown& launch_breakdown() const {
     return breakdown_;
   }
 
-  [[nodiscard]] int jobs_submitted() const { return jobs_submitted_; }
-  [[nodiscard]] int jobs_completed() const { return jobs_completed_; }
-  [[nodiscard]] int speculative_launches() const { return spec_launches_; }
-  [[nodiscard]] int speculative_wins() const { return spec_wins_; }
+  [[nodiscard]] std::uint64_t jobs_submitted() const {
+    return jobs_submitted_;
+  }
+  [[nodiscard]] std::uint64_t jobs_completed() const {
+    return jobs_completed_;
+  }
+  [[nodiscard]] std::uint64_t speculative_launches() const {
+    return spec_launches_;
+  }
+  [[nodiscard]] std::uint64_t speculative_wins() const { return spec_wins_; }
+  /// Jobs destroyed through the pool (0 unless retire_finished_jobs).
+  [[nodiscard]] std::uint64_t jobs_retired() const { return jobs_retired_; }
+  /// High-water mark of live task records — the bounded-memory witness for
+  /// steady-state runs (submitted-minus-retired stays small).
+  [[nodiscard]] std::uint64_t peak_live_tasks() const {
+    return peak_live_tasks_;
+  }
+  /// Jobs currently materialized (submitted minus retired).
+  [[nodiscard]] std::size_t live_jobs() const { return jobs_by_id_.size(); }
   [[nodiscard]] bool idle() const { return active_jobs_.empty(); }
+  /// Null for unknown ids — including jobs already retired.
   [[nodiscard]] const Job* find_job(JobId id) const;
 
  private:
@@ -187,12 +212,23 @@ class Application final : public cluster::AppHandle {
 
   int share_ = 0;
   std::unordered_map<TaskId, Task> tasks_;
-  std::vector<std::unique_ptr<Job>> jobs_;
+  /// Job storage: jobs live in the chunked pool so steady-state retirement
+  /// recycles their memory instead of churning the heap; the id map's nodes
+  /// come from the same pool.  Declaration order matters — the pool must
+  /// outlive (construct before) the containers drawing from it.
+  PoolResource pool_;
+  ObjectPool<Job> job_pool_{pool_};
+  using JobMap =
+      std::unordered_map<JobId, Job*, std::hash<JobId>, std::equal_to<JobId>,
+                         PoolAllocator<std::pair<const JobId, Job*>>>;
+  JobMap jobs_by_id_{JobMap::allocator_type(pool_)};
   std::vector<Job*> active_jobs_;  // submission order (FIFO for scheduling)
-  int jobs_submitted_ = 0;
-  int jobs_completed_ = 0;
-  int spec_launches_ = 0;
-  int spec_wins_ = 0;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_retired_ = 0;
+  std::uint64_t peak_live_tasks_ = 0;
+  std::uint64_t spec_launches_ = 0;
+  std::uint64_t spec_wins_ = 0;
   core::LocalityStats achieved_;  // over launched input work
   LaunchBreakdown breakdown_;
   sim::EventHandle retry_event_;

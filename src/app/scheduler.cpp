@@ -2,15 +2,16 @@
 
 #include <algorithm>
 
+#include "common/simtime.h"
+
 namespace custody::app {
 
-namespace {
-/// Tolerance when testing locality-wait expiry: the retry event fires at
-/// exactly wait_start + wait, where (wait_start + wait) - wait_start can
-/// round to slightly less than wait and would otherwise re-arm a zero-delay
-/// retry forever.
-constexpr SimTime kTimeEpsilon = 1e-9;
-}  // namespace
+// Tolerance when testing locality-wait expiry: the retry event fires at
+// exactly wait_start + wait, where (wait_start + wait) - wait_start can
+// round to slightly less than wait and would otherwise re-arm a zero-delay
+// retry forever.  The tolerance must scale with the clock (TimeEpsilonAt):
+// at steady-state horizons one ulp of `now` exceeds any absolute constant,
+// and an absolute epsilon re-creates exactly that retry loop.
 
 bool TaskScheduler::is_local(BlockId block, NodeId node) const {
   if (dfs_->is_local(block, node)) return true;
@@ -87,7 +88,7 @@ std::optional<TaskScheduler::Pick> TaskScheduler::pick_indexed(
       }
       if (!job.waiting_since_set()) {
         job.wait_start = now;  // the job starts its locality wait
-      } else if (now - job.wait_start >= config_.locality_wait - kTimeEpsilon) {
+      } else if (now - job.wait_start >= config_.locality_wait - TimeEpsilonAt(now)) {
         return Pick{first_ready_input, false};  // wait expired: go remote
       }
       const SimTime expires = job.wait_start + config_.locality_wait;
@@ -170,7 +171,7 @@ std::optional<TaskScheduler::Pick> TaskScheduler::pick_reference(
       }
       if (!job.waiting_since_set()) {
         job.wait_start = now;  // the job starts its locality wait
-      } else if (now - job.wait_start >= config_.locality_wait - kTimeEpsilon) {
+      } else if (now - job.wait_start >= config_.locality_wait - TimeEpsilonAt(now)) {
         return Pick{first_ready_input, false};  // wait expired: go remote
       }
       const SimTime expires = job.wait_start + config_.locality_wait;

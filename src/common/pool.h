@@ -1,0 +1,189 @@
+// Chunked pool allocation for steady-state streaming runs.
+//
+// The streaming engine creates and retires millions of short-lived objects
+// (jobs, task-table nodes).  Feeding those through the global heap churns the
+// allocator and fragments RSS; the classic fix is a chunked pool — carve
+// fixed-size chunks from the heap once, hand out small blocks from them, and
+// recycle freed blocks through per-size-class free lists so steady state
+// allocates nothing new.
+//
+//   PoolResource   — the arena: owns the chunks, serves allocate/deallocate
+//                    for any small (size, alignment); oversized or
+//                    over-aligned requests fall through to ::operator new.
+//   PoolAllocator  — std-allocator adapter over a PoolResource, so node
+//                    containers (std::unordered_map) recycle their nodes.
+//   ObjectPool<T>  — typed create/destroy for single objects (jobs).
+//
+// Not thread-safe: one PoolResource per simulation run, like every other
+// piece of per-run substrate (sweep threads never share one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace custody {
+
+class PoolResource {
+ public:
+  explicit PoolResource(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes < kMaxPooledBytes ? kMaxPooledBytes
+                                                   : chunk_bytes) {}
+
+  PoolResource(const PoolResource&) = delete;
+  PoolResource& operator=(const PoolResource&) = delete;
+
+  ~PoolResource() {
+    for (void* chunk : chunks_) ::operator delete(chunk);
+  }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (!pooled(bytes, align)) {
+      bytes_outside_ += bytes;
+      return ::operator new(bytes, std::align_val_t(align));
+    }
+    const std::size_t cls = size_class(bytes);
+    if (free_lists_[cls] != nullptr) {
+      FreeNode* node = free_lists_[cls];
+      free_lists_[cls] = node->next;
+      // The node object ends its lifetime here; the storage is reused.
+      node->~FreeNode();
+      ++live_blocks_;
+      return static_cast<void*>(node);
+    }
+    const std::size_t block = cls * kGranularity;
+    if (chunks_.empty() || chunk_bytes_ - cursor_ < block) {
+      chunks_.push_back(::operator new(chunk_bytes_));
+      cursor_ = 0;
+    }
+    void* p = static_cast<char*>(chunks_.back()) + cursor_;
+    cursor_ += block;
+    ++live_blocks_;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+    if (p == nullptr) return;
+    if (!pooled(bytes, align)) {
+      bytes_outside_ -= bytes;
+      ::operator delete(p, std::align_val_t(align));
+      return;
+    }
+    const std::size_t cls = size_class(bytes);
+    // Begin the lifetime of a FreeNode in the returned storage (placement
+    // new keeps this well-defined under strict lifetime rules/sanitizers).
+    free_lists_[cls] = ::new (p) FreeNode{free_lists_[cls]};
+    --live_blocks_;
+  }
+
+  /// Blocks handed out and not yet returned (pooled sizes only).
+  [[nodiscard]] std::size_t live_blocks() const { return live_blocks_; }
+  /// Heap bytes reserved in chunks (never shrinks; the point of the pool is
+  /// that it stops growing once steady state recycles everything).
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    return chunks_.size() * chunk_bytes_;
+  }
+  /// Bytes currently live via the ::operator new fall-through.
+  [[nodiscard]] std::size_t bytes_outside() const { return bytes_outside_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kGranularity = alignof(std::max_align_t);
+  static constexpr std::size_t kMaxPooledBytes = 1024;
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{64} * 1024;
+  static constexpr std::size_t kNumClasses =
+      kMaxPooledBytes / kGranularity + 1;
+
+  static constexpr bool pooled(std::size_t bytes, std::size_t align) {
+    return bytes <= kMaxPooledBytes && align <= kGranularity;
+  }
+  static constexpr std::size_t size_class(std::size_t bytes) {
+    const std::size_t min = bytes < sizeof(FreeNode) ? sizeof(FreeNode) : bytes;
+    return (min + kGranularity - 1) / kGranularity;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<void*> chunks_;
+  std::size_t cursor_ = 0;  ///< bytes used in chunks_.back()
+  FreeNode* free_lists_[kNumClasses] = {};
+  std::size_t live_blocks_ = 0;
+  std::size_t bytes_outside_ = 0;
+};
+
+/// std-allocator adapter: single-element allocations (container nodes) come
+/// from the pool; arrays (vector buffers, hash-table bucket arrays) fall
+/// through to ::operator new — those are few, large, and reused by rehash.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(PoolResource& resource) : resource_(&resource) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : resource_(other.resource()) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      return static_cast<T*>(resource_->allocate(sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(alignof(T))));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      resource_->deallocate(p, sizeof(T), alignof(T));
+      return;
+    }
+    ::operator delete(p, std::align_val_t(alignof(T)));
+  }
+
+  [[nodiscard]] PoolResource* resource() const { return resource_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return resource_ == other.resource();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  PoolResource* resource_;
+};
+
+/// Typed construct/destroy backed by a PoolResource; retired objects'
+/// storage is recycled for the next create of the same size class.
+template <typename T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(PoolResource& resource) : resource_(&resource) {}
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    void* p = resource_->allocate(sizeof(T), alignof(T));
+    try {
+      return ::new (p) T(std::forward<Args>(args)...);
+    } catch (...) {
+      resource_->deallocate(p, sizeof(T), alignof(T));
+      throw;
+    }
+  }
+
+  void destroy(T* p) noexcept {
+    if (p == nullptr) return;
+    p->~T();
+    resource_->deallocate(p, sizeof(T), alignof(T));
+  }
+
+ private:
+  PoolResource* resource_;
+};
+
+}  // namespace custody

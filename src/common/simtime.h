@@ -1,0 +1,38 @@
+// Time-comparison tolerance that survives long horizons.
+//
+// SimTime is a double, so its resolution degrades as the clock grows:
+// ulp(t) ≈ 2.2e-16 · t, which crosses an absolute 1e-9 tolerance near
+// t ≈ 5e6 simulated seconds.  Past that point, comparisons of the form
+// `now - t0 >= dt - 1e-9` can fail *at the very instant an event scheduled
+// for t0 + dt fires* (the subtraction rounds below dt by up to one ulp of
+// `now`), re-arming a zero-delay retry forever.  Steady-state runs sit at
+// t ~ 1e7–1e9, squarely in that regime.
+//
+// TimeEpsilonAt(t) is the fix: an absolute floor of 1e-9 (bit-identical to
+// the historical constant for every pre-existing horizon, which ends well
+// below the crossover) that scales up with |t| once the clock outgrows it.
+// The relative factor is a few ulps — loose enough to absorb the rounding
+// of t0 + dt, tight enough that no simulated interval anyone can schedule
+// (the resolution of the clock itself is one ulp) fits inside it.
+#pragma once
+
+#include <limits>
+
+#include "common/types.h"
+
+namespace custody {
+
+/// Historical absolute tolerance; still exact for short horizons.
+inline constexpr SimTime kTimeEpsilonFloor = 1e-9;
+/// Relative tolerance: 4 ulps of the timestamp being compared.
+inline constexpr double kTimeEpsilonRel =
+    4.0 * std::numeric_limits<double>::epsilon();
+
+/// Comparison tolerance appropriate for timestamps of magnitude |at|.
+[[nodiscard]] constexpr SimTime TimeEpsilonAt(SimTime at) {
+  const SimTime magnitude = at < 0.0 ? -at : at;
+  const SimTime scaled = kTimeEpsilonRel * magnitude;
+  return scaled > kTimeEpsilonFloor ? scaled : kTimeEpsilonFloor;
+}
+
+}  // namespace custody

@@ -55,21 +55,27 @@ struct JobDemand {
 };
 
 /// Locality achieved by an application so far; drives MINLOCALITY ordering.
+/// 64-bit: these accumulate over an application's whole lifetime, which in
+/// steady-state streaming runs spans millions of jobs/tasks.
 struct LocalityStats {
-  int local_jobs = 0;
-  int total_jobs = 0;
-  int local_tasks = 0;
-  int total_tasks = 0;
+  std::int64_t local_jobs = 0;
+  std::int64_t total_jobs = 0;
+  std::int64_t local_tasks = 0;
+  std::int64_t total_tasks = 0;
 
   /// Percentage of local jobs; 0 when the app has no jobs yet.
   [[nodiscard]] double job_fraction() const {
-    return total_jobs == 0 ? 0.0
-                           : static_cast<double>(local_jobs) / total_jobs;
+    return total_jobs == 0
+               ? 0.0
+               : static_cast<double>(local_jobs) /
+                     static_cast<double>(total_jobs);
   }
   /// Tie-breaker: percentage of local tasks.
   [[nodiscard]] double task_fraction() const {
-    return total_tasks == 0 ? 0.0
-                            : static_cast<double>(local_tasks) / total_tasks;
+    return total_tasks == 0
+               ? 0.0
+               : static_cast<double>(local_tasks) /
+                     static_cast<double>(total_tasks);
   }
 };
 

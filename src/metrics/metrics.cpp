@@ -1,8 +1,88 @@
 #include "metrics/metrics.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace custody::metrics {
+
+void MetricsCollector::enable_streaming() {
+  if (!tasks_.empty() || !jobs_.empty() || !rounds_.empty()) {
+    throw std::logic_error(
+        "MetricsCollector: enable_streaming after records were collected");
+  }
+  streaming_ = true;
+}
+
+void MetricsCollector::record_task(const TaskRecord& record) {
+  if (record.ready_time < warmup_) return;
+  if (streaming_) {
+    if (record.is_input) sched_delay_stream_.add(record.scheduler_delay());
+    return;
+  }
+  tasks_.push_back(record);
+}
+
+void MetricsCollector::record_job(const JobRecord& record) {
+  makespan_ = std::max(makespan_, record.finish_time);
+  if (record.submit_time < warmup_) return;
+  ++jobs_recorded_;
+  input_tasks_total_ += static_cast<std::uint64_t>(record.input_tasks);
+  input_tasks_local_ += static_cast<std::uint64_t>(record.local_input_tasks);
+  const bool perfect = record.perfectly_local();
+  if (perfect) ++perfectly_local_jobs_;
+  const auto a = static_cast<std::size_t>(record.app.value());
+  if (a >= app_total_jobs_.size()) {
+    app_total_jobs_.resize(a + 1, 0);
+    app_local_jobs_.resize(a + 1, 0);
+  }
+  ++app_total_jobs_[a];
+  if (perfect) ++app_local_jobs_[a];
+
+  if (streaming_) {
+    locality_stream_.add(record.locality_percent());
+    jct_stream_.add(record.completion_time());
+    input_stage_stream_.add(record.input_stage_duration());
+    return;
+  }
+  jobs_.push_back(record);
+}
+
+void MetricsCollector::record_round(const AllocationRoundRecord& record) {
+  ++rounds_recorded_;
+  if (record.grants > 0) ++productive_rounds_;
+  executors_scanned_total_ += record.executors_scanned;
+  grants_total_ += record.grants;
+  if (streaming_) {
+    round_wall_stream_.add(record.wall_seconds);
+    return;
+  }
+  rounds_.push_back(record);
+}
+
+Summary MetricsCollector::job_locality_summary() const {
+  if (streaming_) return locality_stream_.summarize();
+  return Summarize(per_job_locality_percent());
+}
+
+Summary MetricsCollector::jct_summary() const {
+  if (streaming_) return jct_stream_.summarize();
+  return Summarize(job_completion_times());
+}
+
+Summary MetricsCollector::input_stage_summary() const {
+  if (streaming_) return input_stage_stream_.summarize();
+  return Summarize(input_stage_durations());
+}
+
+Summary MetricsCollector::sched_delay_summary() const {
+  if (streaming_) return sched_delay_stream_.summarize();
+  return Summarize(input_scheduler_delays());
+}
+
+Summary MetricsCollector::round_wall_summary() const {
+  if (streaming_) return round_wall_stream_.summarize();
+  return Summarize(round_wall_times());
+}
 
 std::vector<double> MetricsCollector::per_job_locality_percent() const {
   std::vector<double> out;
@@ -12,22 +92,17 @@ std::vector<double> MetricsCollector::per_job_locality_percent() const {
 }
 
 double MetricsCollector::overall_input_locality_percent() const {
-  std::int64_t total = 0;
-  std::int64_t local = 0;
-  for (const JobRecord& job : jobs_) {
-    total += job.input_tasks;
-    local += job.local_input_tasks;
-  }
-  return total == 0 ? 0.0 : 100.0 * static_cast<double>(local) / total;
+  return input_tasks_total_ == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(input_tasks_local_) /
+                   static_cast<double>(input_tasks_total_);
 }
 
 double MetricsCollector::local_job_percent() const {
-  if (jobs_.empty()) return 0.0;
-  const auto local = std::count_if(jobs_.begin(), jobs_.end(),
-                                   [](const JobRecord& job) {
-                                     return job.perfectly_local();
-                                   });
-  return 100.0 * static_cast<double>(local) / jobs_.size();
+  return jobs_recorded_ == 0
+             ? 0.0
+             : 100.0 * static_cast<double>(perfectly_local_jobs_) /
+                   static_cast<double>(jobs_recorded_);
 }
 
 std::vector<double> MetricsCollector::job_completion_times() const {
@@ -54,18 +129,13 @@ std::vector<double> MetricsCollector::input_scheduler_delays() const {
 
 std::vector<double> MetricsCollector::per_app_local_job_fraction(
     std::size_t num_apps) const {
-  std::vector<int> total(num_apps, 0);
-  std::vector<int> local(num_apps, 0);
-  for (const JobRecord& job : jobs_) {
-    const auto a = job.app.value();
-    if (a >= num_apps) continue;
-    ++total[a];
-    if (job.perfectly_local()) ++local[a];
-  }
   std::vector<double> out(num_apps, 0.0);
-  for (std::size_t a = 0; a < num_apps; ++a) {
-    out[a] = total[a] == 0 ? 0.0
-                           : static_cast<double>(local[a]) / total[a];
+  const std::size_t known = std::min(num_apps, app_total_jobs_.size());
+  for (std::size_t a = 0; a < known; ++a) {
+    out[a] = app_total_jobs_[a] == 0
+                 ? 0.0
+                 : static_cast<double>(app_local_jobs_[a]) /
+                       static_cast<double>(app_total_jobs_[a]);
   }
   return out;
 }
@@ -86,26 +156,11 @@ std::vector<double> MetricsCollector::round_grant_counts() const {
   return out;
 }
 
-std::uint64_t MetricsCollector::total_executors_scanned() const {
-  std::uint64_t total = 0;
-  for (const AllocationRoundRecord& r : rounds_) total += r.executors_scanned;
-  return total;
-}
-
 double MetricsCollector::round_yield_fraction() const {
-  if (rounds_.empty()) return 0.0;
-  const auto productive =
-      std::count_if(rounds_.begin(), rounds_.end(),
-                    [](const AllocationRoundRecord& r) { return r.grants > 0; });
-  return static_cast<double>(productive) / rounds_.size();
-}
-
-SimTime MetricsCollector::makespan() const {
-  SimTime latest = 0.0;
-  for (const JobRecord& job : jobs_) {
-    latest = std::max(latest, job.finish_time);
-  }
-  return latest;
+  return rounds_recorded_ == 0
+             ? 0.0
+             : static_cast<double>(productive_rounds_) /
+                   static_cast<double>(rounds_recorded_);
 }
 
 }  // namespace custody::metrics

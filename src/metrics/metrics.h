@@ -5,14 +5,28 @@
 //   Fig. 9  — average completion time of the input (map) stage
 //   Fig. 10 — scheduler delay (task submitted -> task launched)
 //
-// The collector records raw per-task and per-job events; summaries are
-// derived on demand so benches can slice them any way the figures need.
+// Two aggregation modes behind one API:
+//
+//   exact (default)  — the collector records raw per-task and per-job
+//                      events; summaries are derived on demand so benches
+//                      can slice them any way the figures need.
+//   streaming        — enable_streaming() switches to constant-memory
+//                      aggregation: exact running counters plus P² quantile
+//                      banks (common/streaming_stats.h).  Million-job
+//                      steady-state runs keep no per-sample vectors at all.
+//
+// Warm-up discard (set_warmup) applies identically in both modes: records
+// whose job was submitted (or task became ready) before the warm-up instant
+// never enter the figure aggregates, so a streaming run and its exact
+// reference see the same sample population.  Makespan always covers every
+// job, warm-up included.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/streaming_stats.h"
 #include "common/types.h"
 
 namespace custody::metrics {
@@ -40,9 +54,11 @@ struct TaskRecord {
 struct AllocationRoundRecord {
   SimTime when = 0.0;
   double wall_seconds = 0.0;
-  int idle_executors = 0;
-  int grants = 0;
-  int apps_active = 0;
+  // 64-bit like every other long-run counter: a steady-state run records
+  // millions of rounds and the totals derived from these must not wrap.
+  std::uint64_t idle_executors = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t apps_active = 0;
   std::uint64_t executors_scanned = 0;
 };
 
@@ -89,13 +105,24 @@ struct JobRecord {
 
 class MetricsCollector {
  public:
-  void record_task(const TaskRecord& record) { tasks_.push_back(record); }
-  void record_job(const JobRecord& record) { jobs_.push_back(record); }
-  void record_round(const AllocationRoundRecord& record) {
-    rounds_.push_back(record);
-  }
+  /// Switch to constant-memory streaming aggregation.  Must be called
+  /// before the first record; the raw-record accessors below stay empty in
+  /// this mode (they are the exact path's storage, not the API — the
+  /// summary methods work in both modes).
+  void enable_streaming();
+  [[nodiscard]] bool streaming() const { return streaming_; }
+
+  /// Discard figure samples from before `warmup` (simulated seconds).
+  /// Applies in both modes; 0 (the default) keeps everything.
+  void set_warmup(SimTime warmup) { warmup_ = warmup; }
+  [[nodiscard]] SimTime warmup() const { return warmup_; }
+
+  void record_task(const TaskRecord& record);
+  void record_job(const JobRecord& record);
+  void record_round(const AllocationRoundRecord& record);
   void record_network(const NetworkStatsRecord& record) { network_ = record; }
 
+  // --- raw records (exact mode only; empty while streaming) --------------
   [[nodiscard]] const std::vector<TaskRecord>& tasks() const { return tasks_; }
   [[nodiscard]] const std::vector<JobRecord>& jobs() const { return jobs_; }
   [[nodiscard]] const std::vector<AllocationRoundRecord>& rounds() const {
@@ -105,41 +132,89 @@ class MetricsCollector {
     return network_;
   }
 
-  // --- figure-level summaries -------------------------------------------
-  /// Fig. 7: one sample per job — % of its input tasks that were local.
-  [[nodiscard]] std::vector<double> per_job_locality_percent() const;
+  // --- figure-level summaries (both modes) -------------------------------
+  /// Fig. 7: distribution over jobs of % local input tasks.  Exact mode
+  /// computes the same values Summarize(per_job_locality_percent()) would;
+  /// streaming mode returns exact moments with P² percentiles.
+  [[nodiscard]] Summary job_locality_summary() const;
+  /// Fig. 8: job completion times.
+  [[nodiscard]] Summary jct_summary() const;
+  /// Fig. 9: input (map) stage durations.
+  [[nodiscard]] Summary input_stage_summary() const;
+  /// Fig. 10: scheduler delay of input tasks.
+  [[nodiscard]] Summary sched_delay_summary() const;
+  /// Wall-clock cost per allocation round.
+  [[nodiscard]] Summary round_wall_summary() const;
+
   /// Fraction of all input tasks that were local, in percent.
   [[nodiscard]] double overall_input_locality_percent() const;
   /// Fraction of jobs with perfect input locality, in percent.
   [[nodiscard]] double local_job_percent() const;
-  /// Fig. 8: one sample per job — completion time in seconds.
-  [[nodiscard]] std::vector<double> job_completion_times() const;
-  /// Fig. 9: one sample per job — input (map) stage duration.
-  [[nodiscard]] std::vector<double> input_stage_durations() const;
-  /// Fig. 10: one sample per *input task* — scheduler delay.
-  [[nodiscard]] std::vector<double> input_scheduler_delays() const;
-
   /// Per-application fraction of perfectly local jobs (max-min fairness
   /// property checks).  Indexed by AppId value; missing apps are skipped.
   [[nodiscard]] std::vector<double> per_app_local_job_fraction(
       std::size_t num_apps) const;
+  /// Latest job finish time over ALL jobs, warm-up included.
+  [[nodiscard]] SimTime makespan() const { return makespan_; }
+  /// Jobs that entered the figure aggregates (post warm-up).
+  [[nodiscard]] std::uint64_t jobs_recorded() const { return jobs_recorded_; }
 
-  [[nodiscard]] SimTime makespan() const;
+  // --- exact-mode sample vectors (benches slice these; throw-free but
+  // empty in streaming mode) ----------------------------------------------
+  /// Fig. 7 samples: one per job — % of its input tasks that were local.
+  [[nodiscard]] std::vector<double> per_job_locality_percent() const;
+  /// Fig. 8 samples: one per job — completion time in seconds.
+  [[nodiscard]] std::vector<double> job_completion_times() const;
+  /// Fig. 9 samples: one per job — input (map) stage duration.
+  [[nodiscard]] std::vector<double> input_stage_durations() const;
+  /// Fig. 10 samples: one per *input task* — scheduler delay.
+  [[nodiscard]] std::vector<double> input_scheduler_delays() const;
 
-  // --- allocation-round instrumentation ---------------------------------
-  /// Wall-clock seconds per allocation round (one sample per round).
+  // --- allocation-round instrumentation (both modes) ---------------------
+  /// Wall-clock seconds per allocation round (exact mode samples).
   [[nodiscard]] std::vector<double> round_wall_times() const;
-  /// Executors granted per round.
+  /// Executors granted per round (exact mode samples).
   [[nodiscard]] std::vector<double> round_grant_counts() const;
   /// Total pool slots inspected across all recorded rounds.
-  [[nodiscard]] std::uint64_t total_executors_scanned() const;
+  [[nodiscard]] std::uint64_t total_executors_scanned() const {
+    return executors_scanned_total_;
+  }
+  /// Total executors granted across all recorded rounds.
+  [[nodiscard]] std::uint64_t total_grants() const { return grants_total_; }
   /// Fraction of rounds that granted at least one executor.
   [[nodiscard]] double round_yield_fraction() const;
 
  private:
+  bool streaming_ = false;
+  SimTime warmup_ = 0.0;
+
+  // Exact-mode storage.
   std::vector<TaskRecord> tasks_;
   std::vector<JobRecord> jobs_;
   std::vector<AllocationRoundRecord> rounds_;
+
+  // Streaming-mode aggregates.
+  StreamingSummary locality_stream_;
+  StreamingSummary jct_stream_;
+  StreamingSummary input_stage_stream_;
+  StreamingSummary sched_delay_stream_;
+  StreamingSummary round_wall_stream_;
+
+  // Mode-independent running counters (cheap; kept in both modes so the
+  // scalar accessors never need the vectors).
+  SimTime makespan_ = 0.0;
+  std::uint64_t jobs_recorded_ = 0;
+  std::uint64_t perfectly_local_jobs_ = 0;
+  std::uint64_t input_tasks_total_ = 0;
+  std::uint64_t input_tasks_local_ = 0;
+  std::uint64_t rounds_recorded_ = 0;
+  std::uint64_t productive_rounds_ = 0;
+  std::uint64_t executors_scanned_total_ = 0;
+  std::uint64_t grants_total_ = 0;
+  /// Per-app [perfectly local, total] job counts, grown on demand.
+  std::vector<std::uint64_t> app_local_jobs_;
+  std::vector<std::uint64_t> app_total_jobs_;
+
   NetworkStatsRecord network_;
 };
 

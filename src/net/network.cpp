@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/simtime.h"
 #include "obs/trace.h"
 
 namespace custody::net {
@@ -16,12 +17,15 @@ namespace custody::net {
 namespace {
 /// Bytes below which a flow is considered fully delivered (guards rounding).
 constexpr double kByteEpsilon = 1e-6;
-/// A flow whose remaining transfer time is below this is also complete:
-/// at high rates a handful of leftover rounding bytes would otherwise map
-/// to a delay smaller than the double-precision resolution of the clock,
-/// so the completion event could never advance time.
-constexpr double kTimeEpsilon = 1e-9;
 }  // namespace
+// A flow whose remaining transfer time is below the clock's tolerance is
+// also complete: leftover rounding bytes would otherwise map to a delay
+// smaller than the double-precision resolution of the clock, so the
+// completion event could never advance time.  The tolerance comes from
+// TimeEpsilonAt(now) (common/simtime.h) because the clock's resolution is
+// one ulp of `now`, not any absolute constant — at steady-state horizons an
+// absolute 1e-9 is far below one ulp and the re-armed completion event
+// would fire at the same timestamp forever.
 
 std::vector<double> MaxMinFairRates(
     const std::vector<std::vector<std::size_t>>& flow_links,
@@ -346,13 +350,14 @@ void Network::on_completion_event() {
   // list visits flows in start order, matching the seed's vector scan, so
   // completion callbacks fire in the same deterministic order.
   std::vector<CompletionFn> callbacks;
+  const double time_epsilon = TimeEpsilonAt(sim_.now());
   std::uint32_t s = head_;
   while (s != kNil) {
     Slot& flow = slots_[s];
     const std::uint32_t next = flow.next;
     const bool done = flow.remaining <= kByteEpsilon ||
                       (flow.rate > 0.0 &&
-                       flow.remaining <= flow.rate * kTimeEpsilon);
+                       flow.remaining <= flow.rate * time_epsilon);
     if (done) {
       callbacks.push_back(std::move(flow.on_complete));
       slot_of_.erase(flow.id);

@@ -58,6 +58,13 @@ class Simulator {
     return events_processed_;
   }
 
+  /// Events currently queued (cancelled-but-not-yet-dropped included).
+  /// Streaming runs keep this bounded — the lazy submission pump holds one
+  /// future arrival where the materialized path enqueues them all up front.
+  [[nodiscard]] std::size_t queue_size() const {
+    return queue_.size_including_cancelled();
+  }
+
  private:
   struct Hook {
     HookId id;

@@ -82,6 +82,11 @@ struct ExperimentConfig {
   TraceConfig trace;
   WorkloadParams params;
 
+  /// Open-loop steady-state streaming (million-job horizons): lazy
+  /// submission generation, pool-backed job retirement and constant-memory
+  /// metrics.  Off by default — the classic materialized trace above runs.
+  SteadyStateConfig steady;
+
   /// Span tracing (obs::Tracer).  Off by default; when enabled the run
   /// records into a pre-sized ring buffer surfaced as ExperimentResult's
   /// `trace`.  Results are bit-identical with tracing on or off.
@@ -117,16 +122,24 @@ struct ExperimentResult {
   /// Cache effectiveness when a block cache is configured.
   std::uint64_t cache_insertions = 0;
   std::uint64_t cache_hits = 0;
-  int speculative_launches = 0;
-  int speculative_wins = 0;
+  // Run-lifetime counters are uniformly 64-bit so million-job steady-state
+  // horizons cannot wrap them.
+  std::uint64_t speculative_launches = 0;
+  std::uint64_t speculative_wins = 0;
   int nodes_failed = 0;
   /// Aggregated launch diagnostics: local / covered-but-busy / uncovered.
-  int launches_local = 0;
-  int launches_covered_busy = 0;
-  int launches_uncovered = 0;
+  std::uint64_t launches_local = 0;
+  std::uint64_t launches_covered_busy = 0;
+  std::uint64_t launches_uncovered = 0;
   SimTime makespan = 0.0;
   std::uint64_t events_processed = 0;
-  int jobs_completed = 0;
+  std::uint64_t jobs_completed = 0;
+  /// Steady-state runs: jobs destroyed through the per-app job pools
+  /// (0 unless steady.retire_jobs), and the sum of per-application peak
+  /// live-task counts — an upper bound on the global high-water mark that
+  /// certifies bounded memory over million-job horizons.
+  std::uint64_t jobs_retired = 0;
+  std::uint64_t peak_live_tasks = 0;
   /// The run's recorded trace (null unless config.tracing.enabled).  Feed
   /// it to obs::WriteChromeTrace or obs::CriticalPathAnalyzer.
   std::shared_ptr<const obs::TraceBuffer> trace;

@@ -1,6 +1,8 @@
 #include "workload/harness.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -116,6 +118,31 @@ void ValidateConfig(const ExperimentConfig& config) {
     FailConfig("trace.files_per_kind must be > 0 (got " +
                std::to_string(config.trace.files_per_kind) + ")");
   }
+  // Steady-state streaming.
+  if (config.steady.warmup < 0.0) {
+    FailConfig("steady.warmup must be >= 0 (got " + Num(config.steady.warmup) +
+               ")");
+  }
+  if (config.steady.diurnal_amplitude < 0.0 ||
+      config.steady.diurnal_amplitude >= 1.0) {
+    FailConfig("steady.diurnal_amplitude must be in [0, 1) so the arrival"
+               " rate stays positive (got " +
+               Num(config.steady.diurnal_amplitude) + ")");
+  }
+  if (config.steady.diurnal_amplitude > 0.0 &&
+      config.steady.diurnal_period <= 0.0) {
+    FailConfig("steady.diurnal_period must be > 0 when diurnal_amplitude is"
+               " set (got " + Num(config.steady.diurnal_period) + ")");
+  }
+  if (config.steady.materialize_submissions && !config.steady.enabled) {
+    FailConfig("steady.materialize_submissions requires steady.enabled");
+  }
+  if (config.steady.enabled && config.steady.retire_jobs &&
+      !config.steady.streaming_metrics) {
+    FailConfig("steady.retire_jobs requires steady.streaming_metrics:"
+               " retiring jobs while exact metrics keep per-job records"
+               " would not bound memory");
+  }
   // Tracing.
   if (config.tracing.enabled && config.tracing.capacity == 0) {
     FailConfig("tracing.capacity must be > 0 when tracing is enabled");
@@ -155,9 +182,14 @@ SubstrateSnapshot SubstrateSnapshot::Build(ExperimentConfig config) {
         {kind, PlanDataset(kind, snapshot.dataset_config_, dataset_rng)});
   }
 
-  // Submission schedule.
-  Rng trace_rng = base.fork(3);
-  snapshot.trace_ = GenerateMixedTrace(config.kinds, config.trace, trace_rng);
+  // Submission schedule.  Steady-state mode generates submissions lazily
+  // (make_submission_stream) — materializing a million-job trace here is
+  // exactly what the streaming engine exists to avoid.
+  if (!config.steady.enabled) {
+    Rng trace_rng = base.fork(3);
+    snapshot.trace_ =
+        GenerateMixedTrace(config.kinds, config.trace, trace_rng);
+  }
 
   // Slow-node plan.
   if (config.slow_node_fraction > 0.0) {
@@ -176,6 +208,11 @@ SubstrateSnapshot SubstrateSnapshot::Build(ExperimentConfig config) {
   snapshot.failure_rng_ = base.fork(6);
   snapshot.config_ = std::move(config);
   return snapshot;
+}
+
+SubmissionStream SubstrateSnapshot::make_submission_stream() const {
+  return SubmissionStream(config_.kinds, config_.trace, config_.steady,
+                          Rng(config_.seed).fork(3));
 }
 
 // ---------------------------------------------------------------------------
@@ -276,12 +313,14 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
 
   // --- applications --------------------------------------------------------
   metrics::MetricsCollector metrics;
+  if (config.steady.enabled) {
+    metrics.set_warmup(config.steady.warmup);
+    if (config.steady.streaming_metrics) metrics.enable_streaming();
+  }
   manager->set_round_observer(
       [&metrics, tracer](const cluster::AllocationRoundInfo& info) {
         metrics.record_round({info.when, info.wall_seconds,
-                              static_cast<int>(info.idle_executors),
-                              static_cast<int>(info.grants),
-                              static_cast<int>(info.apps),
+                              info.idle_executors, info.grants, info.apps,
                               info.executors_scanned});
         if (tracer != nullptr) {
           tracer->instant({.value = info.wall_seconds,
@@ -298,6 +337,8 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   app_config.locality_swap = manager_kind == ManagerKind::kCustody;
   app_config.speculation = config.speculation;
   app_config.speculation_multiplier = config.speculation_multiplier;
+  app_config.retire_finished_jobs =
+      config.steady.enabled && config.steady.retire_jobs;
 
   std::vector<std::unique_ptr<app::Application>> apps;
   for (int a = 0; a < config.trace.num_apps; ++a) {
@@ -311,13 +352,43 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   }
 
   // --- replay the submission schedule -------------------------------------
-  for (const Submission& s : snapshot.trace()) {
-    sim.post_at(s.time, [&apps, &datasets, &dfs, &config, s] {
-      const Dataset& dataset = datasets.at(s.kind);
-      const FileId file = dataset.files.at(s.file_index);
-      apps[static_cast<std::size_t>(s.app_index)]->submit_job(
-          MakeJobSpec(s.kind, file, dfs, config.params));
-    });
+  const auto submit_one = [&apps, &datasets, &dfs,
+                           &config](const Submission& s) {
+    const Dataset& dataset = datasets.at(s.kind);
+    const FileId file = dataset.files.at(s.file_index);
+    apps[static_cast<std::size_t>(s.app_index)]->submit_job(
+        MakeJobSpec(s.kind, file, dfs, config.params));
+  };
+  // Lazy-pump state.  The pump is a self-rescheduling event: it fires at
+  // the time of the stream's head submission, arms the next arrival, then
+  // submits — so the event queue never holds more than one future
+  // submission, where the materialized paths hold them all.  The function
+  // captures its own shared_ptr to stay alive across hops; the cycle is
+  // broken right after sim.run().
+  auto pump = std::make_shared<std::function<void()>>();
+  if (!config.steady.enabled) {
+    for (const Submission& s : snapshot.trace()) {
+      sim.post_at(s.time, [&submit_one, s] { submit_one(s); });
+    }
+  } else if (config.steady.materialize_submissions) {
+    // Reference sub-mode: same stream, drained up front and posted like the
+    // classic trace.  The equivalence tests pin the lazy pump against this.
+    for (const Submission& s : DrainStream(snapshot.make_submission_stream())) {
+      sim.post_at(s.time, [&submit_one, s] { submit_one(s); });
+    }
+  } else {
+    auto stream =
+        std::make_shared<SubmissionStream>(snapshot.make_submission_stream());
+    *pump = [&sim, &submit_one, stream, pump] {
+      const Submission s = stream->next();
+      if (!stream->done()) {
+        sim.post_at(stream->peek().time, [pump] { (*pump)(); });
+      }
+      submit_one(s);
+    };
+    if (!stream->done()) {
+      sim.post_at(stream->peek().time, [pump] { (*pump)(); });
+    }
   }
 
   // --- failure injection ---------------------------------------------------
@@ -339,6 +410,7 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   }
 
   sim.run();
+  *pump = {};  // break the pump's self-capture cycle
 
   // --- collect -------------------------------------------------------------
   const net::NetStats& ns = net.stats();
@@ -348,17 +420,20 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
 
   ExperimentResult result;
   result.manager_name = ManagerName(manager_kind);
-  result.job_locality = Summarize(metrics.per_job_locality_percent());
+  // The summary methods compute exactly Summarize(<sample vector>) in the
+  // exact mode and P²-based summaries in streaming mode — one collect path
+  // serves both.
+  result.job_locality = metrics.job_locality_summary();
   result.overall_task_locality_percent =
       metrics.overall_input_locality_percent();
   result.local_job_percent = metrics.local_job_percent();
-  result.jct = Summarize(metrics.job_completion_times());
-  result.input_stage = Summarize(metrics.input_stage_durations());
-  result.sched_delay = Summarize(metrics.input_scheduler_delays());
+  result.jct = metrics.jct_summary();
+  result.input_stage = metrics.input_stage_summary();
+  result.sched_delay = metrics.sched_delay_summary();
   result.per_app_local_job_fraction = metrics.per_app_local_job_fraction(
       static_cast<std::size_t>(config.trace.num_apps));
   result.manager_stats = manager->stats();
-  result.round_wall = Summarize(metrics.round_wall_times());
+  result.round_wall = metrics.round_wall_summary();
   result.round_yield_fraction = metrics.round_yield_fraction();
   result.net_stats = metrics.network_stats();
   result.net_bytes_delivered = net.bytes_delivered();
@@ -370,6 +445,8 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   result.trace = tracer != nullptr ? tracer->buffer() : nullptr;
   for (const auto& app : apps) {
     result.jobs_completed += app->jobs_completed();
+    result.jobs_retired += app->jobs_retired();
+    result.peak_live_tasks += app->peak_live_tasks();
     result.launches_local += app->launch_breakdown().local;
     result.launches_covered_busy += app->launch_breakdown().covered_busy;
     result.launches_uncovered += app->launch_breakdown().uncovered;

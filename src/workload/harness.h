@@ -67,6 +67,11 @@ class SubstrateSnapshot {
   [[nodiscard]] const std::vector<Submission>& trace() const {
     return trace_;
   }
+  /// Steady-state mode: a fresh lazy submission stream over this
+  /// snapshot's trace rng (fork(3), one sub-fork per application).  Every
+  /// call returns an identical stream; the classic materialized trace()
+  /// stays empty when config().steady.enabled.
+  [[nodiscard]] SubmissionStream make_submission_stream() const;
   /// Nodes slowed to 1/slow_node_factor speed (empty when fraction is 0).
   [[nodiscard]] const std::vector<NodeId>& slow_nodes() const {
     return slow_nodes_;

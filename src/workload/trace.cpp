@@ -1,9 +1,12 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <numbers>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace custody::workload {
 
@@ -44,6 +47,97 @@ std::vector<Submission> Generate(
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// SubmissionStream
+// ---------------------------------------------------------------------------
+
+SubmissionStream::SubmissionStream(std::vector<WorkloadKind> kinds,
+                                   const TraceConfig& trace,
+                                   const SteadyStateConfig& steady,
+                                   const Rng& base)
+    : kinds_(std::move(kinds)),
+      trace_(trace),
+      steady_(steady),
+      zipf_(static_cast<std::size_t>(trace.files_per_kind), trace.zipf_skew) {
+  if (trace_.num_apps <= 0 || trace_.jobs_per_app <= 0) {
+    throw std::invalid_argument(
+        "SubmissionStream: apps and jobs must be > 0");
+  }
+  if (kinds_.empty()) {
+    throw std::invalid_argument("SubmissionStream: need at least one kind");
+  }
+  apps_.resize(static_cast<std::size_t>(trace_.num_apps));
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    apps_[a].rng = base.fork(static_cast<std::uint64_t>(a));
+    apps_[a].remaining = trace_.jobs_per_app;
+    advance(a);
+  }
+  total_jobs_ = static_cast<std::uint64_t>(trace_.num_apps) *
+                static_cast<std::uint64_t>(trace_.jobs_per_app);
+}
+
+void SubmissionStream::advance(std::size_t a) {
+  AppState& app = apps_[a];
+  const bool had_next = app.has_next;
+  if (app.remaining <= 0) {
+    app.has_next = false;
+    if (had_next) --live_apps_;
+    return;
+  }
+  double dt = app.rng.exponential(trace_.mean_interarrival);
+  if (steady_.diurnal_amplitude > 0.0) {
+    // Scale the instantaneous rate by 1 + A·sin(2πt/T): a draw made when
+    // the rate is k× nominal lands k× sooner.  A < 1 keeps the divisor
+    // positive.
+    const double phase =
+        2.0 * std::numbers::pi * app.clock / steady_.diurnal_period;
+    dt /= 1.0 + steady_.diurnal_amplitude * std::sin(phase);
+  }
+  app.clock += dt;
+  app.next.time = app.clock;
+  app.next.app_index = static_cast<int>(a);
+  app.next.kind = kinds_.size() == 1
+                      ? kinds_.front()
+                      : kinds_[app.rng.index(kinds_.size())];
+  app.next.file_index = zipf_(app.rng);
+  --app.remaining;
+  app.has_next = true;
+  if (!had_next) ++live_apps_;
+}
+
+std::size_t SubmissionStream::earliest() const {
+  std::size_t best = apps_.size();
+  for (std::size_t a = 0; a < apps_.size(); ++a) {
+    if (!apps_[a].has_next) continue;
+    if (best == apps_.size() || apps_[a].next.time < apps_[best].next.time) {
+      best = a;  // ties break toward the lower app index
+    }
+  }
+  if (best == apps_.size()) {
+    throw std::logic_error("SubmissionStream: peek/next past the end");
+  }
+  return best;
+}
+
+const Submission& SubmissionStream::peek() const {
+  return apps_[earliest()].next;
+}
+
+Submission SubmissionStream::next() {
+  const std::size_t a = earliest();
+  const Submission out = apps_[a].next;
+  advance(a);
+  ++emitted_;
+  return out;
+}
+
+std::vector<Submission> DrainStream(SubmissionStream stream) {
+  std::vector<Submission> out;
+  out.reserve(stream.total_jobs());
+  while (!stream.done()) out.push_back(stream.next());
+  return out;
+}
 
 std::vector<Submission> GenerateTrace(WorkloadKind kind,
                                       const TraceConfig& config, Rng& rng) {

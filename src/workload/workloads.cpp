@@ -24,6 +24,15 @@ std::vector<FileSpec> PlanDataset(WorkloadKind kind,
   if (config.files_per_kind <= 0) {
     throw std::invalid_argument("PlanDataset: files_per_kind must be > 0");
   }
+  // Hot-file count: ceil keeps any non-zero fraction from rounding to zero
+  // files, but unguarded it over-counts at the boundaries — hot_fraction
+  // values like 1/3 are not exact in binary, so the product can land an ulp
+  // above an integer and ceil to one extra file, and hot_fraction = 1.0
+  // plus FP error could exceed files_per_kind outright.  Clamp to the valid
+  // range and shave sub-ulp excess before the ceil.
+  const double hot_exact = config.hot_fraction * config.files_per_kind;
+  const int hot_files = std::clamp(
+      static_cast<int>(std::ceil(hot_exact - 1e-9)), 0, config.files_per_kind);
   std::vector<FileSpec> plan;
   plan.reserve(static_cast<std::size_t>(config.files_per_kind));
   for (int i = 0; i < config.files_per_kind; ++i) {
@@ -43,9 +52,7 @@ std::vector<FileSpec> PlanDataset(WorkloadKind kind,
                 std::to_string(i);
     // File index i is sampled with Zipf pmf(i): the lowest indices are the
     // hottest, so they get the Scarlett-style replica boost.
-    spec.hot = config.popularity_replication &&
-               i < static_cast<int>(std::ceil(config.hot_fraction *
-                                              config.files_per_kind));
+    spec.hot = config.popularity_replication && i < hot_files;
     plan.push_back(std::move(spec));
   }
   return plan;

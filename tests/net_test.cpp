@@ -507,5 +507,36 @@ TEST(Network, TinyResidualBytesDoNotStallTheClock) {
   EXPECT_EQ(completed, 40);
 }
 
+TEST(Network, FlowsCompleteAtSteadyStateHorizons) {
+  // Regression for long horizons: the completion check forgives up to
+  // rate * epsilon residual bytes, but the residual left by
+  // `elapsed * rate` rounding grows with the clock (one ulp of t ~ 1e9 is
+  // ~2.4e-7 s of traffic).  With the historical absolute 1e-9 tolerance
+  // the check kept missing at large t and re-armed sub-ulp completion
+  // events forever; TimeEpsilonAt(now) scales with the clock and absorbs
+  // the residual.  Same staggered-contention shape as the small-time
+  // residual test, pushed out to steady-state timestamps.
+  for (const double t0 : {1400734916.308764, 1364094544598.6082}) {
+    sim::Simulator sim;
+    NetworkConfig config;
+    config.num_nodes = 4;
+    config.uplink_bps = Gbps(2.0);
+    config.downlink_bps = Gbps(40.0);
+    Network net(sim, config);
+    int completed = 0;
+    for (int i = 0; i < 25; ++i) {
+      sim.schedule(t0 + 0.37 * i, [&net, &completed, i] {
+        net.start_flow(NodeId(static_cast<NodeId::value_type>(i % 3)),
+                       NodeId(3), MB(96.0) * (1.0 + 0.013 * i),
+                       [&completed] { ++completed; });
+      });
+    }
+    sim.run();
+    EXPECT_EQ(completed, 25) << "t0=" << t0;
+    EXPECT_EQ(net.active_flow_count(), 0u);
+    EXPECT_GT(sim.now(), t0);
+  }
+}
+
 }  // namespace
 }  // namespace custody::net

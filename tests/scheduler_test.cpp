@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "app/ready_index.h"
 #include "app/scheduler.h"
@@ -177,6 +178,41 @@ TEST_P(SchedulerPath, DelayWaitExpiryExactTimeDoesNotSpin) {
   const auto pick =
       sched.pick(NodeId(1), *retry, f.jobs(), f.tasks(), retry);
   EXPECT_TRUE(pick.has_value());
+}
+
+TEST_P(SchedulerPath, DelayWaitExpiryStillFiresAtSteadyStateHorizons) {
+  // Regression for long horizons: one ulp of the clock at t ~ 1e9 is
+  // ~2.4e-7 s, so `(wait_start + wait) - wait_start` can round short of
+  // `wait` by far more than the historical absolute 1e-9 tolerance.  With
+  // that constant the retry event at `expires` refused the pick and
+  // re-armed itself forever; TimeEpsilonAt scales with the clock and must
+  // treat the retry instant as expired.
+  Job& billions = f.add_job();
+  f.add_input_task(billions, f.add_block({NodeId(5)}), TaskState::kReady);
+  Job& trillions = f.add_job();
+  f.add_input_task(trillions, f.add_block({NodeId(5)}), TaskState::kReady);
+  const struct {
+    Job* job;
+    double start;
+    double wait;
+  } cases[] = {
+      {&billions, 1400734916.308764, 0.3},    // rounds ~4.8e-8 short
+      {&trillions, 1364094544598.6082, 3.7},  // rounds ~4.9e-5 short
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.start);
+    TaskScheduler sched = make(Delay(c.wait));
+    std::vector<Job*> only{c.job};
+    std::optional<SimTime> retry;
+    EXPECT_FALSE(sched.pick(NodeId(1), c.start, only, f.tasks(), retry));
+    ASSERT_TRUE(retry.has_value());
+    // Confirm the scenario bites: the retry instant minus the wait start is
+    // genuinely short of the wait by more than the old absolute epsilon.
+    ASSERT_LT(*retry - c.start, c.wait - 1e-9);
+    const auto pick = sched.pick(NodeId(1), *retry, only, f.tasks(), retry);
+    EXPECT_TRUE(pick.has_value());
+    EXPECT_FALSE(pick->local);
+  }
 }
 
 TEST(DelayScheduler, LocalLaunchResetsWait) {

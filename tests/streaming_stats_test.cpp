@@ -1,0 +1,148 @@
+// The streaming-statistics accuracy contract (common/streaming_stats.h):
+// exact moments, exact small-sample percentiles, and P² estimates within a
+// few percent of the exact order statistics at large N on the smooth
+// distributions the simulator produces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/streaming_stats.h"
+
+namespace custody {
+namespace {
+
+TEST(StreamingPercentile, EmptyIsZero) {
+  StreamingPercentile p(0.5);
+  EXPECT_EQ(p.value(), 0.0);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(StreamingPercentile, RejectsBadQuantile) {
+  EXPECT_THROW(StreamingPercentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(StreamingPercentile(1.1), std::invalid_argument);
+  EXPECT_NO_THROW(StreamingPercentile(0.0));
+  EXPECT_NO_THROW(StreamingPercentile(1.0));
+}
+
+TEST(StreamingPercentile, ExactBelowFiveSamples) {
+  // Below kMarkers samples the estimator buffers and interpolates exactly.
+  const std::vector<double> samples = {7.0, 1.0, 5.0, 3.0};
+  StreamingPercentile p50(0.5);
+  std::vector<double> sorted;
+  for (const double x : samples) {
+    p50.add(x);
+    sorted.push_back(x);
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(p50.value(), Percentile(sorted, 0.5))
+        << "after " << sorted.size() << " samples";
+  }
+}
+
+TEST(StreamingPercentile, MedianOfUniformConvergesWithinPercent) {
+  Rng rng(7);
+  StreamingPercentile p50(0.5);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    p50.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = Percentile(all, 0.5);
+  EXPECT_NEAR(p50.value(), exact, 0.02 * 100.0);
+}
+
+TEST(StreamingPercentile, TailQuantileOfExponentialWithinFivePercent) {
+  // Heavy-ish right tail — the shape of JCT distributions.
+  Rng rng(21);
+  StreamingPercentile p95(0.95);
+  StreamingPercentile p99(0.99);
+  std::vector<double> all;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(10.0);
+    p95.add(x);
+    p99.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact95 = Percentile(all, 0.95);
+  const double exact99 = Percentile(all, 0.99);
+  EXPECT_NEAR(p95.value(), exact95, 0.05 * exact95);
+  EXPECT_NEAR(p99.value(), exact99, 0.05 * exact99);
+}
+
+TEST(StreamingPercentile, ExtremeQuantilesTrackMinAndMax) {
+  Rng rng(3);
+  StreamingPercentile p0(0.0);
+  StreamingPercentile p100(1.0);
+  double min = 1e300;
+  double max = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(50.0, 10.0);
+    p0.add(x);
+    p100.add(x);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_DOUBLE_EQ(p0.value(), min);
+  EXPECT_DOUBLE_EQ(p100.value(), max);
+}
+
+TEST(StreamingSummary, MomentsAreExactAndPercentilesClose) {
+  Rng rng(99);
+  StreamingSummary streaming;
+  std::vector<double> all;
+  for (int i = 0; i < 30000; ++i) {
+    // Bimodal-ish mixture: mostly short jobs with a slow mode.
+    const double x = rng.bernoulli(0.8) ? rng.exponential(5.0)
+                                        : 40.0 + rng.exponential(20.0);
+    streaming.add(x);
+    all.push_back(x);
+  }
+  const Summary exact = Summarize(all);
+  const Summary est = streaming.summarize();
+  EXPECT_EQ(est.count, exact.count);
+  EXPECT_NEAR(est.mean, exact.mean, 1e-9 * exact.mean);
+  EXPECT_NEAR(est.stddev, exact.stddev, 1e-6 * exact.stddev);
+  EXPECT_EQ(est.min, exact.min);
+  EXPECT_EQ(est.max, exact.max);
+  EXPECT_NEAR(est.p25, exact.p25, 0.05 * (exact.max - exact.min));
+  EXPECT_NEAR(est.median, exact.median, 0.05 * (exact.max - exact.min));
+  EXPECT_NEAR(est.p75, exact.p75, 0.05 * (exact.max - exact.min));
+  EXPECT_NEAR(est.p95, exact.p95, 0.05 * (exact.max - exact.min));
+  EXPECT_NEAR(est.p99, exact.p99, 0.05 * (exact.max - exact.min));
+}
+
+TEST(StreamingSummary, EmptyMatchesEmptySummarize) {
+  const Summary exact = Summarize({});
+  const Summary est = StreamingSummary().summarize();
+  EXPECT_EQ(est.count, exact.count);
+  EXPECT_EQ(est.mean, exact.mean);
+  EXPECT_EQ(est.stddev, exact.stddev);
+  EXPECT_EQ(est.min, exact.min);
+  EXPECT_EQ(est.median, exact.median);
+  EXPECT_EQ(est.max, exact.max);
+}
+
+TEST(StreamingSummary, SmallSamplesMatchExactSummarize) {
+  // Below kMarkers samples every percentile is computed exactly.
+  const std::vector<double> samples = {3.0, 1.0, 4.0, 1.5};
+  StreamingSummary streaming;
+  for (const double x : samples) streaming.add(x);
+  const Summary exact = Summarize(samples);
+  const Summary est = streaming.summarize();
+  EXPECT_EQ(est.count, exact.count);
+  EXPECT_DOUBLE_EQ(est.p25, exact.p25);
+  EXPECT_DOUBLE_EQ(est.median, exact.median);
+  EXPECT_DOUBLE_EQ(est.p75, exact.p75);
+  EXPECT_DOUBLE_EQ(est.p95, exact.p95);
+  EXPECT_DOUBLE_EQ(est.p99, exact.p99);
+}
+
+}  // namespace
+}  // namespace custody

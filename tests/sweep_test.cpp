@@ -325,6 +325,53 @@ TEST(ValidateConfig, RejectsEveryBadKnobWithTheFieldNamed) {
                 "files_per_kind");
 }
 
+TEST(ValidateConfig, RejectsBadSteadyStateKnobsWithTheFieldNamed) {
+  const ExperimentConfig good = SmallConfig(ManagerKind::kCustody);
+  auto with = [&good](auto mutate) {
+    ExperimentConfig config = good;
+    mutate(config);
+    return config;
+  };
+  // The steady-state block validates whether or not the mode is enabled, so
+  // a sweep grid with a typoed steady field fails fast.
+  ExpectInvalid(with([](auto& c) { c.steady.warmup = -1.0; }),
+                "steady.warmup");
+  ExpectInvalid(with([](auto& c) { c.steady.diurnal_amplitude = -0.2; }),
+                "steady.diurnal_amplitude");
+  ExpectInvalid(with([](auto& c) { c.steady.diurnal_amplitude = 1.0; }),
+                "steady.diurnal_amplitude");
+  ExpectInvalid(with([](auto& c) {
+                  c.steady.diurnal_amplitude = 0.5;
+                  c.steady.diurnal_period = 0.0;
+                }),
+                "steady.diurnal_period");
+  ExpectInvalid(with([](auto& c) { c.steady.materialize_submissions = true; }),
+                "steady.materialize_submissions");
+  // Retiring jobs while exact metrics keep per-job records would not bound
+  // memory — the combination is rejected, not silently accepted.
+  ExpectInvalid(with([](auto& c) {
+                  c.steady.enabled = true;
+                  c.steady.retire_jobs = true;
+                  c.steady.streaming_metrics = false;
+                }),
+                "steady.retire_jobs");
+  // Zero arrival rate is caught by the shared trace validation.
+  ExpectInvalid(with([](auto& c) {
+                  c.steady.enabled = true;
+                  c.trace.mean_interarrival = 0.0;
+                }),
+                "mean_interarrival");
+  // The steady defaults themselves are valid, enabled or not.
+  EXPECT_NO_THROW(ValidateConfig(with([](auto& c) {
+    c.steady.enabled = true;
+  })));
+  EXPECT_NO_THROW(ValidateConfig(with([](auto& c) {
+    c.steady.enabled = true;
+    c.steady.diurnal_amplitude = 0.5;
+    c.steady.warmup = 100.0;
+  })));
+}
+
 TEST(ValidateConfig, RunExperimentValidatesUpFront) {
   ExperimentConfig config = SmallConfig(ManagerKind::kCustody);
   config.replication = 0;

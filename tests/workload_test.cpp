@@ -64,6 +64,32 @@ TEST(Dataset, PopularityReplicationBoostsHotFiles) {
   }
 }
 
+TEST(Dataset, HotFileCountClampsAtTheBoundaries) {
+  // Regression for the ceil-based hot count: binary fractions like 9/14
+  // land an ulp above the exact product (9/14 · 42 = 27.000000000000004),
+  // so an unguarded ceil marked one extra file hot; hot_fraction = 1.0
+  // must cover exactly the whole catalog and 0.0 must mark nothing.
+  Rng rng(7);
+  const auto hot_count = [&rng](double fraction, int files) {
+    DatasetConfig config;
+    config.files_per_kind = files;
+    config.hot_fraction = fraction;
+    config.popularity_replication = true;  // hot flags are only set under it
+    int hot = 0;
+    for (const FileSpec& spec :
+         PlanDataset(WorkloadKind::kPageRank, config, rng)) {
+      hot += spec.hot ? 1 : 0;
+    }
+    return hot;
+  };
+  EXPECT_EQ(hot_count(0.0, 8), 0);
+  EXPECT_EQ(hot_count(1.0, 8), 8);
+  EXPECT_EQ(hot_count(9.0 / 14.0, 42), 27);  // product rounds above 27
+  EXPECT_EQ(hot_count(1.0 / 3.0, 9), 3);
+  EXPECT_EQ(hot_count(1.0 / 3.0, 7), 3);  // ceil(2.33) = 3: round up, not down
+  EXPECT_EQ(hot_count(0.01, 5), 1);       // small fractions still mark a file
+}
+
 TEST(JobSpecs, WordCountShape) {
   auto dfs = MakeDfs();
   Rng rng(4);

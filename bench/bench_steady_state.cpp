@@ -11,6 +11,13 @@
 // 100000) and CUSTODY_BENCH_STEADY_NODES (default 100); CI runs a
 // scaled-down pass under an RSS ceiling via /usr/bin/time and archives
 // the --json output as BENCH_steady.json.
+//
+// CUSTODY_BENCH_STEADY_SWEEP_JOBS=N (default 0 = off) appends a node-
+// scaling sweep: the same N jobs replayed at 100 / 1000 / 10000 nodes.
+// Demand is fixed while the idle pool grows 100x, so the events/s column
+// down the sweep is the demand-driven-rounds acceptance check: with
+// allocation rounds proportional to demand the rate stays within ~10x
+// across the sweep, with rebuild-per-round rounds it collapses ~100x+.
 #include <chrono>
 
 #include "bench_common.h"
@@ -55,6 +62,8 @@ int main(int argc, char** argv) {
   const long long total_jobs =
       EnvInt("CUSTODY_BENCH_STEADY_JOBS").value_or(100000);
   const long long nodes = EnvInt("CUSTODY_BENCH_STEADY_NODES").value_or(100);
+  const long long sweep_jobs =
+      EnvInt("CUSTODY_BENCH_STEADY_SWEEP_JOBS").value_or(0);
   if (total_jobs < 4 || nodes < 1) {
     std::cerr << "error: CUSTODY_BENCH_STEADY_JOBS must be >= 4 and "
                  "CUSTODY_BENCH_STEADY_NODES >= 1\n";
@@ -64,6 +73,11 @@ int main(int argc, char** argv) {
             << " nodes, seed " << Seed()
             << " (CUSTODY_BENCH_STEADY_JOBS / CUSTODY_BENCH_STEADY_NODES / "
                "CUSTODY_BENCH_SEED to change)\n";
+  if (sweep_jobs >= 4) {
+    std::cout << "node sweep: " << sweep_jobs
+              << " jobs at 100 / 1000 / 10000 nodes "
+                 "(CUSTODY_BENCH_STEADY_SWEEP_JOBS)\n";
+  }
 
   const std::vector<std::string> columns{
       "scenario",        "manager",       "nodes",
@@ -73,11 +87,15 @@ int main(int argc, char** argv) {
   auto csv = MaybeCsv(argc, argv, columns);
   auto json = MaybeJson(argc, argv, columns);
 
-  AsciiTable table({"scenario", "wall (s)", "events/s", "jobs retired",
-                    "peak live tasks", "JCT mean (s)", "JCT p99 (s)"});
-  for (const bool diurnal : {false, true}) {
+  AsciiTable table({"scenario", "nodes", "wall (s)", "events/s",
+                    "jobs retired", "peak live tasks", "JCT mean (s)",
+                    "JCT p99 (s)"});
+  // Runs one configuration and appends its table/CSV/JSON rows; false
+  // means the engine leaked live jobs (retired != completed != submitted).
+  const auto run_row = [&](const std::string& scenario, long long row_jobs,
+                           long long row_nodes, bool diurnal) -> bool {
     const ExperimentConfig config =
-        SteadyBenchConfig(total_jobs, nodes, diurnal);
+        SteadyBenchConfig(row_jobs, row_nodes, diurnal);
     const auto start = std::chrono::steady_clock::now();
     const ExperimentResult result = RunExperiment(config);
     const double wall =
@@ -85,16 +103,15 @@ int main(int argc, char** argv) {
             .count();
     const double events_per_sec =
         wall > 0.0 ? static_cast<double>(result.events_processed) / wall : 0.0;
-    const std::string scenario = diurnal ? "diurnal" : "flat";
-    table.add_row({scenario, Num(wall), Num(events_per_sec, 0),
-                   std::to_string(result.jobs_retired),
+    table.add_row({scenario, std::to_string(row_nodes), Num(wall),
+                   Num(events_per_sec, 0), std::to_string(result.jobs_retired),
                    std::to_string(result.peak_live_tasks),
                    Num(result.jct.mean), Num(result.jct.p99)});
     const std::vector<std::string> row{
         scenario,
         result.manager_name,
-        std::to_string(nodes),
-        std::to_string(total_jobs),
+        std::to_string(row_nodes),
+        std::to_string(row_jobs),
         Num(wall, 3),
         std::to_string(result.events_processed),
         Num(events_per_sec, 0),
@@ -117,7 +134,21 @@ int main(int argc, char** argv) {
                 << result.jobs_retired << " of "
                 << config.trace.num_apps * config.trace.jobs_per_app
                 << " jobs\n";
+      return false;
+    }
+    return true;
+  };
+
+  for (const bool diurnal : {false, true}) {
+    if (!run_row(diurnal ? "diurnal" : "flat", total_jobs, nodes, diurnal)) {
       return 1;
+    }
+  }
+  if (sweep_jobs >= 4) {
+    for (const long long sweep_nodes : {100LL, 1000LL, 10000LL}) {
+      if (!run_row("node-sweep", sweep_jobs, sweep_nodes, /*diurnal=*/false)) {
+        return 1;
+      }
     }
   }
   std::cout << '\n';

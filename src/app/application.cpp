@@ -196,13 +196,9 @@ void Application::mark_stage_ready(Job& j, Stage& stage) {
 std::vector<core::JobDemand> Application::pending_demand() const {
   // Nodes on which this app currently holds executors (busy or idle): a
   // block replicated there is considered satisfiable without new grants.
-  std::vector<NodeId> held_nodes;
-  for (const cluster::Executor& exec : cluster_.executors()) {
-    if (exec.owner == id_) held_nodes.push_back(exec.node);
-  }
-  std::sort(held_nodes.begin(), held_nodes.end());
-  held_nodes.erase(std::unique(held_nodes.begin(), held_nodes.end()),
-                   held_nodes.end());
+  // The cluster maintains dense per-node held counts incrementally, so one
+  // coverage test is O(replicas) loads — no ledger scan, no binary search.
+  const std::vector<int>* held_counts = cluster_.held_counts(id_);
 
   std::vector<core::JobDemand> demand;
   for (const Job* j : active_jobs_) {
@@ -214,9 +210,10 @@ std::vector<core::JobDemand> Application::pending_demand() const {
     // order); reference: scan the whole input stage.
     auto consider = [&](const Task& t) {
       const auto& locs = locations_of(t.block);
-      const bool covered = std::any_of(
-          locs.begin(), locs.end(), [&held_nodes](NodeId n) {
-            return std::binary_search(held_nodes.begin(), held_nodes.end(), n);
+      const bool covered =
+          held_counts != nullptr &&
+          std::any_of(locs.begin(), locs.end(), [held_counts](NodeId n) {
+            return (*held_counts)[n.value()] > 0;
           });
       if (!covered) jd.unsatisfied.push_back({t.id.value(), t.block});
     };
@@ -327,8 +324,50 @@ void Application::kick() {
   const SimTime now = sim_.now();
   std::optional<SimTime> earliest_retry;
 
-  for (const cluster::Executor& snapshot : cluster_.executors()) {
+  // Demand-driven sweep: a "nothing launchable" pick verdict decomposes
+  // into per-job facts that are node-independent (no ready downstream
+  // work, input jobs still inside their locality wait — with wait_start
+  // already stamped and the same retry expiry) plus one node-dependent
+  // fact, "no job has a ready input local to this node", which the ready
+  // index answers in O(1).  `now` is fixed for the whole sweep and
+  // launches are the only mid-kick mutation, so once a full pick returns
+  // nothing, every later free executor on a node with no local ready
+  // input must get the identical verdict — replay it without re-probing
+  // the job list.  Any launch invalidates the cached verdict.
+  const bool replay_nulls = config_.demand_driven_kick && index_ != nullptr;
+  bool have_null_verdict = false;
+  std::optional<SimTime> null_retry;
+
+  // Snapshot of launch candidates, ascending by executor id.  The
+  // demand-driven sweep reads the cluster's free-held set — exactly the
+  // held executors that survive the owner/busy re-check below, without
+  // walking the busy bulk — so sweep cost tracks free executors, not
+  // executors held.  The reference path snapshots every held executor, as
+  // the seed's full-ledger scan did.  Ownership cannot grow mid-kick
+  // (grants arrive via posted manager rounds), and each iteration only
+  // flips its own executor busy, so neither snapshot misses a candidate.
+  held_scratch_.clear();
+  if (replay_nulls) {
+    cluster_.free_held(id_, held_scratch_);
+  } else {
+    cluster_.held_executors(id_, held_scratch_);
+  }
+  for (const ExecutorId held : held_scratch_) {
+    const cluster::Executor& snapshot = cluster_.executor(held);
     if (snapshot.owner != id_ || snapshot.busy) continue;
+    if (replay_nulls && have_null_verdict &&
+        !index_->any_local_ready_input(snapshot.node)) {
+      if (null_retry) {
+        if (!earliest_retry || *null_retry < *earliest_retry) {
+          earliest_retry = null_retry;
+        }
+      }
+      // Straggler clones read running tasks, not ready sets, so cloning
+      // here cannot invalidate the cached verdict.
+      const TaskId slow = pick_speculative(snapshot.node);
+      if (slow.valid()) launch_clone(task(slow), snapshot.id);
+      continue;
+    }
     std::optional<SimTime> retry_at;
     const auto pick =
         scheduler_.pick(snapshot.node, now, active_jobs_, tasks_, retry_at);
@@ -336,8 +375,13 @@ void Application::kick() {
       Task& t = task(pick->task);
       t.local = pick->local;
       launch(t, snapshot.id);
+      // The launch consumed a ready task (and a local launch resets its
+      // job's locality wait): any cached "nothing launchable" is stale.
+      have_null_verdict = false;
       continue;
     }
+    have_null_verdict = true;
+    null_retry = retry_at;
     if (retry_at) {
       if (!earliest_retry || *retry_at < *earliest_retry) {
         earliest_retry = retry_at;
@@ -371,7 +415,7 @@ void Application::launch(Task& t, ExecutorId exec) {
   const SimTime now = sim_.now();
   cluster::Executor& e = cluster_.executor(exec);
   assert(!e.busy && e.owner == id_);
-  e.busy = true;
+  cluster_.set_busy(exec, true);
   if (index_ != nullptr) index_->task_unready(t);
   t.state = TaskState::kRunning;
   ++running_tasks_;
@@ -413,12 +457,8 @@ void Application::launch(Task& t, ExecutorId exec) {
     } else {
       const auto& locs = dfs_.locations(t.block);
       const bool covered = std::any_of(
-          locs.begin(), locs.end(), [this](NodeId n) {
-            for (const cluster::Executor& other : cluster_.executors()) {
-              if (other.owner == id_ && other.node == n) return true;
-            }
-            return false;
-          });
+          locs.begin(), locs.end(),
+          [this](NodeId n) { return cluster_.holds_on(id_, n); });
       if (covered) {
         ++breakdown_.covered_busy;
         verdict = obs::kVerdictCoveredBusy;
@@ -552,7 +592,7 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
   assert(t.state == TaskState::kRunning && t.is_input() && !t.spec_active);
   cluster::Executor& e = cluster_.executor(exec);
   assert(!e.busy && e.owner == id_);
-  e.busy = true;
+  cluster_.set_busy(exec, true);
   t.spec_active = true;
   t.spec_executor = exec;
   t.spec_local = scheduler_.is_local(t.block, e.node);
@@ -631,7 +671,7 @@ void Application::finish_attempt(Task& t, int attempt) {
       net_.cancel_flow(t.pending_flow);
     }
     t.pending_flow = FlowId::invalid();
-    cluster_.executor(t.executor).busy = false;
+    cluster_.set_busy(t.executor, false);
     if (tracer_ != nullptr) exec_idle_since_[t.executor] = sim_.now();
     t.executor = t.spec_executor;
     t.local = t.spec_local;
@@ -643,7 +683,7 @@ void Application::finish_attempt(Task& t, int attempt) {
       net_.cancel_flow(t.spec_flow);
     }
     t.spec_flow = FlowId::invalid();
-    cluster_.executor(t.spec_executor).busy = false;
+    cluster_.set_busy(t.spec_executor, false);
     if (tracer_ != nullptr) exec_idle_since_[t.spec_executor] = sim_.now();
   }
   t.spec_active = false;
@@ -664,7 +704,7 @@ void Application::reset_task(Task& t) {
     }
     t.spec_flow = FlowId::invalid();
     if (cluster_.executor_alive(t.spec_executor)) {
-      cluster_.executor(t.spec_executor).busy = false;
+      cluster_.set_busy(t.spec_executor, false);
       if (tracer_ != nullptr) exec_idle_since_[t.spec_executor] = sim_.now();
     }
     t.spec_active = false;
@@ -734,7 +774,7 @@ void Application::finish_task(Task& t) {
   t.state = TaskState::kFinished;
   --running_tasks_;
   t.finish_time = now;
-  cluster_.executor(t.executor).busy = false;
+  cluster_.set_busy(t.executor, false);
 
   if (tracer_ != nullptr) {
     exec_idle_since_[t.executor] = now;
@@ -861,35 +901,46 @@ bool Application::any_local_ready_input(NodeId node) const {
 }
 
 bool Application::pool_has_useful_executor() const {
-  std::vector<NodeId> pool_nodes;
-  std::vector<NodeId> held_nodes;
-  for (const cluster::Executor& exec : cluster_.executors()) {
-    if (!exec.allocated()) {
-      pool_nodes.push_back(exec.node);
-    } else if (exec.owner == id_) {
-      held_nodes.push_back(exec.node);
-    }
-  }
-  if (pool_nodes.empty()) return false;
-  std::sort(pool_nodes.begin(), pool_nodes.end());
-  std::sort(held_nodes.begin(), held_nodes.end());
-  auto on_any = [](const std::vector<NodeId>& sorted_nodes,
-                   const std::vector<NodeId>& locations) {
-    return std::any_of(locations.begin(), locations.end(),
-                       [&sorted_nodes](NodeId n) {
-                         return std::binary_search(sorted_nodes.begin(),
-                                                   sorted_nodes.end(), n);
-                       });
-  };
+  // Demand-driven form of the old two-ledger-scan check: for each ready
+  // input task not already covered by a held executor, ask the idle index
+  // whether any replica node has an unallocated executor (block -> node ->
+  // idle lookup), instead of materializing the whole pool's node set.
+  if (cluster_.idle_count() == 0) return false;
+  // Dense per-node held counts: O(1) membership per replica instead of a
+  // binary search over a materialized held-node list.
+  const std::vector<int>* held_counts = cluster_.held_counts(id_);
 
+  const auto useful_block = [&](BlockId block) {
+    const auto& locs = locations_of(block);
+    const bool covered =
+        held_counts != nullptr &&
+        std::any_of(locs.begin(), locs.end(), [held_counts](NodeId n) {
+          return (*held_counts)[n.value()] > 0;
+        });
+    if (covered) return false;  // a held executor can serve it
+    for (const NodeId n : locs) {
+      if (cluster_.first_idle_on(n).valid()) return true;
+    }
+    return false;
+  };
+  if (index_ != nullptr) {
+    // The verdict is a pure existence check and depends on a ready input
+    // task only through its block, so walk the index's distinct blocks with
+    // ready input tasks instead of every task of every job: tasks sharing a
+    // block share the answer, and the map is exactly the ready input tasks
+    // of the per-job scan below (entries are erased when their last ready
+    // task launches).  Visit order doesn't matter for a bool.
+    for (const auto& [block, tasks] : index_->ready_blocks()) {
+      if (useful_block(block)) return true;
+    }
+    return false;
+  }
   for (const Job* j : active_jobs_) {
     if (j->launched_input_tasks >= j->input_tasks) continue;
     for (TaskId id : j->stages.front().tasks) {
       const Task& t = task(id);
       if (t.state != TaskState::kReady) continue;
-      const auto& locs = locations_of(t.block);
-      if (on_any(held_nodes, locs)) continue;  // a held executor can serve it
-      if (on_any(pool_nodes, locs)) return true;
+      if (useful_block(t.block)) return true;
     }
   }
   return false;
@@ -899,11 +950,20 @@ void Application::maybe_release_idle_executors() {
   if (!config_.dynamic_executors) return;
 
   std::vector<ExecutorId> to_release;
+  held_scratch_.clear();
+  // Only free executors can be released, so the demand-driven path sweeps
+  // the free-held set; both snapshots are ascending == ledger order, and
+  // the busy re-checks below make the walks interchangeable.
+  if (config_.demand_driven_kick && index_ != nullptr) {
+    cluster_.free_held(id_, held_scratch_);
+  } else {
+    cluster_.held_executors(id_, held_scratch_);
+  }
   if (count_ready_tasks() == 0) {
     // Nothing to run right now: hand idle executors back so the manager can
     // re-allocate them data-aware (the paper's proactive release message).
-    for (const cluster::Executor& exec : cluster_.executors()) {
-      if (exec.owner == id_ && !exec.busy) to_release.push_back(exec.id);
+    for (const ExecutorId held : held_scratch_) {
+      if (!cluster_.executor(held).busy) to_release.push_back(held);
     }
   } else if (config_.locality_swap && pool_has_useful_executor()) {
     // An executor with the right data sits unallocated while we hold
@@ -911,10 +971,10 @@ void Application::maybe_release_idle_executors() {
     // useless ones back so the next allocation round performs the swap
     // (paper Sec. IV-C: "dynamically add or remove executors to adapt to
     // the up-to-date locality requirements").
-    for (const cluster::Executor& exec : cluster_.executors()) {
-      if (exec.owner == id_ && !exec.busy &&
-          !any_local_ready_input(exec.node)) {
-        to_release.push_back(exec.id);
+    for (const ExecutorId held : held_scratch_) {
+      const cluster::Executor& exec = cluster_.executor(held);
+      if (!exec.busy && !any_local_ready_input(exec.node)) {
+        to_release.push_back(held);
       }
     }
   }
@@ -925,9 +985,7 @@ int Application::executors_held() const { return cluster_.owned_by(id_); }
 
 std::vector<ExecutorId> Application::held_executors() const {
   std::vector<ExecutorId> held;
-  for (const cluster::Executor& exec : cluster_.executors()) {
-    if (exec.owner == id_) held.push_back(exec.id);
-  }
+  cluster_.held_executors(id_, held);
   return held;
 }
 

@@ -47,6 +47,14 @@ struct AppConfig {
   /// an executor on a node that stores one of our uncovered input blocks,
   /// letting the manager swap it for the right one.
   bool locality_swap = true;
+  /// On (default): when a kick sweep's pick comes back "nothing
+  /// launchable", replay that verdict in O(1) for every later free
+  /// executor on a node with no local ready input (the ready index's
+  /// per-node aggregate), instead of re-probing every job per executor —
+  /// kick cost then tracks launches, not executors held.  Requires
+  /// scheduler.indexed; picks and retries are bit-identical either way.
+  /// Off: probe every free executor — the equivalence reference path.
+  bool demand_driven_kick = true;
   SchedulerConfig scheduler;
   /// How many distinct source nodes a shuffle task fetches from.
   int shuffle_fan_in = 3;
@@ -200,6 +208,9 @@ class Application final : public cluster::AppHandle {
   /// delay.  Maintained solely when a tracer is attached (read-only
   /// bookkeeping; never feeds scheduling decisions).
   std::unordered_map<ExecutorId, SimTime> exec_idle_since_;
+  /// Reused buffer for the cluster's incremental held-executor queries
+  /// (kick / release sweeps run per event; no per-call allocation).
+  mutable std::vector<ExecutorId> held_scratch_;
   TaskScheduler scheduler_;
   /// Dispatch index (tentpole of the indexed scheduler path); null when
   /// config_.scheduler.indexed is false — every consumer then falls back

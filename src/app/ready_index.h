@@ -71,6 +71,14 @@ class ReadyTaskIndex {
   [[nodiscard]] int ready_count() const { return ready_count_; }
   /// Ready input tasks of `job` in id (= stage scan) order.
   [[nodiscard]] const std::set<TaskId>& ready_inputs(JobId job) const;
+  /// Blocks with at least one ready input task (across all jobs) and those
+  /// tasks — the replica-notification fan-out map.  Tasks sharing a block
+  /// share locality, so existence checks can walk distinct blocks instead
+  /// of every ready task.
+  [[nodiscard]] const std::unordered_map<BlockId, std::map<TaskId, JobId>>&
+  ready_blocks() const {
+    return ready_by_block_;
+  }
 
  private:
   struct JobEntry {

@@ -1,11 +1,17 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace custody::cluster {
 
 Cluster::Cluster(std::size_t num_nodes, WorkerConfig config)
-    : num_nodes_(num_nodes), config_(config) {
+    : num_nodes_(num_nodes),
+      config_(config),
+      idle_index_(config.executors_per_node > 0
+                      ? num_nodes * config.executors_per_node
+                      : 0,
+                  num_nodes) {
   if (num_nodes == 0) {
     throw std::invalid_argument("Cluster: num_nodes must be positive");
   }
@@ -22,6 +28,7 @@ Cluster::Cluster(std::size_t num_nodes, WorkerConfig config)
       exec.id = ExecutorId(next++);
       exec.node = NodeId(static_cast<NodeId::value_type>(n));
       executors_.push_back(exec);
+      idle_index_.add(exec.id, exec.node);
     }
   }
 }
@@ -50,6 +57,17 @@ void Cluster::assign(ExecutorId id, AppId app) {
   }
   assert(!exec.busy);
   exec.owner = app;
+  idle_index_.remove(id, exec.node);
+  auto& ids = owned_ids_[app.value()];
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id.value()),
+             id.value());
+  ++owned_on_node_[app.value()][exec.node.value()];
+  auto& counts = held_counts_[app.value()];
+  if (counts.empty()) counts.assign(num_nodes_, 0);
+  ++counts[exec.node.value()];
+  auto& free = free_held_[app.value()];
+  free.insert(std::lower_bound(free.begin(), free.end(), id.value()),
+              id.value());
 }
 
 void Cluster::release(ExecutorId id) {
@@ -60,7 +78,40 @@ void Cluster::release(ExecutorId id) {
   if (exec.busy) {
     throw std::logic_error("Cluster: releasing busy executor");
   }
+  drop_ownership(exec);
   exec.owner = AppId::invalid();
+  // A released executor on a live node rejoins the idle set (release on a
+  // dead node cannot happen: fail_node already cleared ownership there).
+  idle_index_.add(id, exec.node);
+}
+
+void Cluster::drop_ownership(const Executor& exec) {
+  const auto ids = owned_ids_.find(exec.owner.value());
+  assert(ids != owned_ids_.end());
+  const auto pos = std::lower_bound(ids->second.begin(), ids->second.end(),
+                                    exec.id.value());
+  assert(pos != ids->second.end() && *pos == exec.id.value());
+  ids->second.erase(pos);
+  if (ids->second.empty()) owned_ids_.erase(ids);
+  const auto by_node = owned_on_node_.find(exec.owner.value());
+  assert(by_node != owned_on_node_.end());
+  const auto on_node = by_node->second.find(exec.node.value());
+  assert(on_node != by_node->second.end() && on_node->second > 0);
+  if (--on_node->second == 0) by_node->second.erase(on_node);
+  if (by_node->second.empty()) owned_on_node_.erase(by_node);
+  --held_counts_[exec.owner.value()][exec.node.value()];
+  if (!exec.busy) {
+    // Busy executors are not in the free set (fail_node drops them busy).
+    const auto entry = free_held_.find(exec.owner.value());
+    assert(entry != free_held_.end());
+    if (entry == free_held_.end()) return;
+    auto& free = entry->second;
+    const auto it = std::lower_bound(free.begin(), free.end(),
+                                     exec.id.value());
+    assert(it != free.end() && *it == exec.id.value());
+    if (it != free.end() && *it == exec.id.value()) free.erase(it);
+    if (free.empty()) free_held_.erase(entry);
+  }
 }
 
 void Cluster::fail_node(NodeId node) {
@@ -71,6 +122,11 @@ void Cluster::fail_node(NodeId node) {
   node_alive_[node.value()] = false;
   for (Executor& exec : executors_) {
     if (exec.node != node) continue;
+    if (exec.allocated()) {
+      drop_ownership(exec);
+    } else {
+      idle_index_.remove(exec.id, exec.node);  // dead executors never idle
+    }
     exec.owner = AppId::invalid();
     exec.busy = false;
   }
@@ -129,20 +185,65 @@ std::vector<core::ExecutorInfo> Cluster::idle_executors() const {
   return idle;
 }
 
-std::size_t Cluster::idle_count() const {
-  std::size_t count = 0;
-  for (const Executor& exec : executors_) {
-    if (!exec.allocated() && node_alive_[exec.node.value()]) ++count;
-  }
-  return count;
+int Cluster::owned_by(AppId app) const {
+  const auto it = owned_ids_.find(app.value());
+  return it == owned_ids_.end() ? 0 : static_cast<int>(it->second.size());
 }
 
-int Cluster::owned_by(AppId app) const {
-  int count = 0;
-  for (const Executor& exec : executors_) {
-    if (exec.owner == app) ++count;
+void Cluster::held_executors(AppId app, std::vector<ExecutorId>& out) const {
+  const auto it = owned_ids_.find(app.value());
+  if (it == owned_ids_.end()) return;
+  for (const ExecutorId::value_type id : it->second) {
+    out.push_back(ExecutorId(id));
   }
-  return count;
+}
+
+void Cluster::set_busy(ExecutorId id, bool busy) {
+  Executor& exec = executor(id);
+  if (exec.busy == busy) return;
+  exec.busy = busy;
+  if (!exec.allocated()) return;  // unowned executors live in the idle index
+  if (busy) {
+    const auto entry = free_held_.find(exec.owner.value());
+    assert(entry != free_held_.end());
+    auto& free = entry->second;
+    const auto it = std::lower_bound(free.begin(), free.end(), id.value());
+    assert(it != free.end() && *it == id.value());
+    if (it != free.end() && *it == id.value()) free.erase(it);
+    if (free.empty()) free_held_.erase(entry);
+  } else {
+    auto& free = free_held_[exec.owner.value()];
+    free.insert(std::lower_bound(free.begin(), free.end(), id.value()),
+                id.value());
+  }
+}
+
+void Cluster::free_held(AppId app, std::vector<ExecutorId>& out) const {
+  const auto it = free_held_.find(app.value());
+  if (it == free_held_.end()) return;
+  for (const ExecutorId::value_type id : it->second) {
+    out.push_back(ExecutorId(id));
+  }
+}
+
+bool Cluster::holds_on(AppId app, NodeId node) const {
+  const auto it = owned_on_node_.find(app.value());
+  return it != owned_on_node_.end() &&
+         it->second.find(node.value()) != it->second.end();
+}
+
+const std::vector<int>* Cluster::held_counts(AppId app) const {
+  const auto it = held_counts_.find(app.value());
+  return it == held_counts_.end() ? nullptr : &it->second;
+}
+
+void Cluster::held_nodes(AppId app, std::vector<NodeId>& out) const {
+  const auto it = owned_on_node_.find(app.value());
+  if (it == owned_on_node_.end()) return;
+  for (const auto& [node, count] : it->second) {
+    assert(count > 0);
+    out.push_back(NodeId(node));
+  }
 }
 
 }  // namespace custody::cluster

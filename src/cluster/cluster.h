@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
 #include "common/units.h"
+#include "core/idle_index.h"
 #include "core/model.h"
 
 namespace custody::cluster {
@@ -27,7 +30,10 @@ struct Executor {
   ExecutorId id;
   NodeId node;
   AppId owner;          ///< invalid when unallocated
-  bool busy = false;    ///< running a task right now
+  /// Running a task right now.  Flip via Cluster::set_busy — it keeps the
+  /// per-app free-held sets coherent; writing the flag directly leaves
+  /// them stale.
+  bool busy = false;
 
   [[nodiscard]] bool allocated() const { return owner.valid(); }
 };
@@ -69,17 +75,72 @@ class Cluster {
   [[nodiscard]] std::size_t alive_executor_count() const;
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;
 
-  /// Executors not owned by any application, as allocator input.
+  /// Executors not owned by any application, as allocator input.  This is
+  /// the reference-path materialization: an O(executors) scan per call.
+  /// The demand-driven path reads `idle_index()` instead.
   [[nodiscard]] std::vector<core::ExecutorInfo> idle_executors() const;
-  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] std::size_t idle_count() const { return idle_index_.count(); }
+  /// O(1): maintained incrementally on assign/release/fail_node.
   [[nodiscard]] int owned_by(AppId app) const;
 
+  /// Persistent idle-executor index (idle = unallocated on a live node),
+  /// kept in sync by assign/release/fail_node.  Allocation rounds borrow a
+  /// RoundView; its content always equals `idle_executors()`.
+  [[nodiscard]] core::IdleExecutorIndex& idle_index() { return idle_index_; }
+  [[nodiscard]] const core::IdleExecutorIndex& idle_index() const {
+    return idle_index_;
+  }
+  /// Lowest-id idle executor on `node`; invalid when none.
+  [[nodiscard]] ExecutorId first_idle_on(NodeId node) const {
+    return idle_index_.first_on(node);
+  }
+  /// Nodes on which `app` currently holds executors, ascending and unique —
+  /// what a sorted scan of the ownership ledger would produce, maintained
+  /// incrementally.  Appends to `out` (callers pass a cleared scratch).
+  void held_nodes(AppId app, std::vector<NodeId>& out) const;
+  /// Executor ids `app` currently holds, ascending (== an id-order ledger
+  /// scan filtered on owner).  Appends to `out`.
+  void held_executors(AppId app, std::vector<ExecutorId>& out) const;
+  /// True when `app` holds at least one executor on `node`.
+  [[nodiscard]] bool holds_on(AppId app, NodeId node) const;
+  /// Dense per-node counts of executors `app` holds (index = node id), for
+  /// O(1) coverage membership in hot per-task checks; nullptr when the app
+  /// has never held an executor (an all-zero vector is a valid return for
+  /// an app that held and released everything).
+  [[nodiscard]] const std::vector<int>* held_counts(AppId app) const;
+
+  /// Flip an executor's busy flag, keeping the owner's free-held set in
+  /// sync.  No-op when the flag already has that value.
+  void set_busy(ExecutorId id, bool busy);
+  /// Executor ids `app` holds that are not busy, ascending (== the held
+  /// sweep's survivors of the owner/busy re-check), maintained
+  /// incrementally on assign/release/set_busy/fail_node.  Appends to `out`.
+  void free_held(AppId app, std::vector<ExecutorId>& out) const;
+
  private:
+  /// Remove `exec` from its owner's held counters (owner must be valid).
+  void drop_ownership(const Executor& exec);
+
   std::size_t num_nodes_;
   WorkerConfig config_;
   std::vector<Executor> executors_;
   std::vector<bool> node_alive_;
   std::vector<double> node_speed_;
+  core::IdleExecutorIndex idle_index_;
+  /// app -> executor ids held, ascending; entries erased when emptied.
+  std::unordered_map<AppId::value_type, std::vector<ExecutorId::value_type>>
+      owned_ids_;
+  /// app -> (node -> executors held there), node-ordered so held_nodes is
+  /// an in-order walk; inner entries erased when the count hits zero.
+  std::unordered_map<AppId::value_type, std::map<NodeId::value_type, int>>
+      owned_on_node_;
+  /// app -> dense per-node held counts, sized num_nodes_ on first grant and
+  /// never erased (an app that drops to zero keeps its zeroed vector).
+  std::unordered_map<AppId::value_type, std::vector<int>> held_counts_;
+  /// app -> held-and-not-busy executor ids, ascending; entries erased when
+  /// emptied.
+  std::unordered_map<AppId::value_type, std::vector<ExecutorId::value_type>>
+      free_held_;
 };
 
 }  // namespace custody::cluster

@@ -51,9 +51,44 @@ void CustodyManager::schedule_reallocation() {
   });
 }
 
+bool CustodyManager::any_app_below_budget() const {
+  for (const AppHandle* app : apps_) {
+    if (effective_budget(*app, share_) > cluster_.owned_by(app->id())) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void CustodyManager::reallocate_now() {
-  const auto idle = cluster_.idle_executors();
-  if (idle.empty()) return;
+  const std::size_t idle_count = cluster_.idle_count();
+  if (idle_count == 0) return;
+
+  if (config_.options.demand_driven && !any_app_below_budget()) {
+    // Incremental round trigger: every app already holds its demand-capped
+    // budget, so the allocator would grant nothing (phase 2 backfills any
+    // below-budget app from a non-empty pool, so zero grants implies this
+    // condition — and conversely).  Count the round, skip the O(demands)
+    // rebuild.  The round event itself was still posted and consumed, so
+    // event sequences stay identical to the reference path.
+    ++stats_.allocation_rounds;
+    ++stats_.rounds_skipped;
+    stats_.last_round_wall_seconds = 0.0;
+    if (round_observer_) {
+      AllocationRoundInfo info;
+      info.when = sim_.now();
+      info.idle_executors = idle_count;
+      info.apps = apps_.size();
+      info.skipped = true;
+      round_observer_(info);
+    }
+    return;
+  }
+
+  // Reference path only: the per-round idle-set materialization the
+  // persistent index exists to avoid.
+  std::vector<core::ExecutorInfo> idle;
+  if (!config_.options.demand_driven) idle = cluster_.idle_executors();
 
   std::vector<core::AppDemand> demands;
   demands.reserve(apps_.size());
@@ -69,8 +104,11 @@ void CustodyManager::reallocate_now() {
 
   const auto round_start = std::chrono::steady_clock::now();
   const auto result =
-      core::CustodyAllocator::Allocate(demands, idle, locations_,
-                                       config_.options);
+      config_.options.demand_driven
+          ? core::CustodyAllocator::AllocateOnIndex(
+                demands, cluster_.idle_index(), locations_, config_.options)
+          : core::CustodyAllocator::Allocate(demands, idle, locations_,
+                                             config_.options);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     round_start)
@@ -83,10 +121,15 @@ void CustodyManager::reallocate_now() {
   stats_.last_round_wall_seconds = wall;
   stats_.executors_scanned += result.stats.executors_scanned;
   stats_.apps_considered += result.stats.apps_considered;
+  stats_.demand_apps += result.stats.demand_apps;
+  stats_.demanded_tasks += result.stats.demanded_tasks;
+  stats_.demands_saturated += result.stats.demands_saturated;
   if (round_observer_) {
-    round_observer_({sim_.now(), wall, idle.size(),
+    round_observer_({sim_.now(), wall, idle_count,
                      result.assignments.size(), apps_.size(),
-                     result.stats.executors_scanned});
+                     result.stats.executors_scanned,
+                     result.stats.demand_apps, result.stats.demanded_tasks,
+                     /*skipped=*/false});
   }
 
   for (const core::Assignment& assignment : result.assignments) {

@@ -42,6 +42,10 @@ class CustodyManager final : public ClusterManager {
 
  private:
   void schedule_reallocation();
+  /// Incremental-trigger predicate: can any registered app still receive
+  /// an executor (demand-capped budget above its held count)?  O(apps)
+  /// with the O(1) owned_by/wanted_executors counters.
+  [[nodiscard]] bool any_app_below_budget() const;
 
   core::BlockLocationsFn locations_;
   CustodyConfig config_;

@@ -69,8 +69,15 @@ struct ManagerStats {
   // Allocation-round cost (wall-clock, not simulated time; Custody only).
   double allocation_wall_seconds = 0.0;    ///< cumulative across rounds
   double last_round_wall_seconds = 0.0;
-  std::uint64_t executors_scanned = 0;     ///< pool slots inspected, total
+  std::uint64_t executors_scanned = 0;     ///< candidates enumerated, total
   std::uint64_t apps_considered = 0;       ///< inter-app picks, total
+  /// Rounds the incremental trigger short-circuited because no app sat
+  /// below its demand-capped budget (counted in allocation_rounds too).
+  std::uint64_t rounds_skipped = 0;
+  // Round *input* sizes, cumulative — what drove each round's cost.
+  std::uint64_t demand_apps = 0;       ///< apps with >=1 unsatisfied task
+  std::uint64_t demanded_tasks = 0;    ///< unsatisfied input tasks
+  std::uint64_t demands_saturated = 0; ///< demands fully served by a round
 };
 
 /// One allocation round's cost, pushed to the observer as it completes so
@@ -82,6 +89,11 @@ struct AllocationRoundInfo {
   std::size_t grants = 0;
   std::size_t apps = 0;
   std::uint64_t executors_scanned = 0;
+  // Round input sizes (zero on skipped rounds — demands are not built).
+  std::uint64_t demand_apps = 0;       ///< apps with >=1 unsatisfied task
+  std::uint64_t demanded_tasks = 0;    ///< total unsatisfied input tasks
+  /// True when the incremental trigger short-circuited the round.
+  bool skipped = false;
 };
 
 class ClusterManager {

@@ -1,6 +1,7 @@
 #include "cluster/offer_manager.h"
 
 #include <stdexcept>
+#include <vector>
 
 namespace custody::cluster {
 
@@ -26,10 +27,39 @@ void OfferManager::release_executor(ExecutorId exec) {
   offer_round();
 }
 
+bool OfferManager::any_app_wants_more() const {
+  for (const AppHandle* app : apps_) {
+    const int held = cluster_.owned_by(app->id());
+    if (held < share_ && app->wanted_executors() > held) return true;
+  }
+  return false;
+}
+
 void OfferManager::offer_round() {
   if (apps_.empty()) return;
+  const std::size_t idle_count = cluster_.idle_count();
+  if (config_.indexed_picks && idle_count > 0 && !any_app_wants_more()) {
+    // Such a round offers nothing: every app fails the share/demand checks
+    // for every idle executor.  Its only state change is the cursor, which
+    // the reference advances once per idle executor regardless of offers —
+    // replay that and skip the walk.  any_unmet_demand would stay false,
+    // so no retry is scheduled either.
+    cursor_ = (cursor_ + idle_count) % apps_.size();
+    ++stats_.allocation_rounds;
+    ++stats_.rounds_skipped;
+    return;
+  }
+  // Snapshot the idle set: grants during the walk mutate the index (the
+  // reference path's `idle_executors()` temporary snapshots likewise).
+  std::vector<core::ExecutorInfo> idle_snapshot;
+  if (config_.indexed_picks) {
+    idle_snapshot.reserve(idle_count);
+    cluster_.idle_index().append_infos(idle_snapshot);
+  } else {
+    idle_snapshot = cluster_.idle_executors();
+  }
   bool any_unmet_demand = false;
-  for (const core::ExecutorInfo& idle : cluster_.idle_executors()) {
+  for (const core::ExecutorInfo& idle : idle_snapshot) {
     bool accepted = false;
     for (std::size_t k = 0; k < apps_.size() && !accepted; ++k) {
       AppHandle& app = *apps_[(cursor_ + k) % apps_.size()];

@@ -18,6 +18,12 @@ struct OfferConfig {
   int expected_apps = 4;
   /// Delay before an executor rejected by every application is re-offered.
   SimTime reoffer_interval = 1.0;
+  /// On (default): the offer snapshot comes from the cluster's persistent
+  /// idle index, and rounds where no application is below both its share
+  /// and its demand are short-circuited (such a round makes zero offers;
+  /// only the cursor rotation is replayed).  Off: the seed's full-ledger
+  /// scan every round — the equivalence reference path.
+  bool indexed_picks = true;
 };
 
 class OfferManager final : public ClusterManager {
@@ -36,6 +42,9 @@ class OfferManager final : public ClusterManager {
   /// Offer every idle executor around the table once.
   void offer_round();
   void schedule_retry();
+  /// True when some application is below both its share and its demand —
+  /// i.e. a round could actually place an offer.
+  [[nodiscard]] bool any_app_wants_more() const;
 
   OfferConfig config_;
   int share_ = 0;

@@ -1,6 +1,7 @@
 #include "cluster/pool_manager.h"
 
 #include <stdexcept>
+#include <vector>
 
 namespace custody::cluster {
 
@@ -36,7 +37,18 @@ void PoolManager::schedule_round() {
 }
 
 void PoolManager::distribute() {
-  auto idle = cluster_.idle_executors();
+  // No skip trigger here, unlike custody/offer: the shuffle below consumes
+  // RNG draws on every non-empty round, so eliding a round would shift the
+  // stream and diverge from the reference path.  The indexed path only
+  // cheapens the snapshot (O(idle) vs O(executors)); the draw count depends
+  // only on the vector size, which both paths agree on.
+  std::vector<core::ExecutorInfo> idle;
+  if (config_.indexed_picks) {
+    idle.reserve(cluster_.idle_count());
+    cluster_.idle_index().append_infos(idle);
+  } else {
+    idle = cluster_.idle_executors();
+  }
   if (idle.empty()) return;
   rng_.shuffle(idle);  // data-unaware: any executor is as good as any other
   ++stats_.allocation_rounds;

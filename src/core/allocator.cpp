@@ -5,10 +5,17 @@
 
 namespace custody::core {
 
-AllocationResult CustodyAllocator::Allocate(
-    const std::vector<AppDemand>& demands,
-    const std::vector<ExecutorInfo>& idle, const BlockLocationsFn& locations,
-    const AllocatorOptions& options) {
+namespace {
+
+/// The round body, shared by both entry points: `Pool` is the round-local
+/// `IdleExecutorPool` (reference) or the persistent index's `RoundView`
+/// (demand-driven).  Claim order is identical, so so is everything below.
+template <class Pool>
+AllocationResult AllocateWithPool(const std::vector<AppDemand>& demands,
+                                  Pool& pool,
+                                  const BlockLocationsFn& locations,
+                                  const AllocatorOptions& options,
+                                  bool use_tracker) {
   AllocationResult result;
   result.tasks_satisfied.assign(demands.size(), 0);
   result.jobs_satisfied.assign(demands.size(), 0);
@@ -20,16 +27,20 @@ AllocationResult CustodyAllocator::Allocate(
   for (std::size_t i = 0; i < demands.size(); ++i) {
     apps.push_back(MakeAllocState(demands[i], i));
     jobs.push_back(demands[i].jobs);  // mutable working copy
+    std::uint64_t unsatisfied = 0;
+    for (const JobDemand& job : demands[i].jobs) {
+      unsatisfied += job.unsatisfied.size();
+    }
+    if (unsatisfied > 0) ++result.stats.demand_apps;
+    result.stats.demanded_tasks += unsatisfied;
   }
-
-  IdleExecutorPool pool(idle, options.indexed);
 
   // The incremental MINLOCALITY index replaces the reference path's
   // O(apps) rescan per pick and per grant.  While an app is being served
   // its stats mutate, so it is detached from the tracker for the duration
   // of its intra-app pass and re-attached afterwards.
   std::optional<MinLocalityTracker> tracker;
-  if (options.locality_fair && options.indexed) tracker.emplace(apps);
+  if (use_tracker) tracker.emplace(apps);
 
   // INTER-APP FAIRNESS (Algorithm 1): while executors remain, the app with
   // the lowest percentage of local jobs picks next.
@@ -66,9 +77,46 @@ AllocationResult CustodyAllocator::Allocate(
 
   result.projected.reserve(apps.size());
   for (const AppAllocState& app : apps) result.projected.push_back(app.projected);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    bool any_demand = false;
+    bool any_left = false;
+    for (const JobDemand& job : demands[i].jobs) {
+      if (!job.unsatisfied.empty()) {
+        any_demand = true;
+        break;
+      }
+    }
+    if (!any_demand) continue;
+    for (const JobDemand& job : jobs[i]) {
+      if (!job.unsatisfied.empty()) {
+        any_left = true;
+        break;
+      }
+    }
+    if (!any_left) ++result.stats.demands_saturated;
+  }
   result.stats.executors_scanned = pool.scanned();
   result.stats.grants = result.assignments.size();
   return result;
+}
+
+}  // namespace
+
+AllocationResult CustodyAllocator::Allocate(
+    const std::vector<AppDemand>& demands,
+    const std::vector<ExecutorInfo>& idle, const BlockLocationsFn& locations,
+    const AllocatorOptions& options) {
+  IdleExecutorPool pool(idle, options.indexed);
+  return AllocateWithPool(demands, pool, locations, options,
+                          options.locality_fair && options.indexed);
+}
+
+AllocationResult CustodyAllocator::AllocateOnIndex(
+    const std::vector<AppDemand>& demands, IdleExecutorIndex& index,
+    const BlockLocationsFn& locations, const AllocatorOptions& options) {
+  IdleExecutorIndex::RoundView view(index);
+  return AllocateWithPool(demands, view, locations, options,
+                          options.locality_fair);
 }
 
 }  // namespace custody::core

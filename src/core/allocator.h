@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/idle_index.h"
 #include "core/inter_app.h"
 #include "core/intra_app.h"
 #include "core/model.h"
@@ -33,18 +34,32 @@ struct AllocatorOptions {
   /// reference path — kept only so tests can prove the indexed path emits
   /// byte-identical assignments and benches can measure the speedup.
   bool indexed = true;
+  /// On (default): allocation rounds run against the cluster's persistent
+  /// idle-executor index (`AllocateOnIndex`) and managers skip rounds no
+  /// pending demand can use, so round cost is proportional to the work
+  /// granted, not to cluster size.  Off: every round materializes
+  /// `idle_executors()` and rebuilds an `IdleExecutorPool` — the PR-6
+  /// behaviour, kept as the bit-identical equivalence reference path.
+  bool demand_driven = true;
 };
 
 /// What one allocation round cost — the observability half of the indexed
 /// hot path (scanned counts shrink ~100x at 10k executors; wall time is
 /// measured by the manager around the whole round).
 struct RoundStats {
-  /// Pool slots inspected across every claim/has_on during the round.
+  /// Pool slots inspected across every claim/has_on during the round
+  /// (demand-driven path: candidates enumerated from the idle index).
   std::uint64_t executors_scanned = 0;
   /// Inter-application picks taken (Algorithm 1 loop iterations).
   std::uint64_t apps_considered = 0;
   /// Executors handed out (== assignments.size(), for convenience).
   std::uint64_t grants = 0;
+  /// Round *input* size: demands that came in with >=1 unsatisfied task.
+  std::uint64_t demand_apps = 0;
+  /// Round input size: total unsatisfied input tasks across all demands.
+  std::uint64_t demanded_tasks = 0;
+  /// Demands whose unsatisfied tasks were all given local executors.
+  std::uint64_t demands_saturated = 0;
 };
 
 struct AllocationResult {
@@ -67,6 +82,16 @@ class CustodyAllocator {
       const std::vector<AppDemand>& demands,
       const std::vector<ExecutorInfo>& idle, const BlockLocationsFn& locations,
       const AllocatorOptions& options = {});
+
+  /// Run one round against the persistent idle index — no idle-set copy, no
+  /// pool rebuild.  Claim order (and therefore every assignment) is
+  /// bit-identical to `Allocate` over the same idle set with
+  /// `options.indexed`.  The index itself is not mutated: claims live in a
+  /// round-scoped view, and the caller applies `assignments` afterwards
+  /// (via Cluster::assign, which updates the index).
+  [[nodiscard]] static AllocationResult AllocateOnIndex(
+      const std::vector<AppDemand>& demands, IdleExecutorIndex& index,
+      const BlockLocationsFn& locations, const AllocatorOptions& options = {});
 };
 
 }  // namespace custody::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/idle_index.h"
+
 namespace custody::core {
 
 IdleExecutorPool::IdleExecutorPool(std::vector<ExecutorInfo> executors,
@@ -163,8 +165,9 @@ bool AllocateExecutor(std::vector<AppAllocState>& apps, std::size_t current,
 /// Claim a data-local executor for one task of `job`; returns whether any
 /// progress was made and sets `lost_min` when control must return to the
 /// inter-application loop.
+template <class Pool>
 bool ServeOneTask(std::vector<AppAllocState>& apps, std::size_t current,
-                  JobDemand& job, IdleExecutorPool& pool,
+                  JobDemand& job, Pool& pool,
                   const BlockLocationsFn& locations,
                   const std::function<void(const Assignment&)>& emit,
                   IntraAppPassResult& result, bool locality_fair,
@@ -188,9 +191,10 @@ bool ServeOneTask(std::vector<AppAllocState>& apps, std::size_t current,
 
 }  // namespace
 
+template <class Pool>
 IntraAppPassResult IntraAppAllocate(
     std::vector<AppAllocState>& apps, std::size_t current,
-    std::vector<JobDemand>& jobs, IdleExecutorPool& pool,
+    std::vector<JobDemand>& jobs, Pool& pool,
     const BlockLocationsFn& locations,
     const std::function<void(const Assignment&)>& emit, bool priority_jobs,
     bool locality_fair, const MinLocalityTracker* tracker) {
@@ -203,12 +207,18 @@ IntraAppPassResult IntraAppAllocate(
     // moving on — perfect locality for few jobs beats partial locality for
     // many.
     for (JobDemand& job : jobs) {
+      // Early-out: an empty pool can't serve any remaining demand, and the
+      // fall-through stop computation below returns the same verdict the
+      // fruitless continuation would (kBudgetExhausted wins over
+      // kNoMoreExecutors, matching the in-loop return priority).
+      if (pool.empty()) break;
       auto& tasks = job.unsatisfied;
       for (auto it = tasks.begin(); it != tasks.end();) {
         if (!app.can_take_more()) {
           result.stop = IntraAppStop::kBudgetExhausted;
           return result;
         }
+        if (pool.empty()) break;
         const ExecutorId exec = pool.claim_on(locations(it->block));
         if (!exec.valid()) {
           ++it;  // no idle executor stores this block; leave it unsatisfied
@@ -241,6 +251,10 @@ IntraAppPassResult IntraAppAllocate(
         if (!app.can_take_more()) {
           result.stop = IntraAppStop::kBudgetExhausted;
           return result;
+        }
+        if (pool.empty()) {  // see the phase-1 early-out note
+          progress = false;
+          break;
         }
         bool lost_min = false;
         if (ServeOneTask(apps, current, job, pool, locations, emit, result,
@@ -279,5 +293,17 @@ IntraAppPassResult IntraAppAllocate(
   }
   return result;
 }
+
+template IntraAppPassResult IntraAppAllocate<IdleExecutorPool>(
+    std::vector<AppAllocState>&, std::size_t, std::vector<JobDemand>&,
+    IdleExecutorPool&, const BlockLocationsFn&,
+    const std::function<void(const Assignment&)>&, bool, bool,
+    const MinLocalityTracker*);
+
+template IntraAppPassResult IntraAppAllocate<IdleExecutorIndex::RoundView>(
+    std::vector<AppAllocState>&, std::size_t, std::vector<JobDemand>&,
+    IdleExecutorIndex::RoundView&, const BlockLocationsFn&,
+    const std::function<void(const Assignment&)>&, bool, bool,
+    const MinLocalityTracker*);
 
 }  // namespace custody::core

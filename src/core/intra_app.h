@@ -101,9 +101,16 @@ struct IntraAppPassResult {
 /// When `tracker` is non-null it must hold every competing app except
 /// `current` (detached by the caller); the per-grant MINLOCALITY re-check
 /// then costs O(1) instead of a full rescan of the apps vector.
+///
+/// `Pool` is either a round-local `IdleExecutorPool` (reference path) or a
+/// persistent-index `IdleExecutorIndex::RoundView` (demand-driven path);
+/// both expose the same claim_on/claim_any/empty contract with identical
+/// claim order.  Defined in intra_app.cpp with explicit instantiations for
+/// exactly those two types.
+template <class Pool>
 IntraAppPassResult IntraAppAllocate(
     std::vector<AppAllocState>& apps, std::size_t current,
-    std::vector<JobDemand>& jobs, IdleExecutorPool& pool,
+    std::vector<JobDemand>& jobs, Pool& pool,
     const BlockLocationsFn& locations,
     const std::function<void(const Assignment&)>& emit,
     bool priority_jobs = true, bool locality_fair = true,

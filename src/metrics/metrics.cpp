@@ -50,8 +50,10 @@ void MetricsCollector::record_job(const JobRecord& record) {
 void MetricsCollector::record_round(const AllocationRoundRecord& record) {
   ++rounds_recorded_;
   if (record.grants > 0) ++productive_rounds_;
+  if (record.skipped) ++rounds_skipped_total_;
   executors_scanned_total_ += record.executors_scanned;
   grants_total_ += record.grants;
+  demanded_tasks_total_ += record.demanded_tasks;
   if (streaming_) {
     round_wall_stream_.add(record.wall_seconds);
     return;

@@ -60,6 +60,12 @@ struct AllocationRoundRecord {
   std::uint64_t grants = 0;
   std::uint64_t apps_active = 0;
   std::uint64_t executors_scanned = 0;
+  // --- round input sizes (what the round was asked to do) -----------------
+  std::uint64_t demand_apps = 0;     ///< apps with >=1 unsatisfied task
+  std::uint64_t demanded_tasks = 0;  ///< total unsatisfied tasks across apps
+  /// Short-circuited by the demand-driven trigger: no app could accept a
+  /// grant, so the allocator never ran (wall_seconds and grants are 0).
+  bool skipped = false;
 };
 
 /// What the fluid network's rate path cost over a whole run: recomputes
@@ -183,6 +189,14 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t total_grants() const { return grants_total_; }
   /// Fraction of rounds that granted at least one executor.
   [[nodiscard]] double round_yield_fraction() const;
+  /// Rounds short-circuited by the demand-driven trigger.
+  [[nodiscard]] std::uint64_t total_rounds_skipped() const {
+    return rounds_skipped_total_;
+  }
+  /// Total unsatisfied tasks handed to the allocator across all rounds.
+  [[nodiscard]] std::uint64_t total_demanded_tasks() const {
+    return demanded_tasks_total_;
+  }
 
  private:
   bool streaming_ = false;
@@ -211,6 +225,8 @@ class MetricsCollector {
   std::uint64_t productive_rounds_ = 0;
   std::uint64_t executors_scanned_total_ = 0;
   std::uint64_t grants_total_ = 0;
+  std::uint64_t rounds_skipped_total_ = 0;
+  std::uint64_t demanded_tasks_total_ = 0;
   /// Per-app [perfectly local, total] job counts, grown on demand.
   std::vector<std::uint64_t> app_local_jobs_;
   std::vector<std::uint64_t> app_total_jobs_;

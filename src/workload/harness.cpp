@@ -321,7 +321,8 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
       [&metrics, tracer](const cluster::AllocationRoundInfo& info) {
         metrics.record_round({info.when, info.wall_seconds,
                               info.idle_executors, info.grants, info.apps,
-                              info.executors_scanned});
+                              info.executors_scanned, info.demand_apps,
+                              info.demanded_tasks, info.skipped});
         if (tracer != nullptr) {
           tracer->instant({.value = info.wall_seconds,
                            .id = static_cast<std::int32_t>(info.idle_executors),
@@ -335,6 +336,10 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   app_config.scheduler = config.scheduler;
   app_config.shuffle_fan_in = config.shuffle_fan_in;
   app_config.locality_swap = manager_kind == ManagerKind::kCustody;
+  // One switch for every demand-driven path: allocator.demand_driven also
+  // selects the kick-sweep verdict replay, so the round-equivalence suite
+  // pins manager rounds and app sweeps against the reference in one flip.
+  app_config.demand_driven_kick = config.allocator.demand_driven;
   app_config.speculation = config.speculation;
   app_config.speculation_multiplier = config.speculation_multiplier;
   app_config.retire_finished_jobs =

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "core/allocator.h"
+#include "core/idle_index.h"
 
 namespace custody::core {
 namespace {
@@ -195,6 +196,275 @@ TEST(IdlePool, ScannedCounterGrowsSlowerWhenIndexed) {
     ASSERT_TRUE(reference.has_on(tail));
   }
   EXPECT_LT(indexed.scanned() * 10, reference.scanned());
+}
+
+// ---------- idle pool edge cases --------------------------------------------
+
+// claim_any rotates: each claim resumes at the slot after the previous one,
+// and the modulo wrap after claiming the last slot must leave the cursor in
+// a valid state (an exhausted pool then reports invalid, not a crash).
+TEST(IdlePool, ClaimAnyCursorRotatesAndWrapsAtEnd) {
+  for (const bool indexed : {true, false}) {
+    SCOPED_TRACE(indexed ? "indexed" : "reference");
+    IdleExecutorPool pool({{ExecutorId(0), NodeId(0)},
+                           {ExecutorId(1), NodeId(1)},
+                           {ExecutorId(2), NodeId(2)},
+                           {ExecutorId(3), NodeId(0)}},
+                          indexed);
+    EXPECT_EQ(pool.claim_any(), ExecutorId(0));  // cursor -> 1
+    // claim_on does not move the cursor; it takes slot 3 out from under a
+    // future claim_any sweep.
+    EXPECT_EQ(pool.claim_on({NodeId(0)}), ExecutorId(3));
+    EXPECT_EQ(pool.claim_any(), ExecutorId(1));  // cursor -> 2
+    EXPECT_EQ(pool.claim_any(), ExecutorId(2));  // cursor wraps past slot 3
+    EXPECT_TRUE(pool.empty());
+    EXPECT_FALSE(pool.claim_any().valid());
+    EXPECT_FALSE(pool.claim_any().valid());  // stays invalid, cursor stable
+  }
+}
+
+// claim_on against a node whose executors have all been taken must fall
+// through to invalid, and the per-node head cursor must not resurrect a
+// taken executor on later queries.
+TEST(IdlePool, ClaimOnExhaustedNodeReturnsInvalid) {
+  for (const bool indexed : {true, false}) {
+    SCOPED_TRACE(indexed ? "indexed" : "reference");
+    IdleExecutorPool pool({{ExecutorId(0), NodeId(1)},
+                           {ExecutorId(1), NodeId(1)},
+                           {ExecutorId(2), NodeId(2)}},
+                          indexed);
+    EXPECT_EQ(pool.claim_on({NodeId(1)}), ExecutorId(0));
+    EXPECT_EQ(pool.claim_on({NodeId(1)}), ExecutorId(1));
+    EXPECT_FALSE(pool.has_on({NodeId(1)}));
+    EXPECT_FALSE(pool.claim_on({NodeId(1)}).valid());
+    // The other node is untouched; a multi-node query skips the dry node.
+    EXPECT_EQ(pool.claim_on({NodeId(1), NodeId(2)}), ExecutorId(2));
+    EXPECT_TRUE(pool.empty());
+  }
+}
+
+// has_on must flip exactly when the last executor on a queried node is
+// taken — including when claim_any (not claim_on) is what takes it.
+TEST(IdlePool, HasOnTracksInterleavedTakes) {
+  for (const bool indexed : {true, false}) {
+    SCOPED_TRACE(indexed ? "indexed" : "reference");
+    IdleExecutorPool pool({{ExecutorId(0), NodeId(0)},
+                           {ExecutorId(1), NodeId(0)},
+                           {ExecutorId(2), NodeId(1)}},
+                          indexed);
+    EXPECT_TRUE(pool.has_on({NodeId(0)}));
+    EXPECT_EQ(pool.claim_any(), ExecutorId(0));  // takes node 0's head
+    EXPECT_TRUE(pool.has_on({NodeId(0)}));       // executor 1 remains
+    EXPECT_EQ(pool.claim_any(), ExecutorId(1));
+    EXPECT_FALSE(pool.has_on({NodeId(0)}));
+    EXPECT_TRUE(pool.has_on({NodeId(0), NodeId(1)}));
+    EXPECT_EQ(pool.claim_on({NodeId(1)}), ExecutorId(2));
+    EXPECT_FALSE(pool.has_on({NodeId(0), NodeId(1)}));
+  }
+}
+
+// Nodes with no executors — including node values beyond anything in the
+// pool — must hit the "no head" sentinel path and report invalid/false
+// rather than touching out-of-range state.
+TEST(IdlePool, UnknownAndEmptyNodeQueriesAreInvalid) {
+  for (const bool indexed : {true, false}) {
+    SCOPED_TRACE(indexed ? "indexed" : "reference");
+    IdleExecutorPool pool({{ExecutorId(0), NodeId(3)}}, indexed);
+    EXPECT_FALSE(pool.has_on({}));
+    EXPECT_FALSE(pool.claim_on({}).valid());
+    EXPECT_FALSE(pool.has_on({NodeId(0)}));          // node with no executor
+    EXPECT_FALSE(pool.claim_on({NodeId(0)}).valid());
+    EXPECT_FALSE(pool.has_on({NodeId(99)}));         // beyond any pool node
+    EXPECT_FALSE(pool.claim_on({NodeId(99)}).valid());
+    EXPECT_EQ(pool.size(), 1u);                      // nothing was consumed
+    EXPECT_EQ(pool.claim_on({NodeId(99), NodeId(3)}), ExecutorId(0));
+  }
+}
+
+// ---------- persistent idle index -------------------------------------------
+
+// Property: a RoundView over the persistent index must reproduce the
+// per-round IdleExecutorPool claim-for-claim, across rounds separated by
+// random add/remove churn, and dropping a view without applying its claims
+// must leave the index untouched.
+TEST(IdleIndex, RoundViewMatchesPoolAcrossMutationsAndRounds) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int num_nodes = rng.uniform_int(1, 8);
+    const int num_execs = rng.uniform_int(0, 40);
+    // Fixed executor -> node homes, like a real cluster.
+    std::vector<NodeId> home;
+    for (int e = 0; e < num_execs; ++e) {
+      home.push_back(NodeId(static_cast<NodeId::value_type>(
+          rng.index(num_nodes))));
+    }
+    IdleExecutorIndex index(static_cast<std::size_t>(num_execs),
+                            static_cast<std::size_t>(num_nodes));
+    std::vector<bool> idle(static_cast<std::size_t>(num_execs), false);
+    for (int e = 0; e < num_execs; ++e) {
+      if (rng.uniform(0.0, 1.0) < 0.7) {
+        index.add(ExecutorId(static_cast<ExecutorId::value_type>(e)), home[e]);
+        idle[static_cast<std::size_t>(e)] = true;
+      }
+    }
+
+    for (int round = 0; round < 8; ++round) {
+      std::vector<ExecutorInfo> infos;  // ascending id, like idle_executors()
+      for (int e = 0; e < num_execs; ++e) {
+        if (idle[static_cast<std::size_t>(e)]) {
+          infos.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                           home[static_cast<std::size_t>(e)]});
+        }
+      }
+      ASSERT_EQ(index.count(), infos.size());
+      std::vector<ExecutorId> ids;
+      index.append_ids(ids);
+      ASSERT_EQ(ids.size(), infos.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        ASSERT_EQ(ids[i], infos[i].id);
+      }
+
+      IdleExecutorPool reference(infos, /*indexed=*/false);
+      std::vector<ExecutorId> claimed;
+      {
+        IdleExecutorIndex::RoundView view(index);
+        for (int step = 0; step < num_execs + 4; ++step) {
+          if (rng.uniform(0.0, 1.0) < 0.5) {
+            std::vector<NodeId> nodes;
+            const int want = rng.uniform_int(1, 3);
+            for (int k = 0; k < want; ++k) {
+              nodes.push_back(NodeId(static_cast<NodeId::value_type>(
+                  rng.index(num_nodes + 2))));  // may name unknown nodes
+            }
+            ASSERT_EQ(view.has_on(nodes), reference.has_on(nodes));
+            const ExecutorId got = view.claim_on(nodes);
+            ASSERT_EQ(got, reference.claim_on(nodes));
+            if (got.valid()) claimed.push_back(got);
+          } else {
+            const ExecutorId got = view.claim_any();
+            ASSERT_EQ(got, reference.claim_any());
+            if (got.valid()) claimed.push_back(got);
+          }
+          ASSERT_EQ(view.size(), reference.size());
+          ASSERT_EQ(view.empty(), reference.empty());
+        }
+      }
+      // The dropped view left the index untouched.
+      ASSERT_EQ(index.count(), infos.size());
+
+      // Now apply the round: claimed executors leave the idle set, then
+      // random churn (releases add, grants remove) before the next round.
+      for (const ExecutorId e : claimed) {
+        index.remove(e, home[e.value()]);
+        idle[e.value()] = false;
+      }
+      for (int e = 0; e < num_execs; ++e) {
+        if (rng.uniform(0.0, 1.0) >= 0.3) continue;
+        const auto id = ExecutorId(static_cast<ExecutorId::value_type>(e));
+        if (idle[static_cast<std::size_t>(e)]) {
+          index.remove(id, home[static_cast<std::size_t>(e)]);
+          idle[static_cast<std::size_t>(e)] = false;
+        } else {
+          index.add(id, home[static_cast<std::size_t>(e)]);
+          idle[static_cast<std::size_t>(e)] = true;
+        }
+      }
+    }
+  }
+}
+
+// Property: AllocateOnIndex (the demand-driven round) must produce
+// byte-identical results to the reference Allocate over a materialized
+// idle vector, across seeds, shapes and ablation combinations — and must
+// leave the index itself unchanged (assignments are applied by the caller).
+TEST(CustodyAllocator, PropertyAllocateOnIndexMatchesReferenceAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 6151);
+    const int num_nodes = rng.uniform_int(2, 40);
+    const int num_execs = rng.uniform_int(1, 80);
+    const int num_blocks = rng.uniform_int(1, 60);
+    Locations loc;
+    for (int b = 0; b < num_blocks; ++b) {
+      std::vector<NodeId> nodes;
+      const int replicas = rng.uniform_int(1, std::min(3, num_nodes));
+      while (static_cast<int>(nodes.size()) < replicas) {
+        const NodeId n(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+        if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+          nodes.push_back(n);
+        }
+      }
+      loc.set(BlockId(static_cast<BlockId::value_type>(b)), nodes);
+    }
+    IdleExecutorIndex index(static_cast<std::size_t>(num_execs),
+                            static_cast<std::size_t>(num_nodes));
+    std::vector<ExecutorInfo> idle;
+    for (int e = 0; e < num_execs; ++e) {
+      const NodeId node(static_cast<NodeId::value_type>(rng.index(num_nodes)));
+      if (rng.uniform(0.0, 1.0) < 0.2) continue;  // some executors busy
+      idle.push_back({ExecutorId(static_cast<ExecutorId::value_type>(e)),
+                      node});
+      index.add(ExecutorId(static_cast<ExecutorId::value_type>(e)), node);
+    }
+    std::vector<AppDemand> demands(rng.uniform_int(1, 6));
+    TaskUid next_task = 0;
+    for (std::size_t a = 0; a < demands.size(); ++a) {
+      demands[a].app = AppId(static_cast<AppId::value_type>(a));
+      demands[a].budget = rng.uniform_int(0, num_execs);
+      demands[a].held = rng.uniform_int(0, 2);
+      demands[a].locality = {rng.uniform_int(0, 5), rng.uniform_int(5, 10),
+                             rng.uniform_int(0, 40), rng.uniform_int(40, 80)};
+      const int jobs = rng.uniform_int(0, 6);
+      for (int j = 0; j < jobs; ++j) {
+        JobDemand job;
+        job.job = next_task * 100 + static_cast<JobUid>(j);
+        const int tasks = rng.uniform_int(1, 10);
+        job.total_tasks = tasks + rng.uniform_int(0, 2);
+        for (int t = 0; t < tasks; ++t) {
+          job.unsatisfied.push_back(
+              {next_task++, BlockId(static_cast<BlockId::value_type>(
+                                rng.index(num_blocks)))});
+        }
+        demands[a].jobs.push_back(job);
+      }
+    }
+
+    for (const bool locality_fair : {true, false}) {
+      for (const bool priority_jobs : {true, false}) {
+        AllocatorOptions options;
+        options.locality_fair = locality_fair;
+        options.priority_jobs = priority_jobs;
+        AllocatorOptions reference = options;
+        reference.indexed = false;
+
+        const std::size_t count_before = index.count();
+        const auto a =
+            CustodyAllocator::AllocateOnIndex(demands, index, loc.fn(),
+                                              options);
+        EXPECT_EQ(index.count(), count_before) << "seed " << seed;
+        const auto b = CustodyAllocator::Allocate(demands, idle, loc.fn(),
+                                                  reference);
+        ASSERT_EQ(a.assignments.size(), b.assignments.size())
+            << "seed " << seed << " lf=" << locality_fair
+            << " pj=" << priority_jobs;
+        for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+          ASSERT_EQ(a.assignments[i].exec, b.assignments[i].exec)
+              << "seed " << seed << " assignment " << i;
+          ASSERT_EQ(a.assignments[i].app, b.assignments[i].app)
+              << "seed " << seed << " assignment " << i;
+          ASSERT_EQ(a.assignments[i].hint_task, b.assignments[i].hint_task)
+              << "seed " << seed << " assignment " << i;
+        }
+        ASSERT_EQ(a.tasks_satisfied, b.tasks_satisfied) << "seed " << seed;
+        ASSERT_EQ(a.jobs_satisfied, b.jobs_satisfied) << "seed " << seed;
+        ASSERT_EQ(a.stats.grants, b.stats.grants);
+        // The round input-size counters are computed before any claiming
+        // and must agree exactly between the two paths.
+        ASSERT_EQ(a.stats.demand_apps, b.stats.demand_apps);
+        ASSERT_EQ(a.stats.demanded_tasks, b.stats.demanded_tasks);
+        ASSERT_EQ(a.stats.demands_saturated, b.stats.demands_saturated);
+      }
+    }
+  }
 }
 
 // ---------- min-locality tracker --------------------------------------------

@@ -1,9 +1,12 @@
 // Tests for the physical cluster ledger: executors, ownership, idle pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "common/rng.h"
 
 namespace custody::cluster {
 namespace {
@@ -86,6 +89,123 @@ TEST(Cluster, BusyFlagIndependentOfOwnership) {
 TEST(Cluster, DiskRateFromConfig) {
   Cluster cluster(2, WorkerConfig{.disk_bps = 12345.0});
   EXPECT_DOUBLE_EQ(cluster.disk_bps(NodeId(0)), 12345.0);
+}
+
+// ---------- incremental ownership / idle bookkeeping ------------------------
+
+// Property: the incrementally-maintained structures (idle index, per-app
+// held-executor lists, per-app per-node counts) must agree with brute-force
+// ledger scans after arbitrary assign/release/fail interleavings.
+TEST(Cluster, IncrementalBookkeepingMatchesLedgerScans) {
+  Rng rng(1337);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int num_nodes = rng.uniform_int(1, 6);
+    const int per_node = rng.uniform_int(1, 3);
+    const int num_apps = rng.uniform_int(1, 4);
+    Cluster cluster(static_cast<std::size_t>(num_nodes),
+                    WorkerConfig{.executors_per_node = per_node});
+    const std::size_t num_execs = cluster.num_executors();
+
+    const auto check = [&] {
+      // Idle set: count, content and order against the reference scan.
+      const auto idle = cluster.idle_executors();
+      ASSERT_EQ(cluster.idle_count(), idle.size());
+      std::vector<core::ExecutorInfo> from_index;
+      cluster.idle_index().append_infos(from_index);
+      ASSERT_EQ(from_index.size(), idle.size());
+      for (std::size_t i = 0; i < idle.size(); ++i) {
+        ASSERT_EQ(from_index[i].id, idle[i].id);
+        ASSERT_EQ(from_index[i].node, idle[i].node);
+      }
+      // Per-node heads.
+      for (int n = 0; n < num_nodes; ++n) {
+        const NodeId node(static_cast<NodeId::value_type>(n));
+        ExecutorId expect = ExecutorId::invalid();
+        for (const auto& info : idle) {
+          if (info.node == node) {
+            expect = info.id;
+            break;
+          }
+        }
+        ASSERT_EQ(cluster.first_idle_on(node), expect);
+      }
+      // Per-app views against owner scans.
+      for (int a = 0; a < num_apps; ++a) {
+        const AppId app(static_cast<AppId::value_type>(a));
+        std::vector<ExecutorId> held_scan;
+        std::vector<NodeId> node_scan;
+        for (const Executor& exec : cluster.executors()) {
+          if (exec.owner != app) continue;
+          held_scan.push_back(exec.id);
+          node_scan.push_back(exec.node);
+        }
+        std::sort(node_scan.begin(), node_scan.end());
+        node_scan.erase(std::unique(node_scan.begin(), node_scan.end()),
+                        node_scan.end());
+        ASSERT_EQ(cluster.owned_by(app),
+                  static_cast<int>(held_scan.size()));
+        std::vector<ExecutorId> held;
+        cluster.held_executors(app, held);
+        ASSERT_EQ(held, held_scan);
+        std::vector<NodeId> nodes;
+        cluster.held_nodes(app, nodes);
+        ASSERT_EQ(nodes, node_scan);
+        for (int n = 0; n < num_nodes; ++n) {
+          const NodeId node(static_cast<NodeId::value_type>(n));
+          const bool expect = std::find(node_scan.begin(), node_scan.end(),
+                                        node) != node_scan.end();
+          ASSERT_EQ(cluster.holds_on(app, node), expect);
+        }
+        // Free-held set == ledger scan filtered on owner && !busy.
+        std::vector<ExecutorId> free_scan;
+        for (const Executor& exec : cluster.executors()) {
+          if (exec.owner == app && !exec.busy) free_scan.push_back(exec.id);
+        }
+        std::vector<ExecutorId> free;
+        cluster.free_held(app, free);
+        ASSERT_EQ(free, free_scan);
+        // Dense per-node held counts == per-node owner scans (null only
+        // before the app's first grant, when every count is zero anyway).
+        const std::vector<int>* counts = cluster.held_counts(app);
+        for (int n = 0; n < num_nodes; ++n) {
+          const NodeId node(static_cast<NodeId::value_type>(n));
+          int expect = 0;
+          for (const Executor& exec : cluster.executors()) {
+            if (exec.owner == app && exec.node == node) ++expect;
+          }
+          ASSERT_EQ(counts == nullptr ? 0 : (*counts)[n], expect);
+        }
+      }
+    };
+
+    check();
+    for (int step = 0; step < 60; ++step) {
+      const double dice = rng.uniform(0.0, 1.0);
+      if (dice < 0.45) {  // try to assign a random idle executor
+        const ExecutorId e(static_cast<ExecutorId::value_type>(
+            rng.index(num_execs)));
+        const Executor& exec = cluster.executor(e);
+        if (!exec.allocated() && cluster.node_alive(exec.node)) {
+          cluster.assign(e, AppId(static_cast<AppId::value_type>(
+                                rng.index(num_apps))));
+        }
+      } else if (dice < 0.75) {  // try to release a random free held executor
+        const ExecutorId e(static_cast<ExecutorId::value_type>(
+            rng.index(num_execs)));
+        const Executor& exec = cluster.executor(e);
+        if (exec.allocated() && !exec.busy) cluster.release(e);
+      } else if (dice < 0.9) {  // flip a held executor's busy flag
+        const ExecutorId e(static_cast<ExecutorId::value_type>(
+            rng.index(num_execs)));
+        const Executor& exec = cluster.executor(e);
+        if (exec.allocated()) cluster.set_busy(e, !exec.busy);
+      } else if (dice < 0.95) {  // rare: kill a node
+        cluster.fail_node(NodeId(static_cast<NodeId::value_type>(
+            rng.index(num_nodes))));
+      }
+      check();
+    }
+  }
 }
 
 }  // namespace

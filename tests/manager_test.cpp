@@ -172,6 +172,76 @@ TEST(CustodyManager, CountsRoundsThatGrantNothing) {
   EXPECT_EQ(f.manager.stats().executors_granted, 0u);
 }
 
+TEST(CustodyManager, SkipsRoundWhenNoAppBelowBudget) {
+  // Demand-driven trigger: every app already holds its demand-capped budget
+  // (here: zero wanted), so the round is counted but the allocator never
+  // runs.  A later round with real demand runs normally.
+  CustodyFixture f;  // options default: demand_driven on
+  f.locations[BlockId(0)] = {NodeId(1)};
+  MockApp app(AppId(0));
+  f.manager.register_app(app);
+
+  std::vector<AllocationRoundInfo> observed;
+  f.manager.set_round_observer(
+      [&observed](const AllocationRoundInfo& info) {
+        observed.push_back(info);
+      });
+
+  app.wanted = 0;  // demand-capped budget is zero -> nothing to grant
+  app.demand.push_back({0, 1, {{1, BlockId(0)}}});
+  f.manager.on_demand_changed(app);
+  f.sim.run();
+  EXPECT_TRUE(app.granted.empty());
+  EXPECT_EQ(f.manager.stats().allocation_rounds, 1u);
+  EXPECT_EQ(f.manager.stats().rounds_skipped, 1u);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_TRUE(observed[0].skipped);
+  EXPECT_EQ(observed[0].grants, 0u);
+  EXPECT_EQ(observed[0].idle_executors, 4u);
+
+  app.wanted = 1;
+  f.manager.on_demand_changed(app);
+  f.sim.run();
+  EXPECT_EQ(app.granted.size(), 1u);
+  EXPECT_EQ(f.manager.stats().allocation_rounds, 2u);
+  EXPECT_EQ(f.manager.stats().rounds_skipped, 1u);  // only the first
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_FALSE(observed[1].skipped);
+  EXPECT_EQ(observed[1].grants, 1u);
+  EXPECT_EQ(observed[1].demand_apps, 1u);
+  EXPECT_EQ(observed[1].demanded_tasks, 1u);
+  EXPECT_EQ(f.manager.stats().demand_apps, 1u);
+  EXPECT_EQ(f.manager.stats().demanded_tasks, 1u);
+}
+
+TEST(CustodyManager, ReferencePathNeverSkipsRounds) {
+  sim::Simulator sim;
+  Cluster cluster(4, WorkerConfig{.executors_per_node = 1});
+  std::map<BlockId, std::vector<NodeId>> locations;
+  core::AllocatorOptions options;
+  options.demand_driven = false;
+  CustodyManager manager(
+      sim, cluster,
+      [&locations](BlockId b) -> const std::vector<NodeId>& {
+        return locations[b];
+      },
+      CustodyConfig{2, options});
+  MockApp app(AppId(0));
+  manager.register_app(app);
+  app.wanted = 0;
+  app.demand.push_back({0, 1, {{1, BlockId(0)}}});
+  manager.on_demand_changed(app);
+  sim.run();
+  // The reference path runs the full allocator even for a fruitless round.
+  EXPECT_TRUE(app.granted.empty());
+  EXPECT_EQ(manager.stats().allocation_rounds, 1u);
+  EXPECT_EQ(manager.stats().rounds_skipped, 0u);
+  // It also reports the round's true input size: one app with one task,
+  // unsatisfiable within a zero budget.
+  EXPECT_EQ(manager.stats().demand_apps, 1u);
+  EXPECT_EQ(manager.stats().demanded_tasks, 1u);
+}
+
 TEST(CustodyManager, RoundInstrumentationAccumulates) {
   CustodyFixture f;
   f.locations[BlockId(0)] = {NodeId(1)};

@@ -1,0 +1,114 @@
+// Checkpoint overhead — snapshot size and save/restore wall-clock vs
+// cluster scale.
+//
+// One steady-state run per cluster size (100 / 1000 / 10000 nodes, fixed
+// job count) is driven to its mid-point with run_until, snapshotted, and
+// restored into a fresh LiveRun; the row reports the serialized size and
+// the wall-clock cost of save() and restore().  The restored run then
+// finishes and its events_processed is cross-checked against the
+// uninterrupted run — the bench refuses to print a row whose restore
+// equivalence does not hold, so the table can never describe a broken
+// snapshot path.
+//
+// Scale with CUSTODY_BENCH_CKPT_JOBS (default 10000) and pass --csv/--json
+// for machine-readable rows.
+#include <chrono>
+
+#include "bench_common.h"
+#include "common/snapshot.h"
+#include "workload/harness.h"
+
+namespace {
+
+using namespace custody;
+using namespace custody::workload;
+
+ExperimentConfig CheckpointBenchConfig(long long total_jobs,
+                                       long long nodes) {
+  ExperimentConfig config;
+  config.num_nodes = static_cast<std::size_t>(nodes);
+  config.executors_per_node = 2;
+  config.kinds = {WorkloadKind::kWordCount, WorkloadKind::kSort};
+  config.trace.num_apps = 4;
+  config.trace.jobs_per_app = static_cast<int>(total_jobs / 4);
+  config.trace.mean_interarrival = 16.0 * 100.0 / static_cast<double>(nodes);
+  config.steady.enabled = true;
+  config.seed = bench::Seed();
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace custody::bench;
+  using clock = std::chrono::steady_clock;
+
+  PrintBanner(std::cout, "Checkpoint overhead — size and wall-clock vs scale");
+  const long long total_jobs =
+      EnvInt("CUSTODY_BENCH_CKPT_JOBS").value_or(10000);
+  if (total_jobs < 4) {
+    std::cerr << "error: CUSTODY_BENCH_CKPT_JOBS must be >= 4\n";
+    return 1;
+  }
+  std::cout << "scale: " << total_jobs
+            << " jobs over 4 apps (CUSTODY_BENCH_CKPT_JOBS), seed " << Seed()
+            << "\n\n";
+
+  const std::vector<std::string> columns{
+      "nodes",     "jobs",      "snapshot_mb", "save_ms",
+      "restore_ms", "events",   "makespan_s"};
+  auto csv = MaybeCsv(argc, argv, columns);
+  auto json = MaybeJson(argc, argv, columns);
+
+  AsciiTable table({"nodes", "snapshot (MB)", "save (ms)", "restore (ms)",
+                    "events", "makespan (s)"});
+
+  for (const long long nodes : {100LL, 1000LL, 10000LL}) {
+    const ExperimentConfig config =
+        CheckpointBenchConfig(total_jobs, nodes);
+    const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+    const ExperimentResult straight =
+        RunOnSnapshot(snapshot, config.manager);
+
+    LiveRun first(snapshot, config.manager);
+    first.run_until(straight.makespan / 2.0);
+    const auto save_start = clock::now();
+    const std::vector<std::uint8_t> bytes = first.save();
+    const double save_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - save_start)
+            .count();
+
+    LiveRun second(snapshot, config.manager);
+    const auto restore_start = clock::now();
+    second.restore(bytes);
+    const double restore_ms = std::chrono::duration<double, std::milli>(
+                                  clock::now() - restore_start)
+                                  .count();
+    second.run();
+    const ExperimentResult resumed = second.collect();
+    if (resumed.events_processed != straight.events_processed ||
+        resumed.makespan != straight.makespan ||
+        resumed.jobs_completed != straight.jobs_completed) {
+      std::cerr << "error: restore equivalence failed at " << nodes
+                << " nodes (events " << resumed.events_processed << " vs "
+                << straight.events_processed << ")\n";
+      return 1;
+    }
+
+    const double mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+    table.add_row({std::to_string(nodes), Num(mb), Num(save_ms),
+                   Num(restore_ms), std::to_string(straight.events_processed),
+                   Num(straight.makespan, 1)});
+    const std::vector<std::string> row{
+        std::to_string(nodes),    std::to_string(total_jobs),
+        Num(mb, 3),               Num(save_ms, 3),
+        Num(restore_ms, 3),       std::to_string(straight.events_processed),
+        Num(straight.makespan, 1)};
+    if (csv) csv->add_row(row);
+    if (json) json->add_row(row);
+  }
+
+  std::cout << '\n';
+  table.print(std::cout);
+  return 0;
+}

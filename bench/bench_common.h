@@ -162,6 +162,47 @@ inline std::unique_ptr<JsonWriter> MaybeJson(
   return nullptr;
 }
 
+/// Strict double parse: the whole string must be consumed.
+inline std::optional<double> ParseDouble(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return std::nullopt;
+  return value;
+}
+
+/// Optional checkpoint/resume arguments shared by the long-horizon
+/// harnesses: `--checkpoint-every <sim-seconds>` writes a snap:: snapshot
+/// (plus JSON manifest sidecar) every so many simulated seconds,
+/// `--checkpoint-dir <path>` says where (default ".", created if missing)
+/// and `--resume <snapshot>` restores one before running.  Resume demands
+/// the identical config + manager — the config hash in the snapshot header
+/// is enforced, so resuming the wrong scenario fails loudly.
+inline workload::CheckpointConfig CheckpointFlags(int argc, char** argv) {
+  workload::CheckpointConfig checkpoint;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--checkpoint-every") {
+      if (const auto every = ParseDouble(argv[i + 1]);
+          every && *every > 0.0) {
+        checkpoint.every = *every;
+      } else {
+        std::cerr << "warning: ignoring --checkpoint-every \"" << argv[i + 1]
+                  << "\" (need a positive number of simulated seconds)\n";
+      }
+    } else if (flag == "--checkpoint-dir") {
+      checkpoint.directory = argv[i + 1];
+    } else if (flag == "--resume") {
+      checkpoint.resume_path = argv[i + 1];
+    }
+  }
+  if (checkpoint.every > 0.0) {
+    std::filesystem::create_directories(checkpoint.directory);
+  }
+  return checkpoint;
+}
+
 /// Optional --trace <dir> argument: enable span tracing for every run and
 /// drop one Chrome trace-event JSON file per run into <dir> (load them at
 /// ui.perfetto.dev or chrome://tracing), plus print each run's JCT

@@ -12,6 +12,13 @@
 // scaled-down pass under an RSS ceiling via /usr/bin/time and archives
 // the --json output as BENCH_steady.json.
 //
+// Checkpoint/resume: `--checkpoint-every <sim-seconds>` (with optional
+// `--checkpoint-dir <path>`) writes periodic snapshots of the flat run;
+// `--resume <snapshot>` restores one and finishes the run — with summaries
+// identical to the uninterrupted run.  Either flag narrows the bench to
+// the flat scenario only (a snapshot is pinned to one exact config, so
+// replaying it across scenario rows cannot work).
+//
 // CUSTODY_BENCH_STEADY_SWEEP_JOBS=N (default 0 = off) appends a node-
 // scaling sweep: the same N jobs replayed at 100 / 1000 / 10000 nodes.
 // Demand is fixed while the idle pool grows 100x, so the events/s column
@@ -86,6 +93,20 @@ int main(int argc, char** argv) {
       "jct_mean_s",      "jct_p99_s",     "makespan_s"};
   auto csv = MaybeCsv(argc, argv, columns);
   auto json = MaybeJson(argc, argv, columns);
+  const CheckpointConfig checkpoint = CheckpointFlags(argc, argv);
+  const bool checkpointing =
+      checkpoint.every > 0.0 || !checkpoint.resume_path.empty();
+  if (checkpointing) {
+    std::cout << "checkpointing: flat scenario only";
+    if (checkpoint.every > 0.0) {
+      std::cout << ", snapshot every " << checkpoint.every << " sim-s into "
+                << checkpoint.directory;
+    }
+    if (!checkpoint.resume_path.empty()) {
+      std::cout << ", resuming from " << checkpoint.resume_path;
+    }
+    std::cout << '\n';
+  }
 
   AsciiTable table({"scenario", "nodes", "wall (s)", "events/s",
                     "jobs retired", "peak live tasks", "JCT mean (s)",
@@ -94,8 +115,8 @@ int main(int argc, char** argv) {
   // means the engine leaked live jobs (retired != completed != submitted).
   const auto run_row = [&](const std::string& scenario, long long row_jobs,
                            long long row_nodes, bool diurnal) -> bool {
-    const ExperimentConfig config =
-        SteadyBenchConfig(row_jobs, row_nodes, diurnal);
+    ExperimentConfig config = SteadyBenchConfig(row_jobs, row_nodes, diurnal);
+    if (checkpointing) config.checkpoint = checkpoint;
     const auto start = std::chrono::steady_clock::now();
     const ExperimentResult result = RunExperiment(config);
     const double wall =
@@ -140,11 +161,12 @@ int main(int argc, char** argv) {
   };
 
   for (const bool diurnal : {false, true}) {
+    if (checkpointing && diurnal) break;  // a snapshot pins one exact config
     if (!run_row(diurnal ? "diurnal" : "flat", total_jobs, nodes, diurnal)) {
       return 1;
     }
   }
-  if (sweep_jobs >= 4) {
+  if (!checkpointing && sweep_jobs >= 4) {
     for (const long long sweep_nodes : {100LL, 1000LL, 10000LL}) {
       if (!run_row("node-sweep", sweep_jobs, sweep_nodes, /*diurnal=*/false)) {
         return 1;

@@ -49,8 +49,24 @@ std::vector<std::string> SplitCommas(const std::string& text) {
          "  --threads <n>          worker threads; 0 = all cores (default 1)\n"
          "  --csv <path>           also dump every row as CSV\n"
          "  --trace <dir>          record a span trace per run and write\n"
-         "                         Chrome trace-event JSON files into <dir>\n";
+         "                         Chrome trace-event JSON files into <dir>\n"
+         "  --checkpoint-every <s> write a snapshot every <s> simulated\n"
+         "                         seconds (single-config grids only)\n"
+         "  --checkpoint-dir <dir> where checkpoint files land (default .)\n"
+         "  --resume <snapshot>    restore a snapshot before running\n"
+         "                         (single-config grids only; the config\n"
+         "                         hash must match the snapshot's)\n";
   std::exit(2);
+}
+
+double ParseDoubleOrDie(const std::string& text, const std::string& flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    Usage(flag + " expects a number, got \"" + text + "\"");
+  }
+  return value;
 }
 
 long long ParseIntOrDie(const std::string& text, const std::string& flag) {
@@ -94,6 +110,7 @@ int main(int argc, char** argv) {
   int threads = 1;
   std::string csv_path;
   std::string trace_dir;
+  CheckpointConfig checkpoint;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -132,12 +149,37 @@ int main(int argc, char** argv) {
       csv_path = value;
     } else if (flag == "--trace") {
       trace_dir = value;
+    } else if (flag == "--checkpoint-every") {
+      checkpoint.every = ParseDoubleOrDie(value, flag);
+      if (checkpoint.every <= 0.0) Usage("--checkpoint-every must be > 0");
+    } else if (flag == "--checkpoint-dir") {
+      checkpoint.directory = value;
+    } else if (flag == "--resume") {
+      checkpoint.resume_path = value;
     } else {
       Usage("unknown flag \"" + flag + "\"");
     }
   }
   if (nodes.empty() || workloads.empty() || managers.empty() || seeds.empty()) {
     Usage("empty grid");
+  }
+  const bool checkpointing =
+      checkpoint.every > 0.0 || !checkpoint.resume_path.empty();
+  if (checkpointing) {
+    // A snapshot pins one exact config + manager, and every config of a
+    // grid would clobber the same checkpoint files.
+    if (nodes.size() * workloads.size() * managers.size() * seeds.size() !=
+        1) {
+      Usage(
+          "--checkpoint-every/--resume need a single-config grid (one "
+          "node count, workload, manager and seed)");
+    }
+    if (!trace_dir.empty()) {
+      Usage("--checkpoint-every/--resume are incompatible with --trace");
+    }
+    if (checkpoint.every > 0.0) {
+      std::filesystem::create_directories(checkpoint.directory);
+    }
   }
 
   std::vector<ExperimentConfig> grid;
@@ -153,6 +195,7 @@ int main(int argc, char** argv) {
           config.trace.jobs_per_app = jobs;
           config.seed = seed;
           config.tracing.enabled = !trace_dir.empty();
+          if (checkpointing) config.checkpoint = checkpoint;
           grid.push_back(std::move(config));
         }
       }

@@ -3,11 +3,24 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "common/log.h"
+#include "common/snapshot.h"
 #include "obs/trace.h"
 
 namespace custody::app {
+
+namespace {
+
+// FlowLabel callback kinds — the application's private recipe for
+// rebuilding a restored flow's completion callback (a = task id, b = task
+// epoch, c = app id; see rebuild_flow_callback).
+constexpr std::uint32_t kFlowInputRead = 1;
+constexpr std::uint32_t kFlowCloneRead = 2;
+constexpr std::uint32_t kFlowShuffleFetch = 3;
+
+}  // namespace
 
 Application::Application(AppId id, sim::Simulator& sim, net::Network& net,
                          const dfs::Dfs& dfs, cluster::Cluster& cluster,
@@ -408,6 +421,45 @@ void Application::arm_retry(SimTime at) {
     retry_time_ = -1.0;
     kick();
   });
+  retry_armed_time_ = sim_.now() + delay;
+  retry_seq_ = sim_.last_event_seq();
+}
+
+sim::EventFn Application::timer_fn(TaskId id, std::uint32_t epoch,
+                                  TimerKind kind, bool spec) {
+  return [this, id, epoch, kind, spec] {
+    Task* found = find_task(id);
+    if (found == nullptr || found->epoch != epoch) return;
+    if (spec) {
+      found->spec_kind = TimerKind::kNone;
+      if (kind == TimerKind::kRead) {
+        start_clone_compute(*found);
+      } else {
+        finish_attempt(*found, 1);
+      }
+    } else {
+      found->pending_kind = TimerKind::kNone;
+      if (kind == TimerKind::kRead) {
+        start_compute(*found);
+      } else {
+        finish_attempt(*found, 0);
+      }
+    }
+  };
+}
+
+void Application::arm_task_timer(Task& t, TimerKind kind, double delay) {
+  t.pending_event = sim_.schedule(delay, timer_fn(t.id, t.epoch, kind, false));
+  t.pending_kind = kind;
+  t.pending_time = sim_.now() + delay;
+  t.pending_seq = sim_.last_event_seq();
+}
+
+void Application::arm_spec_timer(Task& t, TimerKind kind, double delay) {
+  t.spec_event = sim_.schedule(delay, timer_fn(t.id, t.epoch, kind, true));
+  t.spec_kind = kind;
+  t.spec_time = sim_.now() + delay;
+  t.spec_seq = sim_.last_event_seq();
 }
 
 void Application::launch(Task& t, ExecutorId exec) {
@@ -476,12 +528,7 @@ void Application::launch(Task& t, ExecutorId exec) {
       }
       const double rate = on_disk ? cluster_.disk_bps(e.node)
                                   : cluster_.config().memory_bps;
-      const double read_secs = t.input_bytes / rate;
-      t.pending_event = sim_.schedule(
-          read_secs, [this, id = t.id, ep = t.epoch] {
-            Task* found = find_task(id);
-            if (found != nullptr && found->epoch == ep) start_compute(*found);
-          });
+      arm_task_timer(t, TimerKind::kRead, t.input_bytes / rate);
     } else {
       // Remote read: stream the block from a replica (or cached copy) over
       // the network; the receiving node caches what it pulled.
@@ -490,11 +537,11 @@ void Application::launch(Task& t, ExecutorId exec) {
       NodeId src = rng_.pick(locs);
       if (src == e.node) {
         // A cached copy appeared on this node after scheduling; read it.
+        // (Epoch-guarded like every other attempt timer: a failure reset
+        // between scheduling and firing must orphan this callback.)
         if (cache_ != nullptr) cache_->record_cached_read(e.node, t.block);
-        const double read_secs =
-            t.input_bytes / cluster_.config().memory_bps;
-        sim_.post(read_secs,
-                  [this, id = t.id] { start_compute(task(id)); });
+        arm_task_timer(t, TimerKind::kRead,
+                       t.input_bytes / cluster_.config().memory_bps);
         return;
       }
       t.pending_flow = net_.start_flow(
@@ -505,7 +552,11 @@ void Application::launch(Task& t, ExecutorId exec) {
             fetched->pending_flow = FlowId::invalid();
             if (cache_ != nullptr) cache_->insert(node, fetched->block);
             start_compute(*fetched);
-          });
+          },
+          {.kind = kFlowInputRead,
+           .a = t.id.value(),
+           .b = t.epoch,
+           .c = id_.value()});
     }
     return;
   }
@@ -526,11 +577,7 @@ void Application::launch(Task& t, ExecutorId exec) {
     // Everything is on this node (or the task has no input at all).
     const double read_secs =
         t.input_bytes > 0.0 ? t.input_bytes / cluster_.disk_bps(e.node) : 0.0;
-    t.pending_event = sim_.schedule(
-        read_secs, [this, id = t.id, ep = t.epoch] {
-          Task* found = find_task(id);
-          if (found != nullptr && found->epoch == ep) start_compute(*found);
-        });
+    arm_task_timer(t, TimerKind::kRead, read_secs);
     return;
   }
   const double bytes_per_source =
@@ -544,7 +591,11 @@ void Application::launch(Task& t, ExecutorId exec) {
                       if (--fetched->fetches_outstanding == 0) {
                         start_compute(*fetched);
                       }
-                    });
+                    },
+                    {.kind = kFlowShuffleFetch,
+                     .a = t.id.value(),
+                     .b = t.epoch,
+                     .c = id_.value()});
   }
 }
 
@@ -552,11 +603,7 @@ void Application::start_compute(Task& t) {
   assert(t.state == TaskState::kRunning);
   t.compute_start = sim_.now();
   const double speed = cluster_.node_speed(cluster_.node_of(t.executor));
-  t.pending_event = sim_.schedule(
-      t.compute_secs / speed, [this, id = t.id, ep = t.epoch] {
-        Task* found = find_task(id);
-        if (found != nullptr && found->epoch == ep) finish_attempt(*found, 0);
-      });
+  arm_task_timer(t, TimerKind::kCompute, t.compute_secs / speed);
 }
 
 TaskId Application::pick_speculative(NodeId node) const {
@@ -615,13 +662,7 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
     }
     const double rate = on_disk ? cluster_.disk_bps(e.node)
                                 : cluster_.config().memory_bps;
-    t.spec_event = sim_.schedule(
-        t.input_bytes / rate, [this, id = t.id, ep = t.epoch] {
-          Task* found = find_task(id);
-          if (found != nullptr && found->epoch == ep) {
-            start_clone_compute(*found);
-          }
-        });
+    arm_spec_timer(t, TimerKind::kRead, t.input_bytes / rate);
     return;
   }
   const auto& locs = locations_of(t.block);
@@ -629,14 +670,8 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
   NodeId src = rng_.pick(locs);
   if (src == e.node) {
     if (cache_ != nullptr) cache_->record_cached_read(e.node, t.block);
-    t.spec_event = sim_.schedule(
-        t.input_bytes / cluster_.config().memory_bps,
-        [this, id = t.id, ep = t.epoch] {
-          Task* found = find_task(id);
-          if (found != nullptr && found->epoch == ep) {
-            start_clone_compute(*found);
-          }
-        });
+    arm_spec_timer(t, TimerKind::kRead,
+                   t.input_bytes / cluster_.config().memory_bps);
     return;
   }
   t.spec_flow = net_.start_flow(
@@ -647,18 +682,18 @@ void Application::launch_clone(Task& t, ExecutorId exec) {
         fetched->spec_flow = FlowId::invalid();
         if (cache_ != nullptr) cache_->insert(node, fetched->block);
         start_clone_compute(*fetched);
-      });
+      },
+      {.kind = kFlowCloneRead,
+       .a = t.id.value(),
+       .b = t.epoch,
+       .c = id_.value()});
 }
 
 void Application::start_clone_compute(Task& t) {
   if (t.state != TaskState::kRunning || !t.spec_active) return;
   t.spec_compute_start = sim_.now();
   const double speed = cluster_.node_speed(cluster_.node_of(t.spec_executor));
-  t.spec_event = sim_.schedule(
-      t.compute_secs / speed, [this, id = t.id, ep = t.epoch] {
-        Task* found = find_task(id);
-        if (found != nullptr && found->epoch == ep) finish_attempt(*found, 1);
-      });
+  arm_spec_timer(t, TimerKind::kCompute, t.compute_secs / speed);
 }
 
 void Application::finish_attempt(Task& t, int attempt) {
@@ -667,6 +702,7 @@ void Application::finish_attempt(Task& t, int attempt) {
     // The clone won: abort the primary and adopt the clone's placement.
     ++spec_wins_;
     t.pending_event.cancel();
+    t.pending_kind = TimerKind::kNone;
     if (t.pending_flow.valid() && net_.flow_active(t.pending_flow)) {
       net_.cancel_flow(t.pending_flow);
     }
@@ -679,6 +715,7 @@ void Application::finish_attempt(Task& t, int attempt) {
   } else if (t.spec_active) {
     // The primary won: abort the clone and free its executor.
     t.spec_event.cancel();
+    t.spec_kind = TimerKind::kNone;
     if (t.spec_flow.valid() && net_.flow_active(t.spec_flow)) {
       net_.cancel_flow(t.spec_flow);
     }
@@ -693,12 +730,14 @@ void Application::finish_attempt(Task& t, int attempt) {
 void Application::reset_task(Task& t) {
   assert(t.state == TaskState::kRunning);
   t.pending_event.cancel();
+  t.pending_kind = TimerKind::kNone;
   if (t.pending_flow.valid() && net_.flow_active(t.pending_flow)) {
     net_.cancel_flow(t.pending_flow);
   }
   t.pending_flow = FlowId::invalid();
   if (t.spec_active) {
     t.spec_event.cancel();
+    t.spec_kind = TimerKind::kNone;
     if (t.spec_flow.valid() && net_.flow_active(t.spec_flow)) {
       net_.cancel_flow(t.spec_flow);
     }
@@ -752,6 +791,7 @@ void Application::on_executor_lost(ExecutorId exec) {
         } else if (t.spec_active && t.spec_executor == exec) {
           // Only the clone died; the primary attempt keeps running.
           t.spec_event.cancel();
+          t.spec_kind = TimerKind::kNone;
           if (t.spec_flow.valid() && net_.flow_active(t.spec_flow)) {
             net_.cancel_flow(t.spec_flow);
           }
@@ -979,6 +1019,298 @@ void Application::maybe_release_idle_executors() {
     }
   }
   for (ExecutorId exec : to_release) manager_->release_executor(exec);
+}
+
+net::Network::CompletionFn Application::rebuild_flow_callback(
+    FlowId /*flow*/, const net::FlowLabel& label, NodeId /*src*/, NodeId dst) {
+  // Bodies are byte-identical to the lambdas the live start_flow sites
+  // install — a restored flow must behave exactly like the original.
+  const TaskId id(label.a);
+  const std::uint32_t ep = label.b;
+  switch (label.kind) {
+    case kFlowInputRead:
+      return [this, id, node = dst, ep] {
+        Task* fetched = find_task(id);
+        if (fetched == nullptr || fetched->epoch != ep) return;
+        fetched->pending_flow = FlowId::invalid();
+        if (cache_ != nullptr) cache_->insert(node, fetched->block);
+        start_compute(*fetched);
+      };
+    case kFlowCloneRead:
+      return [this, id, node = dst, ep] {
+        Task* fetched = find_task(id);
+        if (fetched == nullptr || fetched->epoch != ep) return;
+        fetched->spec_flow = FlowId::invalid();
+        if (cache_ != nullptr) cache_->insert(node, fetched->block);
+        start_clone_compute(*fetched);
+      };
+    case kFlowShuffleFetch:
+      return [this, id, ep] {
+        Task* fetched = find_task(id);
+        if (fetched == nullptr || fetched->epoch != ep) return;
+        if (--fetched->fetches_outstanding == 0) start_compute(*fetched);
+      };
+    default:
+      throw snap::SnapshotError("Application: unknown flow label kind " +
+                                std::to_string(label.kind));
+  }
+}
+
+void Application::SaveTo(snap::SnapshotWriter& w) const {
+  rng_.SaveTo(w);
+  w.i64(share_);
+  w.i64(running_tasks_);
+  w.u64(jobs_submitted_);
+  w.u64(jobs_completed_);
+  w.u64(jobs_retired_);
+  w.u64(peak_live_tasks_);
+  w.u64(spec_launches_);
+  w.u64(spec_wins_);
+  w.i64(achieved_.local_jobs);
+  w.i64(achieved_.total_jobs);
+  w.i64(achieved_.local_tasks);
+  w.i64(achieved_.total_tasks);
+  w.u64(breakdown_.local);
+  w.u64(breakdown_.covered_busy);
+  w.u64(breakdown_.uncovered);
+
+  const bool retry_armed = retry_time_ >= 0.0 && retry_event_.valid() &&
+                           !retry_event_.cancelled();
+  w.b(retry_armed);
+  if (retry_armed) {
+    w.f64(retry_time_);
+    w.f64(retry_armed_time_);
+    w.u64(retry_seq_);
+  }
+
+  // Jobs in id order (map iteration order is not deterministic).
+  std::vector<const Job*> jobs;
+  jobs.reserve(jobs_by_id_.size());
+  for (const auto& [jid, j] : jobs_by_id_) jobs.push_back(j);
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job* a, const Job* b) { return a->id < b->id; });
+  w.size(jobs.size());
+  for (const Job* j : jobs) {
+    w.u32(j->id.value());
+    w.str(j->name);
+    w.u32(j->input_file.value());
+    w.f64(j->submit_time);
+    w.f64(j->input_stage_finish);
+    w.f64(j->finish_time);
+    w.b(j->finished);
+    w.i64(j->input_tasks);
+    w.i64(j->local_input_tasks);
+    w.i64(j->launched_input_tasks);
+    w.f64(j->wait_start);
+    w.size(j->stages.size());
+    for (const Stage& s : j->stages) {
+      w.i64(s.index);
+      w.size(s.tasks.size());
+      for (TaskId t : s.tasks) w.u32(t.value());
+      w.i64(s.finished);
+      w.f64(s.ready_time);
+      w.size(s.output_nodes.size());
+      for (NodeId n : s.output_nodes) w.u32(n.value());
+    }
+  }
+  w.size(active_jobs_.size());
+  for (const Job* j : active_jobs_) w.u32(j->id.value());
+
+  // Tasks in id order.
+  std::vector<const Task*> tasks;
+  tasks.reserve(tasks_.size());
+  for (const auto& [tid, t] : tasks_) tasks.push_back(&t);
+  std::sort(tasks.begin(), tasks.end(),
+            [](const Task* a, const Task* b) { return a->id < b->id; });
+  w.size(tasks.size());
+  for (const Task* tp : tasks) {
+    const Task& t = *tp;
+    w.u32(t.id.value());
+    w.u32(t.job.value());
+    w.i64(t.stage);
+    w.i64(t.index);
+    w.u32(t.block.value());
+    w.f64(t.input_bytes);
+    w.f64(t.compute_secs);
+    w.u8(static_cast<std::uint8_t>(t.state));
+    w.u32(t.executor.value());
+    w.b(t.local);
+    w.f64(t.ready_time);
+    w.f64(t.launch_time);
+    w.f64(t.finish_time);
+    w.f64(t.compute_start);
+    w.i64(t.fetches_outstanding);
+    w.size(t.fetch_sources.size());
+    for (NodeId n : t.fetch_sources) w.u32(n.value());
+    w.u32(t.epoch);
+    w.u8(static_cast<std::uint8_t>(t.pending_kind));
+    if (t.pending_kind != TimerKind::kNone) {
+      w.f64(t.pending_time);
+      w.u64(t.pending_seq);
+    }
+    w.u32(t.pending_flow.value());
+    w.b(t.spec_active);
+    w.u32(t.spec_executor.value());
+    w.b(t.spec_local);
+    w.f64(t.spec_compute_start);
+    w.u8(static_cast<std::uint8_t>(t.spec_kind));
+    if (t.spec_kind != TimerKind::kNone) {
+      w.f64(t.spec_time);
+      w.u64(t.spec_seq);
+    }
+    w.u32(t.spec_flow.value());
+  }
+}
+
+void Application::RestoreFrom(snap::SnapshotReader& r) {
+  rng_.RestoreFrom(r);
+  share_ = static_cast<int>(r.i64());
+  running_tasks_ = static_cast<int>(r.i64());
+  jobs_submitted_ = r.u64();
+  jobs_completed_ = r.u64();
+  jobs_retired_ = r.u64();
+  peak_live_tasks_ = r.u64();
+  spec_launches_ = r.u64();
+  spec_wins_ = r.u64();
+  achieved_.local_jobs = r.i64();
+  achieved_.total_jobs = r.i64();
+  achieved_.local_tasks = r.i64();
+  achieved_.total_tasks = r.i64();
+  breakdown_.local = r.u64();
+  breakdown_.covered_busy = r.u64();
+  breakdown_.uncovered = r.u64();
+
+  retry_event_.cancel();
+  if (r.b()) {
+    retry_time_ = r.f64();
+    retry_armed_time_ = r.f64();
+    retry_seq_ = r.u64();
+    retry_event_ = sim_.rearm_at(retry_armed_time_, retry_seq_, [this] {
+      retry_time_ = -1.0;
+      kick();
+    });
+  } else {
+    retry_time_ = -1.0;
+  }
+
+  for (auto& [jid, j] : jobs_by_id_) job_pool_.destroy(j);
+  jobs_by_id_.clear();
+  active_jobs_.clear();
+  const std::size_t num_jobs = r.size();
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    Job* owned = job_pool_.create();
+    Job& j = *owned;
+    j.id = JobId(r.u32());
+    j.app = id_;
+    j.name = r.str();
+    j.input_file = FileId(r.u32());
+    j.submit_time = r.f64();
+    j.input_stage_finish = r.f64();
+    j.finish_time = r.f64();
+    j.finished = r.b();
+    j.input_tasks = static_cast<int>(r.i64());
+    j.local_input_tasks = static_cast<int>(r.i64());
+    j.launched_input_tasks = static_cast<int>(r.i64());
+    j.wait_start = r.f64();
+    j.stages.assign(r.size(), Stage{});
+    for (Stage& s : j.stages) {
+      s.index = static_cast<int>(r.i64());
+      s.tasks.assign(r.size(), TaskId());
+      for (TaskId& t : s.tasks) t = TaskId(r.u32());
+      s.finished = static_cast<int>(r.i64());
+      s.ready_time = r.f64();
+      s.output_nodes.assign(r.size(), NodeId());
+      for (NodeId& n : s.output_nodes) n = NodeId(r.u32());
+    }
+    jobs_by_id_.emplace(j.id, owned);
+  }
+  const std::size_t num_active = r.size();
+  for (std::size_t i = 0; i < num_active; ++i) {
+    const JobId jid(r.u32());
+    const auto it = jobs_by_id_.find(jid);
+    if (it == jobs_by_id_.end()) {
+      throw snap::SnapshotError("Application: active job " +
+                                std::to_string(jid.value()) +
+                                " missing from the job table");
+    }
+    active_jobs_.push_back(it->second);
+  }
+
+  tasks_.clear();
+  const std::size_t num_tasks = r.size();
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    Task t;
+    t.id = TaskId(r.u32());
+    t.job = JobId(r.u32());
+    t.stage = static_cast<int>(r.i64());
+    t.index = static_cast<int>(r.i64());
+    t.block = BlockId(r.u32());
+    t.input_bytes = r.f64();
+    t.compute_secs = r.f64();
+    const std::uint8_t state = r.u8();
+    if (state > static_cast<std::uint8_t>(TaskState::kFinished)) {
+      throw snap::SnapshotError("Application: bad task state " +
+                                std::to_string(state));
+    }
+    t.state = static_cast<TaskState>(state);
+    t.executor = ExecutorId(r.u32());
+    t.local = r.b();
+    t.ready_time = r.f64();
+    t.launch_time = r.f64();
+    t.finish_time = r.f64();
+    t.compute_start = r.f64();
+    t.fetches_outstanding = static_cast<int>(r.i64());
+    t.fetch_sources.assign(r.size(), NodeId());
+    for (NodeId& n : t.fetch_sources) n = NodeId(r.u32());
+    t.epoch = r.u32();
+    const std::uint8_t pending = r.u8();
+    if (pending > static_cast<std::uint8_t>(TimerKind::kCompute)) {
+      throw snap::SnapshotError("Application: bad pending timer kind " +
+                                std::to_string(pending));
+    }
+    t.pending_kind = static_cast<TimerKind>(pending);
+    if (t.pending_kind != TimerKind::kNone) {
+      t.pending_time = r.f64();
+      t.pending_seq = r.u64();
+      t.pending_event =
+          sim_.rearm_at(t.pending_time, t.pending_seq,
+                        timer_fn(t.id, t.epoch, t.pending_kind, false));
+    }
+    t.pending_flow = FlowId(r.u32());
+    t.spec_active = r.b();
+    t.spec_executor = ExecutorId(r.u32());
+    t.spec_local = r.b();
+    t.spec_compute_start = r.f64();
+    const std::uint8_t spec = r.u8();
+    if (spec > static_cast<std::uint8_t>(TimerKind::kCompute)) {
+      throw snap::SnapshotError("Application: bad clone timer kind " +
+                                std::to_string(spec));
+    }
+    t.spec_kind = static_cast<TimerKind>(spec);
+    if (t.spec_kind != TimerKind::kNone) {
+      t.spec_time = r.f64();
+      t.spec_seq = r.u64();
+      t.spec_event = sim_.rearm_at(t.spec_time, t.spec_seq,
+                                   timer_fn(t.id, t.epoch, t.spec_kind, true));
+    }
+    t.spec_flow = FlowId(r.u32());
+    tasks_.emplace(t.id, std::move(t));
+  }
+
+  // Rebuild the dispatch index from the restored ready tasks.  All index
+  // containers are ordered sets (or order-insensitive aggregates), so
+  // insertion order does not matter; locality derives from the DFS and
+  // cache, which must have been restored before the applications.
+  if (index_ != nullptr) {
+    index_ = std::make_unique<ReadyTaskIndex>(dfs_);
+    if (cache_ != nullptr) index_->set_cache(cache_);
+    scheduler_.attach_index(index_.get());
+    for (const auto& [tid, t] : tasks_) {
+      if (t.state == TaskState::kReady) index_->task_ready(t);
+    }
+  }
+  exec_idle_since_.clear();
+  in_kick_ = false;
 }
 
 int Application::executors_held() const { return cluster_.owned_by(id_); }

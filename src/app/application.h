@@ -156,6 +156,21 @@ class Application final : public cluster::AppHandle {
   /// Null for unknown ids — including jobs already retired.
   [[nodiscard]] const Job* find_job(JobId id) const;
 
+  // --- snapshot/restore ----------------------------------------------------
+  /// Serialize jobs, tasks (with typed pending-timer descriptors), the RNG,
+  /// counters and the retry-event descriptor.  The executor ledger lives in
+  /// the Cluster; flow callbacks are rebuilt from FlowLabels on restore.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  /// Rebuild from a snapshot taken on an identically-configured app.  Jobs
+  /// are re-created from the pool in id order, pending timers re-armed
+  /// under their original sequence numbers, and the ready-task index
+  /// reconstructed from the restored task states.
+  void RestoreFrom(snap::SnapshotReader& r);
+  /// Network restore hook: rebuild the completion callback a live flow had
+  /// when the snapshot was taken, from the label the flow was started with.
+  [[nodiscard]] net::Network::CompletionFn rebuild_flow_callback(
+      FlowId flow, const net::FlowLabel& label, NodeId src, NodeId dst);
+
  private:
   Task& task(TaskId id);
   const Task& task(TaskId id) const;
@@ -182,6 +197,15 @@ class Application final : public cluster::AppHandle {
   void finish_job(Job& j);
   void maybe_release_idle_executors();
   void arm_retry(SimTime at);
+  /// The epoch-guarded callback a (kind, spec) timer descriptor stands for
+  /// — shared by live scheduling and snapshot re-arm so both paths run
+  /// byte-identical logic.
+  [[nodiscard]] sim::EventFn timer_fn(TaskId id, std::uint32_t epoch,
+                                      TimerKind kind, bool spec);
+  /// Schedule a primary/clone attempt timer and record its snapshot
+  /// descriptor (kind, time, original sequence number).
+  void arm_task_timer(Task& t, TimerKind kind, double delay);
+  void arm_spec_timer(Task& t, TimerKind kind, double delay);
   [[nodiscard]] int count_ready_tasks() const;
   /// True when an *unallocated* executor sits on a replica node of a ready
   /// input task that no held executor can serve locally.
@@ -244,6 +268,11 @@ class Application final : public cluster::AppHandle {
   LaunchBreakdown breakdown_;
   sim::EventHandle retry_event_;
   SimTime retry_time_ = -1.0;
+  /// Snapshot descriptor of the pending retry event.  The armed time is
+  /// recorded separately from retry_time_: the queue holds now + max(0,
+  /// at - now), which can differ from `at` in the last ulp.
+  SimTime retry_armed_time_ = 0.0;
+  std::uint64_t retry_seq_ = 0;
   bool in_kick_ = false;
 };
 

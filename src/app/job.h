@@ -7,6 +7,7 @@
 // the nodes where the previous stage ran.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,12 @@ struct Task;
 using TaskTable = std::unordered_map<TaskId, Task>;
 
 enum class TaskState { kBlocked, kReady, kRunning, kFinished };
+
+/// Which callback a task attempt's pending simulator timer will run.
+/// Recorded alongside every scheduled timer so a snapshot can re-arm the
+/// event from data (closures cannot be serialized): kRead completes the
+/// attempt's local read and starts compute, kCompute finishes the attempt.
+enum class TimerKind : std::uint8_t { kNone = 0, kRead = 1, kCompute = 2 };
 
 struct Task {
   TaskId id;
@@ -58,6 +65,11 @@ struct Task {
   // --- cancellable in-flight work of the primary attempt ------------------
   sim::EventHandle pending_event;  ///< local read or compute timer
   FlowId pending_flow;             ///< remote input read in flight
+  /// Snapshot descriptor of pending_event: which callback it runs and its
+  /// (time, original sequence number).  kNone whenever no timer is armed.
+  TimerKind pending_kind = TimerKind::kNone;
+  SimTime pending_time = 0.0;
+  std::uint64_t pending_seq = 0;
 
   // --- speculative clone (input tasks only; straggler mitigation) ---------
   bool spec_active = false;
@@ -66,6 +78,10 @@ struct Task {
   sim::EventHandle spec_event;
   FlowId spec_flow;
   SimTime spec_compute_start = 0.0;  ///< adopted into compute_start on a win
+  /// Snapshot descriptor of spec_event, mirroring pending_kind/time/seq.
+  TimerKind spec_kind = TimerKind::kNone;
+  SimTime spec_time = 0.0;
+  std::uint64_t spec_seq = 0;
 
   [[nodiscard]] bool is_input() const { return stage == 0; }
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "common/snapshot.h"
 
 namespace custody::cluster {
 
@@ -235,6 +238,81 @@ bool Cluster::holds_on(AppId app, NodeId node) const {
 const std::vector<int>* Cluster::held_counts(AppId app) const {
   const auto it = held_counts_.find(app.value());
   return it == held_counts_.end() ? nullptr : &it->second;
+}
+
+void Cluster::SaveTo(snap::SnapshotWriter& w) const {
+  w.size(num_nodes_);
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    w.b(node_alive_[n]);
+    w.f64(node_speed_[n]);
+  }
+  w.size(executors_.size());
+  for (const Executor& exec : executors_) {
+    w.u32(exec.owner.value());
+    w.b(exec.busy);
+  }
+  w.u64(idle_index_.count());
+}
+
+void Cluster::RestoreFrom(snap::SnapshotReader& r) {
+  const std::size_t nodes = r.size();
+  if (nodes != num_nodes_) {
+    throw snap::SnapshotError("Cluster node count mismatch: snapshot has " +
+                              std::to_string(nodes) + ", cluster has " +
+                              std::to_string(num_nodes_));
+  }
+  std::vector<bool> alive(num_nodes_);
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    alive[n] = r.b();
+    node_speed_[n] = r.f64();
+  }
+  const std::size_t execs = r.size();
+  if (execs != executors_.size()) {
+    throw snap::SnapshotError(
+        "Cluster executor count mismatch: snapshot has " +
+        std::to_string(execs) + ", cluster has " +
+        std::to_string(executors_.size()));
+  }
+
+  // Reset the ledger to the post-construction state, then replay the
+  // snapshot through the public mutators so every derived structure (idle
+  // index, held/free sets, per-node counts) is rebuilt by the same code
+  // that maintains it live.
+  node_alive_.assign(num_nodes_, true);
+  owned_ids_.clear();
+  owned_on_node_.clear();
+  held_counts_.clear();
+  free_held_.clear();
+  idle_index_ = core::IdleExecutorIndex(executors_.size(), num_nodes_);
+  for (Executor& exec : executors_) {
+    exec.owner = AppId::invalid();
+    exec.busy = false;
+    idle_index_.add(exec.id, exec.node);
+  }
+
+  std::vector<AppId> owners(execs);
+  std::vector<bool> busy(execs);
+  for (std::size_t e = 0; e < execs; ++e) {
+    owners[e] = AppId(r.u32());
+    busy[e] = r.b();
+  }
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    if (!alive[n]) fail_node(NodeId(static_cast<NodeId::value_type>(n)));
+  }
+  for (std::size_t e = 0; e < execs; ++e) {
+    if (owners[e].valid()) assign(executors_[e].id, owners[e]);
+  }
+  for (std::size_t e = 0; e < execs; ++e) {
+    if (busy[e]) set_busy(executors_[e].id, true);
+  }
+
+  const std::uint64_t idle = r.u64();
+  if (idle != idle_index_.count()) {
+    throw snap::SnapshotError(
+        "Cluster idle-index rebuild mismatch: snapshot recorded " +
+        std::to_string(idle) + " idle executors, replay produced " +
+        std::to_string(idle_index_.count()));
+  }
 }
 
 void Cluster::held_nodes(AppId app, std::vector<NodeId>& out) const {

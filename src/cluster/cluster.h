@@ -17,6 +17,11 @@
 #include "core/idle_index.h"
 #include "core/model.h"
 
+namespace custody::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace custody::snap
+
 namespace custody::cluster {
 
 struct WorkerConfig {
@@ -116,6 +121,14 @@ class Cluster {
   /// sweep's survivors of the owner/busy re-check), maintained
   /// incrementally on assign/release/set_busy/fail_node.  Appends to `out`.
   void free_held(AppId app, std::vector<ExecutorId>& out) const;
+
+  /// Serialize the ownership ledger: node liveness/speeds plus each
+  /// executor's {owner, busy}.  Everything else (idle index, held sets,
+  /// free sets, per-node counts) is derived, so RestoreFrom rebuilds it by
+  /// replaying fail_node/assign/set_busy against a reset ledger and then
+  /// cross-checks the rebuilt idle count against the saved one.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
 
  private:
   /// Remove `exec` from its owner's held counters (owner must be valid).

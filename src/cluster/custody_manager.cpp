@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "common/snapshot.h"
 
 namespace custody::cluster {
 
@@ -35,6 +36,20 @@ void CustodyManager::register_app(AppHandle& app) {
 
 void CustodyManager::on_demand_changed(AppHandle& /*app*/) {
   schedule_reallocation();
+}
+
+void CustodyManager::SaveTo(snap::SnapshotWriter& w) const {
+  if (round_pending_) {
+    throw snap::SnapshotError(
+        "CustodyManager: allocation round pending at snapshot; rounds are "
+        "zero-delay posts and must drain before a between-events boundary");
+  }
+  ClusterManager::SaveTo(w);
+}
+
+void CustodyManager::RestoreFrom(snap::SnapshotReader& r) {
+  ClusterManager::RestoreFrom(r);
+  round_pending_ = false;
 }
 
 void CustodyManager::release_executor(ExecutorId exec) {

@@ -40,6 +40,12 @@ class CustodyManager final : public ClusterManager {
   /// Run one allocation round immediately (tests drive this directly).
   void reallocate_now();
 
+  /// Stats only: Custody keeps no RNG or cursor, and its rounds are
+  /// zero-delay posts, drained before any between-events boundary (SaveTo
+  /// fails loudly if one is pending).
+  void SaveTo(snap::SnapshotWriter& w) const override;
+  void RestoreFrom(snap::SnapshotReader& r) override;
+
  private:
   void schedule_reallocation();
   /// Incremental-trigger predicate: can any registered app still receive

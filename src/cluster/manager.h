@@ -20,6 +20,11 @@ namespace custody::obs {
 class Tracer;
 }
 
+namespace custody::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace custody::snap
+
 namespace custody::cluster {
 
 /// The manager-facing side of an application (implemented by
@@ -128,6 +133,15 @@ class ClusterManager {
   /// Optional span tracing (null disables; the default).  Grants are
   /// recorded as instants; tracing never changes what the manager decides.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Serialize the manager's dynamic state.  The base class covers the
+  /// stats counters; derived managers append their own RNG streams,
+  /// cursors and pending-event descriptors.  Config-derived members
+  /// (shares, app registrations) are rebuilt by re-running setup, not
+  /// serialized.  Managers whose rounds are zero-delay posts must be
+  /// saved at a between-events boundary, where no round is pending.
+  virtual void SaveTo(snap::SnapshotWriter& w) const;
+  virtual void RestoreFrom(snap::SnapshotReader& r);
 
  protected:
   /// Assign in the cluster ledger and notify the application.

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace custody::cluster {
 
 OfferManager::OfferManager(sim::Simulator& sim, Cluster& cluster,
@@ -89,6 +91,32 @@ void OfferManager::schedule_retry() {
     retry_pending_ = false;
     offer_round();
   });
+  retry_time_ = sim_.now() + config_.reoffer_interval;
+  retry_seq_ = sim_.last_event_seq();
+}
+
+void OfferManager::SaveTo(snap::SnapshotWriter& w) const {
+  ClusterManager::SaveTo(w);
+  w.u64(cursor_);
+  w.b(retry_pending_);
+  if (retry_pending_) {
+    w.f64(retry_time_);
+    w.u64(retry_seq_);
+  }
+}
+
+void OfferManager::RestoreFrom(snap::SnapshotReader& r) {
+  ClusterManager::RestoreFrom(r);
+  cursor_ = static_cast<std::size_t>(r.u64());
+  retry_pending_ = r.b();
+  if (retry_pending_) {
+    retry_time_ = r.f64();
+    retry_seq_ = r.u64();
+    sim_.rearm_detached_at(retry_time_, retry_seq_, [this] {
+      retry_pending_ = false;
+      offer_round();
+    });
+  }
 }
 
 }  // namespace custody::cluster

@@ -38,6 +38,14 @@ class OfferManager final : public ClusterManager {
 
   [[nodiscard]] int share() const { return share_; }
 
+  /// Stats + offer cursor + the pending-retry descriptor.  Unlike the
+  /// zero-delay managers a retry can legitimately straddle a snapshot
+  /// boundary (reoffer_interval is a real delay), so its (time, seq) is
+  /// recorded at post time and the event re-armed on restore under its
+  /// original sequence number.
+  void SaveTo(snap::SnapshotWriter& w) const override;
+  void RestoreFrom(snap::SnapshotReader& r) override;
+
  private:
   /// Offer every idle executor around the table once.
   void offer_round();
@@ -51,6 +59,10 @@ class OfferManager final : public ClusterManager {
   std::vector<AppHandle*> apps_;
   std::size_t cursor_ = 0;  ///< rotates the first application offered to
   bool retry_pending_ = false;
+  /// (time, seq) of the pending retry event, recorded when it is posted so
+  /// a snapshot restore can re-arm it deterministically.
+  SimTime retry_time_ = 0.0;
+  std::uint64_t retry_seq_ = 0;
 };
 
 }  // namespace custody::cluster

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace custody::cluster {
 
 PoolManager::PoolManager(sim::Simulator& sim, Cluster& cluster,
@@ -34,6 +36,22 @@ void PoolManager::schedule_round() {
     round_pending_ = false;
     distribute();
   });
+}
+
+void PoolManager::SaveTo(snap::SnapshotWriter& w) const {
+  if (round_pending_) {
+    throw snap::SnapshotError(
+        "PoolManager: allocation round pending at snapshot; rounds are "
+        "zero-delay posts and must drain before a between-events boundary");
+  }
+  ClusterManager::SaveTo(w);
+  rng_.SaveTo(w);
+}
+
+void PoolManager::RestoreFrom(snap::SnapshotReader& r) {
+  ClusterManager::RestoreFrom(r);
+  rng_.RestoreFrom(r);
+  round_pending_ = false;
 }
 
 void PoolManager::distribute() {

@@ -39,6 +39,11 @@ class PoolManager final : public ClusterManager {
 
   [[nodiscard]] int share() const { return share_; }
 
+  /// Stats + shuffle RNG.  Rounds are zero-delay posts, drained before any
+  /// between-events boundary, so SaveTo fails loudly if one is pending.
+  void SaveTo(snap::SnapshotWriter& w) const override;
+  void RestoreFrom(snap::SnapshotReader& r) override;
+
  private:
   /// Grant random idle executors to every app below its demand-capped pool.
   void distribute();

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace custody::cluster {
 
 StandaloneManager::StandaloneManager(sim::Simulator& sim, Cluster& cluster,
@@ -81,6 +83,18 @@ void StandaloneManager::allocate_random(AppHandle& app) {
 
 void StandaloneManager::on_demand_changed(AppHandle& /*app*/) {
   // Static sharing: the executor set never changes after registration.
+}
+
+void StandaloneManager::SaveTo(snap::SnapshotWriter& w) const {
+  ClusterManager::SaveTo(w);
+  rng_.SaveTo(w);
+  w.u64(next_node_);
+}
+
+void StandaloneManager::RestoreFrom(snap::SnapshotReader& r) {
+  ClusterManager::RestoreFrom(r);
+  rng_.RestoreFrom(r);
+  next_node_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace custody::cluster

@@ -43,6 +43,11 @@ class StandaloneManager final : public ClusterManager {
 
   [[nodiscard]] int share() const { return share_; }
 
+  /// Stats + allocation RNG + the spreadOut node cursor; share_ is
+  /// config-derived and rebuilt by the constructor.
+  void SaveTo(snap::SnapshotWriter& w) const override;
+  void RestoreFrom(snap::SnapshotReader& r) override;
+
  private:
   void allocate_spread(AppHandle& app);
   void allocate_random(AppHandle& app);

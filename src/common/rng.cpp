@@ -3,8 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
+
+#include "common/snapshot.h"
 
 namespace custody {
+
+void Rng::SaveTo(snap::SnapshotWriter& w) const {
+  w.u64(seed_);
+  std::ostringstream out;
+  out << engine_;
+  w.str(out.str());
+}
+
+void Rng::RestoreFrom(snap::SnapshotReader& r) {
+  seed_ = r.u64();
+  std::istringstream in(r.str());
+  in >> engine_;
+  if (in.fail()) {
+    throw snap::SnapshotError("malformed mt19937_64 engine state");
+  }
+}
 
 ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
   assert(n > 0);

@@ -11,6 +11,11 @@
 #include <random>
 #include <vector>
 
+namespace custody::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace custody::snap
+
 namespace custody {
 
 class Rng {
@@ -72,6 +77,13 @@ class Rng {
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+  /// Serialize the full engine state (and seed, so fork() keeps deriving
+  /// the same sub-streams after a restore).  mt19937_64's stream operators
+  /// round-trip the state exactly, so a restored stream produces the same
+  /// draw sequence bit-for-bit.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
 
  private:
   std::mt19937_64 engine_;

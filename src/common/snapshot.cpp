@@ -1,0 +1,271 @@
+#include "common/snapshot.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace custody::snap {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;  // magic, version, hash, t
+constexpr std::size_t kFooterBytes = 8;              // checksum
+constexpr std::size_t kSectionHeadBytes = 4 + 8;     // tag, length
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t BitsOf(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleOf(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string TagName(const std::uint8_t* p) {
+  std::string name;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>(p[i]);
+    name += (c >= 0x20 && c < 0x7f) ? c : '?';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t n,
+                    std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------------
+
+void SnapshotWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+void SnapshotWriter::u32(std::uint32_t v) { PutU32(bytes_, v); }
+void SnapshotWriter::u64(std::uint64_t v) { PutU64(bytes_, v); }
+void SnapshotWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+void SnapshotWriter::f64(double v) { u64(BitsOf(v)); }
+
+void SnapshotWriter::str(const std::string& v) {
+  size(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void SnapshotWriter::begin_section(const char* tag) {
+  if (in_section_) throw SnapshotError("nested section");
+  if (std::strlen(tag) != 4) throw SnapshotError("section tag must be 4 chars");
+  bytes_.insert(bytes_.end(), tag, tag + 4);
+  section_start_ = bytes_.size();
+  PutU64(bytes_, 0);  // patched by end_section
+  in_section_ = true;
+}
+
+void SnapshotWriter::end_section() {
+  if (!in_section_) throw SnapshotError("end_section without begin_section");
+  const std::uint64_t length =
+      bytes_.size() - (section_start_ + 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes_[section_start_ + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  in_section_ = false;
+}
+
+std::vector<std::uint8_t> SnapshotWriter::finish(std::uint64_t config_hash,
+                                                 double sim_time) {
+  if (in_section_) throw SnapshotError("finish with an open section");
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + bytes_.size() + kFooterBytes);
+  PutU32(out, kMagic);
+  PutU32(out, kFormatVersion);
+  PutU64(out, config_hash);
+  PutU64(out, BitsOf(sim_time));
+  out.insert(out.end(), bytes_.begin(), bytes_.end());
+  PutU64(out, Fnv1a(out.data(), out.size()));
+  bytes_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------------
+
+SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {
+  if (bytes_.size() < kHeaderBytes + kFooterBytes) {
+    throw SnapshotError("file too short (" + std::to_string(bytes_.size()) +
+                        " bytes) to hold a snapshot header");
+  }
+  if (GetU32(bytes_.data()) != kMagic) {
+    throw SnapshotError("bad magic — not a snapshot file");
+  }
+  version_ = GetU32(bytes_.data() + 4);
+  if (version_ != kFormatVersion) {
+    throw SnapshotError("format version " + std::to_string(version_) +
+                        " unsupported (this build reads version " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  config_hash_ = GetU64(bytes_.data() + 8);
+  sim_time_ = DoubleOf(GetU64(bytes_.data() + 16));
+  payload_end_ = bytes_.size() - kFooterBytes;
+  const std::uint64_t stored = GetU64(bytes_.data() + payload_end_);
+  const std::uint64_t actual = Fnv1a(bytes_.data(), payload_end_);
+  if (stored != actual) {
+    throw SnapshotError("checksum mismatch — file is corrupt or truncated");
+  }
+  if (!std::isfinite(sim_time_) || sim_time_ < 0.0) {
+    throw SnapshotError("header sim time is not a finite non-negative value");
+  }
+  cursor_ = kHeaderBytes;
+}
+
+const std::uint8_t* SnapshotReader::need(std::size_t n) {
+  const std::size_t limit = in_section_ ? section_end_ : payload_end_;
+  if (cursor_ + n > limit) {
+    throw SnapshotError(
+        "truncated read: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(cursor_) + (in_section_ ? " inside a section ending at "
+                                               : " before payload end at ") +
+        std::to_string(limit));
+  }
+  const std::uint8_t* p = bytes_.data() + cursor_;
+  cursor_ += n;
+  return p;
+}
+
+std::uint8_t SnapshotReader::u8() { return *need(1); }
+std::uint32_t SnapshotReader::u32() { return GetU32(need(4)); }
+std::uint64_t SnapshotReader::u64() { return GetU64(need(8)); }
+std::int64_t SnapshotReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+double SnapshotReader::f64() { return DoubleOf(u64()); }
+
+std::size_t SnapshotReader::size() {
+  const std::uint64_t v = u64();
+  // A count cannot exceed the bytes left (every element costs >= 1 byte),
+  // so an insane count from a corrupt file is rejected before any caller
+  // tries to reserve or loop over it.
+  const std::size_t limit = in_section_ ? section_end_ : payload_end_;
+  if (v > limit - cursor_) {
+    throw SnapshotError("count " + std::to_string(v) +
+                        " exceeds remaining snapshot bytes");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::string SnapshotReader::str() {
+  const std::size_t n = size();
+  const std::uint8_t* p = need(n);
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+void SnapshotReader::begin_section(const char* tag) {
+  if (in_section_) throw SnapshotError("nested section");
+  if (cursor_ + kSectionHeadBytes > payload_end_) {
+    throw SnapshotError("truncated section header for '" + std::string(tag) +
+                        "'");
+  }
+  const std::uint8_t* head = bytes_.data() + cursor_;
+  if (std::memcmp(head, tag, 4) != 0) {
+    throw SnapshotError("expected section '" + std::string(tag) +
+                        "', found '" + TagName(head) + "'");
+  }
+  const std::uint64_t length = GetU64(head + 4);
+  cursor_ += kSectionHeadBytes;
+  if (length > payload_end_ - cursor_) {
+    throw SnapshotError("section '" + std::string(tag) +
+                        "' length overruns the payload");
+  }
+  section_end_ = cursor_ + static_cast<std::size_t>(length);
+  in_section_ = true;
+}
+
+void SnapshotReader::end_section() {
+  if (!in_section_) throw SnapshotError("end_section without begin_section");
+  if (cursor_ != section_end_) {
+    throw SnapshotError("section not fully consumed: " +
+                        std::to_string(section_end_ - cursor_) +
+                        " bytes left");
+  }
+  in_section_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+void WriteFile(const std::string& path,
+               const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw SnapshotError("cannot open '" + tmp + "' for writing");
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SnapshotError("cannot open '" + path + "' for reading");
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) throw SnapshotError("read error on '" + path + "'");
+  return bytes;
+}
+
+}  // namespace custody::snap

@@ -5,7 +5,29 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/snapshot.h"
+
 namespace custody {
+
+void RunningStats::SaveTo(snap::SnapshotWriter& w) const {
+  // n_ is a scalar count, not a container length — plain u64, the reader's
+  // size() sanity bound does not apply.
+  w.u64(n_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+  w.f64(sum_);
+}
+
+void RunningStats::RestoreFrom(snap::SnapshotReader& r) {
+  n_ = static_cast<std::size_t>(r.u64());
+  mean_ = r.f64();
+  m2_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
+  sum_ = r.f64();
+}
 
 void RunningStats::add(double x) {
   if (n_ == 0) {

@@ -5,12 +5,21 @@
 #include <cstddef>
 #include <vector>
 
+namespace custody::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace custody::snap
+
 namespace custody {
 
 /// Welford's online algorithm: numerically stable running mean/variance.
 class RunningStats {
  public:
   void add(double x);
+
+  /// Exact round-trip of the accumulator (all fields are plain doubles).
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }

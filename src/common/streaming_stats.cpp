@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.h"
+
 namespace custody {
 
 StreamingPercentile::StreamingPercentile(double q) : q_(q) {
@@ -93,6 +95,47 @@ double StreamingPercentile::value() const {
   if (q_ == 0.0) return height_[0];
   if (q_ == 1.0) return height_[kMarkers - 1];
   return height_[2];
+}
+
+void StreamingPercentile::SaveTo(snap::SnapshotWriter& w) const {
+  w.f64(q_);
+  w.u64(count_);
+  for (std::size_t i = 0; i < kMarkers; ++i) w.f64(height_[i]);
+  for (std::size_t i = 0; i < kMarkers; ++i) w.f64(pos_[i]);
+  for (std::size_t i = 0; i < kMarkers; ++i) w.f64(desired_[i]);
+  for (std::size_t i = 0; i < kMarkers; ++i) w.f64(rate_[i]);
+}
+
+void StreamingPercentile::RestoreFrom(snap::SnapshotReader& r) {
+  const double q = r.f64();
+  if (q != q_) {
+    throw snap::SnapshotError(
+        "StreamingPercentile quantile mismatch: snapshot has q=" +
+        std::to_string(q) + ", this bank tracks q=" + std::to_string(q_));
+  }
+  count_ = static_cast<std::size_t>(r.u64());
+  for (std::size_t i = 0; i < kMarkers; ++i) height_[i] = r.f64();
+  for (std::size_t i = 0; i < kMarkers; ++i) pos_[i] = r.f64();
+  for (std::size_t i = 0; i < kMarkers; ++i) desired_[i] = r.f64();
+  for (std::size_t i = 0; i < kMarkers; ++i) rate_[i] = r.f64();
+}
+
+void StreamingSummary::SaveTo(snap::SnapshotWriter& w) const {
+  moments_.SaveTo(w);
+  p25_.SaveTo(w);
+  p50_.SaveTo(w);
+  p75_.SaveTo(w);
+  p95_.SaveTo(w);
+  p99_.SaveTo(w);
+}
+
+void StreamingSummary::RestoreFrom(snap::SnapshotReader& r) {
+  moments_.RestoreFrom(r);
+  p25_.RestoreFrom(r);
+  p50_.RestoreFrom(r);
+  p75_.RestoreFrom(r);
+  p95_.RestoreFrom(r);
+  p99_.RestoreFrom(r);
 }
 
 StreamingSummary::StreamingSummary()

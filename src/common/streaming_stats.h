@@ -34,6 +34,11 @@ class StreamingPercentile {
   [[nodiscard]] double value() const;
   [[nodiscard]] std::size_t count() const { return count_; }
 
+  /// Exact round-trip of the marker bank (q is fixed at construction and
+  /// re-checked on restore).
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
+
   static constexpr std::size_t kMarkers = 5;
 
  private:
@@ -56,6 +61,9 @@ class StreamingSummary {
   /// The same Summary shape the exact path produces, so result structs and
   /// reporting code cannot tell the two apart.
   [[nodiscard]] Summary summarize() const;
+
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
 
  private:
   RunningStats moments_;

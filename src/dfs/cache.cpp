@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "common/snapshot.h"
 #include "obs/trace.h"
 
 namespace custody::dfs {
@@ -131,6 +133,88 @@ void BlockCache::fail_node(NodeId node) {
     }
     notify(block, node, false);
   }
+}
+
+namespace {
+
+// unordered_map payloads serialized in sorted-key order so snapshot bytes
+// are stable; per-key vector contents stay verbatim.
+void SaveBlockMap(
+    snap::SnapshotWriter& w,
+    const std::unordered_map<BlockId, std::vector<NodeId>>& map) {
+  std::vector<BlockId> keys;
+  keys.reserve(map.size());
+  for (const auto& [block, holders] : map) keys.push_back(block);
+  std::sort(keys.begin(), keys.end());
+  w.size(keys.size());
+  for (BlockId block : keys) {
+    w.u32(block.value());
+    const auto& holders = map.at(block);
+    w.size(holders.size());
+    for (NodeId n : holders) w.u32(n.value());
+  }
+}
+
+void RestoreBlockMap(snap::SnapshotReader& r,
+                     std::unordered_map<BlockId, std::vector<NodeId>>& map) {
+  map.clear();
+  const std::size_t keys = r.size();
+  for (std::size_t k = 0; k < keys; ++k) {
+    const BlockId block(r.u32());
+    auto& holders = map[block];
+    holders.assign(r.size(), NodeId());
+    for (NodeId& n : holders) n = NodeId(r.u32());
+  }
+}
+
+}  // namespace
+
+void BlockCache::SaveTo(snap::SnapshotWriter& w) const {
+  w.f64(capacity_bytes_);
+  w.size(nodes_.size());
+  for (const NodeCache& cache : nodes_) {
+    w.size(cache.lru.size());
+    for (BlockId block : cache.lru) w.u32(block.value());  // front (MRU) first
+    w.f64(cache.bytes);
+  }
+  SaveBlockMap(w, cached_on_);
+  SaveBlockMap(w, merged_);
+  w.u64(stats_.insertions);
+  w.u64(stats_.evictions);
+  w.u64(stats_.hits);
+  w.u64(stats_.lookups);
+}
+
+void BlockCache::RestoreFrom(snap::SnapshotReader& r) {
+  const double capacity = r.f64();
+  if (capacity != capacity_bytes_) {
+    throw snap::SnapshotError(
+        "BlockCache capacity mismatch: snapshot has " +
+        std::to_string(capacity) + " bytes/node, this cache has " +
+        std::to_string(capacity_bytes_));
+  }
+  const std::size_t nodes = r.size();
+  if (nodes != nodes_.size()) {
+    throw snap::SnapshotError("BlockCache node count mismatch: snapshot has " +
+                              std::to_string(nodes) + ", this cache has " +
+                              std::to_string(nodes_.size()));
+  }
+  for (NodeCache& cache : nodes_) {
+    cache.lru.clear();
+    cache.index.clear();
+    const std::size_t held = r.size();
+    for (std::size_t i = 0; i < held; ++i) {
+      cache.lru.push_back(BlockId(r.u32()));
+      cache.index[cache.lru.back()] = std::prev(cache.lru.end());
+    }
+    cache.bytes = r.f64();
+  }
+  RestoreBlockMap(r, cached_on_);
+  RestoreBlockMap(r, merged_);
+  stats_.insertions = r.u64();
+  stats_.evictions = r.u64();
+  stats_.hits = r.u64();
+  stats_.lookups = r.u64();
 }
 
 BlockCache::ListenerId BlockCache::add_change_listener(ChangeListener fn) {

@@ -101,6 +101,13 @@ class BlockCache {
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] double bytes_on(NodeId node) const;
 
+  /// Serialize per-node LRU lists (recency order is state), the cached-on
+  /// working sets, the merged location map — verbatim, because merged_
+  /// entries may legitimately be stale snapshots of past disk replicas —
+  /// and the hit counters.  Listeners and tracer are left untouched.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
+
  private:
   struct NodeCache {
     std::list<BlockId> lru;  ///< front = most recently used

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
+#include "common/snapshot.h"
 #include "obs/trace.h"
 
 namespace custody::dfs {
@@ -175,6 +177,25 @@ void Dfs::fail_node_indexed(NodeId node,
       notify(b, node, false);
     }
   }
+}
+
+void Dfs::SaveTo(snap::SnapshotWriter& w) const {
+  rng_.SaveTo(w);
+  w.size(node_bytes_.size());
+  for (double b : node_bytes_) w.f64(b);
+  namenode_.SaveTo(w);
+}
+
+void Dfs::RestoreFrom(snap::SnapshotReader& r) {
+  rng_.RestoreFrom(r);
+  const std::size_t nodes = r.size();
+  if (nodes != node_bytes_.size()) {
+    throw snap::SnapshotError("Dfs node count mismatch: snapshot has " +
+                              std::to_string(nodes) + ", this dfs has " +
+                              std::to_string(node_bytes_.size()));
+  }
+  for (double& b : node_bytes_) b = r.f64();
+  namenode_.RestoreFrom(r);
 }
 
 void Dfs::boost_replication(FileId file, int extra) {

@@ -96,6 +96,12 @@ class Dfs final : public PlacementView {
   /// never changes placement or consumes DFS RNG.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Serialize the run-mutable state: placement rng, per-node stored bytes
+  /// and the NameNode replica map.  Listeners and tracer belong to the
+  /// rebuilt substrate and are untouched; no listener fires during restore.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
+
  private:
   void place_block(const BlockInfo& block, int replicas);
   void fail_node_indexed(NodeId node, const std::vector<NodeId>& live_nodes);

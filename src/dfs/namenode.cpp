@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "common/snapshot.h"
 
 namespace custody::dfs {
 
@@ -135,6 +138,49 @@ const std::set<BlockId>& NameNode::blocks_on(NodeId node) const {
   static const std::set<BlockId> kEmpty;
   auto it = blocks_on_node_.find(node);
   return it == blocks_on_node_.end() ? kEmpty : it->second;
+}
+
+void NameNode::SaveTo(snap::SnapshotWriter& w) const {
+  w.u32(next_file_);
+  w.u32(next_block_);
+  w.size(files_.size());
+  w.size(blocks_.size());
+  // Blocks in creation-id order: deterministic bytes, and restore can walk
+  // the same sequence without a key lookup table.
+  for (BlockId::value_type i = 0; i < next_block_; ++i) {
+    const auto it = replicas_.find(BlockId(i));
+    if (it == replicas_.end()) continue;
+    w.u32(i);
+    w.size(it->second.size());
+    for (NodeId n : it->second) w.u32(n.value());
+  }
+}
+
+void NameNode::RestoreFrom(snap::SnapshotReader& r) {
+  const auto next_file = r.u32();
+  const auto next_block = r.u32();
+  const std::size_t files = r.size();
+  const std::size_t blocks = r.size();
+  if (next_file != next_file_ || next_block != next_block_ ||
+      files != files_.size() || blocks != blocks_.size()) {
+    throw snap::SnapshotError(
+        "NameNode catalog mismatch: snapshot has " + std::to_string(files) +
+        " files / " + std::to_string(blocks) + " blocks, this namenode has " +
+        std::to_string(files_.size()) + " / " + std::to_string(blocks_.size()));
+  }
+  blocks_on_node_.clear();
+  for (std::size_t k = 0; k < blocks; ++k) {
+    const BlockId id(r.u32());
+    const auto it = replicas_.find(id);
+    if (it == replicas_.end()) {
+      throw snap::SnapshotError("NameNode: snapshot names unknown block " +
+                                std::to_string(id.value()));
+    }
+    auto& locs = it->second;
+    locs.assign(r.size(), NodeId());
+    for (NodeId& n : locs) n = NodeId(r.u32());
+    for (NodeId n : locs) blocks_on_node_[n].insert(id);
+  }
 }
 
 std::vector<BlockId> NameNode::all_blocks() const {

@@ -15,6 +15,11 @@
 #include "common/types.h"
 #include "dfs/block.h"
 
+namespace custody::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace custody::snap
+
 namespace custody::dfs {
 
 class NameNode {
@@ -51,6 +56,13 @@ class NameNode {
   /// Iterating it is equivalent to the all_blocks() scan filtered by
   /// is_local(b, node), at O(blocks-on-node) instead of O(all blocks).
   [[nodiscard]] const std::set<BlockId>& blocks_on(NodeId node) const;
+
+  /// Serialize the replica location map (the only state that moves during a
+  /// run — file and block metadata are recreated identically by dataset
+  /// materialization).  RestoreFrom targets a NameNode holding the same
+  /// catalog and rebuilds the node -> blocks inverse index.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
 
  private:
   std::unordered_map<FileId, FileInfo> files_;

@@ -198,6 +198,13 @@ class MetricsCollector {
     return demanded_tasks_total_;
   }
 
+  /// Serialize every aggregate — exact-mode record vectors, streaming
+  /// banks, and the running counters — so a restored run's summaries are
+  /// bit-identical to an uninterrupted one's.  Mode and warm-up are part
+  /// of the payload and re-checked on restore (they are config-derived).
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
+
  private:
   bool streaming_ = false;
   SimTime warmup_ = 0.0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
+
+#include "common/snapshot.h"
 
 namespace custody::net {
 
@@ -60,6 +63,73 @@ void MaxMinFairSolver::remove_flow(std::size_t slot) {
   flows_[moved_slot].live_pos = flow.live_pos;
   flow.live = false;
   flow.degree = 0;
+}
+
+void MaxMinFairSolver::SaveTo(snap::SnapshotWriter& w) const {
+  w.size(flows_.size());
+  w.size(link_flows_.size());
+  for (const auto& list : link_flows_) {
+    w.size(list.size());
+    for (std::uint32_t slot : list) w.u32(slot);
+  }
+}
+
+void MaxMinFairSolver::RestoreFrom(snap::SnapshotReader& r) {
+  const std::size_t num_flows = r.size();
+  const std::size_t num_links = r.size();
+  if (num_links != capacity_.size()) {
+    throw snap::SnapshotError(
+        "MaxMinFairSolver link count mismatch: snapshot has " +
+        std::to_string(num_links) + ", solver has " +
+        std::to_string(capacity_.size()));
+  }
+  link_flows_.assign(num_links, {});
+  flows_.assign(num_flows, {});
+  live_slots_.clear();
+  for (std::size_t l = 0; l < num_links; ++l) {
+    auto& list = link_flows_[l];
+    list.assign(r.size(), 0);
+    for (std::uint32_t& slot : list) {
+      slot = r.u32();
+      if (slot >= num_flows) {
+        throw snap::SnapshotError(
+            "MaxMinFairSolver: link list names slot " + std::to_string(slot) +
+            " past the flow table (" + std::to_string(num_flows) + ")");
+      }
+    }
+  }
+  // Rebuild each flow's incidence entries by walking links in ascending
+  // index order — uplinks < downlinks < core in the Network's layout, which
+  // is exactly the order add_flow recorded them in.
+  for (std::size_t l = 0; l < num_links; ++l) {
+    const auto& list = link_flows_[l];
+    for (std::size_t pos = 0; pos < list.size(); ++pos) {
+      FlowEntry& flow = flows_[list[pos]];
+      if (flow.degree >= kMaxLinksPerFlow) {
+        throw snap::SnapshotError(
+            "MaxMinFairSolver: slot " + std::to_string(list[pos]) +
+            " appears on more than " + std::to_string(kMaxLinksPerFlow) +
+            " links");
+      }
+      flow.link[flow.degree] = static_cast<std::uint32_t>(l);
+      flow.pos[flow.degree] = static_cast<std::uint32_t>(pos);
+      ++flow.degree;
+      if (!flow.live) {
+        flow.live = true;
+        flow.live_pos = static_cast<std::uint32_t>(live_slots_.size());
+        live_slots_.push_back(list[pos]);
+      }
+    }
+  }
+  // Solve scratch: epoch-stamped or resized-on-demand, so zeroing it is
+  // indistinguishable from any live history.
+  rem_cap_.clear();
+  unassigned_.clear();
+  heap_.clear();
+  assigned_.clear();
+  touched_.clear();
+  touch_stamp_.assign(num_links, 0);
+  round_stamp_ = 0;
 }
 
 // Min-heap ordering on (share, link index): the reference scan keeps the

@@ -20,6 +20,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace custody::snap {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace custody::snap
+
 namespace custody::net {
 
 /// Work counters for one or more rate solves — the observability that shows
@@ -59,6 +64,17 @@ class MaxMinFairSolver {
 
   [[nodiscard]] std::size_t flow_count() const { return live_slots_.size(); }
   [[nodiscard]] std::size_t link_count() const { return capacity_.size(); }
+
+  /// Serialize the per-link flow lists verbatim.  Their element order is
+  /// floating-point-order-sensitive: solve() subtracts the bottleneck share
+  /// from rem_cap in link_flows_ traversal order, and that order depends on
+  /// the whole add/remove history (swap-removal), so it cannot be rebuilt
+  /// from the live flow set.  Everything else — each flow's link/pos
+  /// entries, the live set, all solve scratch — is derived on restore.
+  /// Capacities are not serialized: reset_links must already have been
+  /// called with the same link layout (it is config-derived).
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
 
   /// Heap entry: a link and the fair share it had when pushed.  Entries go
   /// stale when the link's share grows; stale entries are dropped (and the

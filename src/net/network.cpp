@@ -10,6 +10,7 @@
 
 #include "common/log.h"
 #include "common/simtime.h"
+#include "common/snapshot.h"
 #include "obs/trace.h"
 
 namespace custody::net {
@@ -166,7 +167,7 @@ void Network::unlink_slot(std::uint32_t slot) {
 }
 
 FlowId Network::start_flow(NodeId src, NodeId dst, double bytes,
-                           CompletionFn on_complete) {
+                           CompletionFn on_complete, FlowLabel label) {
   if (src == dst) {
     throw std::invalid_argument("Network: flow source equals destination");
   }
@@ -184,6 +185,7 @@ FlowId Network::start_flow(NodeId src, NodeId dst, double bytes,
   f.remaining = bytes;
   f.rate = 0.0;
   f.on_complete = std::move(on_complete);
+  f.label = label;
   f.id = id;
   f.prev = tail_;
   f.next = kNil;
@@ -338,8 +340,123 @@ void Network::arm_completion_event() {
         "cannot make progress (rounding collapse in progressive filling)");
   }
   if (!std::isfinite(soonest)) return;
-  completion_event_ =
-      sim_.schedule(std::max(0.0, soonest), [this] { on_completion_event(); });
+  const double delay = std::max(0.0, soonest);
+  completion_event_ = sim_.schedule(delay, [this] { on_completion_event(); });
+  completion_time_ = sim_.now() + delay;
+  completion_seq_ = sim_.last_event_seq();
+}
+
+void Network::SaveTo(snap::SnapshotWriter& w) const {
+  if (dirty_) {
+    throw snap::SnapshotError(
+        "Network: rates are dirty at the snapshot point; snapshots must be "
+        "taken between events, after the post-event flush");
+  }
+  w.size(slots_.size());
+  for (const Slot& f : slots_) {
+    w.b(f.live);
+    if (!f.live) continue;  // dead slots carry no state beyond the free list
+    if (!f.label.labeled()) {
+      throw snap::SnapshotError(
+          "Network: live flow " + std::to_string(f.id.value()) +
+          " has no FlowLabel — its completion callback cannot be rebuilt");
+    }
+    w.u32(f.src.value());
+    w.u32(f.dst.value());
+    w.f64(f.remaining);
+    w.f64(f.rate);
+    w.u32(f.label.kind);
+    w.u32(f.label.a);
+    w.u32(f.label.b);
+    w.u64(f.label.c);
+    w.u32(f.id.value());
+    w.u32(f.prev);
+    w.u32(f.next);
+  }
+  w.size(free_slots_.size());
+  for (std::uint32_t s : free_slots_) w.u32(s);
+  w.u32(head_);
+  w.u32(tail_);
+  w.u64(live_count_);
+  w.u32(next_flow_);
+  w.f64(bytes_delivered_);
+  w.f64(last_update_);
+  w.u64(stats_.recomputes_requested);
+  w.u64(stats_.recomputes_run);
+  w.u64(stats_.flows_scanned);
+  w.u64(stats_.links_scanned);
+  w.u64(stats_.rounds);
+  w.f64(stats_.wall_seconds);
+  const bool pending =
+      completion_event_.valid() && !completion_event_.cancelled();
+  w.b(pending);
+  if (pending) {
+    w.f64(completion_time_);
+    w.u64(completion_seq_);
+  }
+  if (config_.incremental) solver_.SaveTo(w);
+}
+
+void Network::RestoreFrom(snap::SnapshotReader& r,
+                          const CompletionResolver& resolve) {
+  const std::size_t num_slots = r.size();
+  slots_.assign(num_slots, Slot{});
+  slot_of_.clear();
+  for (std::uint32_t s = 0; s < num_slots; ++s) {
+    Slot& f = slots_[s];
+    f.live = r.b();
+    if (!f.live) continue;
+    f.src = NodeId(r.u32());
+    f.dst = NodeId(r.u32());
+    f.remaining = r.f64();
+    f.rate = r.f64();
+    f.label.kind = r.u32();
+    f.label.a = r.u32();
+    f.label.b = r.u32();
+    f.label.c = r.u64();
+    f.id = FlowId(r.u32());
+    f.prev = r.u32();
+    f.next = r.u32();
+    if (f.src.value() >= config_.num_nodes ||
+        f.dst.value() >= config_.num_nodes) {
+      throw snap::SnapshotError(
+          "Network: restored flow endpoints exceed num_nodes");
+    }
+    f.on_complete = resolve(f.id, f.label, f.src, f.dst);
+    slot_of_.emplace(f.id, s);
+  }
+  free_slots_.assign(r.size(), 0);
+  for (std::uint32_t& s : free_slots_) {
+    s = r.u32();
+    if (s >= num_slots || slots_[s].live) {
+      throw snap::SnapshotError("Network: free list names a live slot");
+    }
+  }
+  head_ = r.u32();
+  tail_ = r.u32();
+  live_count_ = static_cast<std::size_t>(r.u64());
+  if (live_count_ != slot_of_.size()) {
+    throw snap::SnapshotError("Network: live flow count mismatch");
+  }
+  next_flow_ = r.u32();
+  bytes_delivered_ = r.f64();
+  last_update_ = r.f64();
+  stats_.recomputes_requested = r.u64();
+  stats_.recomputes_run = r.u64();
+  stats_.flows_scanned = r.u64();
+  stats_.links_scanned = r.u64();
+  stats_.rounds = r.u64();
+  stats_.wall_seconds = r.f64();
+  dirty_ = false;
+  const bool pending = r.b();
+  completion_event_ = sim::EventHandle();
+  if (pending) {
+    completion_time_ = r.f64();
+    completion_seq_ = r.u64();
+    completion_event_ = sim_.rearm_at(completion_time_, completion_seq_,
+                                      [this] { on_completion_event(); });
+  }
+  if (config_.incremental) solver_.RestoreFrom(r);
 }
 
 void Network::on_completion_event() {

@@ -80,9 +80,30 @@ struct NetStats {
   }
 };
 
+/// Owner-supplied recipe for rebuilding a flow's completion callback after
+/// a snapshot restore.  The network round-trips it untouched; the field
+/// meanings belong to the layer that starts the flow (the application packs
+/// {callback kind, app, task, epoch}).  Closures cannot be serialized, so a
+/// flow started without a label cannot be snapshotted — SaveTo fails loudly
+/// on the first unlabeled live flow.
+struct FlowLabel {
+  static constexpr std::uint32_t kUnlabeled = 0xffffffffu;
+  std::uint32_t kind = kUnlabeled;  ///< owner-defined callback kind
+  std::uint32_t a = 0;              ///< owner-defined operands
+  std::uint32_t b = 0;
+  std::uint64_t c = 0;
+
+  [[nodiscard]] bool labeled() const { return kind != kUnlabeled; }
+};
+
 class Network {
  public:
   using CompletionFn = std::function<void()>;
+  /// Rebuilds a restored flow's completion callback from its label (plus
+  /// the endpoints, which the label owner may need to disambiguate).
+  using CompletionResolver =
+      std::function<CompletionFn(FlowId, const FlowLabel&, NodeId src,
+                                 NodeId dst)>;
 
   Network(sim::Simulator& sim, NetworkConfig config);
   ~Network();
@@ -92,8 +113,9 @@ class Network {
 
   /// Begin transferring `bytes` from `src` to `dst`; `on_complete` fires in a
   /// simulator event when the last byte arrives.  src must differ from dst.
+  /// `label` makes the flow snapshot-safe (see FlowLabel).
   FlowId start_flow(NodeId src, NodeId dst, double bytes,
-                    CompletionFn on_complete);
+                    CompletionFn on_complete, FlowLabel label = {});
 
   /// Abort an in-flight flow; its completion callback never fires.
   void cancel_flow(FlowId id);
@@ -122,6 +144,20 @@ class Network {
   /// Lower bound on the time to ship `bytes` between two idle nodes.
   [[nodiscard]] double uncontended_transfer_time(double bytes) const;
 
+  /// Serialize the flow table verbatim — dead slots, free-list order and
+  /// intrusive-list links included, so restored slot indices (which feed
+  /// the solver's floating-point traversal order) match the live run — plus
+  /// rates as last solved, the solver's link incidence, counters and the
+  /// pending completion event's (time, seq).  Requires a flushed rate state
+  /// (the post-event hook guarantees that at any between-events boundary)
+  /// and a label on every live flow.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  /// Rebuild from a snapshot taken on an identically-configured network:
+  /// callbacks are re-created through `resolve`, rates are restored (not
+  /// re-solved) and the completion event is re-armed under its original
+  /// sequence number.
+  void RestoreFrom(snap::SnapshotReader& r, const CompletionResolver& resolve);
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
@@ -135,6 +171,7 @@ class Network {
     double remaining = 0.0;
     double rate = 0.0;
     CompletionFn on_complete;
+    FlowLabel label;
     FlowId id;
     std::uint32_t prev = kNil;
     std::uint32_t next = kNil;
@@ -173,6 +210,10 @@ class Network {
 
   SimTime last_update_ = 0.0;
   sim::EventHandle completion_event_;
+  /// (time, seq) of the pending completion event, recorded at arm time so a
+  /// snapshot can re-arm it under the original sequence number.
+  SimTime completion_time_ = 0.0;
+  std::uint64_t completion_seq_ = 0;
   FlowId::value_type next_flow_ = 0;
   double bytes_delivered_ = 0.0;
   NetStats stats_;

@@ -57,6 +57,20 @@ void EventQueue::push_detached(SimTime at, EventFn fn) {
   sift_up(heap_.size() - 1);
 }
 
+EventHandle EventQueue::push_at_seq(SimTime at, std::uint64_t seq,
+                                    EventFn fn) {
+  auto state = std::make_shared<EventState>();
+  heap_.push_back(Entry{at, seq, state, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  return EventHandle(state);
+}
+
+void EventQueue::push_detached_at_seq(SimTime at, std::uint64_t seq,
+                                      EventFn fn) {
+  heap_.push_back(Entry{at, seq, nullptr, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
 void EventQueue::drop_cancelled() {
   while (!heap_.empty() && heap_.front().state &&
          heap_.front().state->cancelled) {

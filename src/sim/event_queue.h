@@ -168,6 +168,23 @@ class EventQueue {
   /// Allocation-free apart from the callback's own (usually inline) storage.
   void push_detached(SimTime at, EventFn fn);
 
+  // --- snapshot/restore support -------------------------------------------
+  // Same-timestamp events fire in sequence order, so a restored run is only
+  // bit-identical to an uninterrupted one if every re-armed event keeps the
+  // sequence number it was originally pushed with.  The *_at_seq variants
+  // re-insert an event under an explicit sequence number without touching
+  // the allocation counter; set_next_seq then restores the counter itself.
+
+  /// Re-insert a cancellable event under `seq` (restore path only).
+  EventHandle push_at_seq(SimTime at, std::uint64_t seq, EventFn fn);
+  /// Re-insert a detached event under `seq` (restore path only).
+  void push_detached_at_seq(SimTime at, std::uint64_t seq, EventFn fn);
+  /// Sequence number the next push will be assigned.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+  /// Drop every queued event (restore replaces them with re-armed ones).
+  void clear() { heap_.clear(); }
+
   /// True when no live (non-cancelled) events remain.
   [[nodiscard]] bool empty();
 

@@ -26,6 +26,23 @@ void Simulator::post_at(SimTime at, EventFn fn) {
   queue_.push_detached(at, std::move(fn));
 }
 
+void Simulator::restore_clock(SimTime now, std::uint64_t events_processed,
+                              std::uint64_t next_event_seq) {
+  now_ = now;
+  events_processed_ = events_processed;
+  queue_.set_next_seq(next_event_seq);
+}
+
+EventHandle Simulator::rearm_at(SimTime at, std::uint64_t seq, EventFn fn) {
+  if (at < now_) throw std::invalid_argument("Simulator: rearm in the past");
+  return queue_.push_at_seq(at, seq, std::move(fn));
+}
+
+void Simulator::rearm_detached_at(SimTime at, std::uint64_t seq, EventFn fn) {
+  if (at < now_) throw std::invalid_argument("Simulator: rearm in the past");
+  queue_.push_detached_at_seq(at, seq, std::move(fn));
+}
+
 Simulator::HookId Simulator::add_post_event_hook(EventFn fn) {
   const HookId id = next_hook_id_++;
   hooks_.push_back({id, std::move(fn)});

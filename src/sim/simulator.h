@@ -65,6 +65,35 @@ class Simulator {
     return queue_.size_including_cancelled();
   }
 
+  // --- snapshot/restore support -------------------------------------------
+  // Pending events are not serialized as closures: each arming layer
+  // records (time, sequence) when it schedules, and on restore re-arms a
+  // freshly built callback under the *original* sequence number, so
+  // same-timestamp ordering — and therefore the whole run — stays
+  // bit-identical.  The protocol is: clear_events(), restore_clock(),
+  // then each layer rearm_at()/rearm_detached_at() its own events.
+
+  /// Sequence number assigned to the most recent schedule/post (valid only
+  /// immediately after one — layers call this to record their events).
+  [[nodiscard]] std::uint64_t last_event_seq() const {
+    return queue_.next_seq() - 1;
+  }
+
+  /// Drop every queued event.  Hooks are untouched: they belong to the
+  /// (rebuilt-from-config) substrate, not to the serialized state.
+  void clear_events() { queue_.clear(); }
+
+  /// Reset the clock, the processed-event counter and the queue's sequence
+  /// counter to a snapshot's values.  Call after clear_events and before
+  /// any rearm — rearmed events must sort below next_event_seq.
+  void restore_clock(SimTime now, std::uint64_t events_processed,
+                     std::uint64_t next_event_seq);
+
+  /// Re-arm a cancellable event under its original sequence number.
+  EventHandle rearm_at(SimTime at, std::uint64_t seq, EventFn fn);
+  /// Re-arm a fire-and-forget event under its original sequence number.
+  void rearm_detached_at(SimTime at, std::uint64_t seq, EventFn fn);
+
  private:
   struct Hook {
     HookId id;

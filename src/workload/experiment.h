@@ -34,6 +34,20 @@ namespace custody::workload {
 using cluster::ManagerKind;
 using cluster::ManagerName;
 
+/// Periodic checkpointing and resume.  A checkpoint is a snap:: snapshot of
+/// the complete dynamic simulation state; each file gets a JSON manifest
+/// sidecar (`<file>.json`) recording schema version, config hash and sim
+/// time.  Resume requires the identical config + manager (pinned by the
+/// config hash in the snapshot header).
+struct CheckpointConfig {
+  /// > 0: write a checkpoint every `every` simulated seconds.  0 disables.
+  SimTime every = 0.0;
+  /// Where checkpoint files (`checkpoint-NNNN.snap`) land.
+  std::string directory = ".";
+  /// Non-empty: restore this snapshot before running.
+  std::string resume_path;
+};
+
 struct ExperimentConfig {
   // Cluster (paper Sec. VI-A1).
   std::size_t num_nodes = 100;
@@ -91,6 +105,12 @@ struct ExperimentConfig {
   /// records into a pre-sized ring buffer surfaced as ExperimentResult's
   /// `trace`.  Results are bit-identical with tracing on or off.
   obs::TracerConfig tracing;
+
+  /// Checkpoint/resume (snap:: snapshots).  Checkpointing and resuming
+  /// never perturb the simulation: snapshots are taken at between-events
+  /// boundaries (run_until) without scheduling anything, so a resumed run
+  /// is bit-identical to an uninterrupted one.
+  CheckpointConfig checkpoint;
 
   std::uint64_t seed = 42;
 };

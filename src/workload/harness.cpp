@@ -1,8 +1,13 @@
 #include "workload/harness.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <iomanip>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -147,6 +152,22 @@ void ValidateConfig(const ExperimentConfig& config) {
   if (config.tracing.enabled && config.tracing.capacity == 0) {
     FailConfig("tracing.capacity must be > 0 when tracing is enabled");
   }
+  // Checkpoint/resume.
+  if (config.checkpoint.every < 0.0) {
+    FailConfig("checkpoint.every must be >= 0, where 0 disables periodic"
+               " checkpoints (got " + Num(config.checkpoint.every) + ")");
+  }
+  if (config.checkpoint.every > 0.0 && config.checkpoint.directory.empty()) {
+    FailConfig("checkpoint.directory must be non-empty when checkpoint.every"
+               " is set");
+  }
+  if ((config.checkpoint.every > 0.0 ||
+       !config.checkpoint.resume_path.empty()) &&
+      config.tracing.enabled) {
+    FailConfig("checkpoint.every/checkpoint.resume_path require"
+               " tracing.enabled off: trace ring buffers are observability,"
+               " not simulation state, and are not snapshotted");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -282,22 +303,116 @@ core::BlockLocationsFn SimulationContext::block_locations() {
 }
 
 // ---------------------------------------------------------------------------
-// RunOnSnapshot
+// ConfigHash
 // ---------------------------------------------------------------------------
 
-ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
-                               ManagerKind manager_kind) {
-  Logger::init_from_env();
+namespace {
+
+/// Canonical byte serialization for hashing: fixed-width little-endian
+/// fields appended in a fixed order (no framing — the hash is the frame).
+struct HashSink {
+  std::vector<std::uint8_t> bytes;
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &v, sizeof raw);
+    u64(raw);
+  }
+  void b(bool v) { u64(v ? 1 : 0); }
+};
+
+}  // namespace
+
+std::uint64_t ConfigHash(const ExperimentConfig& config, ManagerKind manager) {
+  HashSink h;
+  h.u64(1);  // hash-layout salt: bump when fields are added or reordered
+  // Cluster.
+  h.u64(config.num_nodes);
+  h.i64(config.executors_per_node);
+  h.f64(config.disk_mbps);
+  h.f64(config.uplink_gbps);
+  h.f64(config.downlink_gbps);
+  h.f64(config.core_gbps);
+  h.b(config.incremental_network);
+  // DFS.
+  h.f64(config.block_mb);
+  h.i64(config.replication);
+  h.i64(config.dataset.files_per_kind);
+  h.f64(config.dataset.zipf_skew);
+  h.b(config.dataset.popularity_replication);
+  h.i64(config.dataset.popularity_extra_replicas);
+  h.f64(config.dataset.hot_fraction);
+  h.f64(config.cache_mb_per_node);
+  // Scheduling — the manager actually run, not config.manager (RunOnSnapshot
+  // may replay one snapshot under several kinds).
+  h.u64(static_cast<std::uint64_t>(manager));
+  h.b(config.allocator.locality_fair);
+  h.b(config.allocator.priority_jobs);
+  h.b(config.allocator.indexed);
+  h.b(config.allocator.demand_driven);
+  h.u64(static_cast<std::uint64_t>(config.scheduler.kind));
+  h.f64(config.scheduler.locality_wait);
+  h.b(config.scheduler.indexed);
+  h.i64(config.shuffle_fan_in);
+  h.b(config.speculation);
+  h.f64(config.speculation_multiplier);
+  // Heterogeneity and failures.
+  h.f64(config.slow_node_fraction);
+  h.f64(config.slow_node_factor);
+  h.i64(config.node_failures);
+  h.f64(config.failure_start);
+  h.f64(config.failure_interval);
+  // Workload.
+  h.u64(config.kinds.size());
+  for (const WorkloadKind kind : config.kinds) {
+    h.u64(static_cast<std::uint64_t>(kind));
+  }
+  h.i64(config.trace.num_apps);
+  h.i64(config.trace.jobs_per_app);
+  h.f64(config.trace.mean_interarrival);
+  h.f64(config.trace.zipf_skew);
+  h.i64(config.trace.files_per_kind);
+  h.i64(config.params.pagerank_iterations);
+  h.f64(config.params.pagerank_compute_per_byte);
+  h.f64(config.params.pagerank_shuffle_ratio);
+  h.f64(config.params.pagerank_iter_compute_per_byte);
+  h.f64(config.params.wordcount_compute_per_byte);
+  h.f64(config.params.wordcount_shuffle_ratio);
+  h.f64(config.params.wordcount_reduce_secs);
+  h.f64(config.params.sort_compute_per_byte);
+  h.f64(config.params.sort_shuffle_ratio);
+  h.f64(config.params.sort_reduce_compute_per_byte);
+  // Steady state.
+  h.b(config.steady.enabled);
+  h.b(config.steady.materialize_submissions);
+  h.b(config.steady.retire_jobs);
+  h.b(config.steady.streaming_metrics);
+  h.f64(config.steady.warmup);
+  h.f64(config.steady.diurnal_amplitude);
+  h.f64(config.steady.diurnal_period);
+  h.u64(config.seed);
+  return snap::Fnv1a(h.bytes.data(), h.bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// LiveRun
+// ---------------------------------------------------------------------------
+
+LiveRun::LiveRun(const SubstrateSnapshot& snapshot, ManagerKind manager_kind)
+    : snapshot_(snapshot),
+      manager_kind_(manager_kind),
+      config_hash_(ConfigHash(snapshot.config(), manager_kind)),
+      ctx_(snapshot),
+      failure_rng_(snapshot.failure_rng()) {
   const ExperimentConfig& config = snapshot.config();
   const Rng base(config.seed);
-
-  SimulationContext ctx(snapshot);
-  sim::Simulator& sim = ctx.simulator();
-  dfs::Dfs& dfs = ctx.dfs();
-  net::Network& net = ctx.network();
-  cluster::Cluster& cluster = ctx.cluster();
-  dfs::BlockCache& cache = ctx.cache();
-  const std::map<WorkloadKind, Dataset>& datasets = ctx.datasets();
+  sim::Simulator& sim = ctx_.simulator();
 
   // --- manager under test (the factory owns the 4-way switch) -------------
   cluster::ManagerSpec spec;
@@ -306,23 +421,22 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   spec.standalone_seed = base.fork(4).seed();
   spec.pool_seed = base.fork(5).seed();
   spec.allocator = config.allocator;
-  std::unique_ptr<cluster::ClusterManager> manager =
-      cluster::MakeManager(spec, sim, cluster, ctx.block_locations());
-  obs::Tracer* tracer = ctx.tracer();
-  manager->set_tracer(tracer);
+  manager_ =
+      cluster::MakeManager(spec, sim, ctx_.cluster(), ctx_.block_locations());
+  obs::Tracer* tracer = ctx_.tracer();
+  manager_->set_tracer(tracer);
 
   // --- applications --------------------------------------------------------
-  metrics::MetricsCollector metrics;
   if (config.steady.enabled) {
-    metrics.set_warmup(config.steady.warmup);
-    if (config.steady.streaming_metrics) metrics.enable_streaming();
+    metrics_.set_warmup(config.steady.warmup);
+    if (config.steady.streaming_metrics) metrics_.enable_streaming();
   }
-  manager->set_round_observer(
-      [&metrics, tracer](const cluster::AllocationRoundInfo& info) {
-        metrics.record_round({info.when, info.wall_seconds,
-                              info.idle_executors, info.grants, info.apps,
-                              info.executors_scanned, info.demand_apps,
-                              info.demanded_tasks, info.skipped});
+  manager_->set_round_observer(
+      [this, tracer](const cluster::AllocationRoundInfo& info) {
+        metrics_.record_round({info.when, info.wall_seconds,
+                               info.idle_executors, info.grants, info.apps,
+                               info.executors_scanned, info.demand_apps,
+                               info.demanded_tasks, info.skipped});
         if (tracer != nullptr) {
           tracer->instant({.value = info.wall_seconds,
                            .id = static_cast<std::int32_t>(info.idle_executors),
@@ -330,7 +444,6 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
                            .kind = obs::EventKind::kAllocRound});
         }
       });
-  app::IdSource ids;
   app::AppConfig app_config;
   app_config.dynamic_executors = manager_kind != ManagerKind::kStandalone;
   app_config.scheduler = config.scheduler;
@@ -345,110 +458,339 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   app_config.retire_finished_jobs =
       config.steady.enabled && config.steady.retire_jobs;
 
-  std::vector<std::unique_ptr<app::Application>> apps;
   for (int a = 0; a < config.trace.num_apps; ++a) {
-    apps.push_back(std::make_unique<app::Application>(
-        AppId(static_cast<AppId::value_type>(a)), sim, net, dfs, cluster,
-        metrics, ids, base.fork(10 + static_cast<std::uint64_t>(a)),
-        app_config));
-    if (cache.enabled()) apps.back()->attach_cache(&cache);
-    apps.back()->attach_tracer(tracer);
-    apps.back()->attach_manager(*manager);
+    apps_.push_back(std::make_unique<app::Application>(
+        AppId(static_cast<AppId::value_type>(a)), sim, ctx_.network(),
+        ctx_.dfs(), ctx_.cluster(), metrics_, ids_,
+        base.fork(10 + static_cast<std::uint64_t>(a)), app_config));
+    if (ctx_.cache().enabled()) apps_.back()->attach_cache(&ctx_.cache());
+    apps_.back()->attach_tracer(tracer);
+    apps_.back()->attach_manager(*manager_);
   }
 
-  // --- replay the submission schedule -------------------------------------
-  const auto submit_one = [&apps, &datasets, &dfs,
-                           &config](const Submission& s) {
-    const Dataset& dataset = datasets.at(s.kind);
-    const FileId file = dataset.files.at(s.file_index);
-    apps[static_cast<std::size_t>(s.app_index)]->submit_job(
-        MakeJobSpec(s.kind, file, dfs, config.params));
-  };
-  // Lazy-pump state.  The pump is a self-rescheduling event: it fires at
-  // the time of the stream's head submission, arms the next arrival, then
-  // submits — so the event queue never holds more than one future
-  // submission, where the materialized paths hold them all.  The function
-  // captures its own shared_ptr to stay alive across hops; the cycle is
-  // broken right after sim.run().
-  auto pump = std::make_shared<std::function<void()>>();
+  // --- arm the submission schedule -----------------------------------------
   if (!config.steady.enabled) {
-    for (const Submission& s : snapshot.trace()) {
-      sim.post_at(s.time, [&submit_one, s] { submit_one(s); });
-    }
+    schedule_ = &snapshot.trace();
   } else if (config.steady.materialize_submissions) {
     // Reference sub-mode: same stream, drained up front and posted like the
     // classic trace.  The equivalence tests pin the lazy pump against this.
-    for (const Submission& s : DrainStream(snapshot.make_submission_stream())) {
-      sim.post_at(s.time, [&submit_one, s] { submit_one(s); });
+    drained_ = DrainStream(snapshot.make_submission_stream());
+    schedule_ = &drained_;
+  }
+  if (schedule_ != nullptr) {
+    // The schedule is time-sorted and the posts are consecutive, so entries
+    // fire exactly in index order with seq = first_submission_seq_ + i —
+    // which is all a snapshot needs to re-arm the unfired tail.
+    const std::vector<Submission>& sched = *schedule_;
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      sim.post_at(sched[i].time, [this, i] { fire_submission(i); });
+      if (i == 0) first_submission_seq_ = sim.last_event_seq();
     }
   } else {
-    auto stream =
+    // Lazy pump: a self-rescheduling event that fires at the stream's head
+    // submission, arms the next arrival, then submits — the queue never
+    // holds more than one future submission.  The function captures its own
+    // shared_ptr to stay alive across hops; the cycle is broken in the
+    // destructor.
+    stream_ =
         std::make_shared<SubmissionStream>(snapshot.make_submission_stream());
-    *pump = [&sim, &submit_one, stream, pump] {
-      const Submission s = stream->next();
-      if (!stream->done()) {
-        sim.post_at(stream->peek().time, [pump] { (*pump)(); });
-      }
+    pump_ = std::make_shared<std::function<void()>>();
+    *pump_ = [this] {
+      const Submission s = stream_->next();
+      pump_armed_ = false;
+      if (!stream_->done()) arm_pump();
       submit_one(s);
     };
-    if (!stream->done()) {
-      sim.post_at(stream->peek().time, [pump] { (*pump)(); });
-    }
+    if (!stream_->done()) arm_pump();
   }
 
   // --- failure injection ---------------------------------------------------
-  int nodes_failed = 0;
-  Rng failure_rng = snapshot.failure_rng();
-  std::vector<cluster::AppHandle*> handles;
-  for (const auto& app : apps) handles.push_back(app.get());
+  for (const auto& app : apps_) handles_.push_back(app.get());
   for (int k = 0; k < config.node_failures; ++k) {
     const SimTime when = config.failure_start + k * config.failure_interval;
-    sim.post_at(when, [&cluster, &dfs, &cache, &handles, &manager,
-                       &failure_rng, &nodes_failed, tracer] {
-      const auto alive = cluster.alive_nodes();
-      if (alive.size() <= 1) return;
-      const NodeId victim = failure_rng.pick(alive);
-      InjectNodeFailure(cluster, dfs, cache.enabled() ? &cache : nullptr,
-                        handles, *manager, victim, tracer);
-      ++nodes_failed;
-    });
+    sim.post_at(when, [this, k] { fire_failure(k); });
+    if (k == 0) first_failure_seq_ = sim.last_event_seq();
   }
+}
 
-  sim.run();
-  *pump = {};  // break the pump's self-capture cycle
+LiveRun::~LiveRun() {
+  // Break the pump's self-capture cycle (pump_ -> function -> pump_).
+  if (pump_ != nullptr) *pump_ = {};
+}
 
-  // --- collect -------------------------------------------------------------
+void LiveRun::submit_one(const Submission& s) {
+  const Dataset& dataset = ctx_.datasets().at(s.kind);
+  const FileId file = dataset.files.at(s.file_index);
+  apps_[static_cast<std::size_t>(s.app_index)]->submit_job(
+      MakeJobSpec(s.kind, file, ctx_.dfs(), snapshot_.config().params));
+}
+
+void LiveRun::fire_submission(std::size_t i) {
+  ++submissions_fired_;
+  submit_one((*schedule_)[i]);
+}
+
+void LiveRun::arm_pump() {
+  pump_time_ = stream_->peek().time;
+  ctx_.simulator().post_at(pump_time_, [p = pump_] { (*p)(); });
+  pump_seq_ = ctx_.simulator().last_event_seq();
+  pump_armed_ = true;
+}
+
+void LiveRun::fire_failure(int k) {
+  (void)k;  // the index is the re-arm descriptor; the body is positionless
+  ++failures_fired_;
+  cluster::Cluster& cluster = ctx_.cluster();
+  const auto alive = cluster.alive_nodes();
+  if (alive.size() <= 1) return;
+  const NodeId victim = failure_rng_.pick(alive);
+  dfs::BlockCache& cache = ctx_.cache();
+  InjectNodeFailure(cluster, ctx_.dfs(), cache.enabled() ? &cache : nullptr,
+                    handles_, *manager_, victim, ctx_.tracer());
+  ++nodes_failed_;
+}
+
+void LiveRun::inject_failure(NodeId node) {
+  cluster::Cluster& cluster = ctx_.cluster();
+  const auto alive = cluster.alive_nodes();
+  if (alive.size() <= 1) return;
+  if (std::find(alive.begin(), alive.end(), node) == alive.end()) return;
+  dfs::BlockCache& cache = ctx_.cache();
+  InjectNodeFailure(cluster, ctx_.dfs(), cache.enabled() ? &cache : nullptr,
+                    handles_, *manager_, node, ctx_.tracer());
+  ++nodes_failed_;
+}
+
+void LiveRun::run() { ctx_.simulator().run(); }
+
+void LiveRun::run_until(SimTime until) { ctx_.simulator().run_until(until); }
+
+bool LiveRun::drained() {
+  // run()/run_until() drop lazily-cancelled entries as they surface, so an
+  // empty queue really means no live events remain.
+  return ctx_.simulator().queue_size() == 0;
+}
+
+std::vector<std::uint8_t> LiveRun::save() {
+  if (ctx_.tracer() != nullptr) {
+    throw snap::SnapshotError(
+        "tracing buffers are not snapshotted; disable tracing.enabled to"
+        " checkpoint");
+  }
+  sim::Simulator& sim = ctx_.simulator();
+  snap::SnapshotWriter w;
+  w.begin_section("SIM ");
+  w.u64(sim.events_processed());
+  w.u64(sim.last_event_seq() + 1);  // the queue's next_seq
+  w.end_section();
+  w.begin_section("IDS ");
+  w.u32(ids_.next_task);
+  w.u32(ids_.next_job);
+  w.end_section();
+  w.begin_section("DFS ");
+  ctx_.dfs().SaveTo(w);
+  w.end_section();
+  w.begin_section("CACH");
+  ctx_.cache().SaveTo(w);
+  w.end_section();
+  w.begin_section("NET ");
+  ctx_.network().SaveTo(w);
+  w.end_section();
+  w.begin_section("CLUS");
+  ctx_.cluster().SaveTo(w);
+  w.end_section();
+  w.begin_section("MGR ");
+  manager_->SaveTo(w);
+  w.end_section();
+  w.begin_section("APPS");
+  w.size(apps_.size());
+  for (const auto& app : apps_) app->SaveTo(w);
+  w.end_section();
+  w.begin_section("METR");
+  metrics_.SaveTo(w);
+  w.end_section();
+  w.begin_section("SUBS");
+  if (schedule_ != nullptr) {
+    w.u8(0);  // posted-schedule mode
+    w.u64(submissions_fired_);
+    w.u64(first_submission_seq_);
+    w.u64(schedule_->size());  // cross-check against the restore target
+  } else {
+    w.u8(1);  // lazy-pump mode
+    stream_->SaveTo(w);
+    w.b(pump_armed_);
+    if (pump_armed_) {
+      w.f64(pump_time_);
+      w.u64(pump_seq_);
+    }
+  }
+  w.end_section();
+  w.begin_section("FAIL");
+  w.i64(failures_fired_);
+  w.i64(nodes_failed_);
+  w.u64(first_failure_seq_);
+  failure_rng_.SaveTo(w);
+  w.end_section();
+  return w.finish(config_hash_, sim.now());
+}
+
+namespace {
+
+std::string Hex(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+}  // namespace
+
+void LiveRun::restore(const std::vector<std::uint8_t>& bytes) {
+  snap::SnapshotReader r(bytes);
+  if (r.config_hash() != config_hash_) {
+    throw snap::SnapshotError(
+        "checkpoint.resume_path: config hash mismatch (snapshot " +
+        Hex(r.config_hash()) + ", this run " + Hex(config_hash_) +
+        ") — a snapshot only restores onto the identical config + manager");
+  }
+  sim::Simulator& sim = ctx_.simulator();
+  r.begin_section("SIM ");
+  const std::uint64_t events_processed = r.u64();
+  const std::uint64_t next_seq = r.u64();
+  r.end_section();
+  // Everything construction armed is dropped; each layer re-arms its own
+  // events from descriptors below.  The clock must be restored first so
+  // re-arms pass the not-in-the-past check and sort below next_seq.
+  sim.clear_events();
+  sim.restore_clock(r.sim_time(), events_processed, next_seq);
+  r.begin_section("IDS ");
+  ids_.next_task = r.u32();
+  ids_.next_job = r.u32();
+  r.end_section();
+  // DFS and cache before applications: the rebuilt ReadyTaskIndex derives
+  // locality from the restored replica/cached-copy state.
+  r.begin_section("DFS ");
+  ctx_.dfs().RestoreFrom(r);
+  r.end_section();
+  r.begin_section("CACH");
+  ctx_.cache().RestoreFrom(r);
+  r.end_section();
+  r.begin_section("NET ");
+  ctx_.network().RestoreFrom(
+      r, [this](FlowId flow, const net::FlowLabel& label, NodeId src,
+                NodeId dst) {
+        if (label.c >= apps_.size()) {
+          throw snap::SnapshotError("flow label names unknown application " +
+                                    std::to_string(label.c));
+        }
+        return apps_[static_cast<std::size_t>(label.c)]->rebuild_flow_callback(
+            flow, label, src, dst);
+      });
+  r.end_section();
+  r.begin_section("CLUS");
+  ctx_.cluster().RestoreFrom(r);
+  r.end_section();
+  r.begin_section("MGR ");
+  manager_->RestoreFrom(r);
+  r.end_section();
+  r.begin_section("APPS");
+  const std::size_t app_count = r.size();
+  if (app_count != apps_.size()) {
+    throw snap::SnapshotError("snapshot holds " + std::to_string(app_count) +
+                              " applications, this run has " +
+                              std::to_string(apps_.size()));
+  }
+  for (const auto& app : apps_) app->RestoreFrom(r);
+  r.end_section();
+  r.begin_section("METR");
+  metrics_.RestoreFrom(r);
+  r.end_section();
+  r.begin_section("SUBS");
+  const std::uint8_t mode = r.u8();
+  if (mode > 1) {
+    throw snap::SnapshotError("unknown submission-source mode " +
+                              std::to_string(mode));
+  }
+  if ((mode == 0) != (schedule_ != nullptr)) {
+    throw snap::SnapshotError(
+        "submission-source mode disagrees with the config (materialized vs"
+        " lazy stream)");
+  }
+  if (mode == 0) {
+    submissions_fired_ = r.u64();
+    first_submission_seq_ = r.u64();
+    const std::uint64_t total = r.u64();
+    if (total != schedule_->size() || submissions_fired_ > total) {
+      throw snap::SnapshotError("submission schedule length mismatch");
+    }
+    for (std::size_t i = static_cast<std::size_t>(submissions_fired_);
+         i < schedule_->size(); ++i) {
+      sim.rearm_detached_at((*schedule_)[i].time, first_submission_seq_ + i,
+                            [this, i] { fire_submission(i); });
+    }
+  } else {
+    stream_->RestoreFrom(r);
+    pump_armed_ = r.b();
+    if (pump_armed_) {
+      pump_time_ = r.f64();
+      pump_seq_ = r.u64();
+      sim.rearm_detached_at(pump_time_, pump_seq_, [p = pump_] { (*p)(); });
+    }
+  }
+  r.end_section();
+  r.begin_section("FAIL");
+  failures_fired_ = static_cast<int>(r.i64());
+  nodes_failed_ = static_cast<int>(r.i64());
+  first_failure_seq_ = r.u64();
+  failure_rng_.RestoreFrom(r);
+  r.end_section();
+  const ExperimentConfig& config = snapshot_.config();
+  if (failures_fired_ < 0 || failures_fired_ > config.node_failures) {
+    throw snap::SnapshotError("failure-injection progress out of range");
+  }
+  for (int k = failures_fired_; k < config.node_failures; ++k) {
+    const SimTime when = config.failure_start + k * config.failure_interval;
+    sim.rearm_detached_at(when, first_failure_seq_ + static_cast<unsigned>(k),
+                          [this, k] { fire_failure(k); });
+  }
+  if (!r.exhausted()) {
+    throw snap::SnapshotError("trailing bytes after the last section");
+  }
+}
+
+ExperimentResult LiveRun::collect() {
+  const ExperimentConfig& config = snapshot_.config();
+  net::Network& net = ctx_.network();
   const net::NetStats& ns = net.stats();
-  metrics.record_network({ns.recomputes_requested, ns.recomputes_run,
-                          ns.recomputes_batched(), ns.flows_scanned,
-                          ns.links_scanned, ns.rounds, ns.wall_seconds});
+  metrics_.record_network({ns.recomputes_requested, ns.recomputes_run,
+                           ns.recomputes_batched(), ns.flows_scanned,
+                           ns.links_scanned, ns.rounds, ns.wall_seconds});
 
   ExperimentResult result;
-  result.manager_name = ManagerName(manager_kind);
+  result.manager_name = ManagerName(manager_kind_);
   // The summary methods compute exactly Summarize(<sample vector>) in the
   // exact mode and P²-based summaries in streaming mode — one collect path
   // serves both.
-  result.job_locality = metrics.job_locality_summary();
+  result.job_locality = metrics_.job_locality_summary();
   result.overall_task_locality_percent =
-      metrics.overall_input_locality_percent();
-  result.local_job_percent = metrics.local_job_percent();
-  result.jct = metrics.jct_summary();
-  result.input_stage = metrics.input_stage_summary();
-  result.sched_delay = metrics.sched_delay_summary();
-  result.per_app_local_job_fraction = metrics.per_app_local_job_fraction(
+      metrics_.overall_input_locality_percent();
+  result.local_job_percent = metrics_.local_job_percent();
+  result.jct = metrics_.jct_summary();
+  result.input_stage = metrics_.input_stage_summary();
+  result.sched_delay = metrics_.sched_delay_summary();
+  result.per_app_local_job_fraction = metrics_.per_app_local_job_fraction(
       static_cast<std::size_t>(config.trace.num_apps));
-  result.manager_stats = manager->stats();
-  result.round_wall = metrics.round_wall_summary();
-  result.round_yield_fraction = metrics.round_yield_fraction();
-  result.net_stats = metrics.network_stats();
+  result.manager_stats = manager_->stats();
+  result.round_wall = metrics_.round_wall_summary();
+  result.round_yield_fraction = metrics_.round_yield_fraction();
+  result.net_stats = metrics_.network_stats();
   result.net_bytes_delivered = net.bytes_delivered();
-  result.cache_insertions = cache.stats().insertions;
-  result.cache_hits = cache.stats().hits;
-  result.nodes_failed = nodes_failed;
-  result.makespan = metrics.makespan();
-  result.events_processed = sim.events_processed();
-  result.trace = tracer != nullptr ? tracer->buffer() : nullptr;
-  for (const auto& app : apps) {
+  result.cache_insertions = ctx_.cache().stats().insertions;
+  result.cache_hits = ctx_.cache().stats().hits;
+  result.nodes_failed = nodes_failed_;
+  result.makespan = metrics_.makespan();
+  result.events_processed = ctx_.simulator().events_processed();
+  result.trace = ctx_.tracer() != nullptr ? ctx_.tracer()->buffer() : nullptr;
+  for (const auto& app : apps_) {
     result.jobs_completed += app->jobs_completed();
     result.jobs_retired += app->jobs_retired();
     result.peak_live_tasks += app->peak_live_tasks();
@@ -459,6 +801,64 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
     result.speculative_wins += app->speculative_wins();
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// RunOnSnapshot
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string CheckpointPath(const std::string& directory, int ordinal) {
+  char name[32];
+  std::snprintf(name, sizeof name, "checkpoint-%04d.snap", ordinal);
+  return directory + "/" + name;
+}
+
+/// The manifest sidecar next to each checkpoint file: the metadata a
+/// resume (or a human) needs without parsing the binary snapshot.
+void WriteManifest(const std::string& snapshot_path, std::uint64_t config_hash,
+                   double sim_time, const char* manager, std::uint64_t seed) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema_version\": " << snap::kFormatVersion << ",\n"
+      << "  \"config_hash\": \"" << Hex(config_hash) << "\",\n"
+      << "  \"sim_time\": " << std::setprecision(17) << sim_time << ",\n"
+      << "  \"manager\": \"" << manager << "\",\n"
+      << "  \"seed\": " << seed << "\n"
+      << "}\n";
+  const std::string path = snapshot_path + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  file << out.str();
+  if (!file.good()) {
+    throw snap::SnapshotError("cannot write manifest " + path);
+  }
+}
+
+}  // namespace
+
+ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
+                               ManagerKind manager_kind) {
+  Logger::init_from_env();
+  const CheckpointConfig& ckpt = snapshot.config().checkpoint;
+  LiveRun run(snapshot, manager_kind);
+  if (!ckpt.resume_path.empty()) {
+    run.restore(snap::ReadFile(ckpt.resume_path));
+  }
+  if (ckpt.every > 0.0) {
+    int ordinal = 0;
+    while (!run.drained()) {
+      run.run_until(run.simulator().now() + ckpt.every);
+      if (run.drained()) break;
+      const std::string path = CheckpointPath(ckpt.directory, ++ordinal);
+      snap::WriteFile(path, run.save());
+      WriteManifest(path, run.config_hash(), run.simulator().now(),
+                    ManagerName(manager_kind), snapshot.config().seed);
+    }
+  } else {
+    run.run();
+  }
+  return run.collect();
 }
 
 }  // namespace custody::workload

@@ -10,9 +10,14 @@
 //   SimulationContext  — the per-run substrate (Simulator, Dfs, Network,
 //                        Cluster, BlockCache) built fresh from the snapshot;
 //                        cheap relative to a run, and never shared.
+//   LiveRun            — ONE run in flight: the context plus the manager,
+//                        applications, metrics, submission source and
+//                        failure schedule, with deterministic
+//                        save()/restore() over the whole stack.
 //   RunOnSnapshot      — replay the snapshot under one manager kind (the
 //                        cluster-side ManagerFactory picks the concrete
-//                        manager) and collect an ExperimentResult.
+//                        manager) and collect an ExperimentResult,
+//                        honouring the config's checkpoint/resume knobs.
 //
 // Determinism contract: a snapshot fixes every stochastic input, and a
 // context replays the same forked rng streams the monolithic runner used,
@@ -21,12 +26,16 @@
 // at once on the same snapshot (contexts share nothing mutable).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "dfs/cache.h"
 #include "dfs/dfs.h"
 #include "net/network.h"
@@ -128,7 +137,112 @@ class SimulationContext {
   std::map<WorkloadKind, Dataset> datasets_;
 };
 
-/// Replay `snapshot` under `manager` and collect the figure summaries.
+/// Canonical 64-bit hash over every determinism-relevant config knob plus
+/// the manager kind actually run.  Stored in the snapshot header so a
+/// restore onto a different config or manager fails loudly instead of
+/// silently diverging.  Excludes the checkpoint and tracing knobs: they
+/// never influence simulation state.
+[[nodiscard]] std::uint64_t ConfigHash(const ExperimentConfig& config,
+                                       ManagerKind manager);
+
+/// One experiment run in flight: the SimulationContext plus everything
+/// RunOnSnapshot used to hold in locals — the manager under test, the
+/// applications, metrics, the submission source (posted schedule or lazy
+/// stream pump) and the failure-injection schedule.  Splitting construction
+/// from run() exposes the between-events boundary where save()/restore()
+/// operate:
+///
+///   run-to-T, save(), restore() into a *fresh* LiveRun over the same
+///   snapshot + manager, run-to-end  ==  uninterrupted run, bit-identical
+///   (exact doubles, events_processed included).
+///
+/// Harness-level events (submissions, failure injections, the stream pump)
+/// are never serialized as closures: each is recorded at post time as a
+/// (payload index, time, sequence) descriptor and re-armed from data on
+/// restore under its original sequence number.  `snapshot` must outlive
+/// the LiveRun.
+class LiveRun {
+ public:
+  LiveRun(const SubstrateSnapshot& snapshot, ManagerKind manager);
+  ~LiveRun();
+
+  LiveRun(const LiveRun&) = delete;
+  LiveRun& operator=(const LiveRun&) = delete;
+
+  /// Drain the event queue (the whole experiment).
+  void run();
+  /// Run every event with time <= `until`, then stop at the boundary —
+  /// the snapshot point.  Never schedules anything, so interleaving
+  /// run_until/save with run is perturbation-free.
+  void run_until(SimTime until);
+  /// True once no live events remain (the run is complete).
+  [[nodiscard]] bool drained();
+
+  /// Serialize the complete dynamic state as a snapshot file image.
+  /// Requires a between-events boundary (construction, run_until, or after
+  /// run) and no tracer (trace rings are observability, not state).
+  [[nodiscard]] std::vector<std::uint8_t> save();
+  /// Restore a snapshot taken on a LiveRun over an identically-configured
+  /// snapshot + manager (enforced via the header's config hash).  Existing
+  /// queued events are dropped and every layer re-arms its own from the
+  /// serialized descriptors.  Throws snap::SnapshotError on any mismatch.
+  void restore(const std::vector<std::uint8_t>& bytes);
+
+  /// What-if forking: crash `node` right now, at the current between-events
+  /// boundary.  The canonical use is restore() of one snapshot into two
+  /// forks, perturbing one, and comparing trajectories.  No-op when `node`
+  /// is already dead or the last node alive (InjectNodeFailure's rules).
+  void inject_failure(NodeId node);
+
+  /// The figure summaries; call after run() completes.
+  [[nodiscard]] ExperimentResult collect();
+
+  [[nodiscard]] sim::Simulator& simulator() { return ctx_.simulator(); }
+  [[nodiscard]] std::uint64_t config_hash() const { return config_hash_; }
+
+ private:
+  void submit_one(const Submission& s);
+  /// Fire the `i`-th entry of the posted schedule (classic/materialized).
+  void fire_submission(std::size_t i);
+  /// Fire the `k`-th failure injection.
+  void fire_failure(int k);
+  /// Arm the lazy pump for the stream's head submission and record its
+  /// (time, seq) descriptor.
+  void arm_pump();
+
+  const SubstrateSnapshot& snapshot_;
+  ManagerKind manager_kind_;
+  std::uint64_t config_hash_ = 0;
+  SimulationContext ctx_;
+  std::unique_ptr<cluster::ClusterManager> manager_;
+  metrics::MetricsCollector metrics_;
+  app::IdSource ids_;
+  std::vector<std::unique_ptr<app::Application>> apps_;
+
+  // --- submission source ---------------------------------------------------
+  // Classic trace and the materialized steady-state reference post every
+  // submission up front (consecutive seqs, fired in index order); the lazy
+  // pump holds one future arrival and re-arms itself.
+  std::vector<Submission> drained_;  ///< materialize-mode storage
+  const std::vector<Submission>* schedule_ = nullptr;
+  std::uint64_t submissions_fired_ = 0;
+  std::uint64_t first_submission_seq_ = 0;
+  std::shared_ptr<SubmissionStream> stream_;
+  std::shared_ptr<std::function<void()>> pump_;
+  bool pump_armed_ = false;
+  SimTime pump_time_ = 0.0;
+  std::uint64_t pump_seq_ = 0;
+
+  // --- failure injection ---------------------------------------------------
+  Rng failure_rng_{0};
+  std::vector<cluster::AppHandle*> handles_;
+  int failures_fired_ = 0;  ///< callbacks run (inc. dead-cluster no-ops)
+  int nodes_failed_ = 0;    ///< actual crashes
+  std::uint64_t first_failure_seq_ = 0;
+};
+
+/// Replay `snapshot` under `manager` and collect the figure summaries,
+/// honouring config.checkpoint (periodic checkpoints + resume).
 /// Thread-safe for concurrent calls sharing one snapshot.
 ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
                                ManagerKind manager);

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/snapshot.h"
+
 namespace custody::workload {
 
 namespace {
@@ -130,6 +132,46 @@ Submission SubmissionStream::next() {
   advance(a);
   ++emitted_;
   return out;
+}
+
+void SubmissionStream::SaveTo(snap::SnapshotWriter& w) const {
+  w.size(apps_.size());
+  for (const AppState& app : apps_) {
+    app.rng.SaveTo(w);
+    w.f64(app.clock);
+    w.i64(app.remaining);
+    w.b(app.has_next);
+    w.f64(app.next.time);
+    w.i64(app.next.app_index);
+    w.u8(static_cast<std::uint8_t>(app.next.kind));
+    w.u64(app.next.file_index);
+  }
+  w.u64(live_apps_);
+  w.u64(total_jobs_);
+  w.u64(emitted_);
+}
+
+void SubmissionStream::RestoreFrom(snap::SnapshotReader& r) {
+  const std::size_t n = r.size();
+  if (n != apps_.size()) {
+    throw snap::SnapshotError(
+        "SubmissionStream app count mismatch: snapshot has " +
+        std::to_string(n) + ", stream was built with " +
+        std::to_string(apps_.size()));
+  }
+  for (AppState& app : apps_) {
+    app.rng.RestoreFrom(r);
+    app.clock = r.f64();
+    app.remaining = static_cast<int>(r.i64());
+    app.has_next = r.b();
+    app.next.time = r.f64();
+    app.next.app_index = static_cast<int>(r.i64());
+    app.next.kind = static_cast<WorkloadKind>(r.u8());
+    app.next.file_index = static_cast<std::size_t>(r.u64());
+  }
+  live_apps_ = static_cast<std::size_t>(r.u64());
+  total_jobs_ = r.u64();
+  emitted_ = r.u64();
 }
 
 std::vector<Submission> DrainStream(SubmissionStream stream) {

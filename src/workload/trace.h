@@ -97,6 +97,13 @@ class SubmissionStream {
   [[nodiscard]] std::uint64_t total_jobs() const { return total_jobs_; }
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
 
+  /// Serialize the dynamic draw state (per-app rng/clock/pending
+  /// submission, progress counters).  Config-derived members (kinds, trace
+  /// shape, Zipf table) are rebuilt by the constructor; restore must target
+  /// a stream built from the identical config.
+  void SaveTo(snap::SnapshotWriter& w) const;
+  void RestoreFrom(snap::SnapshotReader& r);
+
  private:
   struct AppState {
     Rng rng{0};  ///< reseeded from the trace fork at construction

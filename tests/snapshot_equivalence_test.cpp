@@ -1,0 +1,555 @@
+// The snapshot/restore contract of the full stack (the checkpoint PR's
+// tentpole): run-to-T, save(), restore() into a FRESH LiveRun over the
+// same substrate snapshot + manager, run-to-end must be field-for-field
+// bit-identical — exact double compare, events_processed included — to the
+// uninterrupted run, for every manager, across many seeds and snapshot
+// points (including mid-failure-wave), with caches, speculation, slow
+// nodes and failure injection all live.
+//
+// Also covered here:
+//  * fork-twice: two restores of one snapshot are identical; a what-if
+//    fork (extra injected failure in one) diverges but still completes;
+//  * steady-state lazy-stream resume (the SUBS mode-1 pump re-arm);
+//  * RunOnSnapshot's checkpoint.every / checkpoint.resume_path plumbing,
+//    including the JSON manifest sidecar;
+//  * config-hash pinning: restore onto a different manager or config
+//    fails with snap::SnapshotError, never a silent divergence;
+//  * ValidateConfig rejection of unsound checkpoint knobs;
+//  * RNG and SubmissionStream draw sequences pinned across restore;
+//  * corrupt-payload fuzzing with a recomputed checksum: restore must
+//    throw or succeed, never crash (the ASan/UBSan CI job runs this).
+//
+// Excluded fields: wall-clock diagnostics only (allocation_wall_seconds,
+// last_round_wall_seconds, net_stats.wall_seconds, round_wall's duration
+// stats) — they measure real time, not simulated behaviour.  round_wall's
+// count and every other field must match exactly.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/snapshot.h"
+#include "workload/harness.h"
+
+namespace custody::workload {
+namespace {
+
+// Small but multi-layer: block cache, speculation, slow nodes and a
+// three-crash failure wave (t = 10, 18, 26) are all live, so a snapshot
+// exercises every layer's dynamic state.
+ExperimentConfig BaseConfig(ManagerKind manager, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.executors_per_node = 2;
+  config.manager = manager;
+  config.kinds = {WorkloadKind::kWordCount, WorkloadKind::kSort};
+  config.trace.num_apps = 3;
+  config.trace.jobs_per_app = 4;
+  config.trace.files_per_kind = 3;
+  config.cache_mb_per_node = 256.0;
+  config.speculation = true;
+  config.slow_node_fraction = 0.15;
+  config.node_failures = 3;
+  config.failure_start = 10.0;
+  config.failure_interval = 8.0;
+  config.seed = seed;
+  return config;
+}
+
+void ExpectSummariesIdentical(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.p25, b.p25);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.p75, b.p75);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.max, b.max);
+}
+
+/// Exact comparison of every deterministic result field (wall-clock
+/// diagnostics excluded, see the header comment).  Unlike the
+/// demand-driven equivalence suite, restore equivalence is FULL identity:
+/// even the work counters (executors_scanned, rounds_skipped, demand
+/// sizes) must match, because a restored run replays the exact same
+/// decisions.
+void ExpectResultsIdentical(const ExperimentResult& a,
+                            const ExperimentResult& b) {
+  EXPECT_EQ(a.manager_name, b.manager_name);
+  {
+    SCOPED_TRACE("job_locality");
+    ExpectSummariesIdentical(a.job_locality, b.job_locality);
+  }
+  EXPECT_EQ(a.overall_task_locality_percent, b.overall_task_locality_percent);
+  EXPECT_EQ(a.local_job_percent, b.local_job_percent);
+  {
+    SCOPED_TRACE("jct");
+    ExpectSummariesIdentical(a.jct, b.jct);
+  }
+  {
+    SCOPED_TRACE("input_stage");
+    ExpectSummariesIdentical(a.input_stage, b.input_stage);
+  }
+  {
+    SCOPED_TRACE("sched_delay");
+    ExpectSummariesIdentical(a.sched_delay, b.sched_delay);
+  }
+  ASSERT_EQ(a.per_app_local_job_fraction.size(),
+            b.per_app_local_job_fraction.size());
+  for (std::size_t i = 0; i < a.per_app_local_job_fraction.size(); ++i) {
+    EXPECT_EQ(a.per_app_local_job_fraction[i], b.per_app_local_job_fraction[i])
+        << "per_app_local_job_fraction[" << i << "]";
+  }
+  const cluster::ManagerStats& ma = a.manager_stats;
+  const cluster::ManagerStats& mb = b.manager_stats;
+  EXPECT_EQ(ma.allocation_rounds, mb.allocation_rounds);
+  EXPECT_EQ(ma.executors_granted, mb.executors_granted);
+  EXPECT_EQ(ma.executors_released, mb.executors_released);
+  EXPECT_EQ(ma.offers_made, mb.offers_made);
+  EXPECT_EQ(ma.offers_rejected, mb.offers_rejected);
+  EXPECT_EQ(ma.executors_scanned, mb.executors_scanned);
+  EXPECT_EQ(ma.apps_considered, mb.apps_considered);
+  EXPECT_EQ(ma.rounds_skipped, mb.rounds_skipped);
+  EXPECT_EQ(ma.demand_apps, mb.demand_apps);
+  EXPECT_EQ(ma.demanded_tasks, mb.demanded_tasks);
+  EXPECT_EQ(ma.demands_saturated, mb.demands_saturated);
+  EXPECT_EQ(a.round_wall.count, b.round_wall.count);
+  EXPECT_EQ(a.round_yield_fraction, b.round_yield_fraction);
+  EXPECT_EQ(a.net_stats.recomputes_requested, b.net_stats.recomputes_requested);
+  EXPECT_EQ(a.net_stats.recomputes_run, b.net_stats.recomputes_run);
+  EXPECT_EQ(a.net_stats.recomputes_batched, b.net_stats.recomputes_batched);
+  EXPECT_EQ(a.net_stats.flows_scanned, b.net_stats.flows_scanned);
+  EXPECT_EQ(a.net_stats.links_scanned, b.net_stats.links_scanned);
+  EXPECT_EQ(a.net_stats.rounds, b.net_stats.rounds);
+  EXPECT_EQ(a.net_bytes_delivered, b.net_bytes_delivered);
+  EXPECT_EQ(a.cache_insertions, b.cache_insertions);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.speculative_launches, b.speculative_launches);
+  EXPECT_EQ(a.speculative_wins, b.speculative_wins);
+  EXPECT_EQ(a.nodes_failed, b.nodes_failed);
+  EXPECT_EQ(a.launches_local, b.launches_local);
+  EXPECT_EQ(a.launches_covered_busy, b.launches_covered_busy);
+  EXPECT_EQ(a.launches_uncovered, b.launches_uncovered);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_retired, b.jobs_retired);
+  EXPECT_EQ(a.peak_live_tasks, b.peak_live_tasks);
+}
+
+/// Run to `T`, snapshot, destroy the run, restore into a FRESH LiveRun,
+/// finish, collect.  The destroyed first run guarantees nothing leaks
+/// between the two halves except the snapshot bytes.
+ExperimentResult RunWithRestore(const SubstrateSnapshot& snapshot,
+                                ManagerKind manager, SimTime snap_at) {
+  std::vector<std::uint8_t> bytes;
+  {
+    LiveRun first(snapshot, manager);
+    first.run_until(snap_at);
+    bytes = first.save();
+  }
+  LiveRun second(snapshot, manager);
+  second.restore(bytes);
+  second.run();
+  return second.collect();
+}
+
+// Snapshot points: before the failure wave, inside it (between the t=10
+// and t=18 crashes), and after it.
+constexpr SimTime kSnapshotPoints[] = {5.0, 14.0, 30.0};
+
+void SweepManager(ManagerKind manager, std::uint64_t seed_base,
+                  int num_seeds) {
+  for (std::uint64_t seed = seed_base;
+       seed < seed_base + static_cast<std::uint64_t>(num_seeds); ++seed) {
+    const SubstrateSnapshot snapshot =
+        SubstrateSnapshot::Build(BaseConfig(manager, seed));
+    const ExperimentResult straight = RunOnSnapshot(snapshot, manager);
+    // The failure wave must actually have fired, or the mid-wave snapshot
+    // point is vacuous.
+    ASSERT_EQ(straight.nodes_failed, 3) << "seed=" << seed;
+    for (const SimTime at : kSnapshotPoints) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " snap_at=" + std::to_string(at));
+      ExpectResultsIdentical(RunWithRestore(snapshot, manager, at), straight);
+    }
+  }
+}
+
+// 4 managers x 20 seeds x 3 snapshot points, all seeds distinct.
+TEST(SnapshotEquivalence, CustodyManySeedsAllPoints) {
+  SweepManager(ManagerKind::kCustody, 2000, 20);
+}
+
+TEST(SnapshotEquivalence, StandaloneManySeedsAllPoints) {
+  SweepManager(ManagerKind::kStandalone, 2100, 20);
+}
+
+TEST(SnapshotEquivalence, PoolManySeedsAllPoints) {
+  SweepManager(ManagerKind::kPool, 2200, 20);
+}
+
+TEST(SnapshotEquivalence, OfferManySeedsAllPoints) {
+  SweepManager(ManagerKind::kOffer, 2300, 20);
+}
+
+// The pre-run boundary is a valid snapshot point too: save immediately
+// after construction, before a single event fires.
+TEST(SnapshotEquivalence, SaveAtConstructionRoundTrips) {
+  const SubstrateSnapshot snapshot =
+      SubstrateSnapshot::Build(BaseConfig(ManagerKind::kCustody, 2500));
+  const ExperimentResult straight =
+      RunOnSnapshot(snapshot, ManagerKind::kCustody);
+  std::vector<std::uint8_t> bytes;
+  {
+    LiveRun first(snapshot, ManagerKind::kCustody);
+    bytes = first.save();
+  }
+  LiveRun second(snapshot, ManagerKind::kCustody);
+  second.restore(bytes);
+  second.run();
+  ExpectResultsIdentical(second.collect(), straight);
+}
+
+// Forking: one snapshot restored into two independent runs.  Untouched,
+// the twins are identical; perturbing one (what-if: extra node crashes)
+// diverges it while both still complete every job.
+TEST(SnapshotEquivalence, ForkTwiceIsIdenticalAndWhatIfDiverges) {
+  const SubstrateSnapshot snapshot =
+      SubstrateSnapshot::Build(BaseConfig(ManagerKind::kCustody, 2510));
+  std::vector<std::uint8_t> bytes;
+  {
+    LiveRun base(snapshot, ManagerKind::kCustody);
+    base.run_until(12.0);  // one scheduled crash already happened
+    bytes = base.save();
+  }
+
+  LiveRun fork_a(snapshot, ManagerKind::kCustody);
+  fork_a.restore(bytes);
+  fork_a.run();
+  const ExperimentResult a = fork_a.collect();
+
+  LiveRun fork_b(snapshot, ManagerKind::kCustody);
+  fork_b.restore(bytes);
+  fork_b.run();
+  const ExperimentResult b = fork_b.collect();
+  {
+    SCOPED_TRACE("fork twice, untouched");
+    ExpectResultsIdentical(a, b);
+  }
+
+  // What-if: crash three extra nodes in one fork right after restore.  At
+  // most one of the chosen ids is already dead, so at least two extra
+  // crashes land.
+  LiveRun fork_c(snapshot, ManagerKind::kCustody);
+  fork_c.restore(bytes);
+  fork_c.inject_failure(NodeId(0));
+  fork_c.inject_failure(NodeId(1));
+  fork_c.inject_failure(NodeId(2));
+  fork_c.run();
+  const ExperimentResult c = fork_c.collect();
+  EXPECT_GT(c.nodes_failed, a.nodes_failed);
+  // The perturbed universe still completes the full workload.
+  EXPECT_EQ(c.jobs_completed, a.jobs_completed);
+}
+
+// Steady-state lazy stream: the pump's (time, seq) descriptor and the
+// stream's per-app draw state must survive restore (SUBS mode 1).
+TEST(SnapshotEquivalence, SteadyStateStreamResumes) {
+  for (std::uint64_t seed = 2520; seed < 2523; ++seed) {
+    ExperimentConfig config = BaseConfig(ManagerKind::kCustody, seed);
+    config.trace.jobs_per_app = 12;
+    config.steady.enabled = true;
+    config.steady.warmup = 20.0;
+    const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+    const ExperimentResult straight =
+        RunOnSnapshot(snapshot, ManagerKind::kCustody);
+    for (const SimTime at : {14.0, 60.0}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " snap_at=" + std::to_string(at));
+      ExpectResultsIdentical(
+          RunWithRestore(snapshot, ManagerKind::kCustody, at), straight);
+    }
+  }
+}
+
+// RunOnSnapshot's checkpoint plumbing: periodic checkpoints do not perturb
+// the run, files + JSON manifests appear, and resuming from a mid-run
+// checkpoint finishes with identical summaries.
+TEST(SnapshotEquivalence, CheckpointEveryAndResumeMatchStraightRun) {
+  const std::string dir = ::testing::TempDir();
+  ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2530);
+  const SubstrateSnapshot plain = SubstrateSnapshot::Build(config);
+  const ExperimentResult straight =
+      RunOnSnapshot(plain, ManagerKind::kCustody);
+
+  config.checkpoint.every = 15.0;
+  config.checkpoint.directory = dir;
+  const SubstrateSnapshot checkpointing = SubstrateSnapshot::Build(config);
+  const ExperimentResult with_checkpoints =
+      RunOnSnapshot(checkpointing, ManagerKind::kCustody);
+  {
+    SCOPED_TRACE("checkpointing run vs straight");
+    ExpectResultsIdentical(with_checkpoints, straight);
+  }
+
+  const std::string first = dir + "/checkpoint-0001.snap";
+  std::vector<std::uint8_t> first_bytes;
+  ASSERT_NO_THROW(first_bytes = snap::ReadFile(first));
+  // The snapshot itself parses and carries this run's identity.
+  snap::SnapshotReader reader(first_bytes);
+  EXPECT_EQ(reader.config_hash(),
+            ConfigHash(config, ManagerKind::kCustody));
+  EXPECT_EQ(reader.sim_time(), 15.0);
+
+  // Manifest sidecar: schema version, config hash, sim time, manager.
+  std::ifstream manifest(first + ".json");
+  ASSERT_TRUE(manifest.good());
+  std::stringstream buffer;
+  buffer << manifest.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"config_hash\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_time\""), std::string::npos);
+  EXPECT_NE(json.find("\"manager\""), std::string::npos);
+
+  // Kill-and-resume: a fresh run restored from the mid-run checkpoint must
+  // finish with the same summaries as the uninterrupted run.
+  ExperimentConfig resumed_config = BaseConfig(ManagerKind::kCustody, 2530);
+  resumed_config.checkpoint.resume_path = first;
+  const SubstrateSnapshot resumed_snapshot =
+      SubstrateSnapshot::Build(resumed_config);
+  const ExperimentResult resumed =
+      RunOnSnapshot(resumed_snapshot, ManagerKind::kCustody);
+  {
+    SCOPED_TRACE("resumed run vs straight");
+    ExpectResultsIdentical(resumed, straight);
+  }
+}
+
+// The config hash pins a snapshot to its exact config + manager: restoring
+// onto anything else is a typed error, not a silent divergence.
+TEST(SnapshotEquivalence, ConfigHashMismatchIsRejected) {
+  const SubstrateSnapshot snapshot =
+      SubstrateSnapshot::Build(BaseConfig(ManagerKind::kCustody, 2540));
+  std::vector<std::uint8_t> bytes;
+  {
+    LiveRun run(snapshot, ManagerKind::kCustody);
+    run.run_until(5.0);
+    bytes = run.save();
+  }
+  // Same substrate, different manager.
+  LiveRun other_manager(snapshot, ManagerKind::kStandalone);
+  EXPECT_THROW(other_manager.restore(bytes), snap::SnapshotError);
+
+  // Different seed (hence different config hash), same manager.
+  const SubstrateSnapshot other_snapshot =
+      SubstrateSnapshot::Build(BaseConfig(ManagerKind::kCustody, 2541));
+  LiveRun other_seed(other_snapshot, ManagerKind::kCustody);
+  EXPECT_THROW(other_seed.restore(bytes), snap::SnapshotError);
+}
+
+TEST(SnapshotEquivalence, ConfigHashSeparatesKnobsButNotCheckpointing) {
+  const ExperimentConfig base = BaseConfig(ManagerKind::kCustody, 2550);
+  const std::uint64_t h = ConfigHash(base, ManagerKind::kCustody);
+
+  ExperimentConfig other = base;
+  other.seed = 2551;
+  EXPECT_NE(ConfigHash(other, ManagerKind::kCustody), h);
+
+  other = base;
+  other.num_nodes += 1;
+  EXPECT_NE(ConfigHash(other, ManagerKind::kCustody), h);
+
+  EXPECT_NE(ConfigHash(base, ManagerKind::kPool), h);
+
+  // Checkpoint knobs are operational, not behavioural: toggling them must
+  // NOT change the hash (else a resumed run could never match its own
+  // snapshot).
+  other = base;
+  other.checkpoint.every = 15.0;
+  other.checkpoint.directory = "/somewhere/else";
+  other.checkpoint.resume_path = "x.snap";
+  EXPECT_EQ(ConfigHash(other, ManagerKind::kCustody), h);
+}
+
+TEST(SnapshotEquivalence, ValidateConfigRejectsUnsoundCheckpointKnobs) {
+  {
+    ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2560);
+    config.checkpoint.every = -1.0;
+    try {
+      ValidateConfig(config);
+      FAIL() << "negative checkpoint.every accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("checkpoint.every"),
+                std::string::npos);
+    }
+  }
+  {
+    ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2560);
+    config.checkpoint.every = 10.0;
+    config.checkpoint.directory.clear();
+    try {
+      ValidateConfig(config);
+      FAIL() << "empty checkpoint.directory accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("checkpoint.directory"),
+                std::string::npos);
+    }
+  }
+  {
+    ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2560);
+    config.checkpoint.every = 10.0;
+    config.tracing.enabled = true;
+    EXPECT_THROW(ValidateConfig(config), std::invalid_argument);
+  }
+  {
+    ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2560);
+    config.checkpoint.resume_path = "whatever.snap";
+    config.tracing.enabled = true;
+    EXPECT_THROW(ValidateConfig(config), std::invalid_argument);
+  }
+}
+
+// save() refuses to snapshot a traced run: the ring buffers are
+// observability, not state, and silently dropping them would lie.
+TEST(SnapshotEquivalence, SaveWithTracerIsRejected) {
+  ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2570);
+  config.tracing.enabled = true;
+  const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+  LiveRun run(snapshot, ManagerKind::kCustody);
+  run.run_until(5.0);
+  EXPECT_THROW((void)run.save(), snap::SnapshotError);
+}
+
+// An Rng restored mid-sequence continues with bit-identical draws — the
+// foundation every layer's determinism rests on.
+TEST(SnapshotEquivalence, RngDrawSequencePinnedAcrossRestore) {
+  Rng rng(0xabcdef12345ULL);
+  for (int i = 0; i < 100; ++i) (void)rng.uniform(0.0, 1.0);
+
+  snap::SnapshotWriter w;
+  w.begin_section("RNG ");
+  rng.SaveTo(w);
+  w.end_section();
+  const auto bytes = w.finish(0, 0.0);
+
+  std::vector<double> expected_uniform;
+  std::vector<int> expected_ints;
+  std::vector<double> expected_exp;
+  for (int i = 0; i < 32; ++i) {
+    expected_uniform.push_back(rng.uniform(0.0, 1.0));
+    expected_ints.push_back(rng.uniform_int(0, 1000000));
+    expected_exp.push_back(rng.exponential(4.0));
+  }
+  Rng forked = rng.fork(7);
+  std::vector<double> expected_fork;
+  for (int i = 0; i < 8; ++i) expected_fork.push_back(forked.uniform(0., 1.));
+
+  Rng restored(1);  // deliberately different seed; restore overwrites
+  snap::SnapshotReader r(bytes);
+  r.begin_section("RNG ");
+  restored.RestoreFrom(r);
+  r.end_section();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(restored.uniform(0.0, 1.0), expected_uniform[i]) << i;
+    EXPECT_EQ(restored.uniform_int(0, 1000000), expected_ints[i]) << i;
+    EXPECT_EQ(restored.exponential(4.0), expected_exp[i]) << i;
+  }
+  // fork() derives from the restored seed, so sub-streams line up too.
+  Rng refork = restored.fork(7);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(refork.uniform(0., 1.), expected_fork[i]) << i;
+  }
+}
+
+// A SubmissionStream restored mid-trace emits the exact tail the original
+// would have (the fork(3) arrival process).
+TEST(SnapshotEquivalence, SubmissionStreamDrawsPinnedAcrossRestore) {
+  ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2580);
+  config.trace.jobs_per_app = 8;
+  config.steady.enabled = true;
+  const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+
+  SubmissionStream original = snapshot.make_submission_stream();
+  for (int i = 0; i < 5; ++i) (void)original.next();
+
+  snap::SnapshotWriter w;
+  w.begin_section("STRM");
+  original.SaveTo(w);
+  w.end_section();
+  const auto bytes = w.finish(0, 0.0);
+
+  std::vector<Submission> expected;
+  while (!original.done()) expected.push_back(original.next());
+  ASSERT_FALSE(expected.empty());
+
+  SubmissionStream restored = snapshot.make_submission_stream();
+  snap::SnapshotReader r(bytes);
+  r.begin_section("STRM");
+  restored.RestoreFrom(r);
+  r.end_section();
+  for (const Submission& want : expected) {
+    ASSERT_FALSE(restored.done());
+    const Submission got = restored.next();
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.app_index, want.app_index);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.file_index, want.file_index);
+  }
+  EXPECT_TRUE(restored.done());
+}
+
+// Payload corruption with a RECOMPUTED footer checksum sails past the
+// integrity check and hits the per-layer validation: restore must throw a
+// typed error or succeed benignly — never crash or corrupt memory.  (The
+// sanitizer CI job runs this test under ASan/UBSan.)
+TEST(SnapshotEquivalence, CorruptPayloadWithFixedChecksumNeverCrashes) {
+  ExperimentConfig config = BaseConfig(ManagerKind::kCustody, 2590);
+  config.node_failures = 0;  // smaller state, faster attempts
+  config.trace.num_apps = 2;
+  config.trace.jobs_per_app = 2;
+  const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+  std::vector<std::uint8_t> bytes;
+  {
+    LiveRun run(snapshot, ManagerKind::kCustody);
+    run.run_until(8.0);
+    bytes = run.save();
+  }
+  const std::size_t payload_begin = 24;
+  const std::size_t payload_end = bytes.size() - 8;
+  // Stride through the payload so every section gets hit while the test
+  // stays fast; two flip patterns per offset (low bit and high bit).
+  const std::size_t stride = std::max<std::size_t>(
+      1, (payload_end - payload_begin) / 160);
+  int attempted = 0;
+  for (std::size_t off = payload_begin; off < payload_end; off += stride) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> bad = bytes;
+      bad[off] ^= flip;
+      const std::uint64_t sum = snap::Fnv1a(bad.data(), bad.size() - 8);
+      for (int i = 0; i < 8; ++i) {
+        bad[bad.size() - 8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(sum >> (8 * i));
+      }
+      LiveRun victim(snapshot, ManagerKind::kCustody);
+      try {
+        victim.restore(bad);
+        // A flip in slack bits can be benign; that's fine.
+      } catch (const std::exception&) {
+        // Typed rejection is the expected outcome.
+      }
+      ++attempted;
+    }
+  }
+  EXPECT_GE(attempted, 300);
+}
+
+}  // namespace
+}  // namespace custody::workload

@@ -167,6 +167,74 @@ BENCHMARK(BM_MaxMinRecompute)
     ->Args({1000, 10000, 0})
     ->Unit(benchmark::kMillisecond);
 
+/// Scoped re-solve after a single-flow churn event, the component
+/// partition's target case.  Topologies: `shared_core:0` gives every flow
+/// its own src/dst pair (F singleton components — the shuffle-disjoint
+/// extreme), `shared_core:1` threads every flow through one core link (one
+/// giant component — the degenerate case where partitioning must cost
+/// nothing).  Each iteration retires one flow, starts an identical one and
+/// solves; `partitioned:1` re-solves only the dirtied component while
+/// `partitioned:0` re-solves the world.  The label's per-solve counters are
+/// the acceptance metric (flows_scanned/solve must drop >= 5x on the
+/// disjoint 10k row).
+void BM_ComponentSolve(benchmark::State& state) {
+  const std::size_t num_flows = static_cast<std::size_t>(state.range(0));
+  const bool shared_core = state.range(1) != 0;
+  const bool partitioned = state.range(2) != 0;
+  const std::size_t num_nodes = 2 * num_flows;  // disjoint src/dst per flow
+  std::vector<double> capacity(2 * num_nodes + 1);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    capacity[i] = units::Gbps(2.0);
+    capacity[num_nodes + i] = units::Gbps(40.0);
+  }
+  capacity[2 * num_nodes] =
+      shared_core ? units::Gbps(400.0) : 0.0;  // unused when not shared
+
+  net::MaxMinFairSolver solver;
+  solver.reset_links(capacity, partitioned);
+  std::vector<std::vector<std::size_t>> flow_links(num_flows);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    flow_links[f] = {2 * f, num_nodes + 2 * f + 1};
+    if (shared_core) flow_links[f].push_back(2 * num_nodes);
+    solver.add_flow(f, flow_links[f].data(), flow_links[f].size());
+  }
+  std::vector<double> rates;
+  net::SolveCounters counters;
+  net::SolveDelta delta;
+  // Warm solve: afterwards every component is clean.
+  solver.solve(rates, &counters, partitioned ? &delta : nullptr);
+
+  counters = {};
+  std::uint64_t solves = 0;
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    solver.remove_flow(victim);
+    solver.add_flow(victim, flow_links[victim].data(),
+                    flow_links[victim].size());
+    solver.solve(rates, &counters, partitioned ? &delta : nullptr);
+    benchmark::DoNotOptimize(rates.data());
+    victim = (victim + 1) % num_flows;
+    ++solves;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(solves));
+  state.SetLabel(
+      "flows_scanned_per_solve=" + std::to_string(counters.flows_scanned / solves) +
+      " links_scanned_per_solve=" + std::to_string(counters.links_scanned / solves) +
+      " components=" + std::to_string(solver.live_component_count()) +
+      " dirty_per_solve=" + std::to_string(counters.components_dirty / solves));
+}
+BENCHMARK(BM_ComponentSolve)
+    ->ArgNames({"flows", "shared_core", "partitioned"})
+    ->Args({1000, 0, 1})
+    ->Args({1000, 0, 0})
+    ->Args({1000, 1, 1})
+    ->Args({1000, 1, 0})
+    ->Args({10000, 0, 1})
+    ->Args({10000, 0, 0})
+    ->Args({10000, 1, 1})
+    ->Args({10000, 1, 0})
+    ->Unit(benchmark::kMicrosecond);
+
 /// End-to-end network path under shuffle fan-out: bursts of `fan_in` flows
 /// converge on one destination per burst, all started in a single event —
 /// the Application's shuffle pattern at scale.  `incremental:1` is the
@@ -187,6 +255,7 @@ void BM_NetworkShuffleFanOut(benchmark::State& state) {
     net::NetworkConfig config;
     config.num_nodes = num_nodes;
     config.incremental = incremental;
+    config.component_partitioned = incremental;
     net::Network network(sim, config);
     Rng rng(9);
     std::size_t completed = 0;

@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> columns{
       "scenario",        "manager",       "nodes",
       "jobs",            "wall_s",        "events",
-      "events_per_sec",  "jobs_retired",  "peak_live_tasks",
+      "events_per_sec",  "net_wall_s",    "net_solve_share",
+      "jobs_retired",    "peak_live_tasks",
       "jct_mean_s",      "jct_p99_s",     "makespan_s"};
   auto csv = MaybeCsv(argc, argv, columns);
   auto json = MaybeJson(argc, argv, columns);
@@ -109,13 +110,17 @@ int main(int argc, char** argv) {
   }
 
   AsciiTable table({"scenario", "nodes", "wall (s)", "events/s",
-                    "jobs retired", "peak live tasks", "JCT mean (s)",
-                    "JCT p99 (s)"});
+                    "net share", "jobs retired", "peak live tasks",
+                    "JCT mean (s)", "JCT p99 (s)"});
   // Runs one configuration and appends its table/CSV/JSON rows; false
   // means the engine leaked live jobs (retired != completed != submitted).
+  // `partitioned` toggles the component-partitioned rate path so the node
+  // sweep can show the solver's share of wall time before/after.
   const auto run_row = [&](const std::string& scenario, long long row_jobs,
-                           long long row_nodes, bool diurnal) -> bool {
+                           long long row_nodes, bool diurnal,
+                           bool partitioned = true) -> bool {
     ExperimentConfig config = SteadyBenchConfig(row_jobs, row_nodes, diurnal);
+    config.component_partitioned_network = partitioned;
     if (checkpointing) config.checkpoint = checkpoint;
     const auto start = std::chrono::steady_clock::now();
     const ExperimentResult result = RunExperiment(config);
@@ -124,8 +129,11 @@ int main(int argc, char** argv) {
             .count();
     const double events_per_sec =
         wall > 0.0 ? static_cast<double>(result.events_processed) / wall : 0.0;
+    const double net_wall = result.net_stats.wall_seconds;
+    const double net_share = wall > 0.0 ? net_wall / wall : 0.0;
     table.add_row({scenario, std::to_string(row_nodes), Num(wall),
-                   Num(events_per_sec, 0), std::to_string(result.jobs_retired),
+                   Num(events_per_sec, 0), Num(net_share, 3),
+                   std::to_string(result.jobs_retired),
                    std::to_string(result.peak_live_tasks),
                    Num(result.jct.mean), Num(result.jct.p99)});
     const std::vector<std::string> row{
@@ -136,6 +144,8 @@ int main(int argc, char** argv) {
         Num(wall, 3),
         std::to_string(result.events_processed),
         Num(events_per_sec, 0),
+        Num(net_wall, 3),
+        Num(net_share, 4),
         std::to_string(result.jobs_retired),
         std::to_string(result.peak_live_tasks),
         Num(result.jct.mean, 3),
@@ -171,6 +181,13 @@ int main(int argc, char** argv) {
       if (!run_row("node-sweep", sweep_jobs, sweep_nodes, /*diurnal=*/false)) {
         return 1;
       }
+    }
+    // The before/after row for the component partition: the same 10k-node
+    // run on the unpartitioned (global re-solve) rate path.  Compare its
+    // events/s and net_solve_share against the node-sweep row above.
+    if (!run_row("node-sweep-globalnet", sweep_jobs, 10000LL,
+                 /*diurnal=*/false, /*partitioned=*/false)) {
+      return 1;
     }
   }
   std::cout << '\n';

@@ -233,6 +233,10 @@ void MetricsCollector::SaveTo(snap::SnapshotWriter& w) const {
   w.u64(network_.flows_scanned);
   w.u64(network_.links_scanned);
   w.u64(network_.rounds);
+  w.u64(network_.components_total);
+  w.u64(network_.components_dirty);
+  w.u64(network_.rates_changed);
+  w.u64(network_.completion_rescans);
   w.f64(network_.wall_seconds);
 }
 
@@ -312,6 +316,10 @@ void MetricsCollector::RestoreFrom(snap::SnapshotReader& r) {
   network_.flows_scanned = r.u64();
   network_.links_scanned = r.u64();
   network_.rounds = r.u64();
+  network_.components_total = r.u64();
+  network_.components_dirty = r.u64();
+  network_.rates_changed = r.u64();
+  network_.completion_rescans = r.u64();
   network_.wall_seconds = r.f64();
 }
 

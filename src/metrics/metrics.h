@@ -81,6 +81,14 @@ struct NetworkStatsRecord {
   std::uint64_t flows_scanned = 0;
   std::uint64_t links_scanned = 0;
   std::uint64_t rounds = 0;
+  /// Component-partitioned solves: live components after each solve
+  /// (summed), dirty components re-solved, flow rates rewritten, and
+  /// completion re-arms that fell back to a full flow rescan.  All zero on
+  /// the non-partitioned rate paths.
+  std::uint64_t components_total = 0;
+  std::uint64_t components_dirty = 0;
+  std::uint64_t rates_changed = 0;
+  std::uint64_t completion_rescans = 0;
   double wall_seconds = 0.0;
 };
 

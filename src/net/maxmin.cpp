@@ -9,13 +9,93 @@
 
 namespace custody::net {
 
-void MaxMinFairSolver::reset_links(std::vector<double> capacity) {
+void MaxMinFairSolver::reset_links(std::vector<double> capacity,
+                                   bool partitioned) {
   capacity_ = std::move(capacity);
   link_flows_.assign(capacity_.size(), {});
   flows_.clear();
   live_slots_.clear();
   touch_stamp_.assign(capacity_.size(), 0);
   round_stamp_ = 0;
+  partitioned_ = partitioned;
+  comps_.clear();
+  comp_of_link_.assign(partitioned_ ? capacity_.size() : 0, kNoComponent);
+  dirty_comps_.clear();
+  free_comp_ids_.clear();
+  merged_comps_.clear();
+  zero_degree_pending_.clear();
+  live_comps_ = 0;
+  flow_stamp_.clear();
+  bfs_epoch_ = 0;
+}
+
+std::uint32_t MaxMinFairSolver::alloc_component() {
+  ++live_comps_;
+  if (!free_comp_ids_.empty()) {
+    const std::uint32_t id = free_comp_ids_.back();
+    free_comp_ids_.pop_back();
+    comps_[id].links.clear();
+    comps_[id].dirty = false;
+    comps_[id].live = true;
+    return id;
+  }
+  comps_.emplace_back();
+  comps_.back().live = true;
+  return static_cast<std::uint32_t>(comps_.size() - 1);
+}
+
+void MaxMinFairSolver::mark_dirty(std::uint32_t comp) {
+  if (comps_[comp].dirty) return;
+  comps_[comp].dirty = true;
+  dirty_comps_.push_back(comp);
+}
+
+void MaxMinFairSolver::partition_add(std::size_t slot) {
+  FlowEntry& flow = flows_[slot];
+  if (flow.degree == 0) {
+    zero_degree_pending_.push_back(static_cast<std::uint32_t>(slot));
+    return;
+  }
+  // Merge the components of the flow's links into one (smaller into larger;
+  // the choice only affects which id survives, never any solved rate).
+  std::uint32_t target = kNoComponent;
+  for (std::uint32_t i = 0; i < flow.degree; ++i) {
+    const std::uint32_t c = comp_of_link_[flow.link[i]];
+    if (c == kNoComponent || c == target) continue;
+    if (target == kNoComponent) {
+      target = c;
+      continue;
+    }
+    std::uint32_t winner = target;
+    std::uint32_t loser = c;
+    if (comps_[loser].links.size() > comps_[winner].links.size()) {
+      std::swap(winner, loser);
+    }
+    for (const std::uint32_t l : comps_[loser].links) {
+      comp_of_link_[l] = winner;
+    }
+    comps_[winner].links.insert(comps_[winner].links.end(),
+                                comps_[loser].links.begin(),
+                                comps_[loser].links.end());
+    comps_[loser].links.clear();
+    comps_[loser].live = false;
+    --live_comps_;
+    comps_[loser].dirty = false;
+    // Freed at the next solve, after the delta reports the id retired —
+    // eager reuse inside the same burst would alias a consumer's
+    // per-component state.
+    merged_comps_.push_back(loser);
+    target = winner;
+  }
+  if (target == kNoComponent) target = alloc_component();
+  for (std::uint32_t i = 0; i < flow.degree; ++i) {
+    const std::uint32_t l = flow.link[i];
+    if (comp_of_link_[l] == kNoComponent) {
+      comp_of_link_[l] = target;
+      comps_[target].links.push_back(l);
+    }
+  }
+  mark_dirty(target);
 }
 
 void MaxMinFairSolver::add_flow(std::size_t slot, const std::size_t* links,
@@ -35,11 +115,17 @@ void MaxMinFairSolver::add_flow(std::size_t slot, const std::size_t* links,
   flow.live = true;
   flow.live_pos = static_cast<std::uint32_t>(live_slots_.size());
   live_slots_.push_back(static_cast<std::uint32_t>(slot));
+  if (partitioned_) partition_add(slot);
 }
 
 void MaxMinFairSolver::remove_flow(std::size_t slot) {
   assert(slot < flows_.size() && flows_[slot].live);
   FlowEntry& flow = flows_[slot];
+  if (partitioned_ && flow.degree > 0) {
+    // All of a flow's links share one component by construction; removal
+    // may split it, which the next solve discovers by re-partitioning.
+    mark_dirty(comp_of_link_[flow.link[0]]);
+  }
   for (std::uint32_t i = 0; i < flow.degree; ++i) {
     std::vector<std::uint32_t>& list = link_flows_[flow.link[i]];
     const std::uint32_t pos = flow.pos[i];
@@ -63,6 +149,13 @@ void MaxMinFairSolver::remove_flow(std::size_t slot) {
   flows_[moved_slot].live_pos = flow.live_pos;
   flow.live = false;
   flow.degree = 0;
+}
+
+std::uint32_t MaxMinFairSolver::component_of_slot(std::size_t slot) const {
+  assert(partitioned_ && slot < flows_.size() && flows_[slot].live);
+  const FlowEntry& flow = flows_[slot];
+  if (flow.degree == 0) return kNoComponent;
+  return comp_of_link_[flow.link[0]];
 }
 
 void MaxMinFairSolver::SaveTo(snap::SnapshotWriter& w) const {
@@ -130,6 +223,53 @@ void MaxMinFairSolver::RestoreFrom(snap::SnapshotReader& r) {
   touched_.clear();
   touch_stamp_.assign(num_links, 0);
   round_stamp_ = 0;
+  flow_stamp_.clear();
+  bfs_epoch_ = 0;
+  if (partitioned_) rebuild_partition();
+}
+
+void MaxMinFairSolver::rebuild_partition() {
+  // The partition is derived state: snapshots are taken with rates flushed,
+  // so every component was clean (fully split) at save time, and rebuilding
+  // the exact connected components here reproduces it.  Component ids and
+  // link/flow discovery order differ from the live run's, but neither is
+  // observable — the restricted solves visit links through the heap (keyed
+  // by share and link index) and flows through link_flows_ order.
+  comps_.clear();
+  comp_of_link_.assign(capacity_.size(), kNoComponent);
+  dirty_comps_.clear();
+  free_comp_ids_.clear();
+  merged_comps_.clear();
+  zero_degree_pending_.clear();
+  live_comps_ = 0;
+  for (std::size_t seed = 0; seed < capacity_.size(); ++seed) {
+    if (comp_of_link_[seed] != kNoComponent || link_flows_[seed].empty()) {
+      continue;
+    }
+    const std::uint32_t nc = alloc_component();
+    ++bfs_epoch_;
+    if (flow_stamp_.size() < flows_.size()) flow_stamp_.resize(flows_.size());
+    bfs_queue_.clear();
+    comp_of_link_[seed] = nc;
+    comps_[nc].links.push_back(static_cast<std::uint32_t>(seed));
+    bfs_queue_.push_back(static_cast<std::uint32_t>(seed));
+    for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+      const std::uint32_t l = bfs_queue_[qi];
+      for (const std::uint32_t f : link_flows_[l]) {
+        if (flow_stamp_[f] == bfs_epoch_) continue;
+        flow_stamp_[f] = bfs_epoch_;
+        const FlowEntry& flow = flows_[f];
+        for (std::uint32_t i = 0; i < flow.degree; ++i) {
+          const std::uint32_t lk = flow.link[i];
+          if (comp_of_link_[lk] == nc) continue;
+          assert(comp_of_link_[lk] == kNoComponent);
+          comp_of_link_[lk] = nc;
+          comps_[nc].links.push_back(lk);
+          bfs_queue_.push_back(lk);
+        }
+      }
+    }
+  }
 }
 
 // Min-heap ordering on (share, link index): the reference scan keeps the
@@ -154,9 +294,19 @@ MaxMinFairSolver::HeapEntry MaxMinFairSolver::heap_pop() {
 }
 
 void MaxMinFairSolver::solve(std::vector<double>& rates,
-                             SolveCounters* counters) {
-  const std::size_t num_links = capacity_.size();
+                             SolveCounters* counters, SolveDelta* delta) {
   if (rates.size() < flows_.size()) rates.resize(flows_.size(), 0.0);
+  if (partitioned_) {
+    assert(delta != nullptr);
+    solve_partitioned(rates, counters, delta);
+  } else {
+    solve_global(rates, counters);
+  }
+}
+
+void MaxMinFairSolver::solve_global(std::vector<double>& rates,
+                                    SolveCounters* counters) {
+  const std::size_t num_links = capacity_.size();
   if (live_slots_.empty()) return;
 
   rem_cap_.assign(capacity_.begin(), capacity_.end());
@@ -227,6 +377,156 @@ void MaxMinFairSolver::solve(std::vector<double>& rates,
 
   // Leave assigned_ all-ones so the next solve only clears live slots.
   for (const std::uint32_t slot : live_slots_) assigned_[slot] = 1;
+}
+
+void MaxMinFairSolver::solve_component(
+    const std::vector<std::uint32_t>& links,
+    const std::vector<std::uint32_t>& comp_flows, std::vector<double>& rates,
+    SolveCounters* counters) {
+  // Identical to the global bottleneck loop, restricted to one component's
+  // links and flows.  rem_cap_/unassigned_ persist across components but
+  // only this component's entries are initialized — no flow here touches
+  // any other link, so stale entries elsewhere are never read.  The heap
+  // pop order depends only on its (share, link) contents, never insertion
+  // order (keys are unique per link), so seeding it from BFS-ordered links
+  // matches the global solve's ascending-index seeding bit for bit.
+  if (rem_cap_.size() < capacity_.size()) rem_cap_.resize(capacity_.size());
+  if (unassigned_.size() < capacity_.size()) {
+    unassigned_.resize(capacity_.size());
+  }
+  if (assigned_.size() < flows_.size()) assigned_.resize(flows_.size(), 1);
+  heap_.clear();
+  for (const std::uint32_t l : links) {
+    rem_cap_[l] = capacity_[l];
+    unassigned_[l] = static_cast<std::uint32_t>(link_flows_[l].size());
+    heap_push({rem_cap_[l] / unassigned_[l], l});
+  }
+  if (counters != nullptr) counters->links_scanned += links.size();
+  for (const std::uint32_t f : comp_flows) assigned_[f] = 0;
+  std::size_t remaining = comp_flows.size();
+
+  while (remaining > 0) {
+    assert(!heap_.empty());
+    const HeapEntry top = heap_pop();
+    if (counters != nullptr) ++counters->links_scanned;
+    const std::uint32_t l = top.link;
+    if (unassigned_[l] == 0) continue;
+    const double share = rem_cap_[l] / unassigned_[l];
+    if (share != top.share) {
+      heap_push({share, l});
+      continue;
+    }
+    if (counters != nullptr) ++counters->rounds;
+    ++round_stamp_;
+    touched_.clear();
+    for (const std::uint32_t f : link_flows_[l]) {
+      if (counters != nullptr) ++counters->flows_scanned;
+      if (assigned_[f]) continue;
+      rates[f] = share;
+      assigned_[f] = 1;
+      --remaining;
+      const FlowEntry& flow = flows_[f];
+      for (std::uint32_t i = 0; i < flow.degree; ++i) {
+        const std::uint32_t lk = flow.link[i];
+        rem_cap_[lk] = std::max(0.0, rem_cap_[lk] - share);
+        --unassigned_[lk];
+        if (touch_stamp_[lk] != round_stamp_) {
+          touch_stamp_[lk] = round_stamp_;
+          touched_.push_back(lk);
+        }
+      }
+    }
+    for (const std::uint32_t lk : touched_) {
+      if (unassigned_[lk] == 0) continue;
+      heap_push({rem_cap_[lk] / unassigned_[lk], lk});
+      if (counters != nullptr) ++counters->links_scanned;
+    }
+  }
+  for (const std::uint32_t f : comp_flows) assigned_[f] = 1;
+}
+
+void MaxMinFairSolver::solve_partitioned(std::vector<double>& rates,
+                                         SolveCounters* counters,
+                                         SolveDelta* delta) {
+  delta->clear();
+  if (flow_stamp_.size() < flows_.size()) flow_stamp_.resize(flows_.size());
+
+  for (const std::uint32_t slot : zero_degree_pending_) {
+    // A pending zero-degree slot may have been removed (and even reused by
+    // a constrained flow) before this solve ran; only live zero-degree
+    // flows get the unconstrained rate.
+    if (slot < flows_.size() && flows_[slot].live &&
+        flows_[slot].degree == 0) {
+      rates[slot] = std::numeric_limits<double>::infinity();
+      delta->unconstrained_slots.push_back(slot);
+    }
+  }
+  zero_degree_pending_.clear();
+
+  for (const std::uint32_t c : merged_comps_) {
+    delta->retired_components.push_back(c);
+    free_comp_ids_.push_back(c);
+  }
+  merged_comps_.clear();
+
+  const std::size_t num_dirty = dirty_comps_.size();
+  for (std::size_t di = 0; di < num_dirty; ++di) {
+    const std::uint32_t c = dirty_comps_[di];
+    if (!comps_[c].live || !comps_[c].dirty) continue;  // merged away
+    // Retire the dirty component: move its link list out (the id may be
+    // reused by the first sub-component below) and release every link.
+    links_scratch_.clear();
+    links_scratch_.swap(comps_[c].links);
+    comps_[c].live = false;
+    comps_[c].dirty = false;
+    --live_comps_;
+    free_comp_ids_.push_back(c);
+    delta->retired_components.push_back(c);
+    if (counters != nullptr) ++counters->components_dirty;
+    for (const std::uint32_t l : links_scratch_) {
+      comp_of_link_[l] = kNoComponent;
+    }
+    // Re-partition by BFS: one fresh component per connectivity class,
+    // solved immediately.  Links left with no flows drop out entirely.
+    for (const std::uint32_t seed : links_scratch_) {
+      if (comp_of_link_[seed] != kNoComponent) continue;  // already claimed
+      if (link_flows_[seed].empty()) continue;
+      const std::uint32_t nc = alloc_component();
+      ++bfs_epoch_;
+      bfs_queue_.clear();
+      comp_flows_.clear();
+      comp_of_link_[seed] = nc;
+      comps_[nc].links.push_back(seed);
+      bfs_queue_.push_back(seed);
+      for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+        const std::uint32_t l = bfs_queue_[qi];
+        for (const std::uint32_t f : link_flows_[l]) {
+          if (flow_stamp_[f] == bfs_epoch_) continue;
+          flow_stamp_[f] = bfs_epoch_;
+          if (counters != nullptr) ++counters->flows_scanned;
+          comp_flows_.push_back(f);
+          const FlowEntry& flow = flows_[f];
+          for (std::uint32_t i = 0; i < flow.degree; ++i) {
+            const std::uint32_t lk = flow.link[i];
+            if (comp_of_link_[lk] == nc) continue;
+            // Every link of a flow in a dirty component was released above.
+            assert(comp_of_link_[lk] == kNoComponent);
+            comp_of_link_[lk] = nc;
+            comps_[nc].links.push_back(lk);
+            bfs_queue_.push_back(lk);
+          }
+        }
+      }
+      solve_component(comps_[nc].links, comp_flows_, rates, counters);
+      delta->fresh_components.push_back(nc);
+      delta->changed_slots.insert(delta->changed_slots.end(),
+                                  comp_flows_.begin(), comp_flows_.end());
+      delta->component_ends.push_back(
+          static_cast<std::uint32_t>(delta->changed_slots.size()));
+    }
+  }
+  dirty_comps_.clear();
+  if (counters != nullptr) counters->components_total += live_component_count();
 }
 
 }  // namespace custody::net

@@ -14,6 +14,13 @@
 // ties) and performs the same per-link capacity subtractions, so every
 // division and comparison sees the same operands.  The equivalence is
 // enforced by the multi-seed property suite in tests/net_equivalence_test.
+//
+// Partitioned mode (reset_links(capacity, true)) additionally maintains the
+// connected components of the link-incidence graph and re-solves only the
+// components dirtied since the last solve, leaving clean components' rates
+// untouched — still bit-identical, because disjoint components never share
+// a flow or a link, so the restricted solve performs exactly the divisions
+// the global solve would perform for those flows.  See DESIGN.md §3.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +44,42 @@ struct SolveCounters {
   std::uint64_t links_scanned = 0;
   /// Bottleneck rounds executed.
   std::uint64_t rounds = 0;
+  /// Live connectivity components after each partitioned solve (summed
+  /// across solves; 0 on the non-partitioned paths).
+  std::uint64_t components_total = 0;
+  /// Dirty components actually re-solved (partitioned path only).
+  std::uint64_t components_dirty = 0;
+};
+
+/// What one partitioned solve changed: the slots whose rates were
+/// (re)written, grouped by the freshly built component that owns them, plus
+/// the component ids retired since the previous solve.  Clean components'
+/// slots never appear here — their rates are untouched by the solve — so
+/// the Network can re-estimate its single pending completion event from the
+/// changed flows plus the surviving per-component minima instead of
+/// rescanning every live flow.
+struct SolveDelta {
+  /// Slots re-solved this call, grouped by fresh component (all slots of
+  /// fresh component i occupy [component_ends[i-1], component_ends[i])).
+  std::vector<std::uint32_t> changed_slots;
+  /// End offset into changed_slots per entry of fresh_components.
+  std::vector<std::uint32_t> component_ends;
+  /// Component ids (re)built by this solve, parallel to component_ends.
+  std::vector<std::uint32_t> fresh_components;
+  /// Component ids that stopped existing (merged away or rebuilt).  Ids may
+  /// be reused by fresh_components of the same delta; consumers must retire
+  /// before adopting.
+  std::vector<std::uint32_t> retired_components;
+  /// Slots of zero-degree flows assigned an unbounded rate this call.
+  std::vector<std::uint32_t> unconstrained_slots;
+
+  void clear() {
+    changed_slots.clear();
+    component_ends.clear();
+    fresh_components.clear();
+    retired_components.clear();
+    unconstrained_slots.clear();
+  }
 };
 
 class MaxMinFairSolver {
@@ -45,8 +88,16 @@ class MaxMinFairSolver {
   /// destination downlink and the optional shared core link.
   static constexpr std::size_t kMaxLinksPerFlow = 3;
 
-  /// (Re)define the link set; drops every registered flow.
-  void reset_links(std::vector<double> capacity);
+  /// Component id of a link carrying no flows / a zero-degree flow.
+  static constexpr std::uint32_t kNoComponent = 0xffffffffu;
+
+  /// (Re)define the link set; drops every registered flow.  `partitioned`
+  /// turns on connected-component tracking over the link-incidence graph:
+  /// solve() then re-solves only components dirtied by add_flow/remove_flow
+  /// and reports what changed through a SolveDelta.  Results are bit-
+  /// identical either way (components share no flows, so every division
+  /// sees the same operands; enforced by tests/net_equivalence_test.cpp).
+  void reset_links(std::vector<double> capacity, bool partitioned = false);
 
   /// Register flow `slot` traversing `links[0..count)` (distinct link
   /// indices, count <= kMaxLinksPerFlow).  Slots are caller-managed dense
@@ -59,11 +110,27 @@ class MaxMinFairSolver {
   /// Compute max-min fair rates for every registered flow into
   /// `rates[slot]` (resized to cover the highest slot; dead slots keep
   /// their previous values).  Allocation-free after warmup: all scratch
-  /// buffers are reused across calls.
-  void solve(std::vector<double>& rates, SolveCounters* counters = nullptr);
+  /// buffers are reused across calls.  In partitioned mode only dirty
+  /// components are re-solved — clean components' entries in `rates` are
+  /// left untouched — and `delta` (required then) reports exactly which
+  /// slots were rewritten and which component ids were built/retired.
+  void solve(std::vector<double>& rates, SolveCounters* counters = nullptr,
+             SolveDelta* delta = nullptr);
 
   [[nodiscard]] std::size_t flow_count() const { return live_slots_.size(); }
   [[nodiscard]] std::size_t link_count() const { return capacity_.size(); }
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+  /// Upper bound on component ids in use (partitioned mode); sized for
+  /// per-component side tables.
+  [[nodiscard]] std::size_t component_count() const { return comps_.size(); }
+  /// Component id owning a live flow's links (kNoComponent for a
+  /// zero-degree flow).  Partitioned mode only.
+  [[nodiscard]] std::uint32_t component_of_slot(std::size_t slot) const;
+  /// Live components right now (partitioned mode; 0 otherwise).
+  [[nodiscard]] std::size_t live_component_count() const {
+    return live_comps_;
+  }
 
   /// Serialize the per-link flow lists verbatim.  Their element order is
   /// floating-point-order-sensitive: solve() subtracts the bottleneck share
@@ -94,13 +161,52 @@ class MaxMinFairSolver {
     bool live = false;
   };
 
+  /// One connectivity component of the link-incidence graph.  Every flow on
+  /// a member link belongs to the component (a flow's links are always all
+  /// in the same component); links carrying no flow belong to none.
+  struct Component {
+    std::vector<std::uint32_t> links;
+    bool dirty = false;
+    bool live = false;
+  };
+
   void heap_push(HeapEntry entry);
   HeapEntry heap_pop();
+
+  std::uint32_t alloc_component();
+  /// Mark the component dirty (idempotent) and queue it for the next solve.
+  void mark_dirty(std::uint32_t comp);
+  /// Attach a freshly added flow to the partition: merge the components of
+  /// its links (smaller into larger), claim unowned links, mark dirty.
+  void partition_add(std::size_t slot);
+  void solve_global(std::vector<double>& rates, SolveCounters* counters);
+  void solve_partitioned(std::vector<double>& rates, SolveCounters* counters,
+                         SolveDelta* delta);
+  /// Run the bottleneck loop restricted to `links`/`comp_flows` (the links
+  /// and flows of one freshly built component).
+  void solve_component(const std::vector<std::uint32_t>& links,
+                       const std::vector<std::uint32_t>& comp_flows,
+                       std::vector<double>& rates, SolveCounters* counters);
+  /// Rebuild the partition from link_flows_ (restore path): BFS from each
+  /// owned link in ascending index order.  Deterministic, all clean.
+  void rebuild_partition();
 
   std::vector<double> capacity_;
   std::vector<std::vector<std::uint32_t>> link_flows_;
   std::vector<FlowEntry> flows_;           // indexed by slot
   std::vector<std::uint32_t> live_slots_;  // unordered; swap-removed
+
+  // Partition state (partitioned mode only).
+  bool partitioned_ = false;
+  std::vector<Component> comps_;
+  std::vector<std::uint32_t> comp_of_link_;   // kNoComponent = unowned
+  std::vector<std::uint32_t> dirty_comps_;    // queued for the next solve
+  std::vector<std::uint32_t> free_comp_ids_;
+  std::size_t live_comps_ = 0;
+  /// Ids merged away since the last solve; reported retired, then freed.
+  std::vector<std::uint32_t> merged_comps_;
+  /// Zero-degree slots added since the last solve (rate := infinity there).
+  std::vector<std::uint32_t> zero_degree_pending_;
 
   // Scratch reused across solves (allocation-free recomputes).
   std::vector<double> rem_cap_;
@@ -110,6 +216,13 @@ class MaxMinFairSolver {
   std::vector<std::uint32_t> touched_;
   std::vector<std::uint64_t> touch_stamp_;
   std::uint64_t round_stamp_ = 0;
+  // Partitioned-solve scratch: BFS frontier, the dirty component's link
+  // list (moved out so its id can be reused), per-flow visit stamps.
+  std::vector<std::uint32_t> bfs_queue_;
+  std::vector<std::uint32_t> links_scratch_;
+  std::vector<std::uint32_t> comp_flows_;
+  std::vector<std::uint64_t> flow_stamp_;
+  std::uint64_t bfs_epoch_ = 0;
 };
 
 }  // namespace custody::net

@@ -54,6 +54,12 @@ struct NetworkConfig {
   /// On (default): batched + incremental rate recomputation.  Off: the
   /// recompute-per-change reference path (test/bench only).
   bool incremental = true;
+  /// On (default): the solver tracks connectivity components of the
+  /// link-incidence graph, re-solves only components dirtied since the last
+  /// solve, and the completion event is re-armed from the rate delta.
+  /// Requires `incremental` (the partition lives on the persistent
+  /// incidence structure); results are bit-identical either way.
+  bool component_partitioned = true;
 };
 
 /// What the rate path cost — surfaced through the experiment runner next to
@@ -71,6 +77,18 @@ struct NetStats {
   std::uint64_t links_scanned = 0;
   /// Bottleneck rounds across all solves.
   std::uint64_t rounds = 0;
+  /// Live connectivity components after each partitioned solve, summed
+  /// across solves (0 on the other paths).
+  std::uint64_t components_total = 0;
+  /// Dirty components re-solved across all partitioned solves.
+  std::uint64_t components_dirty = 0;
+  /// Flow rates (re)written by solves — every live flow per solve on the
+  /// non-partitioned paths, only dirty components' flows when partitioned.
+  std::uint64_t rates_changed = 0;
+  /// Completion re-arms that had to rescan every live flow (time advanced
+  /// since the last arm, or the minima cache was cold).  Partitioned mode
+  /// only; same-timestamp bursts re-arm from the rate delta instead.
+  std::uint64_t completion_rescans = 0;
   /// Wall-clock seconds spent inside rate solves.
   double wall_seconds = 0.0;
 
@@ -192,6 +210,9 @@ class Network {
   void recompute();
   void arm_completion_event();
   void on_completion_event();
+  [[noreturn]] void throw_stranded() const;
+  /// Book a live flow's removal into the rate censuses (partitioned mode).
+  void forget_rate(double rate);
 
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -207,6 +228,34 @@ class Network {
   std::vector<double> rates_scratch_;
   bool dirty_ = false;
   sim::Simulator::HookId hook_ = 0;
+
+  /// What the last partitioned solve changed (consumed by the completion
+  /// re-arm; valid only between recompute() and arm_completion_event()).
+  SolveDelta delta_;
+  /// Live flows with rate > 0 — replaces the arm-time max-rate scan for
+  /// the stranded check in partitioned mode.
+  std::size_t positive_rate_count_ = 0;
+  /// Live flows with an infinite (unconstrained, zero-degree) rate; any
+  /// forces the completion re-arm onto the full-rescan path.
+  std::size_t unconstrained_live_ = 0;
+  /// Per-component minimum of remaining/rate, NaN = no positive-rate flow
+  /// or component retired.  Valid only while no simulated time has passed
+  /// since the values were computed (delays shift when time advances).
+  std::vector<double> comp_min_;
+  /// Lazy min-heap over (delay, component); entries whose delay no longer
+  /// matches comp_min_ are dropped on pop.
+  struct CompMinEntry {
+    double delay;
+    std::uint32_t comp;
+  };
+  static bool CompHeapAfter(const CompMinEntry& a, const CompMinEntry& b) {
+    if (a.delay != b.delay) return a.delay > b.delay;
+    return a.comp > b.comp;
+  }
+  std::vector<CompMinEntry> comp_heap_;
+  /// False once simulated time advances (or after restore / a drained flow
+  /// set): the next arm must rescan every live flow instead of patching.
+  bool completion_cache_valid_ = false;
 
   SimTime last_update_ = 0.0;
   sim::EventHandle completion_event_;

@@ -45,7 +45,8 @@ enum class EventKind : std::uint8_t {
                      ///< value = wall seconds inside the round
   kGrant,            ///< instant: executor `id` on `node` granted to `app`
   // --- network -------------------------------------------------------------
-  kRateSolve,        ///< instant: id = live flows, value = solve wall secs
+  kRateSolve,        ///< instant: id = live flows, value = solve wall
+                     ///< secs, aux = flow rates (re)written by the solve
   // --- DFS / cache ---------------------------------------------------------
   kReplicaLost,      ///< instant: `node` lost its disk replica of `block`
   kReReplicate,      ///< instant: failover placed `block` onto `node`

@@ -60,6 +60,10 @@ struct ExperimentConfig {
   /// the recompute-per-change reference path — kept for equivalence tests;
   /// results are identical either way.
   bool incremental_network = true;
+  /// Component-partitioned rate solves + rate-delta completion re-arming
+  /// (default).  Requires incremental_network; results are identical
+  /// either way (enforced by the net equivalence suite).
+  bool component_partitioned_network = true;
 
   // DFS.
   double block_mb = 128.0;

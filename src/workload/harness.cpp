@@ -51,6 +51,13 @@ void ValidateConfig(const ExperimentConfig& config) {
     FailConfig("core_gbps must be >= 0, where 0 means non-blocking (got " +
                Num(config.core_gbps) + ")");
   }
+  if (config.component_partitioned_network && !config.incremental_network) {
+    FailConfig(
+        "component_partitioned_network requires incremental_network (the "
+        "component partition lives on the persistent-incidence solver); set "
+        "component_partitioned_network=false to run the reference rate "
+        "path");
+  }
   // DFS.
   if (config.block_mb <= 0.0) {
     FailConfig("block_mb must be > 0 (got " + Num(config.block_mb) + ")");
@@ -258,6 +265,7 @@ net::NetworkConfig MakeNetConfig(const ExperimentConfig& config) {
   net_config.core_bps =
       config.core_gbps > 0.0 ? units::Gbps(config.core_gbps) : 0.0;
   net_config.incremental = config.incremental_network;
+  net_config.component_partitioned = config.component_partitioned_network;
   return net_config;
 }
 
@@ -340,6 +348,7 @@ std::uint64_t ConfigHash(const ExperimentConfig& config, ManagerKind manager) {
   h.f64(config.downlink_gbps);
   h.f64(config.core_gbps);
   h.b(config.incremental_network);
+  h.b(config.component_partitioned_network);
   // DFS.
   h.f64(config.block_mb);
   h.i64(config.replication);
@@ -761,9 +770,11 @@ ExperimentResult LiveRun::collect() {
   const ExperimentConfig& config = snapshot_.config();
   net::Network& net = ctx_.network();
   const net::NetStats& ns = net.stats();
-  metrics_.record_network({ns.recomputes_requested, ns.recomputes_run,
-                           ns.recomputes_batched(), ns.flows_scanned,
-                           ns.links_scanned, ns.rounds, ns.wall_seconds});
+  metrics_.record_network(
+      {ns.recomputes_requested, ns.recomputes_run, ns.recomputes_batched(),
+       ns.flows_scanned, ns.links_scanned, ns.rounds, ns.components_total,
+       ns.components_dirty, ns.rates_changed, ns.completion_rescans,
+       ns.wall_seconds});
 
   ExperimentResult result;
   result.manager_name = ManagerName(manager_kind_);

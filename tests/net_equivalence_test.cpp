@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/manager_factory.h"
 #include "common/rng.h"
+#include "common/snapshot.h"
 #include "net/maxmin.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -145,6 +147,309 @@ TEST(MaxMinFairSolver, CountersShowSubLinearPerRoundWork) {
   EXPECT_LT(inc.links_scanned * 10, ref.links_scanned);
 }
 
+// ---------- solver vs. reference, partitioned -------------------------------
+
+// The partitioned solver under the same randomized churn: rates must stay
+// bitwise equal to the from-scratch reference, AND the SolveDelta must be
+// complete — a shadow rate table updated *only* from reported deltas has to
+// agree with the reference too, which catches both a changed-but-unreported
+// slot (stale shadow) and a clean component being needlessly re-solved
+// (checked via the dirty counter).
+TEST(MaxMinFairSolver, PartitionedBitIdenticalWithCompleteDeltas) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 104729);
+    const std::size_t num_links =
+        static_cast<std::size_t>(rng.uniform_int(2, 12));
+    std::vector<double> capacity(num_links);
+    for (auto& c : capacity) c = rng.uniform(1.0, 1000.0);
+
+    MaxMinFairSolver solver;
+    solver.reset_links(capacity, /*partitioned=*/true);
+
+    struct LiveFlow {
+      std::size_t slot;
+      std::vector<std::size_t> links;
+    };
+    std::vector<LiveFlow> live;
+    std::vector<std::size_t> free_slots;
+    std::size_t next_slot = 0;
+    std::vector<double> rates;
+    std::vector<double> shadow;  // written only from SolveDelta entries
+    SolveCounters counters;
+    SolveDelta delta;
+
+    const int batches = rng.uniform_int(5, 15);
+    for (int batch = 0; batch < batches; ++batch) {
+      for (std::size_t i = live.size(); i-- > 0;) {
+        if (live.size() > 0 && rng.uniform(0.0, 1.0) < 0.3) {
+          solver.remove_flow(live[i].slot);
+          free_slots.push_back(live[i].slot);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      const int adds = rng.uniform_int(1, 8);
+      for (int a = 0; a < adds; ++a) {
+        std::size_t slot;
+        if (!free_slots.empty()) {
+          slot = free_slots.back();
+          free_slots.pop_back();
+        } else {
+          slot = next_slot++;
+        }
+        std::vector<std::size_t> links;
+        const int degree = rng.uniform_int(0, 3);
+        for (int d = 0; d < degree; ++d) {
+          const std::size_t l = rng.index(num_links);
+          if (std::find(links.begin(), links.end(), l) == links.end()) {
+            links.push_back(l);
+          }
+        }
+        solver.add_flow(slot, links.data(), links.size());
+        live.push_back({slot, links});
+      }
+
+      solver.solve(rates, &counters, &delta);
+
+      // Delta framing: one end offset per fresh component, monotone, the
+      // last covering every changed slot.
+      ASSERT_EQ(delta.component_ends.size(), delta.fresh_components.size());
+      std::uint32_t prev_end = 0;
+      for (const std::uint32_t end : delta.component_ends) {
+        ASSERT_GE(end, prev_end);
+        prev_end = end;
+      }
+      ASSERT_EQ(prev_end, delta.changed_slots.size());
+
+      if (shadow.size() < rates.size()) shadow.resize(rates.size(), -1.0);
+      for (const std::uint32_t slot : delta.changed_slots) {
+        shadow[slot] = rates[slot];
+      }
+      for (const std::uint32_t slot : delta.unconstrained_slots) {
+        shadow[slot] = rates[slot];
+      }
+
+      std::vector<std::vector<std::size_t>> ref_links;
+      ref_links.reserve(live.size());
+      for (const auto& f : live) ref_links.push_back(f.links);
+      const std::vector<double> ref = MaxMinFairRates(ref_links, capacity);
+
+      ASSERT_EQ(ref.size(), live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        const std::size_t slot = live[i].slot;
+        EXPECT_EQ(rates[slot], ref[i])
+            << "seed " << seed << " batch " << batch << " flow " << i;
+        EXPECT_EQ(shadow[slot], ref[i])
+            << "delta missed a changed slot: seed " << seed << " batch "
+            << batch << " flow " << i;
+        // Zero-degree flows own no links and no component.
+        EXPECT_EQ(solver.component_of_slot(slot) == MaxMinFairSolver::kNoComponent,
+                  live[i].links.empty())
+            << "seed " << seed << " batch " << batch << " flow " << i;
+      }
+      // Flows sharing a link must share a component.
+      for (const auto& a : live) {
+        for (const auto& b : live) {
+          for (const std::size_t la : a.links) {
+            if (std::find(b.links.begin(), b.links.end(), la) !=
+                b.links.end()) {
+              EXPECT_EQ(solver.component_of_slot(a.slot),
+                        solver.component_of_slot(b.slot))
+                  << "seed " << seed << " batch " << batch;
+            }
+          }
+        }
+      }
+    }
+    // Across the run, at least as many components existed as were dirty.
+    EXPECT_GE(counters.components_total, counters.components_dirty);
+  }
+}
+
+// A zero-capacity link freezes its flows at rate 0 on both paths; the link
+// is still connectivity (it can merge components) even though it carries no
+// bandwidth.
+TEST(MaxMinFairSolver, ZeroCapacityLinkBitIdentical) {
+  const std::vector<double> capacity = {0.0, 100.0, 50.0};
+  MaxMinFairSolver solver;
+  solver.reset_links(capacity, /*partitioned=*/true);
+  const std::size_t f0[2] = {0, 1};  // through the dead link
+  const std::size_t f1[2] = {1, 2};
+  solver.add_flow(0, f0, 2);
+  solver.add_flow(1, f1, 2);
+  std::vector<double> rates;
+  SolveCounters counters;
+  SolveDelta delta;
+  solver.solve(rates, &counters, &delta);
+
+  const std::vector<double> ref =
+      MaxMinFairRates({{0, 1}, {1, 2}}, capacity);
+  EXPECT_EQ(rates[0], ref[0]);
+  EXPECT_EQ(rates[1], ref[1]);
+  EXPECT_EQ(rates[0], 0.0);  // bottlenecked by the dead link
+  EXPECT_GT(rates[1], 0.0);
+  // Link 1 is shared, so both flows live in one component.
+  EXPECT_EQ(solver.live_component_count(), 1u);
+  EXPECT_EQ(solver.component_of_slot(0), solver.component_of_slot(1));
+}
+
+// Slot reuse across solves: the partition must track the slot's *new* links,
+// not remember the old ones.  The emptied component retires; the reused slot
+// joins (and merges into) whatever its new links touch.
+TEST(MaxMinFairSolver, SlotReuseAcrossSolvesRepartitionsExactly) {
+  const std::vector<double> capacity = {10.0, 20.0, 30.0, 40.0};
+  MaxMinFairSolver solver;
+  solver.reset_links(capacity, /*partitioned=*/true);
+  const std::size_t f0[2] = {0, 1};
+  const std::size_t f1[2] = {2, 3};
+  solver.add_flow(0, f0, 2);
+  solver.add_flow(1, f1, 2);
+  std::vector<double> rates;
+  SolveCounters counters;
+  SolveDelta delta;
+  solver.solve(rates, &counters, &delta);
+  EXPECT_EQ(solver.live_component_count(), 2u);
+
+  // Retire flow 0; its component (links 0, 1) dissolves at the next solve.
+  solver.remove_flow(0);
+  solver.solve(rates, &counters, &delta);
+  EXPECT_EQ(solver.live_component_count(), 1u);
+
+  // Reuse slot 0 with different links: one unowned (1), one owned (2).
+  const std::size_t reused[2] = {1, 2};
+  solver.add_flow(0, reused, 2);
+  solver.solve(rates, &counters, &delta);
+  EXPECT_EQ(solver.live_component_count(), 1u);
+  EXPECT_EQ(solver.component_of_slot(0), solver.component_of_slot(1));
+
+  const std::vector<double> ref =
+      MaxMinFairRates({{1, 2}, {2, 3}}, capacity);
+  EXPECT_EQ(rates[0], ref[0]);
+  EXPECT_EQ(rates[1], ref[1]);
+}
+
+// A kMaxLinksPerFlow-degree flow landing across three separate components
+// must merge all three: two ids retire by the merge, the third by the
+// rebuild, and a single fresh component covers every affected slot.
+TEST(MaxMinFairSolver, MaxDegreeFlowMergesThreeComponents) {
+  static_assert(MaxMinFairSolver::kMaxLinksPerFlow == 3);
+  const std::vector<double> capacity = {10.0, 20.0, 30.0, 40.0, 50.0, 60.0};
+  MaxMinFairSolver solver;
+  solver.reset_links(capacity, /*partitioned=*/true);
+  const std::size_t f0[2] = {0, 1};
+  const std::size_t f1[2] = {2, 3};
+  const std::size_t f2[2] = {4, 5};
+  solver.add_flow(0, f0, 2);
+  solver.add_flow(1, f1, 2);
+  solver.add_flow(2, f2, 2);
+  std::vector<double> rates;
+  SolveCounters counters;
+  SolveDelta delta;
+  solver.solve(rates, &counters, &delta);
+  EXPECT_EQ(solver.live_component_count(), 3u);
+  EXPECT_EQ(delta.fresh_components.size(), 3u);
+
+  const std::size_t bridge[3] = {1, 3, 5};  // one link from each component
+  solver.add_flow(3, bridge, 3);
+  const SolveCounters before = counters;
+  solver.solve(rates, &counters, &delta);
+  EXPECT_EQ(solver.live_component_count(), 1u);
+  // Two components merged away + the merge target rebuilt = 3 retirements,
+  // one fresh component containing every flow.
+  EXPECT_EQ(delta.retired_components.size(), 3u);
+  ASSERT_EQ(delta.fresh_components.size(), 1u);
+  EXPECT_EQ(delta.changed_slots.size(), 4u);
+  EXPECT_EQ(counters.components_dirty - before.components_dirty, 1u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(solver.component_of_slot(s), delta.fresh_components[0]);
+  }
+
+  const std::vector<double> ref = MaxMinFairRates(
+      {{0, 1}, {2, 3}, {4, 5}, {1, 3, 5}}, capacity);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(rates[s], ref[s]);
+}
+
+// Restore-then-churn on the partition: a solver restored from a snapshot
+// rebuilds its partition from the incidence lists, and further churn on the
+// restored instance must stay bitwise identical to the original instance
+// seeing the same churn.
+TEST(MaxMinFairSolver, RestoreThenChurnMatchesOriginal) {
+  Rng rng(424242);
+  const std::size_t num_links = 10;
+  std::vector<double> capacity(num_links);
+  for (auto& c : capacity) c = rng.uniform(1.0, 500.0);
+
+  MaxMinFairSolver original;
+  original.reset_links(capacity, /*partitioned=*/true);
+  std::vector<std::vector<std::size_t>> live_links(32);
+  for (std::size_t slot = 0; slot < 32; ++slot) {
+    std::vector<std::size_t> links;
+    const int degree = rng.uniform_int(1, 3);
+    for (int d = 0; d < degree; ++d) {
+      const std::size_t l = rng.index(num_links);
+      if (std::find(links.begin(), links.end(), l) == links.end()) {
+        links.push_back(l);
+      }
+    }
+    original.add_flow(slot, links.data(), links.size());
+    live_links[slot] = links;
+  }
+  std::vector<double> orig_rates;
+  SolveCounters counters;
+  SolveDelta delta;
+  original.solve(orig_rates, &counters, &delta);
+
+  // Snapshot the flushed solver and restore into a fresh instance.  Rates
+  // live with the caller (the Network serializes them itself), so carry
+  // them over by copy, exactly like Network::RestoreFrom does.
+  snap::SnapshotWriter w;
+  original.SaveTo(w);
+  snap::SnapshotReader r(w.finish(/*config_hash=*/0, /*sim_time=*/0.0));
+  MaxMinFairSolver restored;
+  restored.reset_links(capacity, /*partitioned=*/true);
+  restored.RestoreFrom(r);
+  std::vector<double> rest_rates = orig_rates;
+
+  EXPECT_EQ(restored.flow_count(), original.flow_count());
+  EXPECT_EQ(restored.live_component_count(), original.live_component_count());
+
+  // Identical churn on both instances: remove some, add some, re-solve.
+  SolveDelta rest_delta;
+  for (int batch = 0; batch < 4; ++batch) {
+    for (std::size_t slot = 0; slot < live_links.size(); ++slot) {
+      if (!live_links[slot].empty() && rng.uniform(0.0, 1.0) < 0.25) {
+        original.remove_flow(slot);
+        restored.remove_flow(slot);
+        live_links[slot].clear();
+      }
+    }
+    for (int a = 0; a < 5; ++a) {
+      const std::size_t slot = rng.index(live_links.size());
+      if (!live_links[slot].empty()) continue;  // only reuse free slots
+      std::vector<std::size_t> links;
+      const int degree = rng.uniform_int(1, 3);
+      for (int d = 0; d < degree; ++d) {
+        const std::size_t l = rng.index(num_links);
+        if (std::find(links.begin(), links.end(), l) == links.end()) {
+          links.push_back(l);
+        }
+      }
+      original.add_flow(slot, links.data(), links.size());
+      restored.add_flow(slot, links.data(), links.size());
+      live_links[slot] = links;
+    }
+    original.solve(orig_rates, &counters, &delta);
+    restored.solve(rest_rates, &counters, &rest_delta);
+    EXPECT_EQ(restored.live_component_count(),
+              original.live_component_count())
+        << "batch " << batch;
+    for (std::size_t slot = 0; slot < live_links.size(); ++slot) {
+      if (live_links[slot].empty()) continue;
+      EXPECT_EQ(rest_rates[slot], orig_rates[slot])
+          << "batch " << batch << " slot " << slot;
+    }
+  }
+}
+
 // ---------- Network level: randomized churn scenarios -----------------------
 
 struct ScenarioResult {
@@ -157,7 +462,8 @@ struct ScenarioResult {
 
 /// Replays one randomized churn scenario (same-timestamp bursts, staggered
 /// starts, scheduled cancels, completion-driven restarts) on either path.
-ScenarioResult RunScenario(std::uint64_t seed, bool incremental) {
+ScenarioResult RunScenario(std::uint64_t seed, bool incremental,
+                           bool partitioned) {
   Rng rng(seed);
   const std::size_t nodes = static_cast<std::size_t>(rng.uniform_int(4, 12));
   NetworkConfig config;
@@ -168,6 +474,7 @@ ScenarioResult RunScenario(std::uint64_t seed, bool incremental) {
                         ? rng.uniform(100.0, 1000.0)
                         : 0.0;
   config.incremental = incremental;
+  config.component_partitioned = partitioned;
 
   sim::Simulator sim;
   Network net(sim, config);
@@ -236,8 +543,8 @@ ScenarioResult RunScenario(std::uint64_t seed, bool incremental) {
 // double equality, no tolerance.
 TEST(NetworkEquivalence, IncrementalMatchesReferenceAcrossSeeds) {
   for (std::uint64_t seed = 1; seed <= 48; ++seed) {
-    const ScenarioResult inc = RunScenario(seed, true);
-    const ScenarioResult ref = RunScenario(seed, false);
+    const ScenarioResult inc = RunScenario(seed, true, true);
+    const ScenarioResult ref = RunScenario(seed, false, false);
     ASSERT_EQ(inc.completion_order, ref.completion_order) << "seed " << seed;
     ASSERT_EQ(inc.completion_times.size(), ref.completion_times.size());
     for (std::size_t i = 0; i < inc.completion_times.size(); ++i) {
@@ -251,6 +558,30 @@ TEST(NetworkEquivalence, IncrementalMatchesReferenceAcrossSeeds) {
           << "seed " << seed << " sample " << i;
     }
     EXPECT_EQ(inc.bytes_delivered, ref.bytes_delivered) << "seed " << seed;
+  }
+}
+
+// Partitioned vs. unpartitioned on the *same* incremental path: identical
+// batching means the entire event stream must match, so this comparison
+// includes the processed-event count on top of the usual figures.
+TEST(NetworkEquivalence, PartitionToggleInvariantAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    const ScenarioResult part = RunScenario(seed, true, true);
+    const ScenarioResult flat = RunScenario(seed, true, false);
+    ASSERT_EQ(part.completion_order, flat.completion_order) << "seed " << seed;
+    ASSERT_EQ(part.completion_times.size(), flat.completion_times.size());
+    for (std::size_t i = 0; i < part.completion_times.size(); ++i) {
+      EXPECT_EQ(part.completion_times[i], flat.completion_times[i])
+          << "seed " << seed << " completion " << i;
+    }
+    ASSERT_EQ(part.rate_samples.size(), flat.rate_samples.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < part.rate_samples.size(); ++i) {
+      EXPECT_EQ(part.rate_samples[i], flat.rate_samples[i])
+          << "seed " << seed << " sample " << i;
+    }
+    EXPECT_EQ(part.bytes_delivered, flat.bytes_delivered) << "seed " << seed;
+    EXPECT_EQ(part.events, flat.events) << "seed " << seed;
   }
 }
 
@@ -293,6 +624,7 @@ TEST(NetworkEquivalence, ExperimentResultsIdenticalAcrossRatePaths) {
   config.incremental_network = true;
   const wl::ExperimentResult inc = wl::RunExperiment(config);
   config.incremental_network = false;
+  config.component_partitioned_network = false;
   const wl::ExperimentResult ref = wl::RunExperiment(config);
 
   EXPECT_EQ(inc.makespan, ref.makespan);
@@ -310,6 +642,57 @@ TEST(NetworkEquivalence, ExperimentResultsIdenticalAcrossRatePaths) {
   EXPECT_LT(inc.net_stats.recomputes_run, ref.net_stats.recomputes_run);
   EXPECT_EQ(ref.net_stats.recomputes_batched, 0u);
   EXPECT_GT(inc.net_stats.recomputes_batched, 0u);
+}
+
+// The acceptance sweep for the component partition: 20 seeds x all four
+// managers, component_partitioned on vs. off, exact double compare on every
+// reported figure INCLUDING events_processed (same batching + same
+// completion times => the simulators walk identical event sequences).
+TEST(NetworkEquivalence, PartitionToggleInvariantAcrossManagersAndSeeds) {
+  namespace wl = custody::workload;
+  using custody::cluster::ManagerKind;
+  const ManagerKind kManagers[] = {ManagerKind::kStandalone,
+                                   ManagerKind::kCustody, ManagerKind::kOffer,
+                                   ManagerKind::kPool};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const ManagerKind manager : kManagers) {
+      wl::ExperimentConfig config;
+      config.num_nodes = 10;
+      config.manager = manager;
+      config.kinds = {wl::WorkloadKind::kSort};  // shuffle-heavy
+      config.trace.num_apps = 2;
+      config.trace.jobs_per_app = 2;
+      config.trace.files_per_kind = 3;
+      config.seed = 5000 + seed;
+
+      config.component_partitioned_network = true;
+      const wl::ExperimentResult part = wl::RunExperiment(config);
+      config.component_partitioned_network = false;
+      const wl::ExperimentResult flat = wl::RunExperiment(config);
+
+      const std::string at = "seed " + std::to_string(config.seed) +
+                             " manager " + part.manager_name;
+      EXPECT_EQ(part.makespan, flat.makespan) << at;
+      EXPECT_EQ(part.jobs_completed, flat.jobs_completed) << at;
+      EXPECT_EQ(part.jct.mean, flat.jct.mean) << at;
+      EXPECT_EQ(part.jct.stddev, flat.jct.stddev) << at;
+      EXPECT_EQ(part.net_bytes_delivered, flat.net_bytes_delivered) << at;
+      EXPECT_EQ(part.events_processed, flat.events_processed) << at;
+      // Identical flow churn and identical batching on both sides; only the
+      // per-solve work differs.
+      EXPECT_EQ(part.net_stats.recomputes_requested,
+                flat.net_stats.recomputes_requested)
+          << at;
+      EXPECT_EQ(part.net_stats.recomputes_run, flat.net_stats.recomputes_run)
+          << at;
+      // The partitioned side must actually report partition work, and must
+      // rewrite no more rates than the full-rewrite path.
+      EXPECT_GT(part.net_stats.components_total, 0u) << at;
+      EXPECT_EQ(flat.net_stats.components_total, 0u) << at;
+      EXPECT_LE(part.net_stats.rates_changed, flat.net_stats.rates_changed)
+          << at;
+    }
+  }
 }
 
 }  // namespace

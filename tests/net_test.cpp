@@ -324,6 +324,7 @@ TEST(Network, FanOutIdenticalWithAndWithoutBatching) {
     sim::Simulator sim;
     NetworkConfig config = SmallConfig(10);
     config.incremental = incremental;
+    config.component_partitioned = incremental;
     Network net(sim, config);
     std::vector<double> done(9, -1.0);
     sim.schedule(0.5, [&] {
@@ -352,6 +353,7 @@ TEST(Network, CancelInsideCompletionCallback) {
     sim::Simulator sim;
     NetworkConfig config = SmallConfig(8);
     config.incremental = incremental;
+    config.component_partitioned = incremental;
     Network net(sim, config);
     FlowId victim;
     bool victim_completed = false;
@@ -462,6 +464,7 @@ TEST(Network, StrandedFlowsFailLoudly) {
   }
   {  // reference path recomputes eagerly inside start_flow.
     config.incremental = false;
+    config.component_partitioned = false;
     sim::Simulator sim;
     Network net(sim, config);
     net.start_flow(NodeId(0), NodeId(1), 10.0, [] {});

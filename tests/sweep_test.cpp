@@ -281,6 +281,11 @@ TEST(ValidateConfig, RejectsEveryBadKnobWithTheFieldNamed) {
   ExpectInvalid(with([](auto& c) { c.downlink_gbps = -2.0; }),
                 "downlink_gbps");
   ExpectInvalid(with([](auto& c) { c.core_gbps = -1.0; }), "core_gbps");
+  ExpectInvalid(with([](auto& c) {
+                  c.incremental_network = false;
+                  c.component_partitioned_network = true;
+                }),
+                "component_partitioned_network");
   ExpectInvalid(with([](auto& c) { c.block_mb = 0.0; }), "block_mb");
   ExpectInvalid(with([](auto& c) { c.replication = 0; }), "replication");
   ExpectInvalid(with([](auto& c) { c.cache_mb_per_node = -1.0; }),

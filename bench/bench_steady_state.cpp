@@ -25,9 +25,15 @@
 // down the sweep is the demand-driven-rounds acceptance check: with
 // allocation rounds proportional to demand the rate stays within ~10x
 // across the sweep, with rebuild-per-round rounds it collapses ~100x+.
+//
+// `--progress` streams a live events/sim-time/jobs-retired line to stderr
+// (via workload::RunControl) so a million-job run is observable while it
+// runs.  Attaching the observer never changes results — the tier-1 suite
+// pins that.
 #include <chrono>
 
 #include "bench_common.h"
+#include "workload/harness.h"
 
 namespace {
 
@@ -94,6 +100,10 @@ int main(int argc, char** argv) {
       "jct_mean_s",      "jct_p99_s",     "makespan_s"};
   auto csv = MaybeCsv(argc, argv, columns);
   auto json = MaybeJson(argc, argv, columns);
+  bool progress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--progress") progress = true;
+  }
   const CheckpointConfig checkpoint = CheckpointFlags(argc, argv);
   const bool checkpointing =
       checkpoint.every > 0.0 || !checkpoint.resume_path.empty();
@@ -122,8 +132,18 @@ int main(int argc, char** argv) {
     ExperimentConfig config = SteadyBenchConfig(row_jobs, row_nodes, diurnal);
     config.component_partitioned_network = partitioned;
     if (checkpointing) config.checkpoint = checkpoint;
+    RunControl control;
+    if (progress) {
+      control.on_progress = [&scenario](const RunProgress& p) {
+        std::cerr << "\r[" << scenario << "] events " << p.events_processed
+                  << "  sim-time " << Num(p.sim_time, 1) << "s  jobs retired "
+                  << p.jobs_retired << "   " << std::flush;
+      };
+    }
     const auto start = std::chrono::steady_clock::now();
-    const ExperimentResult result = RunExperiment(config);
+    const ExperimentResult result =
+        RunExperiment(config, progress ? &control : nullptr);
+    if (progress) std::cerr << '\n';
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Stdlib-only CLI for the custody_server control plane.
+
+Usage (server on 127.0.0.1, default port 8080):
+
+  custody_client.py [--port P] health
+  custody_client.py submit [config.json]      # '-' or omitted = defaults
+  custody_client.py status <id>
+  custody_client.py metrics <id>
+  custody_client.py cancel <id>
+  custody_client.py session [config.json]
+  custody_client.py advance <id> <sim-seconds|drain>
+  custody_client.py snapshot <id>
+  custody_client.py fork <id> [--node N | --rate F] [--horizon T]
+  custody_client.py close <id>
+
+`fork` prints the server-computed what-if deltas (JCT mean/p99, locality,
+jobs completed) between the unperturbed twin and the perturbed one.
+"""
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+
+def call(port, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request) as response:
+            raw = response.read().decode()
+            return response.status, json.loads(raw) if raw.strip() else {}
+    except urllib.error.HTTPError as error:
+        raw = error.read().decode()
+        try:
+            return error.code, json.loads(raw)
+        except json.JSONDecodeError:
+            return error.code, {"error": raw.strip()}
+
+
+def load_config(path):
+    if path in (None, "-"):
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("command")
+    parser.add_argument("args", nargs="*")
+    parser.add_argument("--node", type=int, help="fork: crash this node")
+    parser.add_argument("--rate", type=float, help="fork: scale arrivals")
+    parser.add_argument("--horizon", type=float, default=0.0,
+                        help="fork: sim seconds past the fork (0 = drain)")
+    options = parser.parse_args()
+
+    command, args = options.command, options.args
+    if command == "health":
+        status, body = call(options.port, "GET", "/healthz")
+    elif command == "submit":
+        config = load_config(args[0] if args else None)
+        status, body = call(options.port, "POST", "/experiments", config)
+    elif command == "status":
+        status, body = call(options.port, "GET", f"/experiments/{args[0]}")
+    elif command == "metrics":
+        status, body = call(
+            options.port, "GET", f"/experiments/{args[0]}/metrics"
+        )
+    elif command == "cancel":
+        status, body = call(options.port, "DELETE", f"/experiments/{args[0]}")
+    elif command == "session":
+        config = load_config(args[0] if args else None)
+        status, body = call(options.port, "POST", "/sessions", config)
+    elif command == "advance":
+        payload = (
+            {"drain": True}
+            if args[1] == "drain"
+            else {"until": float(args[1])}
+        )
+        status, body = call(
+            options.port, "POST", f"/sessions/{args[0]}/advance", payload
+        )
+    elif command == "snapshot":
+        status, body = call(
+            options.port, "POST", f"/sessions/{args[0]}/snapshot", {}
+        )
+    elif command == "fork":
+        payload = {"horizon": options.horizon}
+        if options.node is not None:
+            payload["perturb"] = {"kind": "node_failure", "node": options.node}
+        elif options.rate is not None:
+            payload["perturb"] = {"kind": "arrival_rate",
+                                  "factor": options.rate}
+        status, body = call(
+            options.port, "POST", f"/sessions/{args[0]}/fork", payload
+        )
+        if status == 200:
+            print(json.dumps(body["delta"], indent=2))
+            return 0
+    elif command == "close":
+        status, body = call(options.port, "DELETE", f"/sessions/{args[0]}")
+    else:
+        parser.error(f"unknown command {command!r}")
+        return 2
+
+    print(json.dumps(body, indent=2))
+    return 0 if status < 400 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,4 +80,441 @@ void JsonWriter::add_row(const std::vector<std::string>& cells) {
   out_ << "}";
 }
 
+// ---------------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------------
+
+const char* JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void FailKind(const char* wanted, const JsonValue& v) {
+  throw std::invalid_argument(std::string("json value is ") + v.kind_name() +
+                              ", not " + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) FailKind("bool", *this);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) FailKind("number", *this);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) FailKind("string", *this);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (!is_array()) FailKind("array", *this);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (!is_object()) FailKind("object", *this);
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonReader — strict recursive-descent parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonReader::Limits& limits)
+      : text_(text), limits_(limits) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char wanted, const char* where) {
+    if (eof() || text_[pos_] != wanted) {
+      fail(std::string("expected '") + wanted + "' in " + where);
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) fail("nesting deeper than the limit");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue::MakeString(parse_string());
+      case 't':
+        parse_literal("true");
+        return JsonValue::MakeBool(true);
+      case 'f':
+        parse_literal("false");
+        return JsonValue::MakeBool(false);
+      case 'n':
+        parse_literal("null");
+        return JsonValue::MakeNull();
+      default:
+        return JsonValue::MakeNumber(parse_number());
+    }
+  }
+
+  void parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (eof() || text_[pos_] != *p) {
+        fail(std::string("invalid literal (expected \"") + word + "\")");
+      }
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{', "object");
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue::MakeObject(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      for (const auto& [name, value] : members) {
+        if (name == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      expect(':', "object member");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue::MakeObject(std::move(members));
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[', "array");
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue::MakeArray(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue::MakeArray(std::move(items));
+  }
+
+  /// One \uXXXX payload (the four hex digits; the backslash-u is consumed
+  /// by the caller).
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  /// Validate one UTF-8 sequence starting at the current byte and copy it
+  /// through.  Rejects overlongs, surrogates, > U+10FFFF and truncation.
+  void copy_utf8(std::string& out) {
+    const unsigned char lead = static_cast<unsigned char>(peek());
+    std::size_t len = 0;
+    unsigned cp = 0;
+    if (lead < 0x80) {
+      len = 1;
+      cp = lead;
+    } else if ((lead & 0xE0) == 0xC0) {
+      len = 2;
+      cp = lead & 0x1Fu;
+    } else if ((lead & 0xF0) == 0xE0) {
+      len = 3;
+      cp = lead & 0x0Fu;
+    } else if ((lead & 0xF8) == 0xF0) {
+      len = 4;
+      cp = lead & 0x07u;
+    } else {
+      fail("invalid UTF-8 lead byte");
+    }
+    if (pos_ + len > text_.size()) fail("truncated UTF-8 sequence");
+    for (std::size_t i = 1; i < len; ++i) {
+      const unsigned char cont = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((cont & 0xC0) != 0x80) fail("invalid UTF-8 continuation byte");
+      cp = (cp << 6) | (cont & 0x3Fu);
+    }
+    static constexpr unsigned kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (len > 1 && cp < kMinForLen[len]) fail("overlong UTF-8 encoding");
+    if (cp >= 0xD800 && cp <= 0xDFFF) fail("UTF-8 encodes a surrogate");
+    if (cp > 0x10FFFF) fail("UTF-8 code point above U+10FFFF");
+    out.append(text_.substr(pos_, len));
+    pos_ += len;
+  }
+
+  std::string parse_string() {
+    expect('"', "string");
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        copy_utf8(out);
+        continue;
+      }
+      ++pos_;  // the backslash
+      const char esc = take();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          const unsigned hi = parse_hex4();
+          if (hi >= 0xDC00 && hi <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
+          }
+          if (hi >= 0xD800 && hi <= 0xDBFF) {
+            // A high surrogate must pair with an immediately following
+            // \uDC00..\uDFFF low surrogate.
+            if (eof() || take() != '\\') fail("unpaired high surrogate");
+            if (eof() || take() != 'u') fail("unpaired high surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("high surrogate not followed by a low surrogate");
+            }
+            append_utf8(out, 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00));
+          } else {
+            append_utf8(out, hi);
+          }
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && text_[pos_] == '-') ++pos_;
+    // Integer part: 0 alone, or a non-zero digit followed by digits.
+    if (eof()) fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (!eof() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (!eof() && text_[pos_] == '.') {
+      ++pos_;
+      if (eof() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("digits required after the decimal point");
+      }
+      while (!eof() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!eof() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (eof() || text_[pos_] < '0' || text_[pos_] > '9') {
+        fail("digits required in the exponent");
+      }
+      while (!eof() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    // The grammar above admits exactly the RFC 8259 forms, so strtod can
+    // only fail by overflowing; "1e999" must be rejected, not become inf.
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (parsed - parsed != 0.0) fail("number overflows a double");
+    return parsed;
+  }
+
+  std::string_view text_;
+  JsonReader::Limits limits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonReader::Parse(std::string_view text) {
+  return Parse(text, Limits{});
+}
+
+JsonValue JsonReader::Parse(std::string_view text, Limits limits) {
+  if (limits.max_bytes > 0 && text.size() > limits.max_bytes) {
+    throw JsonParseError("document larger than the byte limit", 0);
+  }
+  return Parser(text, limits).parse_document();
+}
+
 }  // namespace custody

@@ -1,10 +1,26 @@
-// JSON emission for benchmark results (each bench binary can dump its
-// series with --json <path>), so the perf trajectory can be tracked as
-// machine-readable artifacts across CI runs — the sibling of CsvWriter.
+// JSON emission and parsing.
+//
+// Emission: JsonQuote/JsonWriter dump benchmark series with --json <path>
+// so the perf trajectory can be tracked as machine-readable artifacts
+// across CI runs — the sibling of CsvWriter.
+//
+// Parsing: JsonReader is a strict, bounds-checked RFC 8259 parser for the
+// service control plane (src/svc/), which must survive arbitrary bytes
+// from the network.  Design rules mirror snap::SnapshotReader:
+//   - every read is bounds-checked; truncated, malformed or hostile input
+//     throws a typed JsonParseError with the byte offset — never UB;
+//   - strict grammar: no trailing garbage, no duplicate object keys, no
+//     overflowing numbers, full UTF-8 and surrogate-pair validation;
+//   - recursion is depth-limited so deeply nested input cannot blow the
+//     stack.
 #pragma once
 
+#include <cstddef>
 #include <fstream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace custody {
@@ -40,6 +56,85 @@ class JsonWriter {
   std::ofstream out_;
   std::vector<std::string> columns_;
   bool first_row_ = true;
+};
+
+/// Every JSON decode failure: truncation, bad escapes, invalid UTF-8,
+/// malformed or overflowing numbers, depth overrun, trailing garbage.
+/// Carries the byte offset where parsing stopped.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error("json: " + what + " (at byte " +
+                           std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A parsed JSON document node.  Objects keep member insertion order (the
+/// wire order), and lookups are linear — control-plane documents are small.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] const char* kind_name() const;
+
+  /// Typed accessors; throw std::invalid_argument naming the actual kind
+  /// on a mismatch (the svc layer turns these into 400s with a JSON path).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Builders (used by the parser; handy in tests).
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Strict single-document parser.  `Parse` consumes the whole input (only
+/// trailing whitespace allowed) or throws JsonParseError.
+class JsonReader {
+ public:
+  struct Limits {
+    /// Maximum container nesting (arrays + objects).
+    std::size_t max_depth = 64;
+    /// Maximum input size; 0 means unlimited (the transport already caps
+    /// body sizes, this is a second line of defence for other callers).
+    std::size_t max_bytes = 0;
+  };
+
+  [[nodiscard]] static JsonValue Parse(std::string_view text);
+  [[nodiscard]] static JsonValue Parse(std::string_view text, Limits limits);
 };
 
 }  // namespace custody

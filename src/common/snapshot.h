@@ -46,7 +46,8 @@ class SnapshotError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kMagic = 0x50'4E'53'43;  // "CSNP" little-endian
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: SubmissionStream serializes its what-if arrival-rate scale.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Append-only binary encoder.  Sections group one layer's fields behind a
 /// 4-char tag and a byte length so the reader can hard-verify framing.

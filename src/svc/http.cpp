@@ -1,0 +1,471 @@
+#include "svc/http.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace custody::svc {
+
+namespace {
+
+/// recv() with EINTR retry; 0 on orderly close, -1 on error/timeout.
+ssize_t RecvSome(int fd, char* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+/// Write all of `data`; false on any error (peer gone — nothing to do).
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+std::string FormatResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  HttpResponse r;
+  r.status = status;
+  r.body = "{\"error\":\"" + message + "\"}\n";
+  return r;
+}
+
+/// Outcome of reading one request off the wire.
+enum class ReadResult {
+  kOk,
+  kClosed,       ///< peer closed before sending anything (normal keep-alive end)
+  kTimeout,      ///< recv timed out mid-request → 408
+  kTooLarge,     ///< header block over the limit → 431
+  kBodyTooLarge, ///< declared body over the limit → 413
+  kMalformed,    ///< unparsable framing → 400
+  kUnsupported,  ///< needs protocol we do not speak → 501
+};
+
+}  // namespace
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    default: return "Response";
+  }
+}
+
+/// Bounded MPMC fd queue.  A -1 sentinel wakes one worker for shutdown.
+struct HttpServer::Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> fds;
+  bool closed = false;
+
+  void push(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (closed) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      fds.push_back(fd);
+    }
+    cv.notify_one();
+  }
+
+  /// Blocks; returns -1 once closed and drained.
+  int pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return closed || !fds.empty(); });
+    if (fds.empty()) return -1;
+    const int fd = fds.front();
+    fds.pop_front();
+    return fd;
+  }
+
+  void close_all() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    fds.clear();
+    cv.notify_all();
+  }
+};
+
+HttpServer::HttpServer(Handler handler, HttpLimits limits)
+    : handler_(std::move(handler)),
+      limits_(limits),
+      queue_(std::make_unique<Queue>()) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start(std::uint16_t port, int workers) {
+  if (listen_fd_ >= 0) throw std::runtime_error("http: already started");
+  if (workers < 1) throw std::runtime_error("http: need at least one worker");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("http: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http: getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() unblocks the accept() call; the acceptor then exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Drop queued connections and wake every worker.
+  queue_->close_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or broken) — stop accepting
+    }
+    timeval tv{};
+    tv.tv_sec = limits_.recv_timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    queue_->push(fd);
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    const int fd = queue_->pop();
+    if (fd < 0) return;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+namespace {
+
+/// Read one request into `request`.  `buffer` carries bytes left over from
+/// the previous request on this connection (pipelined or over-read).
+ReadResult ReadRequest(int fd, const HttpLimits& limits, std::string& buffer,
+                       HttpRequest& request) {
+  // --- header block: everything up to the first CRLFCRLF ---
+  std::size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > limits.max_header_bytes) return ReadResult::kTooLarge;
+    char chunk[4096];
+    const ssize_t got = RecvSome(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      return buffer.empty() ? ReadResult::kClosed : ReadResult::kTimeout;
+    }
+    if (got == 0) {
+      return buffer.empty() ? ReadResult::kClosed : ReadResult::kMalformed;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  if (header_end > limits.max_header_bytes) return ReadResult::kTooLarge;
+
+  // --- request line ---
+  const std::string head = buffer.substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return ReadResult::kMalformed;
+  }
+  request.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (request.method.empty() || target.empty() || target[0] != '/') {
+    return ReadResult::kMalformed;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return ReadResult::kUnsupported;
+  }
+  const std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  request.query =
+      qmark == std::string::npos ? "" : target.substr(qmark + 1);
+
+  // --- headers ---
+  request.headers.clear();
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return ReadResult::kMalformed;
+    request.headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  buffer.erase(0, header_end + 4);
+
+  // --- body ---
+  request.body.clear();
+  if (request.headers.count("transfer-encoding") != 0) {
+    return ReadResult::kUnsupported;  // chunked is out of scope
+  }
+  std::size_t content_length = 0;
+  if (const auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    const std::string& v = it->second;
+    if (v.empty() || v.size() > 12 ||
+        v.find_first_not_of("0123456789") != std::string::npos) {
+      return ReadResult::kMalformed;
+    }
+    content_length = static_cast<std::size_t>(std::stoull(v));
+  }
+  if (content_length > limits.max_body_bytes) return ReadResult::kBodyTooLarge;
+  while (buffer.size() < content_length) {
+    char chunk[4096];
+    const ssize_t got = RecvSome(fd, chunk, sizeof(chunk));
+    if (got <= 0) return ReadResult::kTimeout;  // truncated body
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  request.body = buffer.substr(0, content_length);
+  buffer.erase(0, content_length);
+  return ReadResult::kOk;
+}
+
+}  // namespace
+
+void HttpServer::serve_connection(int fd) {
+  std::string buffer;
+  for (int served = 0; served < limits_.max_keepalive_requests; ++served) {
+    HttpRequest request;
+    const ReadResult read = ReadRequest(fd, limits_, buffer, request);
+    switch (read) {
+      case ReadResult::kOk:
+        break;
+      case ReadResult::kClosed:
+        return;
+      case ReadResult::kTimeout:
+        SendAll(fd, FormatResponse(
+                        ErrorResponse(408, "request incomplete"), false));
+        return;
+      case ReadResult::kTooLarge:
+        SendAll(fd, FormatResponse(
+                        ErrorResponse(431, "header block too large"), false));
+        return;
+      case ReadResult::kBodyTooLarge:
+        SendAll(fd, FormatResponse(
+                        ErrorResponse(413, "body too large"), false));
+        return;
+      case ReadResult::kMalformed:
+        SendAll(fd, FormatResponse(
+                        ErrorResponse(400, "malformed request"), false));
+        return;
+      case ReadResult::kUnsupported:
+        SendAll(fd, FormatResponse(
+                        ErrorResponse(501, "unsupported protocol feature"),
+                        false));
+        return;
+    }
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& error) {
+      response = ErrorResponse(500, "internal error");
+      (void)error;
+    } catch (...) {
+      response = ErrorResponse(500, "internal error");
+    }
+    const auto conn = request.headers.find("connection");
+    const bool keep_alive =
+        served + 1 < limits_.max_keepalive_requests &&
+        (conn == request.headers.end() ? true
+                                       : ToLower(conn->second) != "close");
+    if (!SendAll(fd, FormatResponse(response, keep_alive))) return;
+    if (!keep_alive) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback client (tests, examples)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("client: cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  return fd;
+}
+
+std::string ReadToClose(int fd) {
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = RecvSome(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    out.append(chunk, static_cast<std::size_t>(got));
+  }
+  return out;
+}
+
+}  // namespace
+
+ClientResponse Fetch(std::uint16_t port, const std::string& method,
+                     const std::string& target, const std::string& body) {
+  const int fd = ConnectLoopback(port);
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  request += "Connection: close\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    throw std::runtime_error("client: send failed");
+  }
+  const std::string raw = ReadToClose(fd);
+  ::close(fd);
+
+  ClientResponse response;
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("client: truncated response");
+  }
+  const std::string head = raw.substr(0, header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || status_line.size() < sp + 4) {
+    throw std::runtime_error("client: bad status line");
+  }
+  response.status = std::stoi(status_line.substr(sp + 1, 3));
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      response.headers[ToLower(Trim(line.substr(0, colon)))] =
+          Trim(line.substr(colon + 1));
+    }
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+std::string SendRaw(std::uint16_t port, const std::string& bytes) {
+  const int fd = ConnectLoopback(port);
+  if (!SendAll(fd, bytes)) {
+    ::close(fd);
+    return "";
+  }
+  // Half-close our side so the server sees EOF after the bytes (the
+  // truncated-request tests rely on this).
+  ::shutdown(fd, SHUT_WR);
+  const std::string out = ReadToClose(fd);
+  ::close(fd);
+  return out;
+}
+
+}  // namespace custody::svc

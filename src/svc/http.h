@@ -1,0 +1,118 @@
+// A minimal, dependency-free HTTP/1.1 server over POSIX sockets — just
+// enough protocol for the control plane (src/svc/): request-line + headers
+// + Content-Length bodies, keep-alive, and hard limits on every input
+// dimension so hostile or broken clients cannot wedge the server.
+//
+// Design rules:
+//   - Loopback only.  The server binds 127.0.0.1 unconditionally; exposing
+//     a research simulator to a network is an operator decision that
+//     belongs in a reverse proxy, not here.
+//   - Blocking accept loop + a small worker pool.  One thread accepts and
+//     enqueues connections; `workers` threads parse, dispatch to the
+//     handler, and write responses.  No epoll — control-plane traffic is
+//     a handful of concurrent curls, not C10K.
+//   - Every read is bounded (header bytes, body bytes, per-recv timeout),
+//     so a slowloris client costs one worker a timeout, never a hang.
+//   - The handler never sees a malformed request: framing errors are
+//     answered with 400/408/413/431/501 before dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace custody::svc {
+
+/// One parsed request.  Header names are lower-cased; the target is split
+/// at '?' into path and (raw, undecoded) query.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (upper-case, as sent)
+  std::string path;    ///< "/experiments/3"
+  std::string query;   ///< "limit=2" ("" when absent)
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Hard input limits; defaults fit control-plane documents with slack.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Per-recv() timeout.  A connection that stops sending mid-request is
+  /// answered 408 and closed — the slowloris bound.
+  int recv_timeout_seconds = 5;
+  /// Requests served per connection before an unconditional close.
+  int max_keepalive_requests = 100;
+};
+
+[[nodiscard]] const char* StatusText(int status);
+
+/// The server.  `handler` runs on worker threads — it must be thread-safe.
+/// Exceptions escaping the handler become 500s (the router maps the typed
+/// ones to 4xx before that backstop).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Handler handler, HttpLimits limits);
+  explicit HttpServer(Handler handler) : HttpServer(std::move(handler),
+                                                    HttpLimits{}) {}
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral), start the accept loop and
+  /// `workers` worker threads.  Throws std::runtime_error on bind failure.
+  void start(std::uint16_t port, int workers);
+  /// The bound port (after start) — how tests discover an ephemeral port.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, drain queued connections, join every thread.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  HttpLimits limits_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  struct Queue;  // fd queue (mutex + condvar) — defined in http.cpp
+  std::unique_ptr<Queue> queue_;
+};
+
+/// A tiny blocking client for tests and examples: one request per call
+/// over a fresh loopback connection.  Throws std::runtime_error on
+/// connect/IO failure or an unparsable response.
+struct ClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< lower-cased names
+  std::string body;
+};
+[[nodiscard]] ClientResponse Fetch(std::uint16_t port,
+                                   const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "");
+
+/// Send raw bytes as-is and return everything the server answers until it
+/// closes (empty on immediate close).  For malformed-input tests.
+[[nodiscard]] std::string SendRaw(std::uint16_t port,
+                                  const std::string& bytes);
+
+}  // namespace custody::svc

@@ -1,0 +1,52 @@
+// The wire codec between control-plane JSON and the workload types.
+//
+// Decoding is strict: unknown keys, wrong types and out-of-range values
+// all throw std::invalid_argument whose message LEADS WITH THE FIELD PATH
+// ("trace.num_apps must be an integer"), which the router surfaces as the
+// structured "field" member of its 400 response.  ValidateConfig then
+// range-checks the decoded config with the same convention.
+//
+// Encoding round-trips exactly: doubles are printed with %.17g, so
+// ConfigFromJson(Parse(ConfigToJson(c))) == c field-for-field and an
+// HTTP-submitted config runs bit-identically to the in-process one (the
+// svc determinism contract, pinned in svc_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "workload/experiment.h"
+
+namespace custody::svc {
+
+/// A double as a JSON number that parses back to the identical bits
+/// (%.17g; rejects non-finite values, which JSON cannot carry).
+[[nodiscard]] std::string JsonNumber(double value);
+
+/// Strict decode of an experiment config document (must be an object).
+/// Unknown keys and the `checkpoint` block (server-side file I/O is not a
+/// remote-configurable knob) are rejected.  Does NOT run ValidateConfig —
+/// the services do, so the decode/validate split stays testable.
+[[nodiscard]] workload::ExperimentConfig ConfigFromJson(
+    const JsonValue& document);
+/// Convenience: parse + decode.
+[[nodiscard]] workload::ExperimentConfig ConfigFromJsonText(
+    const std::string& text);
+
+/// Every HTTP-settable knob, exactly (defaults included).
+[[nodiscard]] std::string ConfigToJson(
+    const workload::ExperimentConfig& config);
+
+[[nodiscard]] std::string SummaryToJson(const Summary& summary);
+
+/// Every deterministic ExperimentResult field (the trace buffer is served
+/// by its own endpoint, not inlined here).
+[[nodiscard]] std::string ResultToJson(
+    const workload::ExperimentResult& result);
+
+[[nodiscard]] cluster::ManagerKind ManagerKindFromName(
+    const std::string& name);
+[[nodiscard]] workload::WorkloadKind WorkloadKindFromName(
+    const std::string& name);
+
+}  // namespace custody::svc

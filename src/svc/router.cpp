@@ -1,0 +1,119 @@
+#include "svc/router.h"
+
+#include "common/json.h"
+
+namespace custody::svc {
+
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  std::size_t pos = 1;  // skip the leading '/'
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) {
+      segments.push_back(path.substr(pos));
+      break;
+    }
+    segments.push_back(path.substr(pos, slash - pos));
+    pos = slash + 1;
+  }
+  // "/x/" and "/x" are the same route.
+  while (!segments.empty() && segments.back().empty()) segments.pop_back();
+  return segments;
+}
+
+/// The leading field token of a validation message: everything up to the
+/// first space/colon run, e.g. "num_nodes must be > 0" → "num_nodes" and
+/// "ExperimentConfig: num_nodes ..." → "num_nodes" (prefix skipped).
+std::string LeadingField(const std::string& what) {
+  std::size_t begin = 0;
+  const std::string prefix = "ExperimentConfig:";
+  if (what.rfind(prefix, 0) == 0) {
+    begin = prefix.size();
+    while (begin < what.size() && what[begin] == ' ') ++begin;
+  }
+  std::size_t end = begin;
+  while (end < what.size() && what[end] != ' ' && what[end] != ':') ++end;
+  return what.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string ErrorBody(const std::string& message, const std::string& extra) {
+  std::string body = "{\"error\":" + JsonQuote(message);
+  if (!extra.empty()) body += "," + extra;
+  body += "}\n";
+  return body;
+}
+
+void Router::add(std::string method, std::string pattern,
+                 RouteHandler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.segments = SplitPath(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+HttpResponse Router::dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> segments = SplitPath(request.path);
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    if (route.segments.size() != segments.size()) continue;
+    std::vector<std::string> params;
+    bool match = true;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      if (!route.segments[i].empty() && route.segments[i][0] == ':') {
+        if (segments[i].empty()) {
+          match = false;
+          break;
+        }
+        params.push_back(segments[i]);
+      } else if (route.segments[i] != segments[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    path_matched = true;
+    if (route.method != request.method) continue;
+    try {
+      return route.handler(request, params);
+    } catch (const JsonParseError& error) {
+      HttpResponse r;
+      r.status = 400;
+      r.body = ErrorBody(error.what(),
+                         "\"offset\":" + std::to_string(error.offset()));
+      return r;
+    } catch (const std::invalid_argument& error) {
+      HttpResponse r;
+      r.status = 400;
+      r.body = ErrorBody(error.what(),
+                         "\"field\":" + JsonQuote(LeadingField(error.what())));
+      return r;
+    } catch (const std::out_of_range& error) {
+      HttpResponse r;
+      r.status = 404;
+      r.body = ErrorBody(error.what());
+      return r;
+    } catch (const SessionBusy& error) {
+      HttpResponse r;
+      r.status = 409;
+      r.body = ErrorBody(error.what());
+      return r;
+    } catch (...) {
+      // Opaque on purpose: internal failure text stays off the wire.
+      HttpResponse r;
+      r.status = 500;
+      r.body = ErrorBody("internal error");
+      return r;
+    }
+  }
+  HttpResponse r;
+  r.status = path_matched ? 405 : 404;
+  r.body = ErrorBody(path_matched ? "method not allowed" : "no such route");
+  return r;
+}
+
+}  // namespace custody::svc

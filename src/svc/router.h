@@ -1,0 +1,60 @@
+// Method + path-pattern dispatch for the control plane, with the exception
+// → status mapping in one place:
+//
+//   JsonParseError           → 400 {"error", "offset"}       (bad JSON)
+//   std::invalid_argument    → 400 {"error", "field"}        (bad value;
+//       every ValidateConfig / json_api message leads with the offending
+//       field name, so the first token of what() is surfaced as "field")
+//   std::out_of_range        → 404 {"error"}                 (unknown id)
+//   SessionBusy              → 409 {"error"}                 (op in flight)
+//   anything else            → 500 {"error":"internal error"} (opaque —
+//       internal messages are not echoed to the wire)
+//
+// Patterns are '/'-separated literals with `:name` capture segments:
+// "/experiments/:id/trace" matches "/experiments/7/trace" and hands the
+// handler params = {"7"}.  Path matches with no method match → 405.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "svc/http.h"
+
+namespace custody::svc {
+
+/// Thrown by services when an operation cannot run because another is in
+/// flight on the same resource (e.g. advancing a session that is already
+/// advancing).  The router answers 409 Conflict.
+class SessionBusy : public std::runtime_error {
+ public:
+  explicit SessionBusy(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Router {
+ public:
+  /// `params` holds the `:name` captures in pattern order.
+  using RouteHandler = std::function<HttpResponse(
+      const HttpRequest&, const std::vector<std::string>& params)>;
+
+  void add(std::string method, std::string pattern, RouteHandler handler);
+
+  /// Dispatch and map exceptions per the table above.  Never throws.
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< ":x" entries capture
+    RouteHandler handler;
+  };
+
+  std::vector<Route> routes_;
+};
+
+/// {"error": message} (+ optional extra raw-JSON members), newline-closed.
+[[nodiscard]] std::string ErrorBody(const std::string& message,
+                                    const std::string& extra = "");
+
+}  // namespace custody::svc

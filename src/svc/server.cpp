@@ -1,0 +1,291 @@
+#include "svc/server.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/perfetto.h"
+#include "svc/json_api.h"
+
+namespace custody::svc {
+
+namespace {
+
+std::uint64_t ParseId(const std::string& text) {
+  if (text.empty() || text.size() > 18 ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::out_of_range("no such id \"" + text + "\"");
+  }
+  return std::stoull(text);
+}
+
+HttpResponse Json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body) + "\n";
+  return r;
+}
+
+std::string ProgressJson(const workload::RunProgress& progress) {
+  return "{\"events_processed\":" +
+         std::to_string(progress.events_processed) +
+         ",\"sim_time\":" + JsonNumber(progress.sim_time) +
+         ",\"jobs_completed\":" + std::to_string(progress.jobs_completed) +
+         ",\"jobs_retired\":" + std::to_string(progress.jobs_retired) + "}";
+}
+
+std::string StatusJson(const SessionStatus& status) {
+  return "{\"id\":" + std::to_string(status.id) +
+         ",\"sim_time\":" + JsonNumber(status.sim_time) +
+         ",\"drained\":" + (status.drained ? "true" : "false") +
+         ",\"progress\":" + ProgressJson(status.progress) + "}";
+}
+
+/// The body as a parsed JSON object (strict); empty bodies are "{}".
+JsonValue ParseBody(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return JsonValue::MakeObject({});
+  }
+  return JsonReader::Parse(request.body);
+}
+
+Perturbation PerturbationFromJson(const JsonValue& body) {
+  Perturbation p;
+  const JsonValue* spec = body.find("perturb");
+  if (spec == nullptr || spec->is_null()) return p;
+  if (!spec->is_object()) {
+    throw std::invalid_argument("perturb must be an object");
+  }
+  const JsonValue* kind = spec->find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    throw std::invalid_argument(
+        "perturb.kind must name none|node_failure|arrival_rate");
+  }
+  const std::string& name = kind->as_string();
+  if (name == "none") {
+    p.kind = Perturbation::Kind::kNone;
+  } else if (name == "node_failure") {
+    p.kind = Perturbation::Kind::kNodeFailure;
+    const JsonValue* node = spec->find("node");
+    if (node == nullptr || !node->is_number()) {
+      throw std::invalid_argument(
+          "perturb.node must be the victim node id (a number)");
+    }
+    const double raw = node->as_number();
+    if (raw < 0.0 || raw != static_cast<double>(
+                                static_cast<NodeId::value_type>(raw))) {
+      throw std::invalid_argument("perturb.node must be a node index");
+    }
+    p.node = NodeId(static_cast<NodeId::value_type>(raw));
+  } else if (name == "arrival_rate") {
+    p.kind = Perturbation::Kind::kArrivalRate;
+    const JsonValue* factor = spec->find("factor");
+    if (factor == nullptr || !factor->is_number()) {
+      throw std::invalid_argument(
+          "perturb.factor must be the rate multiplier (a number)");
+    }
+    p.factor = factor->as_number();
+  } else {
+    throw std::invalid_argument(
+        "perturb.kind must name none|node_failure|arrival_rate (got \"" +
+        name + "\")");
+  }
+  return p;
+}
+
+}  // namespace
+
+Router MakeRouter(ExperimentService& experiments, SessionService& sessions) {
+  Router router;
+
+  router.add("GET", "/healthz",
+             [](const HttpRequest&, const std::vector<std::string>&) {
+               return Json(200, "{\"status\":\"ok\"}");
+             });
+
+  // --- experiments ---------------------------------------------------------
+
+  router.add("POST", "/experiments",
+             [&experiments](const HttpRequest& request,
+                            const std::vector<std::string>&) {
+               const auto id =
+                   experiments.submit(ConfigFromJson(ParseBody(request)));
+               return Json(202, "{\"id\":" + std::to_string(id) +
+                                    ",\"state\":\"queued\"}");
+             });
+
+  router.add("GET", "/experiments/:id",
+             [&experiments](const HttpRequest&,
+                            const std::vector<std::string>& params) {
+               const JobInfo info = experiments.info(ParseId(params[0]));
+               std::string body =
+                   "{\"id\":" + std::to_string(info.id) + ",\"state\":\"" +
+                   JobStateName(info.state) + "\",\"manager\":" +
+                   JsonQuote(info.manager_name) +
+                   ",\"progress\":" + ProgressJson(info.progress);
+               if (info.state == JobState::kFailed) {
+                 body += ",\"error\":" + JsonQuote(info.error);
+               }
+               if (info.state == JobState::kDone) {
+                 body += ",\"result\":" +
+                         ResultToJson(experiments.result(info.id));
+               }
+               body += "}";
+               return Json(200, std::move(body));
+             });
+
+  router.add("GET", "/experiments/:id/metrics",
+             [&experiments](const HttpRequest&,
+                            const std::vector<std::string>& params) {
+               return Json(
+                   200, ResultToJson(experiments.result(ParseId(params[0]))));
+             });
+
+  router.add("GET", "/experiments/:id/trace",
+             [&experiments](const HttpRequest&,
+                            const std::vector<std::string>& params) {
+               const workload::ExperimentResult result =
+                   experiments.result(ParseId(params[0]));
+               if (result.trace == nullptr) {
+                 throw std::out_of_range(
+                     "experiment ran without tracing.enabled");
+               }
+               std::ostringstream os;
+               obs::WriteChromeTrace(result.trace->events(), os);
+               HttpResponse r;
+               r.body = os.str();
+               return r;
+             });
+
+  router.add("DELETE", "/experiments/:id",
+             [&experiments](const HttpRequest&,
+                            const std::vector<std::string>& params) {
+               const std::uint64_t id = ParseId(params[0]);
+               const bool accepted = experiments.cancel(id);
+               return Json(accepted ? 202 : 409,
+                           accepted
+                               ? "{\"id\":" + std::to_string(id) +
+                                     ",\"state\":\"cancelling\"}"
+                               : ErrorBody("experiment already terminal"));
+             });
+
+  // --- sessions ------------------------------------------------------------
+
+  router.add("POST", "/sessions",
+             [&sessions](const HttpRequest& request,
+                         const std::vector<std::string>&) {
+               const auto id =
+                   sessions.create(ConfigFromJson(ParseBody(request)));
+               return Json(201, StatusJson(sessions.status(id)));
+             });
+
+  router.add("GET", "/sessions/:id",
+             [&sessions](const HttpRequest&,
+                         const std::vector<std::string>& params) {
+               return Json(200,
+                           StatusJson(sessions.status(ParseId(params[0]))));
+             });
+
+  router.add("POST", "/sessions/:id/advance",
+             [&sessions](const HttpRequest& request,
+                         const std::vector<std::string>& params) {
+               const JsonValue body = ParseBody(request);
+               double until = -1.0;
+               if (const JsonValue* u = body.find("until")) {
+                 if (!u->is_number() || u->as_number() < 0.0) {
+                   throw std::invalid_argument(
+                       "until must be a non-negative sim time");
+                 }
+                 until = u->as_number();
+               } else if (const JsonValue* drain = body.find("drain");
+                          drain == nullptr || !drain->is_bool() ||
+                          !drain->as_bool()) {
+                 throw std::invalid_argument(
+                     "until (sim seconds) or drain:true is required");
+               }
+               return Json(200, StatusJson(sessions.advance(
+                                    ParseId(params[0]), until)));
+             });
+
+  router.add("POST", "/sessions/:id/snapshot",
+             [&sessions](const HttpRequest&,
+                         const std::vector<std::string>& params) {
+               const std::uint64_t id = ParseId(params[0]);
+               const std::string path = sessions.snapshot(id);
+               return Json(201, "{\"id\":" + std::to_string(id) +
+                                    ",\"path\":" + JsonQuote(path) + "}");
+             });
+
+  router.add("POST", "/sessions/:id/fork",
+             [&sessions](const HttpRequest& request,
+                         const std::vector<std::string>& params) {
+               const JsonValue body = ParseBody(request);
+               double horizon = 0.0;  // drain by default
+               if (const JsonValue* h = body.find("horizon")) {
+                 if (!h->is_number()) {
+                   throw std::invalid_argument(
+                       "horizon must be sim seconds past the fork point");
+                 }
+                 horizon = h->as_number();
+               }
+               const ForkReport report = sessions.fork(
+                   ParseId(params[0]), PerturbationFromJson(body), horizon);
+               std::string out = "{\"forked_at\":" +
+                                 JsonNumber(report.forked_at) +
+                                 ",\"advanced_to\":" +
+                                 JsonNumber(report.advanced_to) +
+                                 ",\"drained\":" +
+                                 (report.drained ? "true" : "false") +
+                                 ",\"perturbation\":" +
+                                 JsonQuote(report.perturbation) +
+                                 ",\"base\":" + ResultToJson(report.base) +
+                                 ",\"whatif\":" +
+                                 ResultToJson(report.whatif) +
+                                 ",\"delta\":{\"jct_mean\":" +
+                                 JsonNumber(report.whatif.jct.mean -
+                                            report.base.jct.mean) +
+                                 ",\"jct_p99\":" +
+                                 JsonNumber(report.whatif.jct.p99 -
+                                            report.base.jct.p99) +
+                                 ",\"local_job_percent\":" +
+                                 JsonNumber(report.whatif.local_job_percent -
+                                            report.base.local_job_percent) +
+                                 ",\"jobs_completed\":" +
+                                 JsonNumber(static_cast<double>(
+                                                report.whatif.jobs_completed) -
+                                            static_cast<double>(
+                                                report.base.jobs_completed)) +
+                                 "}}";
+               return Json(200, std::move(out));
+             });
+
+  router.add("DELETE", "/sessions/:id",
+             [&sessions](const HttpRequest&,
+                         const std::vector<std::string>& params) {
+               sessions.destroy(ParseId(params[0]));
+               HttpResponse r;
+               r.status = 204;
+               return r;
+             });
+
+  return router;
+}
+
+ControlPlane::ControlPlane(ServerOptions options)
+    : options_(options),
+      experiments_(options.runners),
+      sessions_(options.snapshot_dir),
+      router_(MakeRouter(experiments_, sessions_)),
+      http_([this](const HttpRequest& request) {
+        return router_.dispatch(request);
+      }) {}
+
+ControlPlane::~ControlPlane() { stop(); }
+
+void ControlPlane::start() { http_.start(options_.port, options_.http_workers); }
+
+void ControlPlane::stop() {
+  http_.stop();          // no new work arrives...
+  experiments_.shutdown();  // ...then cancel + join the runners
+}
+
+}  // namespace custody::svc

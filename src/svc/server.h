@@ -1,0 +1,69 @@
+// The assembled control plane: ExperimentService + SessionService behind a
+// Router behind an HttpServer.
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//   GET    /healthz                   liveness probe
+//   POST   /experiments               config → 202 {"id", "state"}
+//   GET    /experiments/:id           state + live progress (+ result when
+//                                     done, error text when failed)
+//   GET    /experiments/:id/metrics   the finished ExperimentResult alone
+//                                     (409 until done)
+//   GET    /experiments/:id/trace     Chrome trace-event JSON of the run's
+//                                     span ring (404 unless tracing was on)
+//   DELETE /experiments/:id           cooperative cancel
+//   POST   /sessions                  config → 201 {"id", ...}
+//   GET    /sessions/:id              boundary status
+//   POST   /sessions/:id/advance      {"until": t} or {"drain": true}
+//   POST   /sessions/:id/snapshot     save to the snapshot dir → {"path"}
+//   POST   /sessions/:id/fork         {"perturb": {...}, "horizon": t} →
+//                                     base/what-if results + deltas
+//   DELETE /sessions/:id              close the session
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svc/http.h"
+#include "svc/router.h"
+#include "svc/service.h"
+#include "svc/session.h"
+
+namespace custody::svc {
+
+struct ServerOptions {
+  std::uint16_t port = 0;   ///< 0 = ephemeral (report via port())
+  int http_workers = 4;     ///< HTTP parse/dispatch threads
+  int runners = 2;          ///< experiment runner threads
+  std::string snapshot_dir = "./snapshots";
+};
+
+/// Build the route table over the two services (exposed separately so
+/// tests can dispatch without sockets).
+[[nodiscard]] Router MakeRouter(ExperimentService& experiments,
+                                SessionService& sessions);
+
+/// Owns the services and the HTTP server; start() binds and serves until
+/// stop() (or destruction) joins every thread.
+class ControlPlane {
+ public:
+  explicit ControlPlane(ServerOptions options);
+  ~ControlPlane();
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return http_.port(); }
+  [[nodiscard]] ExperimentService& experiments() { return experiments_; }
+  [[nodiscard]] SessionService& sessions() { return sessions_; }
+
+ private:
+  ServerOptions options_;
+  ExperimentService experiments_;
+  SessionService sessions_;
+  Router router_;
+  HttpServer http_;
+};
+
+}  // namespace custody::svc

@@ -1,0 +1,183 @@
+#include "svc/session.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "common/snapshot.h"
+#include "svc/router.h"
+
+namespace custody::svc {
+
+using workload::ExperimentConfig;
+using workload::LiveRun;
+using workload::SubstrateSnapshot;
+
+SessionService::SessionService(std::string snapshot_dir)
+    : snapshot_dir_(std::move(snapshot_dir)) {}
+
+SessionService::~SessionService() = default;
+
+std::uint64_t SessionService::create(ExperimentConfig config) {
+  if (config.tracing.enabled) {
+    throw std::invalid_argument(
+        "tracing.enabled sessions cannot snapshot or fork (trace rings are "
+        "not serializable state); submit a plain experiment instead");
+  }
+  if (config.checkpoint.every > 0.0 || !config.checkpoint.resume_path.empty()) {
+    throw std::invalid_argument(
+        "checkpoint knobs are not settable on sessions (use the snapshot "
+        "endpoint)");
+  }
+  workload::ValidateConfig(config);
+  auto session = std::make_unique<Session>();
+  session->manager = config.manager;
+  session->substrate = std::make_unique<SubstrateSnapshot>(
+      SubstrateSnapshot::Build(std::move(config)));
+  session->run =
+      std::make_unique<LiveRun>(*session->substrate, session->manager);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+std::pair<SessionService::Session*, std::unique_lock<std::mutex>>
+SessionService::acquire(std::uint64_t id) {
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      throw std::out_of_range("no session " + std::to_string(id));
+    }
+    session = it->second.get();
+  }
+  std::unique_lock<std::mutex> lock(session->mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    throw SessionBusy("session " + std::to_string(id) +
+                      " has an operation in flight");
+  }
+  return {session, std::move(lock)};
+}
+
+namespace {
+
+SessionStatus StatusOf(std::uint64_t id, LiveRun& run) {
+  SessionStatus status;
+  status.id = id;
+  status.sim_time = run.simulator().now();
+  status.drained = run.drained();
+  status.progress = run.progress();
+  return status;
+}
+
+}  // namespace
+
+SessionStatus SessionService::status(std::uint64_t id) {
+  auto [session, lock] = acquire(id);
+  return StatusOf(id, *session->run);
+}
+
+SessionStatus SessionService::advance(std::uint64_t id, double until) {
+  auto [session, lock] = acquire(id);
+  if (until < 0.0) {
+    session->run->run();
+  } else {
+    session->run->run_until(until);
+  }
+  return StatusOf(id, *session->run);
+}
+
+std::string SessionService::snapshot(std::uint64_t id) {
+  auto [session, lock] = acquire(id);
+  const std::vector<std::uint8_t> bytes = session->run->save();
+  std::filesystem::create_directories(snapshot_dir_);
+  const std::string path = snapshot_dir_ + "/session-" + std::to_string(id) +
+                           "-" + std::to_string(++session->snapshots_taken) +
+                           ".snap";
+  snap::WriteFile(path, bytes);
+  return path;
+}
+
+ForkReport SessionService::fork(std::uint64_t id,
+                                const Perturbation& perturbation,
+                                double horizon) {
+  if (perturbation.kind == Perturbation::Kind::kArrivalRate &&
+      !(perturbation.factor > 0.0)) {
+    throw std::invalid_argument("perturb.factor must be > 0");
+  }
+  auto [session, lock] = acquire(id);
+  const std::vector<std::uint8_t> bytes = session->run->save();
+
+  ForkReport report;
+  report.forked_at = session->run->simulator().now();
+  switch (perturbation.kind) {
+    case Perturbation::Kind::kNone: report.perturbation = "none"; break;
+    case Perturbation::Kind::kNodeFailure:
+      report.perturbation = "node_failure";
+      break;
+    case Perturbation::Kind::kArrivalRate:
+      report.perturbation = "arrival_rate";
+      break;
+  }
+
+  // Both twins replay over the parent's substrate (read-only, shared).
+  LiveRun base(*session->substrate, session->manager);
+  base.restore(bytes);
+  LiveRun whatif(*session->substrate, session->manager);
+  whatif.restore(bytes);
+  switch (perturbation.kind) {
+    case Perturbation::Kind::kNone:
+      break;
+    case Perturbation::Kind::kNodeFailure:
+      whatif.inject_failure(perturbation.node);
+      break;
+    case Perturbation::Kind::kArrivalRate:
+      whatif.set_arrival_rate_scale(perturbation.factor);
+      break;
+  }
+  if (horizon <= 0.0) {
+    base.run();
+    whatif.run();
+    report.drained = true;
+    report.advanced_to = base.simulator().now();
+  } else {
+    report.advanced_to = report.forked_at + horizon;
+    base.run_until(report.advanced_to);
+    whatif.run_until(report.advanced_to);
+    report.drained = base.drained() && whatif.drained();
+  }
+  report.base = base.collect();
+  report.whatif = whatif.collect();
+  return report;
+}
+
+void SessionService::destroy(std::uint64_t id) {
+  std::unique_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      throw std::out_of_range("no session " + std::to_string(id));
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Refuse to free a session mid-operation; put it back instead.
+  std::unique_lock<std::mutex> busy(session->mu, std::try_to_lock);
+  if (!busy.owns_lock()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.emplace(id, std::move(session));
+    throw SessionBusy("session " + std::to_string(id) +
+                      " has an operation in flight");
+  }
+  busy.unlock();
+}
+
+std::size_t SessionService::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace custody::svc

@@ -1,0 +1,117 @@
+// Live-run sessions: an interactive workload::LiveRun held open across
+// HTTP requests, advanced incrementally, snapshotted to disk, and forked
+// into what-if twins.
+//
+// A session owns its SubstrateSnapshot on the heap (LiveRun keeps a
+// reference, so the snapshot must outlive every run built over it) plus
+// the live LiveRun positioned at a between-events boundary.  One mutex per
+// session serializes operations on it — a second request for a busy
+// session gets 409 (SessionBusy), never a blocked HTTP worker held for a
+// long advance.
+//
+// fork(): save() the parent at its current boundary, restore the bytes
+// into TWO fresh LiveRuns over the same substrate — the base twin replays
+// unperturbed, the what-if twin takes one injected perturbation (node
+// failure or arrival-rate change) — then advance both the same distance
+// and diff the collected summaries server-side.  The parent is untouched
+// (save() never schedules), and determinism makes the comparison clean:
+// an unperturbed fork is bit-identical to the parent's own future.
+//
+// Sessions reject tracing configs (LiveRun::save() refuses to serialize
+// under a tracer) and checkpoint knobs (the session IS the checkpoint
+// mechanism here).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "workload/harness.h"
+
+namespace custody::svc {
+
+/// One advance/fork outcome's view of a run.
+struct SessionStatus {
+  std::uint64_t id = 0;
+  double sim_time = 0.0;
+  bool drained = false;
+  workload::RunProgress progress;
+};
+
+/// The server-side diff of one fork experiment.
+struct ForkReport {
+  double forked_at = 0.0;        ///< parent boundary sim time
+  double advanced_to = 0.0;      ///< horizon both twins ran to (0 = drained)
+  bool drained = false;          ///< twins ran to completion
+  std::string perturbation;      ///< "none" | "node_failure" | "arrival_rate"
+  workload::ExperimentResult base;
+  workload::ExperimentResult whatif;
+};
+
+/// A what-if perturbation applied to the forked twin at the fork boundary.
+struct Perturbation {
+  enum class Kind { kNone, kNodeFailure, kArrivalRate };
+  Kind kind = Kind::kNone;
+  NodeId node{0};         ///< kNodeFailure: the victim
+  double factor = 1.0;    ///< kArrivalRate: rate multiplier (> 0)
+};
+
+class SessionService {
+ public:
+  /// `snapshot_dir`: where snapshot() files land (created on demand).
+  explicit SessionService(std::string snapshot_dir);
+  ~SessionService();
+
+  SessionService(const SessionService&) = delete;
+  SessionService& operator=(const SessionService&) = delete;
+
+  /// Validate + build the substrate + open the run at t = 0.  Throws
+  /// std::invalid_argument on bad configs, tracing or checkpoint knobs.
+  std::uint64_t create(workload::ExperimentConfig config);
+
+  [[nodiscard]] SessionStatus status(std::uint64_t id);
+
+  /// Run every event with time <= `until` (absolute sim seconds); advancing
+  /// backwards is a no-op.  `until` < 0 drains the run to completion.
+  SessionStatus advance(std::uint64_t id, double until);
+
+  /// Serialize the session at its current boundary into
+  /// `<snapshot_dir>/session-<id>-<n>.snap`; returns the path.
+  std::string snapshot(std::uint64_t id);
+
+  /// Fork at the current boundary, perturb the what-if twin, advance both
+  /// twins `horizon` simulated seconds past the boundary (<= 0 drains them)
+  /// and collect both results.  The parent session is left exactly at its
+  /// boundary.
+  ForkReport fork(std::uint64_t id, const Perturbation& perturbation,
+                  double horizon);
+
+  /// Close and free the session.  Throws std::out_of_range when unknown.
+  void destroy(std::uint64_t id);
+
+  /// Open-session count (shutdown diagnostics).
+  [[nodiscard]] std::size_t open_sessions() const;
+
+ private:
+  struct Session {
+    std::mutex mu;  ///< serializes operations; contention → SessionBusy
+    std::unique_ptr<workload::SubstrateSnapshot> substrate;
+    workload::ManagerKind manager;
+    std::unique_ptr<workload::LiveRun> run;
+    int snapshots_taken = 0;
+  };
+
+  /// Look up + lock, throwing out_of_range (unknown) or SessionBusy
+  /// (operation already in flight).
+  [[nodiscard]] std::pair<Session*, std::unique_lock<std::mutex>> acquire(
+      std::uint64_t id);
+
+  mutable std::mutex mu_;  ///< guards the registry map only
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::string snapshot_dir_;
+};
+
+}  // namespace custody::svc

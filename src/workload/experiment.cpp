@@ -8,8 +8,10 @@
 
 namespace custody::workload {
 
-ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  return RunOnSnapshot(SubstrateSnapshot::Build(config), config.manager);
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               RunControl* control) {
+  return RunOnSnapshot(SubstrateSnapshot::Build(config), config.manager,
+                       control);
 }
 
 Comparison CompareManagers(ExperimentConfig config, ManagerKind baseline) {

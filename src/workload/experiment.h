@@ -169,9 +169,14 @@ struct ExperimentResult {
   std::shared_ptr<const obs::TraceBuffer> trace;
 };
 
+class RunControl;  // workload/harness.h — progress observer + cancel flag
+
 /// Validate, snapshot, run `config.manager`, collect.  Throws
 /// std::invalid_argument (with the offending knob named) on bad configs.
-ExperimentResult RunExperiment(const ExperimentConfig& config);
+/// A non-null `control` observes progress and can cancel cooperatively
+/// (throws RunCancelled); attaching one never changes the result.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               RunControl* control = nullptr);
 
 /// Convenience: same config run under two managers, for gain rows.
 struct Comparison {

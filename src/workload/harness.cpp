@@ -109,7 +109,10 @@ void ValidateConfig(const ExperimentConfig& config) {
                " (got " + Num(config.failure_interval) + ")");
   }
   // Workload.
-  if (config.kinds.empty()) FailConfig("no workload kinds");
+  // Every message leads with the offending field name: the svc layer maps
+  // these diagnostics onto structured 400 responses whose `field` is the
+  // first token of the message.
+  if (config.kinds.empty()) FailConfig("kinds must name at least one workload");
   if (config.trace.num_apps <= 0) {
     FailConfig("trace.num_apps must be > 0 (got " +
                std::to_string(config.trace.num_apps) + ")");
@@ -572,6 +575,55 @@ void LiveRun::inject_failure(NodeId node) {
 
 void LiveRun::run() { ctx_.simulator().run(); }
 
+bool LiveRun::run(RunControl* control) {
+  if (control == nullptr) {
+    run();
+    return true;
+  }
+  // Simulator::run() is exactly `while (step())`, so driving step() here is
+  // bit-identical; the control work happens strictly between events.
+  sim::Simulator& sim = ctx_.simulator();
+  const std::uint64_t every = std::max<std::uint64_t>(control->progress_every,
+                                                      1);
+  for (;;) {
+    if (control->cancel_requested()) return false;
+    bool drained_now = false;
+    for (std::uint64_t i = 0; i < every; ++i) {
+      if (!sim.step()) {
+        drained_now = true;
+        break;
+      }
+    }
+    if (control->on_progress) control->on_progress(progress());
+    if (drained_now) return true;
+  }
+}
+
+RunProgress LiveRun::progress() {
+  RunProgress p;
+  p.events_processed = ctx_.simulator().events_processed();
+  p.sim_time = ctx_.simulator().now();
+  for (const auto& app : apps_) {
+    p.jobs_completed += app->jobs_completed();
+    p.jobs_retired += app->jobs_retired();
+  }
+  return p;
+}
+
+void LiveRun::set_arrival_rate_scale(double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument(
+        "arrival rate scale must be > 0 (got " + std::to_string(factor) + ")");
+  }
+  if (stream_ == nullptr) {
+    throw std::invalid_argument(
+        "arrival-rate perturbation requires a steady-state lazy-stream run "
+        "(steady.enabled with materialize_submissions off): the classic "
+        "schedule is posted up front and cannot be rescaled");
+  }
+  stream_->set_rate_scale(factor);
+}
+
 void LiveRun::run_until(SimTime until) { ctx_.simulator().run_until(until); }
 
 bool LiveRun::drained() {
@@ -849,7 +901,8 @@ void WriteManifest(const std::string& snapshot_path, std::uint64_t config_hash,
 }  // namespace
 
 ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
-                               ManagerKind manager_kind) {
+                               ManagerKind manager_kind,
+                               RunControl* control) {
   Logger::init_from_env();
   const CheckpointConfig& ckpt = snapshot.config().checkpoint;
   LiveRun run(snapshot, manager_kind);
@@ -859,7 +912,13 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
   if (ckpt.every > 0.0) {
     int ordinal = 0;
     while (!run.drained()) {
+      if (control != nullptr && control->cancel_requested()) {
+        throw RunCancelled();
+      }
       run.run_until(run.simulator().now() + ckpt.every);
+      if (control != nullptr && control->on_progress) {
+        control->on_progress(run.progress());
+      }
       if (run.drained()) break;
       const std::string path = CheckpointPath(ckpt.directory, ++ordinal);
       snap::WriteFile(path, run.save());
@@ -867,7 +926,7 @@ ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
                     ManagerName(manager_kind), snapshot.config().seed);
     }
   } else {
-    run.run();
+    if (!run.run(control)) throw RunCancelled();
   }
   return run.collect();
 }

@@ -26,10 +26,12 @@
 // at once on the same snapshot (contexts share nothing mutable).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -137,6 +139,47 @@ class SimulationContext {
   std::map<WorkloadKind, Dataset> datasets_;
 };
 
+/// A progress sample taken at a between-events boundary of one run.
+struct RunProgress {
+  std::uint64_t events_processed = 0;
+  SimTime sim_time = 0.0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_retired = 0;
+};
+
+/// Cooperative observation and cancellation of one run, checked strictly at
+/// event boundaries.  The observer never schedules anything and consumes no
+/// rng, so a run with a RunControl attached is bit-identical to one without
+/// (pinned in sweep_test.cpp).  `request_cancel` may be called from any
+/// thread; the run notices at the next boundary check and RunOnSnapshot
+/// throws RunCancelled.
+class RunControl {
+ public:
+  /// Called every `progress_every` processed events and once at the end of
+  /// the run (from the running thread).  Null disables progress sampling.
+  std::function<void(const RunProgress&)> on_progress;
+  /// Events between boundary checks (progress + cancel).  Smaller is more
+  /// responsive, larger is cheaper; the default checks ~30x/s at typical
+  /// event rates.
+  std::uint64_t progress_every = 1 << 16;
+
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by RunOnSnapshot/RunExperiment when the attached RunControl's
+/// cancel flag was observed; the simulation stops at an event boundary and
+/// no result is produced.
+class RunCancelled : public std::runtime_error {
+ public:
+  RunCancelled() : std::runtime_error("run cancelled via RunControl") {}
+};
+
 /// Canonical 64-bit hash over every determinism-relevant config knob plus
 /// the manager kind actually run.  Stored in the snapshot header so a
 /// restore onto a different config or manager fails loudly instead of
@@ -171,12 +214,30 @@ class LiveRun {
 
   /// Drain the event queue (the whole experiment).
   void run();
+  /// Drain the event queue under a RunControl: progress callbacks every
+  /// `control->progress_every` events and a cancel check at the same
+  /// boundaries.  Bit-identical to run() — the control only observes.
+  /// Returns false when the run stopped on a cancel request (the queue
+  /// still holds events); null behaves exactly like run().
+  bool run(RunControl* control);
   /// Run every event with time <= `until`, then stop at the boundary —
   /// the snapshot point.  Never schedules anything, so interleaving
   /// run_until/save with run is perturbation-free.
   void run_until(SimTime until);
   /// True once no live events remain (the run is complete).
   [[nodiscard]] bool drained();
+
+  /// A progress sample at the current between-events boundary.
+  [[nodiscard]] RunProgress progress();
+
+  /// What-if knob for forked sessions: scale the arrival rate of every
+  /// FUTURE submission draw by `factor` (> 0; 2.0 doubles the load).
+  /// Only meaningful for steady-state lazy-stream runs — the classic
+  /// materialized schedule is posted up front, so perturbing it would mean
+  /// silently rewriting history; throws std::invalid_argument there.  The
+  /// scale is part of the serialized stream state, so snapshots taken
+  /// after a perturbation restore it.
+  void set_arrival_rate_scale(double factor);
 
   /// Serialize the complete dynamic state as a snapshot file image.
   /// Requires a between-events boundary (construction, run_until, or after
@@ -243,8 +304,11 @@ class LiveRun {
 
 /// Replay `snapshot` under `manager` and collect the figure summaries,
 /// honouring config.checkpoint (periodic checkpoints + resume).
-/// Thread-safe for concurrent calls sharing one snapshot.
+/// Thread-safe for concurrent calls sharing one snapshot.  A non-null
+/// `control` observes progress and can cancel the run cooperatively
+/// (throws RunCancelled); attaching one never changes the result.
 ExperimentResult RunOnSnapshot(const SubstrateSnapshot& snapshot,
-                               ManagerKind manager);
+                               ManagerKind manager,
+                               RunControl* control = nullptr);
 
 }  // namespace custody::workload

@@ -96,6 +96,10 @@ void SubmissionStream::advance(std::size_t a) {
         2.0 * std::numbers::pi * app.clock / steady_.diurnal_period;
     dt /= 1.0 + steady_.diurnal_amplitude * std::sin(phase);
   }
+  // What-if rate perturbation (svc session forks): scales every draw made
+  // after set_rate_scale; 1.0 (the default) is a no-op, so unperturbed
+  // streams are untouched.
+  dt /= rate_scale_;
   app.clock += dt;
   app.next.time = app.clock;
   app.next.app_index = static_cast<int>(a);
@@ -106,6 +110,13 @@ void SubmissionStream::advance(std::size_t a) {
   --app.remaining;
   app.has_next = true;
   if (!had_next) ++live_apps_;
+}
+
+void SubmissionStream::set_rate_scale(double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("SubmissionStream: rate scale must be > 0");
+  }
+  rate_scale_ = factor;
 }
 
 std::size_t SubmissionStream::earliest() const {
@@ -149,6 +160,7 @@ void SubmissionStream::SaveTo(snap::SnapshotWriter& w) const {
   w.u64(live_apps_);
   w.u64(total_jobs_);
   w.u64(emitted_);
+  w.f64(rate_scale_);
 }
 
 void SubmissionStream::RestoreFrom(snap::SnapshotReader& r) {
@@ -172,6 +184,10 @@ void SubmissionStream::RestoreFrom(snap::SnapshotReader& r) {
   live_apps_ = static_cast<std::size_t>(r.u64());
   total_jobs_ = r.u64();
   emitted_ = r.u64();
+  rate_scale_ = r.f64();
+  if (!(rate_scale_ > 0.0)) {
+    throw snap::SnapshotError("SubmissionStream rate scale must be > 0");
+  }
 }
 
 std::vector<Submission> DrainStream(SubmissionStream stream) {

@@ -97,6 +97,14 @@ class SubmissionStream {
   [[nodiscard]] std::uint64_t total_jobs() const { return total_jobs_; }
   [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
 
+  /// What-if perturbation (svc session forks): every future inter-arrival
+  /// draw is divided by `factor` (> 0), i.e. 2.0 doubles the offered load
+  /// from here on.  Already-drawn pending submissions keep their times.
+  /// Serialized with the stream state, so a snapshot taken after a
+  /// perturbation restores it.
+  void set_rate_scale(double factor);
+  [[nodiscard]] double rate_scale() const { return rate_scale_; }
+
   /// Serialize the dynamic draw state (per-app rng/clock/pending
   /// submission, progress counters).  Config-derived members (kinds, trace
   /// shape, Zipf table) are rebuilt by the constructor; restore must target
@@ -126,6 +134,7 @@ class SubmissionStream {
   std::size_t live_apps_ = 0;
   std::uint64_t total_jobs_ = 0;
   std::uint64_t emitted_ = 0;
+  double rate_scale_ = 1.0;
 };
 
 /// Drain a stream into a vector (equivalence tests, reference sub-mode).

@@ -1,0 +1,240 @@
+// Unit tests for the strict JsonReader: grammar round-trips plus the
+// fail-loudly guarantees — truncated, bit-flipped or hostile input must
+// throw a typed JsonParseError, never produce garbage values or UB.  The
+// malformed-input suites mirror snapshot_test.cpp: truncation at every
+// byte of a sample document, a bit flip at every byte, and a corpus of
+// bad escape/UTF-8/number forms.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace custody {
+namespace {
+
+/// A sample document touching every construct; no trailing whitespace, so
+/// every strict prefix is invalid (the closing brace balances only at the
+/// very end).
+const char kSampleDoc[] =
+    R"({"name":"custody \"svc\"","pi":3.14159,"neg":-0.5e-2,"zero":0,)"
+    R"("big":1.7976931348623157e308,"flag":true,"off":false,"nothing":null,)"
+    "\"escapes\":\"line\\nbreak\\ttab\\\\slash\\/"
+    "\\u0041\\u00e9\\ud83d\\ude00\","
+    R"("list":[1,2,[3,[4]],{"k":"v"}],"empty":{},"none":[]})";
+
+JsonValue ParseSample() { return JsonReader::Parse(kSampleDoc); }
+
+TEST(JsonReader, ParsesEveryConstruct) {
+  const JsonValue doc = ParseSample();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("name")->as_string(), "custody \"svc\"");
+  EXPECT_DOUBLE_EQ(doc.find("pi")->as_number(), 3.14159);
+  EXPECT_DOUBLE_EQ(doc.find("neg")->as_number(), -0.5e-2);
+  EXPECT_EQ(doc.find("zero")->as_number(), 0.0);
+  EXPECT_EQ(doc.find("big")->as_number(), 1.7976931348623157e308);
+  EXPECT_TRUE(doc.find("flag")->as_bool());
+  EXPECT_FALSE(doc.find("off")->as_bool());
+  EXPECT_TRUE(doc.find("nothing")->is_null());
+  // \u0041 = 'A', \u00e9 = e-acute (2-byte UTF-8), \ud83d\ude00 = a
+  // surrogate pair decoding to a 4-byte UTF-8 emoji.
+  EXPECT_EQ(doc.find("escapes")->as_string(),
+            "line\nbreak\ttab\\slash/A\xc3\xa9\xf0\x9f\x98\x80");
+  const auto& list = doc.find("list")->items();
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0].as_number(), 1.0);
+  EXPECT_EQ(list[2].items()[1].items()[0].as_number(), 4.0);
+  EXPECT_EQ(list[3].find("k")->as_string(), "v");
+  EXPECT_TRUE(doc.find("empty")->members().empty());
+  EXPECT_TRUE(doc.find("none")->items().empty());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonReader, ObjectKeepsInsertionOrder) {
+  const JsonValue doc = JsonReader::Parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonReader, AcceptsScalarsAtTopLevelAndSurroundingWhitespace) {
+  EXPECT_EQ(JsonReader::Parse(" \t\r\n 42 \n").as_number(), 42.0);
+  EXPECT_EQ(JsonReader::Parse("\"x\"").as_string(), "x");
+  EXPECT_TRUE(JsonReader::Parse("null").is_null());
+  EXPECT_TRUE(JsonReader::Parse("true").as_bool());
+}
+
+TEST(JsonReader, RoundTripsThroughJsonQuote) {
+  // Every string JsonQuote emits must parse back to the original bytes —
+  // the emitter and parser agree on the escape dialect.
+  const std::string nasty = "quote\" slash\\ ctl\x01\x1f nl\n tab\t ok";
+  EXPECT_EQ(JsonReader::Parse(JsonQuote(nasty)).as_string(), nasty);
+}
+
+TEST(JsonReader, TypeMismatchThrowsNamingTheKind) {
+  const JsonValue doc = JsonReader::Parse("[1]");
+  EXPECT_THROW((void)doc.as_number(), std::invalid_argument);
+  EXPECT_THROW((void)doc.members(), std::invalid_argument);
+  try {
+    (void)doc.as_string();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+  }
+}
+
+// --- malformed-input suites ------------------------------------------------
+
+TEST(JsonReader, TruncationAtEveryByteThrows) {
+  const std::string doc = kSampleDoc;
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW((void)JsonReader::Parse(doc.substr(0, len)), JsonParseError)
+        << "prefix of length " << len << " parsed";
+  }
+  EXPECT_NO_THROW((void)JsonReader::Parse(doc));
+}
+
+TEST(JsonReader, BitFlipAtEveryByteNeverCrashes) {
+  const std::string doc = kSampleDoc;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    for (const unsigned mask : {0x01u, 0x80u}) {
+      std::string mutated = doc;
+      mutated[i] = static_cast<char>(static_cast<unsigned char>(mutated[i]) ^
+                                     mask);
+      try {
+        (void)JsonReader::Parse(mutated);  // may legitimately still parse
+      } catch (const JsonParseError&) {
+        // equally fine — only UB/crash is a failure
+      }
+    }
+  }
+}
+
+TEST(JsonReader, BadEscapesThrow) {
+  const std::vector<std::string> bad{
+      R"("\x")",            // unknown escape
+      R"("\u12")",          // truncated hex
+      R"("\u12g4")",        // non-hex digit
+      R"("\ud800")",        // lone high surrogate
+      R"("\ud800x")",       // high surrogate then garbage
+      R"("\ud800\n")",      // high surrogate then wrong escape
+      R"("\ud800A")",  // high surrogate then non-surrogate
+      R"("\udc00")",        // lone low surrogate
+      R"("\)",              // backslash at end of input
+      "\"unterminated",     // no closing quote
+      "\"ctl\x01\"",        // raw control character
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW((void)JsonReader::Parse(doc), JsonParseError) << doc;
+  }
+}
+
+TEST(JsonReader, BadUtf8Throws) {
+  const std::vector<std::string> bad{
+      "\"\xff\"",              // invalid lead byte
+      "\"\x80\"",              // continuation as lead
+      "\"\xc3\"",              // truncated 2-byte sequence
+      "\"\xc3(\"",             // bad continuation
+      "\"\xc0\x80\"",          // overlong NUL
+      "\"\xe0\x80\x80\"",      // overlong 3-byte
+      "\"\xed\xa0\x80\"",      // encoded surrogate U+D800
+      "\"\xf0\x80\x80\x80\"",  // overlong 4-byte
+      "\"\xf4\x90\x80\x80\"",  // above U+10FFFF
+      "\"\xf8\x88\x80\x80\x80\"",  // 5-byte form
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW((void)JsonReader::Parse(doc), JsonParseError) << doc;
+  }
+  // Valid multi-byte sequences pass through byte-exact.
+  EXPECT_EQ(JsonReader::Parse("\"\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80\"")
+                .as_string(),
+            "\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, BadNumberFormsThrow) {
+  const std::vector<std::string> bad{
+      "01",      // leading zero
+      "-",       // sign alone
+      "+1",      // plus sign
+      "1.",      // no digits after the point
+      ".5",      // no integer part
+      "1e",      // empty exponent
+      "1e+",     // empty signed exponent
+      "0x10",    // hex (trailing garbage after 0)
+      "NaN",     // not JSON
+      "Infinity",
+      "-Infinity",
+      "1e999",   // overflows a double
+      "-1e999",
+      "--1",
+      "1..2",
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW((void)JsonReader::Parse(doc), JsonParseError) << doc;
+  }
+  // Extremes that still fit a double parse fine.
+  EXPECT_EQ(JsonReader::Parse("1e308").as_number(), 1e308);
+  EXPECT_EQ(JsonReader::Parse("1e-400").as_number(), 0.0);  // underflow -> 0
+}
+
+TEST(JsonReader, StructuralErrorsThrow) {
+  const std::vector<std::string> bad{
+      "",                  // empty input
+      "   ",               // whitespace only
+      "{",                 // unclosed object
+      "}",                 // bare close
+      "[1,2",              // unclosed array
+      "[1,]",              // trailing comma
+      "{\"a\":1,}",        // trailing comma in object
+      "{\"a\"}",           // key without value
+      "{\"a\":}",          // missing value
+      "{a:1}",             // unquoted key
+      "{\"a\":1 \"b\":2}", // missing comma
+      "[1 2]",             // missing comma
+      "{} []",             // trailing content
+      "nul",               // truncated literal
+      "truex",             // literal then garbage
+      R"({"a":1,"a":2})",  // duplicate key
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW((void)JsonReader::Parse(doc), JsonParseError) << doc;
+  }
+}
+
+TEST(JsonReader, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += '[';
+  for (int i = 0; i < 2000; ++i) deep += ']';
+  EXPECT_THROW((void)JsonReader::Parse(deep), JsonParseError);
+
+  std::string ok = "[[[[[[[[[[42]]]]]]]]]]";
+  EXPECT_NO_THROW((void)JsonReader::Parse(ok));
+
+  JsonReader::Limits tight;
+  tight.max_depth = 3;
+  EXPECT_THROW((void)JsonReader::Parse(ok, tight), JsonParseError);
+  EXPECT_NO_THROW((void)JsonReader::Parse("[[1]]", tight));
+}
+
+TEST(JsonReader, ByteLimitRejectsOversizedDocuments) {
+  JsonReader::Limits limits;
+  limits.max_bytes = 8;
+  EXPECT_NO_THROW((void)JsonReader::Parse("[1,2]", limits));
+  EXPECT_THROW((void)JsonReader::Parse("[1,2,3,4,5]", limits), JsonParseError);
+}
+
+TEST(JsonReader, ErrorsCarryTheByteOffset) {
+  try {
+    (void)JsonReader::Parse("[1,2,\x01]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 5u);
+    EXPECT_NE(std::string(e.what()).find("byte 5"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace custody

@@ -246,6 +246,81 @@ TEST(Sweep, PropagatesRunFailuresByInputIndex) {
 }
 
 // ---------------------------------------------------------------------------
+// RunControl: observing a run never changes it; cancel stops it.
+// ---------------------------------------------------------------------------
+
+TEST(RunControl, ObserverAttachedIsBitIdenticalToPlainRun) {
+  // The svc layer polls progress while an experiment runs.  The contract:
+  // attaching a RunControl with an on_progress callback produces exactly
+  // the result the no-control path produces, for every manager.
+  for (const ManagerKind manager :
+       {ManagerKind::kCustody, ManagerKind::kStandalone, ManagerKind::kPool,
+        ManagerKind::kOffer}) {
+    SCOPED_TRACE(ManagerName(manager));
+    const ExperimentConfig config = SmallConfig(manager);
+    const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+    const ExperimentResult plain = RunOnSnapshot(snapshot, manager);
+    RunControl control;
+    control.progress_every = 64;  // small batches: many callbacks
+    std::uint64_t callbacks = 0;
+    RunProgress last;
+    control.on_progress = [&](const RunProgress& p) {
+      ++callbacks;
+      // Progress is monotone in events and sim time.
+      EXPECT_GE(p.events_processed, last.events_processed);
+      EXPECT_GE(p.sim_time, last.sim_time);
+      last = p;
+    };
+    const ExperimentResult observed = RunOnSnapshot(snapshot, manager,
+                                                    &control);
+    EXPECT_GT(callbacks, 0u);
+    EXPECT_EQ(last.events_processed, observed.events_processed);
+    EXPECT_EQ(last.jobs_completed, observed.jobs_completed);
+    ExpectResultsIdentical(plain, observed);
+  }
+}
+
+TEST(RunControl, ObserverIsBitIdenticalOnCheckpointingRuns) {
+  // The checkpoint loop is a separate code path in RunOnSnapshot; pin the
+  // observer contract there too.
+  ExperimentConfig config = SmallConfig(ManagerKind::kCustody);
+  config.checkpoint.every = 25.0;
+  config.checkpoint.directory = ::testing::TempDir();
+  const SubstrateSnapshot snapshot = SubstrateSnapshot::Build(config);
+  const ExperimentResult plain = RunOnSnapshot(snapshot, config.manager);
+  RunControl control;
+  std::uint64_t callbacks = 0;
+  control.on_progress = [&](const RunProgress&) { ++callbacks; };
+  const ExperimentResult observed =
+      RunOnSnapshot(snapshot, config.manager, &control);
+  EXPECT_GT(callbacks, 0u);
+  ExpectResultsIdentical(plain, observed);
+}
+
+TEST(RunControl, CancelUpFrontThrowsRunCancelled) {
+  const ExperimentConfig config = SmallConfig(ManagerKind::kCustody);
+  RunControl control;
+  control.request_cancel();
+  EXPECT_THROW(RunExperiment(config, &control), RunCancelled);
+}
+
+TEST(RunControl, CancelFromProgressCallbackStopsMidRun) {
+  const ExperimentConfig config = SmallConfig(ManagerKind::kCustody);
+  const ExperimentResult full = RunExperiment(config);
+  RunControl control;
+  control.progress_every = 64;
+  std::uint64_t events_at_cancel = 0;
+  control.on_progress = [&](const RunProgress& p) {
+    events_at_cancel = p.events_processed;
+    control.request_cancel();
+  };
+  EXPECT_THROW(RunExperiment(config, &control), RunCancelled);
+  // The cancel landed at the first batch boundary, well before the end.
+  EXPECT_GT(events_at_cancel, 0u);
+  EXPECT_LT(events_at_cancel, full.events_processed);
+}
+
+// ---------------------------------------------------------------------------
 // ValidateConfig
 // ---------------------------------------------------------------------------
 

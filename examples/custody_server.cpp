@@ -2,7 +2,7 @@
 // loopback HTTP until SIGTERM/SIGINT, then shut down cleanly (joining
 // every thread — the CI smoke job asserts exit code 0 under TSan).
 //
-//   custody_server --port 8080 --workers 4 --runners 2 \
+//   custody_server --port 8080 --workers 4 --runners 2
 //                  --snapshot-dir ./snapshots
 //
 // Quick tour (see README.md for more):

@@ -103,6 +103,7 @@ const char* StatusText(int status) {
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
     default: return "Response";
   }
 }
@@ -114,16 +115,20 @@ struct HttpServer::Queue {
   std::deque<int> fds;
   bool closed = false;
 
-  void push(int fd) {
+  /// False when the queue is at `capacity` (caller still owns the fd and
+  /// must refuse the connection); a closed queue swallows and closes it.
+  bool push(int fd, std::size_t capacity) {
     {
       std::lock_guard<std::mutex> lock(mu);
       if (closed) {
         if (fd >= 0) ::close(fd);
-        return;
+        return true;
       }
+      if (fds.size() >= capacity) return false;
       fds.push_back(fd);
     }
     cv.notify_one();
+    return true;
   }
 
   /// Blocks; returns -1 once closed and drained.
@@ -213,7 +218,14 @@ void HttpServer::accept_loop() {
     timeval tv{};
     tv.tv_sec = limits_.recv_timeout_seconds;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    queue_->push(fd);
+    if (!queue_->push(fd, limits_.max_pending_connections)) {
+      // Backpressure: every worker is busy and the queue is full.  Refuse
+      // with a best-effort 503 (a fresh socket's send buffer is empty, so
+      // this short write cannot block the acceptor) and close.
+      SendAll(fd, FormatResponse(
+                      ErrorResponse(503, "server overloaded"), false));
+      ::close(fd);
+    }
   }
 }
 
@@ -264,11 +276,11 @@ ReadResult ReadRequest(int fd, const HttpLimits& limits, std::string& buffer,
   }
   request.method = request_line.substr(0, sp1);
   std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::string version = request_line.substr(sp2 + 1);
+  request.version = request_line.substr(sp2 + 1);
   if (request.method.empty() || target.empty() || target[0] != '/') {
     return ReadResult::kMalformed;
   }
-  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
     return ReadResult::kUnsupported;
   }
   const std::size_t qmark = target.find('?');
@@ -361,11 +373,16 @@ void HttpServer::serve_connection(int fd) {
     } catch (...) {
       response = ErrorResponse(500, "internal error");
     }
+    // Keep-alive follows the protocol default: on for HTTP/1.1 unless the
+    // client says "close", off for HTTP/1.0 unless it says "keep-alive"
+    // (a strict 1.0 client waiting for EOF must not stall on our timeout).
     const auto conn = request.headers.find("connection");
+    const std::string conn_value =
+        conn == request.headers.end() ? "" : ToLower(conn->second);
     const bool keep_alive =
         served + 1 < limits_.max_keepalive_requests &&
-        (conn == request.headers.end() ? true
-                                       : ToLower(conn->second) != "close");
+        (request.version == "HTTP/1.1" ? conn_value != "close"
+                                       : conn_value == "keep-alive");
     if (!SendAll(fd, FormatResponse(response, keep_alive))) return;
     if (!keep_alive) return;
   }

@@ -30,9 +30,10 @@ namespace custody::svc {
 /// One parsed request.  Header names are lower-cased; the target is split
 /// at '?' into path and (raw, undecoded) query.
 struct HttpRequest {
-  std::string method;  ///< "GET", "POST", ... (upper-case, as sent)
-  std::string path;    ///< "/experiments/3"
-  std::string query;   ///< "limit=2" ("" when absent)
+  std::string method;   ///< "GET", "POST", ... (upper-case, as sent)
+  std::string path;     ///< "/experiments/3"
+  std::string query;    ///< "limit=2" ("" when absent)
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
   std::map<std::string, std::string> headers;
   std::string body;
 };
@@ -52,6 +53,9 @@ struct HttpLimits {
   int recv_timeout_seconds = 5;
   /// Requests served per connection before an unconditional close.
   int max_keepalive_requests = 100;
+  /// Accepted connections waiting for a worker.  Overflow connections are
+  /// answered 503 and closed so a flood cannot exhaust file descriptors.
+  std::size_t max_pending_connections = 128;
 };
 
 [[nodiscard]] const char* StatusText(int status);

@@ -160,12 +160,16 @@ Router MakeRouter(ExperimentService& experiments, SessionService& sessions) {
              [&experiments](const HttpRequest&,
                             const std::vector<std::string>& params) {
                const std::uint64_t id = ParseId(params[0]);
-               const bool accepted = experiments.cancel(id);
-               return Json(accepted ? 202 : 409,
-                           accepted
-                               ? "{\"id\":" + std::to_string(id) +
-                                     ",\"state\":\"cancelling\"}"
-                               : ErrorBody("experiment already terminal"));
+               // Live job → cooperative cancel (202); terminal job → erased
+               // so its config/result/trace memory is reclaimed (200).
+               const auto outcome = experiments.destroy(id);
+               const bool cancelling =
+                   outcome ==
+                   ExperimentService::DeleteOutcome::kCancelRequested;
+               return Json(cancelling ? 202 : 200,
+                           "{\"id\":" + std::to_string(id) + ",\"state\":\"" +
+                               (cancelling ? "cancelling" : "deleted") +
+                               "\"}");
              });
 
   // --- sessions ------------------------------------------------------------

@@ -11,7 +11,8 @@
 //                                     (409 until done)
 //   GET    /experiments/:id/trace     Chrome trace-event JSON of the run's
 //                                     span ring (404 unless tracing was on)
-//   DELETE /experiments/:id           cooperative cancel
+//   DELETE /experiments/:id           live: cooperative cancel (202);
+//                                     terminal: erase + reclaim (200)
 //   POST   /sessions                  config → 201 {"id", ...}
 //   GET    /sessions/:id              boundary status
 //   POST   /sessions/:id/advance      {"until": t} or {"drain": true}

@@ -102,6 +102,31 @@ bool ExperimentService::cancel(std::uint64_t id) {
   return false;
 }
 
+ExperimentService::DeleteOutcome ExperimentService::destroy(std::uint64_t id) {
+  // Runners hold a raw Job* only while the job is queued or running, and
+  // only terminal jobs are erased here, so the erase can never free a job
+  // a runner still touches.
+  std::unique_ptr<Job> reclaimed;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw std::out_of_range("no experiment " + std::to_string(id));
+  }
+  Job& job = *it->second;
+  if (job.state == JobState::kQueued || job.state == JobState::kRunning) {
+    job.control.request_cancel();
+    return DeleteOutcome::kCancelRequested;
+  }
+  reclaimed = std::move(it->second);  // freed after mu_ is released
+  jobs_.erase(it);
+  return DeleteOutcome::kRemoved;
+}
+
+std::size_t ExperimentService::job_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
 void ExperimentService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

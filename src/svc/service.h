@@ -69,6 +69,15 @@ class ExperimentService {
   /// std::out_of_range on an unknown id.
   bool cancel(std::uint64_t id);
 
+  /// DELETE semantics in one atomic step: a live (queued/running) job gets
+  /// a cancel request; a terminal job is erased, reclaiming its config,
+  /// result and trace buffer.  Throws std::out_of_range on an unknown id.
+  enum class DeleteOutcome { kCancelRequested, kRemoved };
+  DeleteOutcome destroy(std::uint64_t id);
+
+  /// Jobs currently registered (live + retained terminal).
+  [[nodiscard]] std::size_t job_count() const;
+
   /// Stop the pool: cancel every live job, drain, join.  Idempotent.
   void shutdown();
 

@@ -44,21 +44,22 @@ std::uint64_t SessionService::create(ExperimentConfig config) {
 
 std::pair<SessionService::Session*, std::unique_lock<std::mutex>>
 SessionService::acquire(std::uint64_t id) {
-  Session* session = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
-      throw std::out_of_range("no session " + std::to_string(id));
-    }
-    session = it->second.get();
+  // The session lock must be taken while the registry lock is still held:
+  // otherwise destroy() can erase and free the session between the lookup
+  // and the try_lock.  mu_ → session->mu is the only nesting order anywhere
+  // (no session operation takes mu_ while holding session->mu), so this
+  // cannot deadlock.
+  std::lock_guard<std::mutex> registry(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("no session " + std::to_string(id));
   }
-  std::unique_lock<std::mutex> lock(session->mu, std::try_to_lock);
+  std::unique_lock<std::mutex> lock(it->second->mu, std::try_to_lock);
   if (!lock.owns_lock()) {
     throw SessionBusy("session " + std::to_string(id) +
                       " has an operation in flight");
   }
-  return {session, std::move(lock)};
+  return {it->second.get(), std::move(lock)};
 }
 
 namespace {
@@ -154,25 +155,26 @@ ForkReport SessionService::fork(std::uint64_t id,
 }
 
 void SessionService::destroy(std::uint64_t id) {
+  // Destruction order matters: `session` is declared first so it is
+  // destroyed last — after `busy` has released session->mu and `registry`
+  // has released mu_ — so the mutex is never destroyed while locked and
+  // the (possibly slow) LiveRun teardown runs outside the registry lock.
   std::unique_ptr<Session> session;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
-      throw std::out_of_range("no session " + std::to_string(id));
-    }
-    session = std::move(it->second);
-    sessions_.erase(it);
+  std::lock_guard<std::mutex> registry(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("no session " + std::to_string(id));
   }
-  // Refuse to free a session mid-operation; put it back instead.
-  std::unique_lock<std::mutex> busy(session->mu, std::try_to_lock);
+  // Claim the session lock before unlinking it: a mid-operation session is
+  // refused (409) without ever leaving the registry, so concurrent lookups
+  // never observe a transient "no such session" while it is being judged.
+  std::unique_lock<std::mutex> busy(it->second->mu, std::try_to_lock);
   if (!busy.owns_lock()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    sessions_.emplace(id, std::move(session));
     throw SessionBusy("session " + std::to_string(id) +
                       " has an operation in flight");
   }
-  busy.unlock();
+  session = std::move(it->second);
+  sessions_.erase(it);
 }
 
 std::size_t SessionService::open_sessions() const {

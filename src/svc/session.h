@@ -88,7 +88,8 @@ class SessionService {
   ForkReport fork(std::uint64_t id, const Perturbation& perturbation,
                   double horizon);
 
-  /// Close and free the session.  Throws std::out_of_range when unknown.
+  /// Close and free the session.  Throws std::out_of_range when unknown
+  /// and SessionBusy (→ 409) when an operation is in flight on it.
   void destroy(std::uint64_t id);
 
   /// Open-session count (shutdown diagnostics).

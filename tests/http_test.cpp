@@ -1,6 +1,10 @@
 // The HTTP server primitives, exercised over real loopback sockets:
 // framing, keep-alive, every input limit, and the guarantee that hostile
 // or broken bytes get a clean error response — never a crash or a hang.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -59,6 +63,32 @@ TEST_F(HttpServerTest, KeepAliveServesPipelinedRequests) {
   EXPECT_NE(raw.find("GET /a 0"), std::string::npos);
   EXPECT_NE(raw.find("GET /b 0"), std::string::npos);
   // First response keeps the connection, second closes it.
+  EXPECT_NE(raw.find("Connection: keep-alive"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, Http10DefaultsToClose) {
+  Start();
+  // No Connection header on an HTTP/1.0 request: the protocol default is
+  // close, so a strict 1.0 client waiting for EOF must not stall on the
+  // recv timeout.
+  const std::string raw = SendRaw(
+      server_->port(), "GET /old HTTP/1.0\r\nHost: x\r\n\r\n");
+  EXPECT_NE(raw.find("GET /old 0"), std::string::npos);
+  EXPECT_NE(raw.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(raw.find("Connection: keep-alive"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, Http10ExplicitKeepAliveIsHonored) {
+  Start();
+  const std::string two =
+      "GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+      "GET /b HTTP/1.0\r\n\r\n";
+  const std::string raw = SendRaw(server_->port(), two);
+  // Both pipelined requests are answered: the first keeps the connection
+  // open (explicit opt-in), the second falls back to the 1.0 default.
+  EXPECT_NE(raw.find("GET /a 0"), std::string::npos);
+  EXPECT_NE(raw.find("GET /b 0"), std::string::npos);
   EXPECT_NE(raw.find("Connection: keep-alive"), std::string::npos);
   EXPECT_NE(raw.find("Connection: close"), std::string::npos);
 }
@@ -169,6 +199,57 @@ TEST_F(HttpServerTest, ConcurrentClientsAllGetAnswers) {
   }
   for (std::thread& c : clients) c.join();
   EXPECT_EQ(ok.load(), 32);
+}
+
+/// Raw loopback connect (no request bytes) — lets a test occupy a queue
+/// slot without a worker being involved.
+int RawConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST_F(HttpServerTest, PendingConnectionOverflowGets503) {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  HttpLimits limits;
+  limits.max_pending_connections = 1;
+  server_ = std::make_unique<HttpServer>(
+      [&entered, &release](const HttpRequest&) -> HttpResponse {
+        entered.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return HttpResponse{};
+      },
+      limits);
+  server_->start(0, /*workers=*/1);
+  // Occupy the only worker: this request parks inside the handler.
+  std::thread blocked([this] {
+    EXPECT_EQ(Fetch(server_->port(), "GET", "/block").status, 200);
+  });
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Fill the single queue slot with an idle connection (accepted and
+  // enqueued before any later arrival — the acceptor is one thread).
+  const int parked = RawConnect(server_->port());
+  ASSERT_GE(parked, 0);
+  // The next connection overflows the queue: refused with 503, closed.
+  const std::string raw = SendRaw(server_->port(), "GET /over HTTP/1.1\r\n");
+  EXPECT_NE(raw.find("503"), std::string::npos) << raw;
+  release.store(true);
+  blocked.join();
+  ::close(parked);
 }
 
 TEST_F(HttpServerTest, StopIsIdempotentAndJoinsEverything) {

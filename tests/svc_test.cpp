@@ -24,7 +24,9 @@
 #include "common/json.h"
 #include "common/snapshot.h"
 #include "svc/json_api.h"
+#include "svc/router.h"
 #include "svc/server.h"
+#include "svc/session.h"
 #include "workload/harness.h"
 
 namespace custody::svc {
@@ -459,6 +461,39 @@ TEST_F(ControlPlaneTest, SessionLifecycleErrorsAreClean) {
   EXPECT_EQ(Fetch(port_, "GET", "/sessions/" + id).status, 404);
 }
 
+// Regression: acquire() must take the session lock under the registry lock,
+// or a concurrent destroy() can free the Session between lookup and lock
+// (use-after-free on the mutex).  TSan/ASan flag the old interleaving.
+TEST(SessionServiceRace, ConcurrentDestroyAndStatusIsSafe) {
+  SessionService sessions(::testing::TempDir() + "svc_race_snaps");
+  for (int round = 0; round < 16; ++round) {
+    const std::uint64_t id = sessions.create(SteadyConfig());
+    std::thread poller([&sessions, id] {
+      for (int i = 0; i < 64; ++i) {
+        try {
+          (void)sessions.status(id);
+        } catch (const std::out_of_range&) {
+          return;  // destroyed under us — the expected end
+        } catch (const SessionBusy&) {
+        }
+      }
+    });
+    std::thread destroyer([&sessions, id] {
+      for (;;) {
+        try {
+          sessions.destroy(id);
+          return;
+        } catch (const SessionBusy&) {
+          std::this_thread::yield();  // an op is in flight; retry
+        }
+      }
+    });
+    poller.join();
+    destroyer.join();
+    EXPECT_EQ(sessions.open_sessions(), 0u);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cancel, trace, and hostile traffic
 // ---------------------------------------------------------------------------
@@ -479,9 +514,14 @@ TEST_F(ControlPlaneTest, CancelStopsAQueuedOrRunningExperiment) {
   if (state == "cancelled") {
     EXPECT_EQ(Fetch(port_, "GET", "/experiments/" + id + "/metrics").status,
               409);
-    // A terminal job cannot be re-cancelled.
-    EXPECT_EQ(Fetch(port_, "DELETE", "/experiments/" + id).status, 409);
   }
+  // DELETE on a terminal job reclaims it (200 deleted); afterwards the id
+  // is gone, so follow-ups — including a repeat DELETE — are 404.
+  const ClientResponse removed = Fetch(port_, "DELETE", "/experiments/" + id);
+  EXPECT_EQ(removed.status, 200) << removed.body;
+  EXPECT_NE(removed.body.find("\"deleted\""), std::string::npos);
+  EXPECT_EQ(Fetch(port_, "GET", "/experiments/" + id).status, 404);
+  EXPECT_EQ(Fetch(port_, "DELETE", "/experiments/" + id).status, 404);
 }
 
 TEST_F(ControlPlaneTest, TraceEndpointServesChromeTraceJson) {
